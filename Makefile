@@ -1,0 +1,32 @@
+# Conventional entry points; everything is plain dune underneath.
+
+.PHONY: all build test bench examples doc clean data
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Regenerate every paper table/figure (plus ablations & derived benches)
+bench:
+	dune exec bench/main.exe
+
+# Also write gnuplot-ready .dat files under out/
+data:
+	NEWTON_BENCH_DATA=out dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/ddos_drilldown.exe
+	dune exec examples/network_wide.exe
+	dune exec examples/multi_tenant.exe
+	dune exec examples/operator_workflow.exe
+
+doc:
+	dune build @doc
+
+clean:
+	dune clean
