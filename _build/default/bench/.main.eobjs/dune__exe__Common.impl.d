@@ -1,0 +1,1 @@
+bench/common.ml: Filename Newton_compiler Newton_query Newton_trace Newton_util Printf Sys

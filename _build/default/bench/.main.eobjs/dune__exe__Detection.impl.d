@@ -1,0 +1,1 @@
+bench/detection.ml: Common List Newton_baselines Newton_core Newton_packet Newton_query Newton_trace Printf T

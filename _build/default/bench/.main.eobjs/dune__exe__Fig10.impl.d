@@ -1,0 +1,1 @@
+bench/fig10.ml: Common List Newton_baselines Newton_dataplane Newton_query Printf Switch T

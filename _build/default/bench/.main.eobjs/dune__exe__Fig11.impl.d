@@ -1,0 +1,1 @@
+bench/fig11.ml: Common List Newton_core Newton_query Newton_util Option Printf T

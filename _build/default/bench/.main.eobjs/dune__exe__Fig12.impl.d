@@ -1,0 +1,1 @@
+bench/fig12.ml: Array Common List Newton_baselines Newton_core Newton_trace Printf T

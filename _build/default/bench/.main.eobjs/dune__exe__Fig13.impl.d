@@ -1,0 +1,1 @@
+bench/fig13.ml: Common Deploy List Newton_baselines Newton_compiler Newton_controller Newton_network Newton_query Newton_trace Printf T

@@ -1,0 +1,1 @@
+bench/fig14.ml: Common Deploy List Newton_compiler Newton_controller Newton_network Newton_query Newton_runtime Newton_trace Printf T

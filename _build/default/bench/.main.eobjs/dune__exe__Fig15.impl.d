@@ -1,0 +1,1 @@
+bench/fig15.ml: Common Compose Decompose List Newton_compiler Newton_query Printf Sonata_cost T

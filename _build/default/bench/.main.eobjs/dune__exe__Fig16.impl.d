@@ -1,0 +1,1 @@
+bench/fig16.ml: Common Compose List Newton_compiler Newton_core Newton_query Newton_trace Sonata_cost T

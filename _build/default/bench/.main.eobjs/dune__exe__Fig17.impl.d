@@ -1,0 +1,1 @@
+bench/fig17.ml: Common List Newton_compiler Newton_controller Newton_network Newton_query Placement Printf T

@@ -1,0 +1,1 @@
+bench/fig7.ml: Common List Newton_compiler Newton_query Printf T

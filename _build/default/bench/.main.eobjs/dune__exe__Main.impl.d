@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Detection Fig10 Fig11 Fig12 Fig13 Fig14 Fig15 Fig16 Fig17 Fig7 List Microbench Printf Refinement String Sys Table3 Unix

@@ -1,0 +1,1 @@
+bench/refinement.ml: Array Common List Newton Newton_core Newton_dataplane Newton_packet Newton_query Newton_trace Printf Refine T

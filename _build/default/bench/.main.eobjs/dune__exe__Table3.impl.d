@@ -1,0 +1,1 @@
+bench/table3.ml: Common Module_cost Newton_dataplane Printf Resource T

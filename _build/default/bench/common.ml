@@ -1,0 +1,35 @@
+(** Shared helpers for the experiment harness. *)
+
+module T = Newton_util.Tablefmt
+
+let banner = T.banner
+
+(** Standard evaluation traces: the two real-world trace substitutes. *)
+let caida_trace ?(flows = 4000) ?(seed = 42) () =
+  Newton_trace.Gen.generate ~attacks:Newton_trace.Attack.default_suite ~seed
+    (Newton_trace.Profile.with_flows Newton_trace.Profile.caida_like flows)
+
+let mawi_trace ?(flows = 4000) ?(seed = 43) () =
+  Newton_trace.Gen.generate ~attacks:Newton_trace.Attack.default_suite ~seed
+    (Newton_trace.Profile.with_flows Newton_trace.Profile.mawi_like flows)
+
+let all_queries () = Newton_query.Catalog.all ()
+
+let compile = Newton_compiler.Compose.compile
+
+let compile_with opts q = Newton_compiler.Compose.compile ~options:opts q
+
+let pct x = Printf.sprintf "%.1f%%" (100.0 *. x)
+
+let note fmt = Printf.printf ("  " ^^ fmt ^^ "\n")
+
+(** When NEWTON_BENCH_DATA is set to a directory, benches also write
+    their tables as gnuplot-friendly .dat files there. *)
+let maybe_dat table name =
+  match Sys.getenv_opt "NEWTON_BENCH_DATA" with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path = Filename.concat dir (name ^ ".dat") in
+      T.write_dat table path;
+      Printf.printf "  [data written to %s]\n" path

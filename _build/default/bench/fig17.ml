@@ -1,0 +1,73 @@
+(** Figure 17: network-wide placement of Q4 (Algorithm 2).
+
+    (a) Total and average table entries when the query needs 1..M
+        switches (per-switch stage budgets of 10/5/4/3/2), on an 8-ary
+        fat-tree (traffic entering at the ToRs) and the NA-ISP backbone
+        (traffic emitted from California).
+    (b) Entries vs. fat-tree scale: total entries grow linearly with the
+        topology while the per-switch average stabilises — placement
+        scales to thousand-switch networks. *)
+
+open Common
+open Newton_controller
+
+let q4_compiled () = compile (Newton_query.Catalog.q4 ())
+
+let run () =
+  banner "Figure 17a: Q4 placement vs required switches (stage budgets 10/5/4/3/2)";
+  let compiled = q4_compiled () in
+  let stages = compiled.Newton_compiler.Compose.stats.Newton_compiler.Compose.stages in
+  note "Q4 after compilation: %d stages, %d table entries per full instance"
+    stages compiled.Newton_compiler.Compose.stats.Newton_compiler.Compose.rules;
+  let fat = Newton_network.Topo.fat_tree 8 in
+  let isp = Newton_network.Topo.isp () in
+  let isp_edges = [ 0; 1 ] (* San Francisco, Los Angeles: California *) in
+  let t =
+    T.create
+      ~aligns:[ T.Right; T.Right; T.Right; T.Right; T.Right; T.Right; T.Right ]
+      [ "stages/switch"; "req switches"; "FT total"; "FT avg";
+        "ISP total"; "ISP avg"; "ISP switches" ]
+  in
+  List.iter
+    (fun n ->
+      let pf = Placement.place ~stages_per_switch:n ~topo:fat compiled in
+      let pi =
+        Placement.place ~edge_switches:isp_edges ~stages_per_switch:n ~topo:isp compiled
+      in
+      T.add_row t
+        [ string_of_int n;
+          string_of_int (Placement.num_slices pf);
+          string_of_int (Placement.total_entries pf);
+          Printf.sprintf "%.1f" (Placement.avg_entries pf);
+          string_of_int (Placement.total_entries pi);
+          Printf.sprintf "%.1f" (Placement.avg_entries pi);
+          string_of_int (Placement.switches_used pi) ])
+    [ 10; 5; 4; 3; 2 ];
+  T.print t;
+  maybe_dat t "fig17a";
+  note "paper: entries increase with required switches; growth steeper on the ISP topology";
+
+  banner "Figure 17b: Q4 placement vs fat-tree scale";
+  let t =
+    T.create
+      ~aligns:[ T.Right; T.Right; T.Right; T.Right; T.Right; T.Right ]
+      [ "k"; "switches"; "total(M=1)"; "avg(M=1)"; "total(M=2)"; "avg(M=2)" ]
+  in
+  List.iter
+    (fun k ->
+      let topo = Newton_network.Topo.fat_tree k in
+      let p1 = Placement.place ~stages_per_switch:stages ~topo compiled in
+      let p2 =
+        Placement.place ~stages_per_switch:((stages + 1) / 2) ~topo compiled
+      in
+      T.add_row t
+        [ string_of_int k;
+          string_of_int (Newton_network.Topo.num_switches topo);
+          string_of_int (Placement.total_entries p1);
+          Printf.sprintf "%.1f" (Placement.avg_entries p1);
+          string_of_int (Placement.total_entries p2);
+          Printf.sprintf "%.1f" (Placement.avg_entries p2) ])
+    [ 4; 8; 16; 32 ];
+  T.print t;
+  maybe_dat t "fig17b";
+  note "paper: total entries grow linearly with scale; average stabilises to a constant"

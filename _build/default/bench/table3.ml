@@ -1,0 +1,49 @@
+(** Table 3: hardware resources consumed by Newton, normalised by the
+    resource usage of the switch.p4-like forwarding program.  Three
+    categories: per-stage (naive baseline layout vs. compact module
+    layout), per-module (the four modules), and per-primitive (amortised
+    over the 256 rules each module accommodates; stateful primitives span
+    several suites — 2 for reduce's CM, 3 for distinct's BF). *)
+
+open Common
+open Newton_dataplane
+
+let row name (r : Resource.t) =
+  let s = Module_cost.switchp4_usage in
+  let p used total = if total = 0.0 then "0.0%" else Printf.sprintf "%.3f%%" (100.0 *. used /. total) in
+  [ name;
+    p r.Resource.crossbar s.Resource.crossbar;
+    p r.Resource.sram s.Resource.sram;
+    p r.Resource.tcam s.Resource.tcam;
+    p r.Resource.vliw s.Resource.vliw;
+    p r.Resource.hash_bits s.Resource.hash_bits;
+    p r.Resource.salu s.Resource.salu;
+    p r.Resource.gateway s.Resource.gateway ]
+
+let run () =
+  banner "Table 3: resources consumed by Newton (normalised by switch.p4 usage)";
+  let t =
+    T.create
+      ~aligns:[ T.Left; T.Right; T.Right; T.Right; T.Right; T.Right; T.Right; T.Right ]
+      ("Metric" :: Resource.names)
+  in
+  (* Per-stage: the naive layout spreads one suite over four stages; the
+     compact layout packs all four modules per stage. *)
+  T.add_row t (row "Per-stage: Baseline (naive)" Module_cost.naive_per_stage);
+  T.add_row t (row "Per-stage: Compact layout" Module_cost.suite);
+  T.add_row t (row "Module: Field Selection (K)" Module_cost.key_selection);
+  T.add_row t (row "Module: Hash Calculation (H)" Module_cost.hash_calculation);
+  T.add_row t (row "Module: State Bank (S)" (Module_cost.state_bank ()));
+  T.add_row t (row "Module: Result Process (R)" Module_cost.result_process);
+  T.add_row t (row "Primitive: filter (1 suite)" (Module_cost.primitive_cost ~suites:1));
+  T.add_row t (row "Primitive: map (1 suite)" (Module_cost.primitive_cost ~suites:1));
+  T.add_row t (row "Primitive: reduce (2 suites)" (Module_cost.primitive_cost ~suites:2));
+  T.add_row t (row "Primitive: distinct (3 suites)" (Module_cost.primitive_cost ~suites:3));
+  T.print t;
+  maybe_dat t "table3";
+  note "paper per-stage compact: 4.756%% / 4.929%% / 6.451%% / 16.90%% / 4.889%% / 5.555%% / 1.428%%";
+  note "each module supports %d rules; per-primitive costs are amortised shares"
+    Module_cost.rules_per_module;
+  (* Fit check: the compact layout's suite must fit one physical stage. *)
+  let fits = Resource.fits Module_cost.suite Resource.stage_budget in
+  note "compact suite fits a single stage budget: %b" fits

@@ -1,0 +1,450 @@
+(** newton — command-line front-end to the Newton monitoring system.
+
+    Subcommands:
+    - [queries]            list the built-in query catalog (Table 2)
+    - [compile -q N]       show how a query compiles to module rules
+    - [run -q N,M ...]     run queries on one switch over a synthetic trace
+    - [netrun -q N ...]    deploy network-wide and run over a topology *)
+
+open Cmdliner
+open Newton_core.Newton
+
+(* ---------------- shared argument parsing ---------------- *)
+
+let queries_arg =
+  let doc = "Comma-separated query ids (1-9) from the catalog." in
+  Arg.(value & opt (list int) [ 1 ] & info [ "q"; "queries" ] ~docv:"IDS" ~doc)
+
+let profile_arg =
+  let doc = "Trace profile: caida or mawi." in
+  Arg.(value & opt (enum [ ("caida", `Caida); ("mawi", `Mawi) ]) `Caida
+       & info [ "profile" ] ~docv:"PROFILE" ~doc)
+
+let flows_arg =
+  let doc = "Number of background flows in the synthetic trace." in
+  Arg.(value & opt int 4000 & info [ "flows" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed for trace generation." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let attacks_arg =
+  let doc = "Inject the default attack suite into the trace." in
+  Arg.(value & flag & info [ "attacks" ] ~doc)
+
+let verbose_arg =
+  let doc = "Print every report instead of a summary." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let profile_of = function
+  | `Caida -> Trace_profile.caida_like
+  | `Mawi -> Trace_profile.mawi_like
+
+let trace_in_arg =
+  Arg.(value & opt (some file) None
+       & info [ "trace-in" ] ~docv:"FILE"
+           ~doc:"Replay a trace saved with --trace-out instead of generating one.")
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE" ~doc:"Save the generated trace to a file.")
+
+let make_trace ?trace_in ?trace_out profile flows seed attacks =
+  let trace =
+    match trace_in with
+    | Some path -> Newton_trace.Trace_io.load path
+    | None ->
+        Trace.generate
+          ~attacks:(if attacks then Newton_trace.Attack.default_suite else [])
+          ~seed
+          (Trace_profile.with_flows (profile_of profile) flows)
+  in
+  (match trace_out with
+  | Some path ->
+      Newton_trace.Trace_io.save trace path;
+      Printf.printf "trace saved to %s
+" path
+  | None -> ());
+  trace
+
+let lookup_queries ids =
+  try Ok (List.map Catalog.by_id ids)
+  with Invalid_argument msg -> Error msg
+
+let dsl_arg =
+  let doc =
+    "Ad-hoc queries in the textual DSL (repeatable), e.g. \
+     'filter(proto == udp) | map(dip) | reduce(dip, count) | filter(count > \
+     100) | map(dip)'."
+  in
+  Arg.(value & opt_all string [] & info [ "query" ] ~docv:"DSL" ~doc)
+
+(* Combine catalog ids and ad-hoc DSL queries; ad-hoc queries get ids
+   from 100 upward. *)
+let gather_queries ids dsl =
+  match lookup_queries ids with
+  | Error msg -> Error msg
+  | Ok qs -> (
+      let rec go i acc = function
+        | [] -> Ok (qs @ List.rev acc)
+        | text :: rest -> (
+            match
+              Newton_query.Parser.parse_result ~id:i
+                ~name:(Printf.sprintf "adhoc%d" (i - 100)) text
+            with
+            | Ok q -> go (i + 1) (q :: acc) rest
+            | Error m -> Error m)
+      in
+      match go 100 [] dsl with
+      | Ok all -> Ok all
+      | Error m -> Error m)
+
+(* ---------------- queries ---------------- *)
+
+let cmd_queries =
+  let run () =
+    List.iter
+      (fun q ->
+        Printf.printf "Q%d  %-22s %s\n" q.Query.id q.Query.name q.Query.description)
+      (Catalog.all ())
+  in
+  Cmd.v (Cmd.info "queries" ~doc:"List the built-in query catalog (paper Table 2)")
+    Term.(const run $ const ())
+
+(* ---------------- compile ---------------- *)
+
+let cmd_compile =
+  let run ids show_slots =
+    match lookup_queries ids with
+    | Error msg -> prerr_endline msg; exit 1
+    | Ok qs ->
+        List.iter
+          (fun q ->
+            let base =
+              Compiler.compile ~options:Compile_options.baseline_options q
+            in
+            let opt = Compiler.compile q in
+            print_endline (Query.to_string q);
+            Printf.printf
+              "  naive: %d modules / %d stages; optimized: %d modules / %d \
+               stages / %d table rules\n"
+              base.Compiler.stats.Compiler.modules_naive
+              base.Compiler.stats.Compiler.stages_naive
+              opt.Compiler.stats.Compiler.modules_shared
+              opt.Compiler.stats.Compiler.stages opt.Compiler.stats.Compiler.rules;
+            if show_slots then
+              Array.iteri
+                (fun b slots ->
+                  Printf.printf "  branch %d:\n" b;
+                  List.iter
+                    (fun s ->
+                      Printf.printf "    %s\n" (Newton_compiler.Ir.slot_to_string s))
+                    slots)
+                opt.Compiler.branches;
+            print_newline ())
+          qs
+  in
+  let slots_arg =
+    Arg.(value & flag & info [ "slots" ] ~doc:"Dump the module-slot layout.")
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile queries and show module/stage usage")
+    Term.(const run $ queries_arg $ slots_arg)
+
+(* ---------------- p4 (program + rule emission) ---------------- *)
+
+let cmd_p4 =
+  let run ids emit_program out_rules stages lint =
+    (if emit_program then
+       let layout = { Newton_p4gen.Emit.default_layout with Newton_p4gen.Emit.stages } in
+       print_string (Newton_p4gen.Emit.program ~layout ()));
+    match lookup_queries ids with
+    | Error msg -> prerr_endline msg; exit 1
+    | Ok qs ->
+        List.iteri
+          (fun i q ->
+            let compiled = Compiler.compile q in
+            let entries =
+              Newton_p4gen.Rules.entries ~class_id:(1 + (i * 10)) compiled
+            in
+            (match out_rules with
+            | Some path ->
+                let oc = open_out path in
+                output_string oc (Newton_p4gen.Rules.to_json entries);
+                close_out oc;
+                Printf.eprintf "Q%d: %d entries written to %s\n" q.Query.id
+                  (List.length entries) path
+            | None ->
+                if not emit_program then
+                  print_string (Newton_p4gen.Rules.to_json entries));
+            if lint then begin
+              let layout =
+                { Newton_p4gen.Emit.default_layout with Newton_p4gen.Emit.stages }
+              in
+              match Newton_p4gen.Validate.check_compiled ~layout compiled with
+              | [] -> Printf.eprintf "Q%d: artifacts lint clean\n" q.Query.id
+              | issues ->
+                  List.iter
+                    (fun i ->
+                      Printf.eprintf "Q%d: %s\n" q.Query.id
+                        (Newton_p4gen.Validate.issue_to_string i))
+                    issues;
+                  exit 1
+            end)
+          qs
+  in
+  let program_arg =
+    Arg.(value & flag
+         & info [ "program" ] ~doc:"Emit the P4 module-layout program to stdout.")
+  in
+  let rules_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "rules-out" ] ~docv:"FILE" ~doc:"Write the rule JSON to a file.")
+  in
+  let stages_arg =
+    Arg.(value & opt int 12
+         & info [ "stages" ] ~docv:"N" ~doc:"Stages in the emitted module layout.")
+  in
+  let lint_arg =
+    Arg.(value & flag
+         & info [ "lint" ]
+             ~doc:"Validate the rule entries against the emitted program.")
+  in
+  Cmd.v
+    (Cmd.info "p4"
+       ~doc:"Emit the P4 module-layout program and/or runtime rule JSON")
+    Term.(const run $ queries_arg $ program_arg $ rules_out_arg $ stages_arg $ lint_arg)
+
+(* ---------------- run (device level) ---------------- *)
+
+let cmd_run =
+  let run ids dsl profile flows seed attacks verbose trace_in trace_out =
+    match gather_queries ids dsl with
+    | Error msg -> prerr_endline msg; exit 1
+    | Ok qs ->
+        let device = Device.create () in
+        List.iter
+          (fun q ->
+            let _, lat = Device.add_query device q in
+            Printf.printf "installed Q%d (%s) in %.1f ms\n" q.Query.id q.Query.name
+              (lat *. 1e3))
+          qs;
+        let trace = make_trace ?trace_in ?trace_out profile flows seed attacks in
+        Printf.printf "trace: %d packets (%s)\n" (Trace.length trace)
+          (Trace_profile.to_string (Trace.profile trace));
+        Device.process_trace device trace;
+        let reports = Device.reports device in
+        Printf.printf "monitoring messages: %d (%.4f%% of packets)\n"
+          (List.length reports)
+          (100.0 *. float_of_int (List.length reports)
+          /. float_of_int (Trace.length trace));
+        if verbose then
+          List.iter (fun r -> print_endline ("  " ^ Report.to_string r)) reports
+        else begin
+          print_string (Newton_query.Series.summary (Newton_query.Series.of_reports reports));
+
+          List.iter
+            (fun q ->
+              let mine =
+                List.filter (fun r -> r.Report.query_id = q.Query.id) reports
+              in
+              let keys = Report.reported_keys mine in
+              Printf.printf "  Q%d: %d reports, %d distinct keys%s\n" q.Query.id
+                (List.length mine) (List.length keys)
+                (match keys with
+                | k :: _ when Array.length k > 0 ->
+                    Printf.sprintf " (first: %s)" (Packet.ip_to_string k.(0))
+                | _ -> ""))
+            qs
+        end
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run queries on a single switch over a synthetic trace")
+    Term.(
+      const run $ queries_arg $ dsl_arg $ profile_arg $ flows_arg $ seed_arg
+      $ attacks_arg $ verbose_arg $ trace_in_arg $ trace_out_arg)
+
+(* ---------------- netrun (network-wide) ---------------- *)
+
+let topo_arg =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "linear"; n ] -> (try Ok (Topo.linear (int_of_string n)) with _ -> Error (`Msg "bad linear size"))
+    | [ "fat-tree"; k ] -> (
+        try Ok (Topo.fat_tree (int_of_string k)) with
+        | Invalid_argument m -> Error (`Msg m)
+        | _ -> Error (`Msg "bad fat-tree arity"))
+    | [ "isp" ] -> Ok (Topo.isp ())
+    | _ -> Error (`Msg "expected linear:N, fat-tree:K, or isp")
+  in
+  let print fmt t = Format.fprintf fmt "%s" (Topo.name t) in
+  let topo_conv = Arg.conv (parse, print) in
+  Arg.(value & opt topo_conv (Topo.fat_tree 4)
+       & info [ "topo" ] ~docv:"TOPO" ~doc:"Topology: linear:N, fat-tree:K, or isp.")
+
+let stages_arg =
+  Arg.(value & opt int 12
+       & info [ "stages-per-switch" ] ~docv:"N"
+           ~doc:"Pipeline stages each switch grants Newton (CQE slices the query).")
+
+let fail_arg =
+  Arg.(value & opt (some (pair int int)) None
+       & info [ "fail-link" ] ~docv:"A,B"
+           ~doc:"Fail the switch link (A,B) halfway through the trace.")
+
+let cmd_netrun =
+  let run ids topo stages profile flows seed attacks fail =
+    match lookup_queries ids with
+    | Error msg -> prerr_endline msg; exit 1
+    | Ok qs ->
+        let net = Network.create topo in
+        Printf.printf "topology: %s\n" (Topo.to_string topo);
+        List.iter
+          (fun q ->
+            let _, lat = Network.add_query net ~stages_per_switch:stages q in
+            Printf.printf "deployed Q%d network-wide in %.1f ms\n" q.Query.id
+              (lat *. 1e3))
+          qs;
+        let trace = make_trace profile flows seed attacks in
+        Network.process_trace net trace;
+        (match fail with
+        | None -> ()
+        | Some (a, b) ->
+            Printf.printf "failing link (%d,%d) and replaying...\n" a b;
+            Network.fail_link net (a, b);
+            Network.process_trace net trace);
+        Printf.printf "monitoring messages: %d; SP bandwidth overhead: %.3f%%\n"
+          (Network.message_count net)
+          (100.0 *. Network.sp_overhead_ratio net);
+        let keys = Report.reported_keys (Network.reports net) in
+        Printf.printf "distinct reported keys: %d\n" (List.length keys)
+  in
+  Cmd.v (Cmd.info "netrun" ~doc:"Deploy queries network-wide and run a trace")
+    Term.(
+      const run $ queries_arg $ topo_arg $ stages_arg $ profile_arg $ flows_arg
+      $ seed_arg $ attacks_arg $ fail_arg)
+
+(* ---------------- shell (interactive operator console) ---------------- *)
+
+let cmd_shell =
+  let run () =
+    let device = Device.create () in
+    let handles : (int, handle) Hashtbl.t = Hashtbl.create 8 in
+    let next_id = ref 1 in
+    let shown_reports = ref 0 in
+    let help () =
+      print_string
+        "commands:\n\
+        \  install q<N>         install catalog query N (1-9, 10-12)\n\
+        \  install <dsl>        install an ad-hoc DSL query\n\
+        \  remove <id>          remove an installed query\n\
+        \  list                 installed queries\n\
+        \  stats                per-instance runtime statistics\n\
+        \  gen [flows] [seed]   generate an attack trace and run it\n\
+        \  reports              print reports since the last call\n\
+        \  help | quit\n"
+    in
+    let install q =
+      let h, lat = Device.add_query device q in
+      let id = !next_id in
+      incr next_id;
+      Hashtbl.replace handles id h;
+      Printf.printf "installed #%d (%s) in %.1f ms\n%!" id q.Query.name (lat *. 1e3)
+    in
+    let handle_line line =
+      match String.split_on_char ' ' (String.trim line) with
+      | [ "" ] -> true
+      | [ "quit" ] | [ "exit" ] -> false
+      | [ "help" ] -> help (); true
+      | "install" :: rest -> (
+          let arg = String.concat " " rest in
+          (if String.length arg > 1 && arg.[0] = 'q'
+              && String.for_all (fun c -> c >= '0' && c <= '9')
+                   (String.sub arg 1 (String.length arg - 1))
+           then
+             match int_of_string (String.sub arg 1 (String.length arg - 1)) with
+             | n when n >= 1 && n <= 9 -> install (Catalog.by_id n)
+             | 10 -> install (Catalog.q10 ())
+             | 11 -> install (Catalog.q11 ())
+             | 12 -> install (Catalog.q12 ())
+             | 13 -> install (Catalog.q13 ())
+             | 14 -> install (Catalog.q14 ())
+             | n -> Printf.printf "no catalog query q%d\n%!" n
+           else
+             match Newton_query.Parser.parse_result ~id:(90 + !next_id) arg with
+             | Ok q -> install q
+             | Error m -> Printf.printf "parse error: %s\n%!" m);
+          true)
+      | [ "remove"; id ] -> (
+          (match int_of_string_opt id with
+          | Some id -> (
+              match Hashtbl.find_opt handles id with
+              | Some h -> (
+                  match Device.remove_query device h with
+                  | Some lat ->
+                      Hashtbl.remove handles id;
+                      Printf.printf "removed #%d in %.1f ms\n%!" id (lat *. 1e3)
+                  | None -> print_endline "remove failed")
+              | None -> Printf.printf "no query #%d\n%!" id)
+          | None -> print_endline "usage: remove <id>");
+          true)
+      | [ "list" ] ->
+          Hashtbl.iter
+            (fun id (h : handle) ->
+              Printf.printf "  #%d %s: %s\n" id h.query.Query.name
+                h.query.Query.description)
+            handles;
+          print_string "";
+          true
+      | [ "stats" ] ->
+          List.iter
+            (fun s ->
+              print_endline ("  " ^ Newton_runtime.Engine.stats_to_string s))
+            (Newton_runtime.Engine.stats (Device.engine device));
+          true
+      | "gen" :: rest -> (
+          let flows =
+            match rest with f :: _ -> Option.value (int_of_string_opt f) ~default:2000 | [] -> 2000
+          in
+          let seed =
+            match rest with _ :: s :: _ -> Option.value (int_of_string_opt s) ~default:42 | _ -> 42
+          in
+          let trace =
+            Trace.generate ~attacks:Newton_trace.Attack.default_suite ~seed
+              (Trace_profile.with_flows Trace_profile.caida_like flows)
+          in
+          Device.process_trace device trace;
+          Printf.printf "ran %d packets; %d total reports\n%!" (Trace.length trace)
+            (Device.message_count device);
+          true)
+      | [ "reports" ] ->
+          let all = Device.reports device in
+          let fresh = List.filteri (fun i _ -> i >= !shown_reports) all in
+          shown_reports := List.length all;
+          List.iter (fun r -> print_endline ("  " ^ Report.to_string r)) fresh;
+          Printf.printf "(%d new)\n%!" (List.length fresh);
+          true
+      | _ ->
+          print_endline "unknown command (try help)";
+          true
+    in
+    print_endline "newton shell — 'help' for commands";
+    let rec loop () =
+      print_string "newton> ";
+      match In_channel.input_line stdin with
+      | None -> ()
+      | Some line -> if handle_line line then loop ()
+    in
+    loop ()
+  in
+  Cmd.v (Cmd.info "shell" ~doc:"Interactive operator console on one switch")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "newton" ~version:"1.0.0"
+      ~doc:"Intent-driven network traffic monitoring (CoNEXT'20 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ cmd_queries; cmd_compile; cmd_p4; cmd_run; cmd_netrun; cmd_shell ]))

@@ -1,0 +1,1 @@
+examples/ddos_drilldown.ml: Array Attack Catalog Compiler Device Field List Newton_baselines Newton_core Newton_dataplane Packet Printf Query Report String Trace Trace_profile

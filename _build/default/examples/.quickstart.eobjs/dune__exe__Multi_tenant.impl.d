@@ -1,0 +1,1 @@
+examples/multi_tenant.ml: Attack Compiler Device Field List Newton_core Newton_dataplane Packet Printf Query Report String Trace Trace_profile

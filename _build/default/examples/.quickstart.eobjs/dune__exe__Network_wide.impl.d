@@ -1,0 +1,1 @@
+examples/network_wide.ml: Attack Catalog Compiler Deploy Lazy List Network Newton_controller Newton_core Packet Placement Printf Topo Trace Trace_profile

@@ -1,0 +1,1 @@
+examples/operator_workflow.ml: Array Attack Device Field List Newton_core Newton_dataplane Newton_query Packet Printf Query Reactive Report Trace Trace_profile

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Attack Catalog Compiler Device List Newton_core Newton_dataplane Packet Printf Query Report Trace Trace_profile

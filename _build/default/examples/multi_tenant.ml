@@ -1,0 +1,81 @@
+(** Multi-tenant monitoring-as-a-service: many concurrent queries
+    multiplexing the same modules.
+
+    Run with: [dune exec examples/multi_tenant.exe]
+
+    The paper's §3.1 points at cloud providers offering monitoring as a
+    service (CloudWatch-style): each tenant installs its own queries on
+    demand.  Because Newton queries are {e rules} in shared modules
+    (newton_init dispatches each tenant's traffic class), dozens of
+    concurrent queries fit in the module/stage budget of a single
+    deployment — Fig. 16's P-Newton line. *)
+
+open Newton_core.Newton
+
+(* Each tenant owns a /24 inside 10.0.0.0/16 and asks for a port-scan
+   detector scoped to its own prefix. *)
+let tenant_query tenant =
+  let prefix = 0x0A000000 lor (tenant lsl 8) in
+  Query.chain ~id:(200 + tenant)
+    ~name:(Printf.sprintf "tenant%d_port_scan" tenant)
+    ~description:"per-tenant port-scan detection"
+    [ Query.Filter
+        [ Query.field_is Field.Proto Field.Protocol.tcp;
+          (* dst inside the tenant's /24 *)
+          Query.Cmp
+            { field = Field.Dst_ip; mask = 0xFFFFFF00; op = Query.Eq; value = prefix } ];
+      Query.Map (Query.keys [ Field.Src_ip; Field.Dst_port ]);
+      Query.Distinct (Query.keys [ Field.Src_ip; Field.Dst_port ]);
+      Query.Map (Query.keys [ Field.Src_ip ]);
+      Query.Reduce { keys = Query.keys [ Field.Src_ip ]; agg = Query.Count };
+      Query.Filter [ Query.result_gt 40 ];
+      Query.Map (Query.keys [ Field.Src_ip ]) ]
+
+let () =
+  print_endline "== Multi-tenant concurrent queries ==\n";
+  let n_tenants = 24 in
+  let device = Device.create () in
+  let total_latency = ref 0.0 in
+  for t = 1 to n_tenants do
+    let _, lat = Device.add_query device (tenant_query t) in
+    total_latency := !total_latency +. lat
+  done;
+  Printf.printf "%d tenant queries installed, %d table rules, %.1f ms total install time\n"
+    n_tenants
+    (Device.monitor_rules device)
+    (!total_latency *. 1e3);
+  Printf.printf "Forwarding outage across all installs: %.0f s\n\n"
+    (Newton_dataplane.Switch.outage_time (Device.switch device));
+
+  (* One compiled instance tells us the shared-module footprint. *)
+  let c = Compiler.compile (tenant_query 1) in
+  Printf.printf
+    "Module footprint per tenant: %d rules; shared modules: %d in %d stages —\n\
+     every additional tenant adds only rules, not modules (Fig. 16 P-Newton)\n\n"
+    c.Compiler.stats.Compiler.rules
+    c.Compiler.stats.Compiler.modules_shared
+    c.Compiler.stats.Compiler.stages;
+
+  (* Scan two tenants; the others stay quiet. *)
+  let victim_of t = 0x0A000000 lor (t lsl 8) lor 9 in
+  let trace =
+    Trace.generate
+      ~attacks:
+        [ Attack.Port_scan { scanner = Packet.ip_of_string "10.200.0.2";
+                             victim = victim_of 3; ports = 800 };
+          Attack.Port_scan { scanner = Packet.ip_of_string "10.200.0.4";
+                             victim = victim_of 17; ports = 800 } ]
+      ~seed:13
+      (Trace_profile.with_flows Trace_profile.caida_like 2000)
+  in
+  Device.process_trace device trace;
+  let fired =
+    Device.reports device
+    |> List.map (fun r -> r.Report.query_id - 200)
+    |> List.sort_uniq compare
+  in
+  Printf.printf "Tenants with alerts: %s (expected: 3, 17)\n"
+    (String.concat ", " (List.map string_of_int fired));
+  assert (List.mem 3 fired && List.mem 17 fired);
+  Printf.printf "Messages: %d for %d packets — isolation plus low overhead\n"
+    (Device.message_count device) (Trace.length trace)

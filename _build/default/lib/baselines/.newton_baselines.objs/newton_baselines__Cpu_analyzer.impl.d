@@ -1,0 +1,1 @@
+lib/baselines/cpu_analyzer.ml: Array Fivetuple Float List Newton_packet Newton_query Newton_trace Packet Starflow

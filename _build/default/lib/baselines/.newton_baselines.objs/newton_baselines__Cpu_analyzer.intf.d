@@ -1,0 +1,1 @@
+lib/baselines/cpu_analyzer.mli: Newton_query Newton_trace Starflow

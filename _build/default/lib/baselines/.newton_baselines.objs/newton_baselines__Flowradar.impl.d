@@ -1,0 +1,1 @@
+lib/baselines/flowradar.ml: Array Fivetuple Newton_packet Newton_sketch Packet

@@ -1,0 +1,1 @@
+lib/baselines/flowradar.mli: Newton_packet

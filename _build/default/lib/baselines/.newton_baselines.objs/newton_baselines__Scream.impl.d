@@ -1,0 +1,1 @@
+lib/baselines/scream.ml: Field Newton_packet Newton_sketch Packet

@@ -1,0 +1,1 @@
+lib/baselines/scream.mli: Newton_packet

@@ -1,0 +1,1 @@
+lib/baselines/sonata.ml: Engine List Newton_compiler Newton_dataplane Newton_runtime Switch

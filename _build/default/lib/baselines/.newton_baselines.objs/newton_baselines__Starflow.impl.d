@@ -1,0 +1,1 @@
+lib/baselines/starflow.ml: Array Field Fivetuple Newton_packet Packet

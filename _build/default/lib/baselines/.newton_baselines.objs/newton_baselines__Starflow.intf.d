@@ -1,0 +1,1 @@
+lib/baselines/starflow.mli: Fivetuple Newton_packet Packet

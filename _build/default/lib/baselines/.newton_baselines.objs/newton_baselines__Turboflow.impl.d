@@ -1,0 +1,1 @@
+lib/baselines/turboflow.ml: Array Field Fivetuple Newton_packet Packet

@@ -1,0 +1,1 @@
+lib/baselines/turboflow.mli: Newton_packet

@@ -1,0 +1,24 @@
+(** The CPU-side analyzer of GPV-based *Flow systems: reconstructs
+    packets from grouped packet vectors and evaluates queries in
+    software — same intents as Newton, every packet shipped and
+    touched. *)
+
+type t
+
+val create : Newton_query.Ast.t list -> t
+
+(** Per-packet records the CPU has touched. *)
+val cpu_packets : t -> int
+
+val gpvs : t -> int
+
+(** Ingest one grouped packet vector. *)
+val ingest : t -> Starflow.gpv -> unit
+
+(** Evaluate all queries over everything ingested (windowed batch). *)
+val results : t -> Newton_query.Report.t list
+
+(** Run a trace through a *Flow exporter wired into a fresh analyzer. *)
+val of_trace :
+  ?cache_size:int -> ?gpv_len:int -> Newton_query.Ast.t list ->
+  Newton_trace.Gen.t -> t * Starflow.t

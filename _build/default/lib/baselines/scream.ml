@@ -1,0 +1,57 @@
+(** SCREAM export model (Moshref et al., CoNEXT'15).
+
+    SCREAM allocates sketch memory across measurement tasks on software-
+    defined switches and periodically ships the sketch counters to the
+    controller, which estimates task accuracy and rebalances.  Export
+    cost per interval is the configured sketch size (counters batched per
+    message) plus the per-task control traffic — between the full-flowset
+    exporters and the filtered exporters in Fig. 12. *)
+
+open Newton_packet
+
+type t = {
+  width : int;
+  depth : int;
+  counters_per_msg : int;
+  interval : float;
+  sketch : Newton_sketch.Count_min.t;
+  mutable window : int;
+  mutable messages : int;
+  mutable packets : int;
+}
+
+let create ?(width = 2048) ?(depth = 3) ?(counters_per_msg = 64)
+    ?(interval = 0.1) () =
+  {
+    width;
+    depth;
+    counters_per_msg;
+    interval;
+    sketch = Newton_sketch.Count_min.create ~width ~depth ~seed:77;
+    window = 0;
+    messages = 0;
+    packets = 0;
+  }
+
+let messages t = t.messages
+let packets t = t.packets
+
+let export t =
+  let counters = t.width * t.depth in
+  t.messages <- t.messages + ((counters + t.counters_per_msg - 1) / t.counters_per_msg);
+  Newton_sketch.Count_min.clear t.sketch
+
+let process t pkt =
+  t.packets <- t.packets + 1;
+  let w = int_of_float (Packet.ts pkt /. t.interval) in
+  if w <> t.window then begin
+    export t;
+    t.window <- w
+  end;
+  let key =
+    [| Packet.get pkt Field.Src_ip; Packet.get pkt Field.Dst_ip;
+       Packet.get pkt Field.Proto |]
+  in
+  ignore (Newton_sketch.Count_min.add t.sketch key 1)
+
+let finish t = export t

@@ -1,0 +1,14 @@
+(** SCREAM export model: per-interval sketch export to the controller
+    for accuracy estimation and rebalancing — between the full-flowset
+    and the filtered exporters in Fig. 12. *)
+
+type t
+
+val create :
+  ?width:int -> ?depth:int -> ?counters_per_msg:int -> ?interval:float ->
+  unit -> t
+
+val messages : t -> int
+val packets : t -> int
+val process : t -> Newton_packet.Packet.t -> unit
+val finish : t -> unit

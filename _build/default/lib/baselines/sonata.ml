@@ -1,0 +1,64 @@
+(** Sonata baseline (Gupta et al., SIGCOMM'18).
+
+    Sonata, like Newton, runs query logic on the data plane and exports
+    only intent-relevant reports — so its {e monitoring overhead} matches
+    Newton's (Fig. 12).  It differs in two ways this model captures:
+
+    - {b Static queries}: every query create/update/remove compiles a new
+      P4 program and reloads the switch, interrupting forwarding for
+      seconds ({!Newton_dataplane.Reconfig.reload_outage}, Fig. 10).
+    - {b Sole-switch execution}: a query's sketches live in one switch's
+      memory; accuracy is capped by per-switch registers (Fig. 14), and
+      network-wide deployments replicate the full query per switch.
+
+    The query engine itself reuses {!Newton_runtime.Engine} — Sonata's
+    data-plane semantics for the four primitives are the same; only the
+    reconfiguration and placement regimes differ. *)
+
+open Newton_runtime
+open Newton_dataplane
+
+type t = {
+  switch : Switch.t;
+  mutable engine : Engine.t;
+  mutable outages : float list;  (* seconds, most recent first *)
+  mutable queries : Newton_compiler.Compose.t list;
+}
+
+let create ?(fwd_entries = Switch.default_fwd_entries) ?(switch_id = 0) () =
+  {
+    switch = Switch.create ~id:switch_id ~fwd_entries ();
+    engine = Engine.create ~switch_id;
+    outages = [];
+    queries = [];
+  }
+
+let switch t = t.switch
+let engine t = t.engine
+let outages t = List.rev t.outages
+let total_outage t = List.fold_left ( +. ) 0.0 t.outages
+
+(* Reload the pipeline with the current query set: Sonata's only
+   reconfiguration path.  All monitoring state is lost and forwarding
+   stops for the outage duration. *)
+let reload ?(offered_pps = 0.0) t =
+  let outage = Switch.full_reload ~offered_pps t.switch in
+  t.outages <- outage :: t.outages;
+  let engine = Engine.create ~switch_id:(Switch.id t.switch) in
+  List.iter (fun c -> ignore (Engine.install engine c)) t.queries;
+  t.engine <- engine;
+  outage
+
+(** Install a query: recompile + reboot. Returns the forwarding outage
+    in seconds (Newton's equivalent returns milliseconds and no outage). *)
+let install_query ?offered_pps t compiled =
+  t.queries <- t.queries @ [ compiled ];
+  reload ?offered_pps t
+
+let remove_query ?offered_pps t compiled =
+  t.queries <- List.filter (fun c -> c != compiled) t.queries;
+  reload ?offered_pps t
+
+let process_packet t pkt = Engine.process_packet t.engine pkt
+let reports t = Engine.reports t.engine
+let message_count t = Engine.report_count t.engine

@@ -1,0 +1,28 @@
+(** Sonata baseline: the same on-data-plane query semantics as Newton
+    (its engine is reused), but every query operation compiles a new P4
+    program — a full reload that interrupts forwarding for seconds and
+    wipes all monitoring state (Fig. 10). *)
+
+type t
+
+val create : ?fwd_entries:int -> ?switch_id:int -> unit -> t
+
+val switch : t -> Newton_dataplane.Switch.t
+val engine : t -> Newton_runtime.Engine.t
+
+(** Reload outages so far, oldest first. *)
+val outages : t -> float list
+
+val total_outage : t -> float
+
+(** Install a query: recompile + reboot.  Returns the forwarding outage
+    in seconds. *)
+val install_query :
+  ?offered_pps:float -> t -> Newton_compiler.Compose.t -> float
+
+val remove_query :
+  ?offered_pps:float -> t -> Newton_compiler.Compose.t -> float
+
+val process_packet : t -> Newton_packet.Packet.t -> unit
+val reports : t -> Newton_query.Report.t list
+val message_count : t -> int

@@ -1,0 +1,93 @@
+(** TurboFlow export model (Sonchack et al., EuroSys'18).
+
+    TurboFlow generates {e information-rich flow records} on commodity
+    switches: the data plane keeps a fixed-size, direct-mapped microflow
+    cache keyed by 5-tuple; on a hash collision the incumbent record is
+    evicted to the switch CPU / collector (one monitoring message), and
+    at the end of each measurement interval every resident record is
+    flushed.  Every flow therefore crosses the wire at least once per
+    interval — which is exactly why its overhead scales with traffic
+    volume (§2.2, Fig. 12). *)
+
+open Newton_packet
+
+type record = {
+  key : Fivetuple.t;
+  mutable pkts : int;
+  mutable bytes : int;
+  mutable first_ts : float;
+  mutable last_ts : float;
+}
+
+type t = {
+  cache : record option array;
+  interval : float;           (** flush period, seconds *)
+  mutable window : int;
+  mutable messages : int;
+  mutable packets : int;
+  mutable evictions : int;
+}
+
+let create ?(cache_size = 8192) ?(interval = 0.1) () =
+  {
+    cache = Array.make cache_size None;
+    interval;
+    window = 0;
+    messages = 0;
+    packets = 0;
+    evictions = 0;
+  }
+
+let messages t = t.messages
+let packets t = t.packets
+let evictions t = t.evictions
+
+let flush t =
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Some _ ->
+          t.messages <- t.messages + 1;
+          t.cache.(i) <- None
+      | None -> ())
+    t.cache
+
+let process t pkt =
+  t.packets <- t.packets + 1;
+  let w = int_of_float (Packet.ts pkt /. t.interval) in
+  if w <> t.window then begin
+    flush t;
+    t.window <- w
+  end;
+  let key = Fivetuple.of_packet pkt in
+  let idx = Fivetuple.hash key mod Array.length t.cache in
+  match t.cache.(idx) with
+  | Some r when Fivetuple.equal r.key key ->
+      r.pkts <- r.pkts + 1;
+      r.bytes <- r.bytes + Packet.get pkt Field.Pkt_len;
+      r.last_ts <- Packet.ts pkt
+  | Some _ ->
+      (* Collision: evict the incumbent to the collector. *)
+      t.messages <- t.messages + 1;
+      t.evictions <- t.evictions + 1;
+      t.cache.(idx) <-
+        Some
+          {
+            key;
+            pkts = 1;
+            bytes = Packet.get pkt Field.Pkt_len;
+            first_ts = Packet.ts pkt;
+            last_ts = Packet.ts pkt;
+          }
+  | None ->
+      t.cache.(idx) <-
+        Some
+          {
+            key;
+            pkts = 1;
+            bytes = Packet.get pkt Field.Pkt_len;
+            first_ts = Packet.ts pkt;
+            last_ts = Packet.ts pkt;
+          }
+
+let finish t = flush t

@@ -1,0 +1,20 @@
+(** TurboFlow export model: a direct-mapped microflow cache whose
+    evictions and interval flushes ship one flow record each — overhead
+    scales with traffic volume (Fig. 12). *)
+
+type t
+
+val create : ?cache_size:int -> ?interval:float -> unit -> t
+
+(** Monitoring messages exported so far. *)
+val messages : t -> int
+
+val packets : t -> int
+
+(** Collision evictions (each also a message). *)
+val evictions : t -> int
+
+val process : t -> Newton_packet.Packet.t -> unit
+
+(** Flush resident records (end of measurement). *)
+val finish : t -> unit

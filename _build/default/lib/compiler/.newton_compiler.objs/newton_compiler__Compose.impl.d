@@ -1,0 +1,1 @@
+lib/compiler/compose.ml: Array Ast Decompose Hashtbl Ir List Module_cost Newton_dataplane Newton_query Option Printf Resource

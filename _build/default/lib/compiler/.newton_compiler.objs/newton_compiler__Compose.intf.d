@@ -1,0 +1,1 @@
+lib/compiler/compose.mli: Ast Decompose Ir Newton_dataplane Newton_query

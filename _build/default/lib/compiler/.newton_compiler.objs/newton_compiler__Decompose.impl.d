@@ -1,0 +1,1 @@
+lib/compiler/decompose.ml: Array Ast Ir List Module_cost Newton_dataplane Newton_query Printf

@@ -1,0 +1,1 @@
+lib/compiler/decompose.mli: Ast Ir Newton_query

@@ -1,0 +1,1 @@
+lib/compiler/ir.mli: Field Newton_dataplane Newton_packet Newton_query

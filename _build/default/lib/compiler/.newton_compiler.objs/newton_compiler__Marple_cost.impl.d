@@ -1,0 +1,1 @@
+lib/compiler/marple_cost.ml: Ast List Newton_query

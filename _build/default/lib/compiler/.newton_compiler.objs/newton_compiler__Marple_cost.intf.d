@@ -1,0 +1,1 @@
+lib/compiler/marple_cost.mli: Ast Newton_query

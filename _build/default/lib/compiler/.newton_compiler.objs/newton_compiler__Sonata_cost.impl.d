@@ -1,0 +1,1 @@
+lib/compiler/sonata_cost.ml: Ast List Newton_query

@@ -1,0 +1,1 @@
+lib/compiler/sonata_cost.mli: Ast Newton_query

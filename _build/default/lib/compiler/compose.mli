@@ -1,0 +1,36 @@
+(** Module rule composition — Algorithm 1 (§4.3): Opt.1 (front filters
+    into [newton_init]), Opt.2 (unused/redundant module removal), Opt.3
+    (per-suite metadata-set alternation), and hazard-aware stage
+    assignment.  Parallel branches multiplex stage cells (§6.4). *)
+
+open Newton_query
+open Ir
+
+type stats = {
+  primitives : int;
+  modules_naive : int;   (** every decomposed slot, one stage each *)
+  modules : int;         (** active slots after Opt.1/2/3 *)
+  modules_shared : int;  (** distinct (stage, kind, set) cells after multiplexing *)
+  stages_naive : int;
+  stages : int;
+  rules : int;           (** table entries: active slots + init entries *)
+}
+
+type t = {
+  query : Ast.t;
+  options : Decompose.options;
+  branches : slot list array;     (** active slots, chain order *)
+  init_entries : init_entry array;
+  stats : stats;
+}
+
+(** Run Algorithm 1 over a decomposition (mutates and consumes it). *)
+val compose : Decompose.t -> t
+
+(** Decompose then compose. *)
+val compile : ?options:Decompose.options -> Ast.t -> t
+
+(** Amortised resource vector of the compiled query (Table 3 shares). *)
+val resource_usage : t -> Newton_dataplane.Resource.t
+
+val to_string : t -> string

@@ -1,0 +1,45 @@
+(** Query-primitive decomposition (§4.1): every primitive becomes a
+    suite of K/H/S/R module slots; sketch primitives span several suites
+    (Count-Min rows for [reduce], Bloom rows for [distinct]); combine
+    queries get read-back slots that fetch the sibling branch's
+    aggregate (the Fig. 6 pattern). *)
+
+open Newton_query
+open Ir
+
+type options = {
+  opt1 : bool;
+  opt2 : bool;
+  opt3 : bool;
+  reduce_depth : int;   (** CM rows per [reduce]; Table 3 uses 2 *)
+  distinct_depth : int; (** BF rows per [distinct]; Table 3 uses 3 *)
+  registers : int;      (** registers per state-bank array *)
+  seed_base : int;
+}
+
+val default_options : options
+
+(** All optimizations off — the naive baseline of §6.4. *)
+val baseline_options : options
+
+type t = {
+  query : Ast.t;
+  options : options;
+  branches : slot list array;        (** chain order per branch *)
+  init_entries : init_entry array;   (** match-all until Opt.1 runs *)
+}
+
+(** Raised for primitive shapes the data plane cannot host. *)
+exception Unsupported of string
+
+(** The packing formula direct-mode H and the expected R constant share
+    for multi-field equality filters. *)
+val pack_values : int list -> int
+
+(** Decompose a validated query.
+    @raise Invalid_argument for an invalid query.
+    @raise Unsupported for unhostable primitive shapes. *)
+val decompose : ?options:options -> Ast.t -> t
+
+(** Total slot count before any optimization. *)
+val naive_modules : t -> int

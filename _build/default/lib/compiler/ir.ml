@@ -1,0 +1,94 @@
+(** Compiler intermediate representation: module slots.
+
+    Decomposition (§4.1) turns every query primitive into a {e suite} of
+    up to four module slots (K, H, S, R).  A slot carries the rule
+    configuration the module's table needs, plus the mutable annotations
+    Algorithm 1 manipulates: whether the slot is used (Opt.2), which
+    metadata set it writes (Opt.3), and which pipeline stage it was
+    assigned (module composition). *)
+
+open Newton_packet
+
+(** Value source for the state bank's Add ALU. *)
+type value_src =
+  | Const of int        (** e.g. +1 per packet for [Count] *)
+  | Field_val of Field.t (** e.g. +payload_len for byte sums *)
+
+(** State-bank rule configuration. *)
+type s_op =
+  | S_pass         (** state result := hash result (stateless conduit) *)
+  | S_bf           (** Bloom-filter bit: prev := reg[h]; reg[h] |= 1; result := prev *)
+  | S_cm of value_src (** Count-Min row: reg[h] += v; result := new value *)
+  | S_max of value_src (** max-sketch row: reg[h] := max(reg[h], v) *)
+  | S_read of array_ref (** read another suite's register array at own hash *)
+
+(** Identifies a register array by the suite that owns it. *)
+and array_ref = { ar_branch : int; ar_prim : int; ar_suite : int }
+
+(** Which accumulator an R merge targets.  The paper extends R with a
+    "global result" field; combine-queries additionally need a second
+    accumulator to hold the sibling branch's read-back value. *)
+type acc = G1 | G2
+
+type merge_op = M_set | M_min | M_max | M_add | M_sub
+
+(** Result-process rule configuration: optional merge into an
+    accumulator, optional guard (ternary/range match — stop the query on
+    mismatch), optional report action. *)
+type guard_target = On_state | On_g1 | On_g2
+
+type r_cfg = {
+  merge : (acc * merge_op) option;
+  guard : (guard_target * Newton_query.Ast.cmp_op * int) option;
+  report : bool;
+  (** final combine executed before guard: g1 := op(g1, g2) *)
+  combine : merge_op option;
+}
+
+let r_nop = { merge = None; guard = None; report = false; combine = None }
+
+type m_cfg =
+  | K_cfg of Newton_query.Ast.key list
+  | H_cfg of { mode : [ `Hash of int | `Direct ]; range : int }
+  | S_cfg of { op : s_op; registers : int }
+  | R_cfg of r_cfg
+
+type slot = {
+  kind : Newton_dataplane.Module_cost.kind;
+  branch : int;
+  prim : int;
+  suite : int;
+  cfg : m_cfg;
+  mutable used : bool;
+  mutable removed : bool;
+  mutable meta : int; (* metadata set: 0 or 1 *)
+  mutable stage : int; (* -1 = unassigned *)
+}
+
+let make_slot ~kind ~branch ~prim ~suite ~used cfg =
+  { kind; branch; prim; suite; cfg; used; removed = false; meta = 0; stage = -1 }
+
+let is_active s = s.used && not s.removed
+
+let kind_char s = Newton_dataplane.Module_cost.kind_to_string s.kind
+
+let slot_to_string s =
+  Printf.sprintf "%s[b%d.p%d.s%d m%d st%d%s]" (kind_char s) s.branch s.prim
+    s.suite s.meta s.stage
+    (if s.removed then " removed" else if not s.used then " unused" else "")
+
+(** A newton_init classifier entry: ternary matches over the 5-tuple and
+    TCP flags (§4.1 "Concurrency"), dispatching traffic to one branch's
+    module chain. *)
+type init_entry = {
+  ie_branch : int;
+  ie_matches : (Field.t * int * int) list; (** (field, value, mask) *)
+}
+
+(** Match-all entry for a branch whose front filter was not absorbed. *)
+let init_match_all branch = { ie_branch = branch; ie_matches = [] }
+
+(** Fields newton_init can match on (5-tuple + TCP control flags). *)
+let init_fields =
+  [ Field.Src_ip; Field.Dst_ip; Field.Proto; Field.Src_port; Field.Dst_port;
+    Field.Tcp_flags ]

@@ -1,0 +1,41 @@
+(** Marple compilation cost model (Narayana et al., SIGCOMM'17).
+
+    Marple is the other static query system the paper contrasts (§2.2):
+    queries compile into a language-directed hardware design, so like
+    Sonata every query change means a new pipeline image.  Its published
+    compiler maps each stateful fold to a key-value store stage pair and
+    each stateless operator to one stage; [groupby] aggregations also
+    need the off-chip backing-store machinery.
+
+    Used alongside {!Sonata_cost} to situate Newton's per-query stage
+    budget; like that module it is a cost {e estimate}, not a runtime. *)
+
+open Newton_query
+
+(* Pipeline stages per primitive in Marple's compilation. *)
+let stages_of_primitive = function
+  | Ast.Filter _ -> 1          (* predicate stage *)
+  | Ast.Map _ -> 1             (* transformation stage *)
+  | Ast.Distinct _ -> 3        (* hash + key-value store + evict logic *)
+  | Ast.Reduce _ -> 3          (* hash + fold store + merge logic *)
+
+let pipeline_stages (q : Ast.t) =
+  let per_branch prims =
+    List.fold_left (fun acc p -> acc + stages_of_primitive p) 0 prims
+  in
+  let branches = List.fold_left (fun acc b -> acc + per_branch b) 0 q.Ast.branches in
+  match q.Ast.combine with None -> branches | Some _ -> branches + 2 (* zip *)
+
+(** Fraction of keys spilling to the off-chip backing store for a
+    [groupby] under Marple's LRU eviction model, given on-chip slots per
+    key population (their paper's ~4 % miss rate at 64K keys heuristic,
+    scaled linearly below saturation). *)
+let backing_store_spill ~on_chip_slots ~keys =
+  if keys <= 0 then 0.0
+  else if on_chip_slots >= keys then 0.0
+  else
+    min 1.0 (0.04 *. (float_of_int keys /. float_of_int on_chip_slots))
+
+(** Like Sonata, every query operation reloads the pipeline: the outage
+    model is shared with {!Newton_dataplane.Reconfig}. *)
+let update_requires_reload = true

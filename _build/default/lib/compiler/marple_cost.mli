@@ -1,0 +1,16 @@
+(** Marple compilation cost model: pipeline stages of the
+    language-directed hardware design the paper contrasts in §2.2.
+    Like {!Sonata_cost}, an estimate used to situate Newton's per-query
+    stage budget. *)
+
+open Newton_query
+
+(** Pipeline stages Marple's compiler needs for a query. *)
+val pipeline_stages : Ast.t -> int
+
+(** Fraction of keys spilling to the off-chip backing store for a
+    groupby, given on-chip slots and key population. *)
+val backing_store_spill : on_chip_slots:int -> keys:int -> float
+
+(** Marple, like Sonata, reloads the pipeline on every query change. *)
+val update_requires_reload : bool

@@ -1,0 +1,18 @@
+(** Sonata compilation cost model: logical P4 tables and estimated
+    stages of the paper's main comparison system, for the Fig. 15/16
+    resource comparison.  A cost estimate, not a runtime (Sonata's
+    query semantics are shared with the Newton engine; see
+    {!Newton_baselines.Sonata} for the reload behaviour). *)
+
+open Newton_query
+
+(** Logical tables in Sonata's generated P4 for a query. *)
+val logical_tables : Ast.t -> int
+
+(** Estimated pipeline stages (per Jose et al. [55]). *)
+val estimated_stages : Ast.t -> int
+
+(** Sonata chains concurrent queries sequentially: strictly additive. *)
+val concurrent_tables : Ast.t -> int -> int
+
+val concurrent_stages : Ast.t -> int -> int

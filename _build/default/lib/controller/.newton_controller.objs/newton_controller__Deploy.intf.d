@@ -1,0 +1,1 @@
+lib/controller/deploy.mli: Analyzer Engine Newton_compiler Newton_dataplane Newton_network Newton_packet Newton_query Newton_runtime Placement Route Scheduler Switch Topo

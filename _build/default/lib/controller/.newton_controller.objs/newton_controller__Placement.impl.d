@@ -1,0 +1,1 @@
+lib/controller/placement.ml: Array Hashtbl List Newton_compiler Newton_network Topo

@@ -1,0 +1,1 @@
+lib/controller/placement.mli: Newton_compiler Newton_network Topo

@@ -1,0 +1,1 @@
+lib/controller/scheduler.ml: Array Compose Hashtbl Ir List Newton_compiler Newton_dataplane Newton_query Option

@@ -1,0 +1,1 @@
+lib/controller/scheduler.mli: Newton_compiler Newton_query

@@ -1,0 +1,365 @@
+(** The Newton controller: network-wide query deployment and dynamic
+    operations.
+
+    Owns one {!Newton_runtime.Engine} (execution) and one
+    {!Newton_dataplane.Switch} (resource/timing accounting) per switch,
+    plus the software analyzer.  Queries are deployed either with
+    cross-switch execution ([`Cqe], the Newton model: slices at depths
+    given by Algorithm 2, context threaded through the SP header) or
+    sole-switch execution ([`Sole], the baseline of §6.3: the full query
+    replicated on every switch, each reporting independently).
+
+    Install/remove latencies follow the runtime-reconfiguration model of
+    {!Newton_dataplane.Reconfig}: per-rule driver operations, switches
+    updated in parallel — no forwarding interruption, unlike the Sonata
+    full-reload path. *)
+
+open Newton_network
+open Newton_runtime
+open Newton_dataplane
+
+type mode = [ `Cqe | `Sole ]
+
+type deployment = {
+  uid : int;
+  compiled : Newton_compiler.Compose.t;
+  mode : mode;
+  placement : Placement.t option; (* None for `Sole *)
+  mutable installed_rules : int;
+}
+
+type t = {
+  topo : Topo.t;
+  route : Route.t;
+  engines : Engine.t array;
+  switches : Switch.t array;
+  analyzer : Analyzer.t;
+  software : Engine.t; (** CPU continuation for slices beyond the path *)
+  mutable deployments : deployment list;
+  mutable next_uid : int;
+  mutable sp_bytes : int;
+  mutable wire_bytes : int;
+  mutable packets : int;
+  mutable software_status_msgs : int;
+  enabled : bool array; (** partial deployment: Newton-enabled switches *)
+}
+
+(* The module layout is loaded once per switch at initialization (§3
+   workflow): every stage hosts one K/H/S/R suite per metadata set.
+   Queries then only consume table rules and register ranges.  The
+   layout's two suites exactly saturate a stage's SALU and TCAM budgets
+   — the physical justification for the Module_cost constants. *)
+let place_layout sw =
+  for stage = 0 to Switch.num_stages sw - 1 do
+    List.iter
+      (fun set ->
+        List.iter
+          (fun kind ->
+            Switch.place sw ~stage
+              ~name:
+                (Printf.sprintf "layout_%s_m%d"
+                   (Module_cost.kind_to_string kind) set)
+              (Module_cost.cost kind))
+          Module_cost.all_kinds)
+      [ 0; 1 ]
+  done
+
+let create ?(fwd_entries = Switch.default_fwd_entries) topo =
+  let n = Topo.num_switches topo in
+  {
+    topo;
+    route = Route.create topo;
+    engines = Array.init n (fun i -> Engine.create ~switch_id:i);
+    switches =
+      Array.init n (fun id ->
+          let sw = Switch.create ~id ~fwd_entries () in
+          place_layout sw;
+          sw);
+    analyzer = Analyzer.create ();
+    software = Engine.create ~switch_id:(-1);
+    deployments = [];
+    next_uid = 1;
+    sp_bytes = 0;
+    wire_bytes = 0;
+    packets = 0;
+    software_status_msgs = 0;
+    enabled = Array.make n true;
+  }
+
+let topo t = t.topo
+let route t = t.route
+let engine t s = t.engines.(s)
+let switch t s = t.switches.(s)
+let analyzer t = t.analyzer
+let deployments t = t.deployments
+
+let find_deployment t uid = List.find_opt (fun d -> d.uid = uid) t.deployments
+
+(** Partial deployment (§7): mark a switch as legacy (no Newton rules,
+    SP headers cannot cross it).  Affects subsequent deploys and packet
+    processing; existing deployments keep their installed rules. *)
+let set_enabled t s b = t.enabled.(s) <- b
+
+let is_enabled t s = t.enabled.(s)
+
+(* Instance uid scheme: one deployment's slice d on any switch shares
+   uid*1000+d so the path executor threads one context across hops. *)
+let slice_uid uid d = (uid * 1000) + d
+
+(** Deploy a compiled query network-wide.  Returns (uid, latency in
+    seconds) — the latency is the slowest switch's rule-install time
+    (switch drivers work in parallel). *)
+let deploy ?(mode = `Cqe) ?edge_switches ?(stages_per_switch = 12) t compiled =
+  let uid = t.next_uid in
+  t.next_uid <- uid + 1;
+  let latencies = ref [] in
+  let total_rules = ref 0 in
+  let placement =
+    match mode with
+    | `Sole ->
+        Array.iteri
+          (fun s engine ->
+            if t.enabled.(s) then begin
+              let _, rules = Engine.install engine ~uid:(slice_uid uid 1) compiled in
+              total_rules := !total_rules + rules;
+              latencies := Switch.install_rules t.switches.(s) ~count:rules :: !latencies
+            end)
+          t.engines;
+        None
+    | `Cqe ->
+        let p =
+          Placement.place ?edge_switches
+            ~enabled:(fun s -> t.enabled.(s))
+            ~stages_per_switch ~topo:t.topo compiled
+        in
+        Array.iteri
+          (fun s ds ->
+            List.iter
+              (fun d ->
+                let lo, hi = Placement.stage_range p d in
+                let _, rules =
+                  Engine.install t.engines.(s) ~uid:(slice_uid uid d) ~stage_lo:lo
+                    ~stage_hi:hi compiled
+                in
+                total_rules := !total_rules + rules;
+                latencies := Switch.install_rules t.switches.(s) ~count:rules :: !latencies)
+              ds)
+          p.Placement.slices;
+        (* Slices beyond any path length run on the analyzer's CPU. *)
+        if p.Placement.num_slices > 0 then begin
+          let lo, _ = Placement.stage_range p p.Placement.num_slices in
+          ignore lo
+        end;
+        Some p
+  in
+  t.deployments <- { uid; compiled; mode; placement; installed_rules = !total_rules } :: t.deployments;
+  let latency = List.fold_left max 0.0 !latencies in
+  (uid, latency)
+
+(* Wrap [deploy] so a switch running out of module-table capacity
+   mid-rollout undoes the partial installs and re-raises. *)
+let deploy ?mode ?edge_switches ?stages_per_switch t compiled =
+  try deploy ?mode ?edge_switches ?stages_per_switch t compiled
+  with Engine.Rules_exhausted _ as e ->
+    let uid = t.next_uid - 1 in
+    Array.iter
+      (fun engine ->
+        List.iter
+          (fun (inst : Engine.instance) ->
+            if inst.Engine.uid / 1000 = uid then
+              ignore (Engine.remove engine inst.Engine.uid))
+          (Engine.instances engine))
+      t.engines;
+    raise e
+
+(** Remove a deployment everywhere; returns the slowest switch's rule
+    removal latency. *)
+let undeploy t uid =
+  match find_deployment t uid with
+  | None -> None
+  | Some dep ->
+      let latencies = ref [ 0.0 ] in
+      Array.iteri
+        (fun s engine ->
+          let removed = ref 0 in
+          List.iter
+            (fun inst ->
+              if inst.Engine.uid / 1000 = uid then
+                match Engine.remove engine inst.Engine.uid with
+                | Some rules -> removed := !removed + rules
+                | None -> ())
+            (Engine.instances engine);
+          if !removed > 0 then
+            latencies := Switch.remove_rules t.switches.(s) ~count:!removed :: !latencies)
+        t.engines;
+      t.deployments <- List.filter (fun d -> d.uid <> uid) t.deployments;
+      ignore dep;
+      Some (List.fold_left max 0.0 !latencies)
+
+(** Deploy a scheduler plan: every admitted query is recompiled with
+    its assigned register budget and deployed.  Returns the deployment
+    uids in plan order. *)
+let deploy_plan ?(mode = `Cqe) ?edge_switches ?(stages_per_switch = 12)
+    ?(options = Newton_compiler.Decompose.default_options) t
+    (plan : Scheduler.plan) =
+  List.map
+    (fun (a : Scheduler.assignment) ->
+      let compiled =
+        Newton_compiler.Compose.compile
+          ~options:{ options with Newton_compiler.Decompose.registers = a.Scheduler.registers }
+          a.Scheduler.a_query
+      in
+      fst (deploy ~mode ?edge_switches ~stages_per_switch t compiled))
+    plan.Scheduler.admitted
+
+(** Update = atomic remove + install of a recompiled query (the paper's
+    query-update operation); forwarding is never interrupted. *)
+let update t uid compiled =
+  match undeploy t uid with
+  | None -> None
+  | Some lat_rm ->
+      let mode = `Cqe in
+      let uid', lat_in = deploy ~mode t compiled in
+      Some (uid', lat_rm +. lat_in)
+
+(* ---------------- software continuation ---------------- *)
+
+(* The analyzer finishes a query whose remaining slices exceeded the
+   forwarding path: it lazily instantiates the tail (slices
+   [next_slice..M] as one stage range) and resumes from the exported
+   execution status. *)
+let software_continue t dep ~next_slice ~ctx pkt =
+  match dep.placement with
+  | None -> ()
+  | Some p ->
+      let lo, _ = Placement.stage_range p next_slice in
+      let uid = slice_uid dep.uid (500 + next_slice) in
+      let inst =
+        match Engine.find_instance t.software uid with
+        | Some i -> i
+        | None ->
+            ignore (Engine.install t.software ~uid ~stage_lo:lo dep.compiled);
+            Option.get (Engine.find_instance t.software uid)
+      in
+      Engine.maybe_roll_window t.software
+        (Newton_packet.Packet.ts pkt)
+        dep.compiled.Newton_compiler.Compose.query.Newton_query.Ast.window;
+      ignore (Engine.process_instance t.software inst ~ctx pkt)
+
+(* ---------------- packet processing ---------------- *)
+
+(** Process one packet whose flow enters at [src_host] and leaves at
+    [dst_host].  Executes every deployment along the forwarding path:
+    CQE deployments run slice d at hop d with the context threaded
+    through the SP header; sole deployments run the full query
+    independently at every hop. *)
+let process_packet t ~src_host ~dst_host pkt =
+  t.packets <- t.packets + 1;
+  t.wire_bytes <- t.wire_bytes + Newton_packet.Packet.get pkt Newton_packet.Field.Pkt_len;
+  let flow_hash =
+    Newton_packet.Fivetuple.hash (Newton_packet.Fivetuple.of_packet pkt)
+  in
+  match Route.switch_path ~flow_hash t.route ~src_host ~dst_host with
+  | None -> () (* disconnected: packet dropped by routing *)
+  | Some [] -> () (* endpoints on the same host: never enters the fabric *)
+  | Some path ->
+      List.iter
+        (fun dep ->
+          match dep.mode with
+          | `Sole ->
+              List.iter
+                (fun s ->
+                  let engine = t.engines.(s) in
+                  match Engine.find_instance engine (slice_uid dep.uid 1) with
+                  | Some inst ->
+                      engine.Engine.packets_seen <- engine.Engine.packets_seen + 1;
+                      Engine.maybe_roll_window engine (Newton_packet.Packet.ts pkt)
+                        dep.compiled.Newton_compiler.Compose.query.Newton_query.Ast.window;
+                      ignore (Engine.process_instance engine inst pkt)
+                  | None -> ())
+                path
+          | `Cqe ->
+              let m =
+                match dep.placement with
+                | Some p -> p.Placement.num_slices
+                | None -> 1
+              in
+              let ctx = ref (Ctx.create ()) in
+              (* Depth counts Newton-enabled hops only; the SP header
+                 survives only between {e adjacent} enabled switches (§7) —
+                 a legacy switch in between loses the snapshot. *)
+              let d = ref 0 in
+              let prev_enabled_hop = ref (-2) in
+              List.iteri
+                (fun hop s ->
+                  if t.enabled.(s) && (not !ctx.Ctx.stopped) && !d < m then begin
+                    incr d;
+                    let engine = t.engines.(s) in
+                    (match Engine.find_instance engine (slice_uid dep.uid !d) with
+                    | Some inst ->
+                        engine.Engine.packets_seen <- engine.Engine.packets_seen + 1;
+                        Engine.maybe_roll_window engine (Newton_packet.Packet.ts pkt)
+                          dep.compiled.Newton_compiler.Compose.query.Newton_query.Ast.window;
+                        if !d > 1 then begin
+                          if hop = !prev_enabled_hop + 1 then begin
+                            (* SP header between adjacent Newton hops. *)
+                            t.sp_bytes <- t.sp_bytes + Newton_packet.Sp_header.size_bytes;
+                            let restored =
+                              Ctx.of_sp
+                                (Newton_packet.Sp_header.decode
+                                   (Newton_packet.Sp_header.encode (Ctx.to_sp !ctx)))
+                            in
+                            restored.Ctx.stopped <- !ctx.Ctx.stopped;
+                            ctx := restored
+                          end
+                          else
+                            (* snapshot lost crossing a legacy switch *)
+                            ctx := Ctx.create ()
+                        end;
+                        ctx := Engine.process_instance engine inst ~ctx:!ctx pkt
+                    | None ->
+                        (* Placement gap (should not happen under
+                           Algorithm 2): defer to the analyzer. *)
+                        t.software_status_msgs <- t.software_status_msgs + 1);
+                    prev_enabled_hop := hop
+                  end)
+                path;
+              (* Query longer than the (enabled part of the) path: the
+                 last switch exports the execution status and the
+                 analyzer continues executing the remaining slices in
+                 software (§5.2). *)
+              if m > !d && !d > 0 && not !ctx.Ctx.stopped then begin
+                t.software_status_msgs <- t.software_status_msgs + 1;
+                software_continue t dep ~next_slice:(!d + 1) ~ctx:!ctx pkt
+              end)
+        t.deployments
+
+(** All reports produced so far: data-plane reports network-wide plus
+    the analyzer's software-continuation results. *)
+let all_reports t =
+  Array.fold_left (fun acc e -> acc @ Engine.reports e) (Engine.reports t.software) t.engines
+
+(** Total monitoring messages: one per data-plane report plus software
+    status exports. *)
+let message_count t =
+  Array.fold_left (fun acc e -> acc + Engine.report_count e) 0 t.engines
+  + t.software_status_msgs
+
+(** Packets whose query outlived the forwarding path and were exported
+    to the analyzer for software continuation (§5.2). *)
+let software_deferrals t = t.software_status_msgs
+
+let sp_overhead_ratio t =
+  if t.wire_bytes = 0 then 0.0
+  else float_of_int t.sp_bytes /. float_of_int t.wire_bytes
+
+let packets t = t.packets
+
+(* ---------------- failures ---------------- *)
+
+(** Fail a link; forwarding reroutes on the next packet.  Thanks to the
+    resilient placement, CQE deployments keep monitoring the rerouted
+    traffic without controller intervention. *)
+let fail_link t l = Route.fail_link t.route l
+
+let repair_link t l = Route.repair_link t.route l

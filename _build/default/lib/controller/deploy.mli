@@ -1,0 +1,85 @@
+(** The Newton controller: network-wide query deployment (CQE or
+    sole-switch), dynamic operations with rule-level latencies, partial
+    deployment, failures, and software continuation of slices that
+    outlive the forwarding path. *)
+
+open Newton_network
+open Newton_runtime
+open Newton_dataplane
+
+type mode = [ `Cqe | `Sole ]
+
+type deployment = {
+  uid : int;
+  compiled : Newton_compiler.Compose.t;
+  mode : mode;
+  placement : Placement.t option; (** [None] for sole-switch mode *)
+  mutable installed_rules : int;
+}
+
+type t
+
+val create : ?fwd_entries:int -> Topo.t -> t
+
+val topo : t -> Topo.t
+val route : t -> Route.t
+val engine : t -> int -> Engine.t
+val switch : t -> int -> Switch.t
+val analyzer : t -> Analyzer.t
+val deployments : t -> deployment list
+val find_deployment : t -> int -> deployment option
+
+(** Partial deployment (§7): mark a switch as legacy.  Affects
+    subsequent deploys and packet processing. *)
+val set_enabled : t -> int -> bool -> unit
+
+val is_enabled : t -> int -> bool
+
+(** Deploy a compiled query network-wide; returns (uid, slowest
+    switch's install latency in seconds). *)
+val deploy :
+  ?mode:mode -> ?edge_switches:int list -> ?stages_per_switch:int -> t ->
+  Newton_compiler.Compose.t -> int * float
+
+(** Remove a deployment everywhere; returns the slowest removal
+    latency. *)
+val undeploy : t -> int -> float option
+
+(** Deploy a scheduler plan: each admitted query recompiled with its
+    assigned register budget; returns deployment uids in plan order. *)
+val deploy_plan :
+  ?mode:mode -> ?edge_switches:int list -> ?stages_per_switch:int ->
+  ?options:Newton_compiler.Decompose.options -> t -> Scheduler.plan ->
+  int list
+
+(** Atomic remove + redeploy of a recompiled query. *)
+val update : t -> int -> Newton_compiler.Compose.t -> (int * float) option
+
+(** Process one packet along the forwarding path between two hosts:
+    CQE deployments run slice d at the d-th Newton-enabled hop with the
+    context in the SP header (lost across legacy switches); sole
+    deployments run fully at every enabled hop; a query longer than the
+    path defers to the analyzer. *)
+val process_packet : t -> src_host:int -> dst_host:int -> Newton_packet.Packet.t -> unit
+
+(** All reports so far: data plane network-wide plus the analyzer's
+    software-continuation results. *)
+val all_reports : t -> Newton_query.Report.t list
+
+(** Monitoring messages: data-plane reports + software status exports. *)
+val message_count : t -> int
+
+(** Packets whose query outlived the path and were exported to the
+    analyzer (§5.2). *)
+val software_deferrals : t -> int
+
+(** SP-header bytes / wire bytes. *)
+val sp_overhead_ratio : t -> float
+
+val packets : t -> int
+
+(** Fail a link: forwarding reroutes on the next packet; resilient
+    placement keeps monitoring without controller involvement. *)
+val fail_link : t -> Route.link -> unit
+
+val repair_link : t -> Route.link -> unit

@@ -1,0 +1,149 @@
+(** Resilient module rule placement — Algorithm 2 (§5.2).
+
+    Computing the forwarding paths of all monitored flows is expensive
+    and fragile under failures, so Newton places query slices along
+    {e all possible paths}: slice the composed module chain into M parts
+    of at most N stages each (N = stages a switch grants to Newton), then
+    depth-first-search the topology from every edge switch where the
+    monitored traffic enters, assigning slice d to every switch reachable
+    at depth d.  Different flows and paths reuse a switch's slice set
+    P[s], bounding the redundancy (Fig. 17's per-switch entries flatten
+    as the topology grows).
+
+    Two search modes: [`Exact] enumerates simple paths (the literal
+    Algorithm 2; exponential, fine for small topologies and used by the
+    coverage tests) and [`Memo] memoises (switch, depth) pairs, which
+    visits each pair once and matches the exact assignment on the
+    hierarchical topologies evaluated here. *)
+
+open Newton_network
+
+type t = {
+  topo : Topo.t;
+  num_slices : int;                  (** M *)
+  stages_per_switch : int;           (** N *)
+  slice_stage_ranges : (int * int) array; (** per slice: stage_lo, stage_hi *)
+  slices : int list array;           (** P[s]: slice ids (1-based depth) per switch *)
+  rules_per_slice : int array;       (** table entries one slice instance costs *)
+}
+
+let num_slices t = t.num_slices
+let slices_of t s = t.slices.(s)
+let stage_range t d = t.slice_stage_ranges.(d - 1)
+
+(** Slice a compiled query of [stages] stages into M parts of at most
+    [stages_per_switch] each; also splits the rule count proportionally
+    (each module is one rule; +1 newton_init entry per slice instance). *)
+let slice_stages ~stages ~stages_per_switch =
+  if stages_per_switch <= 0 then
+    invalid_arg "Placement.slice_stages: stages_per_switch must be positive";
+  let m = max 1 ((stages + stages_per_switch - 1) / stages_per_switch) in
+  Array.init m (fun i ->
+      let lo = i * stages_per_switch in
+      let hi = min (stages - 1) (((i + 1) * stages_per_switch) - 1) in
+      (lo, hi))
+
+let rules_in_range (compiled : Newton_compiler.Compose.t) (lo, hi) =
+  let modules =
+    Array.fold_left
+      (fun acc slots ->
+        acc
+        + List.length
+            (List.filter (fun s -> s.Newton_compiler.Ir.stage >= lo && s.Newton_compiler.Ir.stage <= hi) slots))
+      0 compiled.Newton_compiler.Compose.branches
+  in
+  modules + Array.length compiled.Newton_compiler.Compose.init_entries
+
+(** Run Algorithm 2. [edge_switches] are the monitored traffic's first
+    hops (S_e); defaults to all host-attached switches.  [enabled]
+    supports partial deployment (§7): disabled (legacy) switches get no
+    slices and do not consume a depth level — the DFS passes through
+    them. *)
+let place ?(mode = `Memo) ?edge_switches ?enabled ~stages_per_switch ~topo
+    compiled =
+  let stages = compiled.Newton_compiler.Compose.stats.Newton_compiler.Compose.stages in
+  let ranges = slice_stages ~stages ~stages_per_switch in
+  let m = Array.length ranges in
+  let slices = Array.make (Topo.num_switches topo) [] in
+  let enabled = match enabled with Some f -> f | None -> fun _ -> true in
+  let assign s d =
+    if not (List.mem d slices.(s)) then slices.(s) <- d :: slices.(s)
+  in
+  let edges =
+    match edge_switches with Some e -> e | None -> Topo.edge_switches topo
+  in
+  (match mode with
+  | `Exact ->
+      (* Literal Algorithm 2: simple-path DFS with path-local discovery. *)
+      let discovered = Array.make (Topo.num_switches topo) false in
+      let rec topo_dfs s d =
+        if d <= m then begin
+          let d' = if enabled s then (assign s d; d + 1) else d in
+          discovered.(s) <- true;
+          List.iter
+            (fun s' ->
+              if Topo.is_switch topo s' && not discovered.(s') then topo_dfs s' d')
+            (Topo.neighbors topo s);
+          discovered.(s) <- false
+        end
+      in
+      List.iter (fun s -> topo_dfs s 1) edges
+  | `Memo ->
+      (* (from, node, depth) memoisation with no immediate backtracking:
+         each triple expands once, and the length-2 cycles a plain
+         (node, depth) memo would walk (s -> s' -> s) are excluded, so
+         the assignment matches the exact simple-path DFS on the
+         hierarchical topologies evaluated here. *)
+      let seen = Hashtbl.create 1024 in
+      let rec topo_dfs ~from s d =
+        if d <= m && not (Hashtbl.mem seen (from, s, d)) then begin
+          Hashtbl.add seen (from, s, d) ();
+          let d' = if enabled s then (assign s d; d + 1) else d in
+          List.iter
+            (fun s' ->
+              if Topo.is_switch topo s' && s' <> from then topo_dfs ~from:s s' d')
+            (Topo.neighbors topo s)
+        end
+      in
+      List.iter (fun s -> topo_dfs ~from:(-1) s 1) edges);
+  Array.iteri (fun i l -> slices.(i) <- List.sort compare l) slices;
+  {
+    topo;
+    num_slices = m;
+    stages_per_switch;
+    slice_stage_ranges = ranges;
+    slices;
+    rules_per_slice = Array.map (rules_in_range compiled) ranges;
+  }
+
+(** Total table entries the placement installs network-wide. *)
+let total_entries t =
+  Array.fold_left
+    (fun acc ds -> acc + List.fold_left (fun a d -> a + t.rules_per_slice.(d - 1)) 0 ds)
+    0 t.slices
+
+(** Average entries per switch (over switches hosting at least one slice,
+    matching the paper's per-switch overhead metric). *)
+let avg_entries t =
+  let used = Array.to_list t.slices |> List.filter (fun l -> l <> []) in
+  match used with
+  | [] -> 0.0
+  | _ ->
+      float_of_int (total_entries t) /. float_of_int (List.length used)
+
+(** Number of switches hosting at least one slice. *)
+let switches_used t =
+  Array.fold_left (fun acc l -> if l = [] then acc else acc + 1) 0 t.slices
+
+(** Coverage check: along [path] (switch list, hop order), are slices
+    1..min(M, |path|) available at the right depths?  Algorithm 2's
+    guarantee; the remainder (if the path is shorter than M) defers to
+    the analyzer. *)
+let covers t path =
+  let rec go d = function
+    | [] -> true
+    | s :: rest ->
+        if d > t.num_slices then true
+        else List.mem d t.slices.(s) && go (d + 1) rest
+  in
+  go 1 path

@@ -1,0 +1,52 @@
+(** Resilient module rule placement — Algorithm 2 (§5.2): slice the
+    composed module chain into M parts and place slice d on every switch
+    reachable at depth d from the monitored traffic's edge switches, so
+    any forwarding path (including post-failure reroutes) carries the
+    right slices. *)
+
+open Newton_network
+
+type t = {
+  topo : Topo.t;
+  num_slices : int;                        (** M *)
+  stages_per_switch : int;                 (** N *)
+  slice_stage_ranges : (int * int) array;  (** per slice: stage lo/hi *)
+  slices : int list array;                 (** P[s]: slice ids per switch *)
+  rules_per_slice : int array;             (** entries one slice instance costs *)
+}
+
+val num_slices : t -> int
+val slices_of : t -> int -> int list
+
+(** Stage range of a 1-based slice id. *)
+val stage_range : t -> int -> int * int
+
+(** Slice [stages] into parts of at most [stages_per_switch].
+    @raise Invalid_argument on a non-positive budget. *)
+val slice_stages : stages:int -> stages_per_switch:int -> (int * int) array
+
+(** Run Algorithm 2.  [edge_switches] defaults to all host-attached
+    switches; [mode] selects the literal simple-path DFS ([`Exact]) or
+    the memoised no-backtracking search ([`Memo], default); [enabled]
+    supports partial deployment — disabled switches get no slices and
+    do not consume a depth level. *)
+val place :
+  ?mode:[ `Exact | `Memo ] ->
+  ?edge_switches:int list ->
+  ?enabled:(int -> bool) ->
+  stages_per_switch:int ->
+  topo:Topo.t ->
+  Newton_compiler.Compose.t ->
+  t
+
+(** Table entries installed network-wide. *)
+val total_entries : t -> int
+
+(** Average entries per switch hosting at least one slice. *)
+val avg_entries : t -> float
+
+val switches_used : t -> int
+
+(** Are slices 1..min(M, |path|) available at the right depths along
+    this switch path? *)
+val covers : t -> int list -> bool

@@ -1,0 +1,1 @@
+lib/core/reactive.ml: Ast List Newton Newton_query Newton_trace Report

@@ -1,0 +1,1 @@
+lib/core/reactive.mli: Ast Newton Newton_query Newton_trace Report

@@ -1,0 +1,1 @@
+lib/core/refine.ml: Array Ast List Newton Newton_packet Newton_query Newton_trace Printf Report

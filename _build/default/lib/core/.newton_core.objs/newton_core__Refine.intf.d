@@ -1,0 +1,1 @@
+lib/core/refine.mli: Newton Newton_packet Newton_query Newton_trace Report

@@ -1,0 +1,100 @@
+(** Reactive intents: automatic runtime drill-down.
+
+    The paper motivates on-demand queries with the operator loop "detect
+    an anomaly → install a refined query to zoom in" (§1, §3.1).  This
+    service automates that loop: a {!rule} binds a trigger query to a
+    template; whenever the trigger reports a new key, the template is
+    instantiated with that key and installed into the running device —
+    milliseconds, no interruption — up to a per-rule instance budget.
+
+    Typical use: a standing Q5 (UDP-DDoS victims) whose reports spawn a
+    per-victim attacker-enumeration query. *)
+
+open Newton_query
+
+type rule = {
+  trigger_id : int;                   (** query id whose reports trigger *)
+  template : Report.t -> Ast.t;       (** refined query for a report *)
+  max_instances : int;                (** per-rule budget of spawned queries *)
+}
+
+(** A spawned drill-down instance. *)
+type spawned = {
+  rule_trigger : int;
+  trigger_keys : int array;
+  handle : Newton.handle;
+  query : Ast.t;
+}
+
+type t = {
+  device : Newton.Device.t;
+  rules : rule list;
+  mutable spawned : spawned list;
+  mutable consumed : int; (** device reports already scanned *)
+}
+
+let create device rules = { device; rules; spawned = []; consumed = 0 }
+
+let device t = t.device
+let spawned t = List.rev t.spawned
+
+let instances_of t trigger_id =
+  List.length (List.filter (fun s -> s.rule_trigger = trigger_id) t.spawned)
+
+let already_spawned t trigger_id keys =
+  List.exists
+    (fun s -> s.rule_trigger = trigger_id && s.trigger_keys = keys)
+    t.spawned
+
+(** Scan reports that arrived since the last step and install drill-down
+    queries for new trigger keys.  Returns the queries spawned by this
+    step (with their install latencies). *)
+let step t =
+  let reports = Newton.Device.reports t.device in
+  let fresh = List.filteri (fun i _ -> i >= t.consumed) reports in
+  t.consumed <- List.length reports;
+  List.filter_map
+    (fun (r : Report.t) ->
+      match List.find_opt (fun rule -> rule.trigger_id = r.Report.query_id) t.rules with
+      | None -> None
+      | Some rule ->
+          if
+            already_spawned t rule.trigger_id r.Report.keys
+            || instances_of t rule.trigger_id >= rule.max_instances
+          then None
+          else begin
+            let q = rule.template r in
+            let handle, latency = Newton.Device.add_query t.device q in
+            t.spawned <-
+              { rule_trigger = rule.trigger_id; trigger_keys = r.Report.keys;
+                handle; query = q }
+              :: t.spawned;
+            Some (q, latency)
+          end)
+    fresh
+
+(** Tear down every spawned instance (e.g. after mitigation); returns
+    how many were removed. *)
+let retract_all t =
+  let n =
+    List.fold_left
+      (fun acc s ->
+        match Newton.Device.remove_query t.device s.handle with
+        | Some _ -> acc + 1
+        | None -> acc)
+      0 t.spawned
+  in
+  t.spawned <- [];
+  n
+
+(** Convenience: process a trace while stepping the reactive loop every
+    [step_every] packets (default: once per 1000). *)
+let process_trace ?(step_every = 1000) t trace =
+  let count = ref 0 in
+  Newton_trace.Gen.iter
+    (fun pkt ->
+      Newton.Device.process_packet t.device pkt;
+      incr count;
+      if !count mod step_every = 0 then ignore (step t))
+    trace;
+  ignore (step t)

@@ -1,0 +1,39 @@
+(** Reactive intents: automatic runtime drill-down.  A {!rule} binds a
+    trigger query to a template; when the trigger reports a new key, the
+    template instantiates and installs at runtime (milliseconds, no
+    interruption), up to a per-rule budget. *)
+
+open Newton_query
+
+type rule = {
+  trigger_id : int;              (** query id whose reports trigger *)
+  template : Report.t -> Ast.t;  (** refined query for a report *)
+  max_instances : int;
+}
+
+type spawned = {
+  rule_trigger : int;
+  trigger_keys : int array;
+  handle : Newton.handle;
+  query : Ast.t;
+}
+
+type t
+
+val create : Newton.Device.t -> rule list -> t
+
+val device : t -> Newton.Device.t
+
+(** Drill-downs spawned so far, oldest first. *)
+val spawned : t -> spawned list
+
+(** Scan reports since the last step and install drill-downs for new
+    trigger keys; returns what was spawned with install latencies. *)
+val step : t -> (Ast.t * float) list
+
+(** Remove every spawned instance; returns how many were removed. *)
+val retract_all : t -> int
+
+(** Process a trace, stepping the reactive loop every [step_every]
+    packets (default 1000) and once at the end. *)
+val process_trace : ?step_every:int -> t -> Newton_trace.Gen.t -> unit

@@ -1,0 +1,147 @@
+(** Iterative prefix refinement — Sonata's dynamic-scope technique,
+    executed with Newton's rule-level reconfiguration.
+
+    To find heavy hitters at host granularity over a huge address
+    space with little data-plane state, start with a query keyed on a
+    coarse prefix of the field (e.g. /8); whenever a prefix crosses the
+    threshold, install a refined query scoped to that prefix at the next
+    level (/16, /24, ...) — narrowing the monitored scope window by
+    window.
+
+    Sonata performs this refinement by recompiling P4 programs (a reload
+    per level, §2.2); here every step is a millisecond rule install,
+    which is exactly the case the paper's §1 makes for on-demand
+    queries.  The refinement bench quantifies the difference. *)
+
+open Newton_query
+
+type level_handle = {
+  lh_prefix : int;      (** masked field value this query is scoped to *)
+  lh_len : int;         (** prefix length of the scope (0 at the root) *)
+  lh_next_len : int;    (** prefix length this query's keys use *)
+  lh_handle : Newton.handle;
+}
+
+type t = {
+  device : Newton.Device.t;
+  field : Newton_packet.Field.t;
+  levels : int list;    (** key prefix lengths, coarse to fine, e.g. [8;16;24;32] *)
+  th : int;
+  base_id : int;
+  mutable active : level_handle list;
+  mutable consumed : int;
+  mutable installs : int;
+  mutable install_latency : float; (** cumulative rule-install time *)
+  mutable results : Report.t list; (** finest-level reports *)
+}
+
+let mask_of_len len = if len <= 0 then 0 else 0xFFFFFFFF lxor ((1 lsl (32 - len)) - 1)
+
+(* The refinement query: scoped to [prefix]/[scope_len], keyed on
+   [key_len]-bit prefixes of [field]. *)
+let level_query t ~prefix ~scope_len ~key_len =
+  let key = Ast.key ~mask:(mask_of_len key_len) t.field in
+  let scope =
+    if scope_len = 0 then []
+    else
+      [ Ast.Filter
+          [ Ast.Cmp
+              { field = t.field; mask = mask_of_len scope_len; op = Ast.Eq;
+                value = prefix } ] ]
+  in
+  Ast.chain
+    ~id:(t.base_id + key_len)
+    ~name:(Printf.sprintf "refine_%d_%x" key_len prefix)
+    ~description:"prefix refinement level"
+    (scope
+    @ [ Ast.Map [ key ];
+        Ast.Reduce { keys = [ key ]; agg = Ast.Count };
+        Ast.Filter [ Ast.result_gt t.th ];
+        Ast.Map [ key ] ])
+
+let install t ~prefix ~scope_len ~key_len =
+  let q = level_query t ~prefix ~scope_len ~key_len in
+  let handle, latency = Newton.Device.add_query t.device q in
+  t.installs <- t.installs + 1;
+  t.install_latency <- t.install_latency +. latency;
+  t.active <-
+    { lh_prefix = prefix; lh_len = scope_len; lh_next_len = key_len;
+      lh_handle = handle }
+    :: t.active
+
+(** Start a refinement over [field] with key prefix lengths [levels]
+    (coarse to fine) and per-window threshold [th]. *)
+let create ?(base_id = 700) device ~field ~levels ~th =
+  (match levels with
+  | [] -> invalid_arg "Refine.create: need at least one level"
+  | l ->
+      if List.exists (fun x -> x < 1 || x > 32) l then
+        invalid_arg "Refine.create: prefix lengths must be in [1,32]";
+      if List.sort compare l <> l then
+        invalid_arg "Refine.create: levels must be coarse to fine");
+  let t =
+    { device; field; levels; th; base_id; active = []; consumed = 0;
+      installs = 0; install_latency = 0.0; results = [] }
+  in
+  install t ~prefix:0 ~scope_len:0 ~key_len:(List.hd levels);
+  t
+
+let installs t = t.installs
+let install_latency t = t.install_latency
+
+(** Finest-level detections so far. *)
+let results t = List.rev t.results
+
+let next_level t len =
+  let rec go = function
+    | a :: (b :: _ as rest) -> if a = len then Some b else go rest
+    | _ -> None
+  in
+  go t.levels
+
+(** Scan new reports; refine crossing prefixes one level down.  Returns
+    how many refinements were installed by this step. *)
+let step t =
+  let reports = Newton.Device.reports t.device in
+  let fresh = List.filteri (fun i _ -> i >= t.consumed) reports in
+  t.consumed <- List.length reports;
+  let spawned = ref 0 in
+  List.iter
+    (fun (r : Report.t) ->
+      (* Is this one of our level queries? *)
+      let level = r.Report.query_id - t.base_id in
+      if List.mem level t.levels then begin
+        let prefix = r.Report.keys.(0) in
+        match next_level t level with
+        | None ->
+            (* finest level: a result *)
+            t.results <- r :: t.results
+        | Some finer ->
+            let already =
+              List.exists
+                (fun lh -> lh.lh_prefix = prefix && lh.lh_len = level)
+                t.active
+            in
+            if not already then begin
+              install t ~prefix ~scope_len:level ~key_len:finer;
+              incr spawned
+            end
+      end)
+    fresh;
+  !spawned
+
+(** Remove every refinement query (including the root). *)
+let retract_all t =
+  List.iter (fun lh -> ignore (Newton.Device.remove_query t.device lh.lh_handle)) t.active;
+  t.active <- []
+
+(** Drive a whole trace, stepping after every [step_every] packets. *)
+let process_trace ?(step_every = 500) t trace =
+  let count = ref 0 in
+  Newton_trace.Gen.iter
+    (fun pkt ->
+      Newton.Device.process_packet t.device pkt;
+      incr count;
+      if !count mod step_every = 0 then ignore (step t))
+    trace;
+  ignore (step t)

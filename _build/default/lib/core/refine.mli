@@ -1,0 +1,36 @@
+(** Iterative prefix refinement — Sonata's dynamic-scope technique run
+    with Newton's rule-level reconfiguration: a coarse prefix query
+    whose crossing prefixes spawn finer-grained queries scoped to them,
+    each install a millisecond rule operation instead of a reload. *)
+
+open Newton_query
+
+type t
+
+(** Start a refinement over [field] with key prefix lengths [levels]
+    (strictly coarse to fine, each in [1,32]) and per-window threshold
+    [th]; the root query installs immediately.
+    @raise Invalid_argument on empty/unordered/out-of-range levels. *)
+val create :
+  ?base_id:int -> Newton.Device.t -> field:Newton_packet.Field.t ->
+  levels:int list -> th:int -> t
+
+(** Refinement queries installed so far (including the root). *)
+val installs : t -> int
+
+(** Cumulative rule-install time, seconds. *)
+val install_latency : t -> float
+
+(** Finest-level detections so far. *)
+val results : t -> Report.t list
+
+(** Scan new reports and refine crossing prefixes one level; returns
+    how many queries this step installed. *)
+val step : t -> int
+
+(** Remove every refinement query. *)
+val retract_all : t -> unit
+
+(** Drive a trace, stepping every [step_every] packets (default 500)
+    and once at the end. *)
+val process_trace : ?step_every:int -> t -> Newton_trace.Gen.t -> unit

@@ -1,0 +1,1 @@
+lib/dataplane/module_cost.mli: Resource

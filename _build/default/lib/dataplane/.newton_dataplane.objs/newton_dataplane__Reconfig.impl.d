@@ -1,0 +1,1 @@
+lib/dataplane/reconfig.ml: Newton_util

@@ -1,0 +1,1 @@
+lib/dataplane/reconfig.mli: Newton_util

@@ -1,0 +1,1 @@
+lib/dataplane/register_alloc.ml: Array List Newton_sketch Option Register_array

@@ -1,0 +1,1 @@
+lib/dataplane/register_alloc.mli: Newton_sketch

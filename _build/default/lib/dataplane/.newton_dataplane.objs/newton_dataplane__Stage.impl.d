@@ -1,0 +1,1 @@
+lib/dataplane/stage.ml: List Resource

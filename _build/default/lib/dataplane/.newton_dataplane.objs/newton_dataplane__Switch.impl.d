@@ -1,0 +1,1 @@
+lib/dataplane/switch.ml: Array Newton_util Reconfig Resource Stage

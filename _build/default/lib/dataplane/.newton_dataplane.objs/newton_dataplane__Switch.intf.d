@@ -1,0 +1,1 @@
+lib/dataplane/switch.mli: Resource Stage

@@ -1,0 +1,97 @@
+(** Resource cost model for Newton modules, calibrated against Table 3.
+
+    Costs are structural: each module's vector follows from what it is
+    built of (match-key widths feed the crossbar, rule capacity feeds
+    SRAM, register arrays feed SRAM+SALU, ternary matching feeds TCAM,
+    action complexity feeds VLIW).  The [switchp4_usage] reference vector
+    models the resource footprint of the `switch.p4` baseline program the
+    paper normalises against; percentages we print in the Table 3
+    reproduction are [module cost / switchp4_usage].
+
+    Absolute unit choices (bits / blocks / slots) track Tofino-like
+    proportions; see {!Resource.stage_budget}. *)
+
+(** Default rule capacity per module table, as configured in §6.2. *)
+let rules_per_module = 256
+
+(** Default registers per state-bank array. *)
+let default_registers = 4096
+
+(** Whole-pipeline resource usage of the switch.p4-like forwarding
+    program (L2/L3 switching, ACLs, tunnels across 12 stages). *)
+let switchp4_usage =
+  Resource.make ~crossbar:6900. ~sram:570. ~tcam:190. ~vliw:300.
+    ~hash_bits:3600. ~salu:36. ~gateway:140. ()
+
+(** Key selection (K): exact match on a 16-bit class id; 256 rules of
+    wide action data (one mask per global field); mask writes are VLIW
+    ops; a gateway guards the module's enable bit. *)
+let key_selection =
+  Resource.make ~crossbar:16. ~sram:4. ~vliw:10.5 ~hash_bits:40. ~gateway:2. ()
+
+(** Hash calculation (H): the full masked key vector enters the hash
+    crossbar; the hash distribution unit consumes hash bits; direct mode
+    costs a couple of VLIW moves. *)
+let hash_calculation =
+  Resource.make ~crossbar:185. ~sram:2. ~vliw:2.1 ~hash_bits:57. ()
+
+(** State bank (S): register array (SRAM) + stateful ALUs; ternary match
+    on (class id, flags) to pick the ALU program uses a little TCAM; index
+    computation uses hash bits. *)
+let state_bank ?(registers = default_registers) () =
+  (* 4-byte registers; one SRAM block = 16 KB. *)
+  let reg_blocks = float_of_int (registers * 4) /. 16384.0 in
+  Resource.make ~crossbar:84. ~sram:(4. +. reg_blocks *. 16.) ~tcam:4. ~vliw:6.3
+    ~hash_bits:79. ~salu:2. ()
+
+(** Result process (R): ternary/range matching over the 32-bit state
+    result (TCAM-heavy) and the richest action set — report, ALU over the
+    global result, continue/stop — hence the largest VLIW footprint. *)
+let result_process =
+  Resource.make ~crossbar:42. ~sram:2. ~tcam:8. ~vliw:31.7 ()
+
+type kind = K | H | S | R
+
+let cost = function
+  | K -> key_selection
+  | H -> hash_calculation
+  | S -> state_bank ()
+  | R -> result_process
+
+let kind_to_string = function K -> "K" | H -> "H" | S -> "S" | R -> "R"
+
+let kind_name = function
+  | K -> "Field Selection"
+  | H -> "Hash Calculation"
+  | S -> "State Bank"
+  | R -> "Result Process"
+
+let all_kinds = [ K; H; S; R ]
+
+(** One full module suite (K+H+S+R), the per-stage cost of the compact
+    layout. *)
+let suite = Resource.sum (List.map cost all_kinds)
+
+(** Per-stage cost of the naive layout (one module per stage): averaged
+    over the four stages a suite occupies. *)
+let naive_per_stage = Resource.scale suite 0.25
+
+(** [newton_init] classifier: ternary over 5-tuple + TCP flags
+    (104 + 8 = 112 bits of TCAM input). *)
+let newton_init =
+  Resource.make ~crossbar:112. ~sram:2. ~tcam:8. ~vliw:2. ~gateway:1. ()
+
+(** [newton_fin] snapshot table for CQE: writes the 12-byte SP header. *)
+let newton_fin = Resource.make ~crossbar:16. ~sram:1. ~vliw:7. ~gateway:1. ()
+
+(** Amortised per-rule (per-primitive-instance) cost of a module: each
+    module accommodates [rules_per_module] rules, so one primitive's rule
+    in it costs 1/256 of the module (§6.2 "Primitive resource
+    utilization"). Stateful primitives additionally consume their share of
+    register memory via the suites they occupy. *)
+let amortized kind = Resource.scale (cost kind) (1.0 /. float_of_int rules_per_module)
+
+(** Cost of a primitive occupying [suites] module suites (1 for
+    filter/map, sketch depth for reduce/distinct). *)
+let primitive_cost ~suites =
+  Resource.scale suite (float_of_int suites /. float_of_int rules_per_module)

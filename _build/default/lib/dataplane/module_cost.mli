@@ -1,0 +1,51 @@
+(** Resource cost model for Newton modules, calibrated against the
+    paper's Table 3 (values normalised by the switch.p4 footprint). *)
+
+(** Rule capacity per module table (§6.2 configures 256). *)
+val rules_per_module : int
+
+(** Default registers per state-bank array. *)
+val default_registers : int
+
+(** Whole-pipeline footprint of the switch.p4-like forwarding program,
+    the normalisation reference of Table 3. *)
+val switchp4_usage : Resource.t
+
+val key_selection : Resource.t
+val hash_calculation : Resource.t
+
+(** State-bank cost grows with its register allocation. *)
+val state_bank : ?registers:int -> unit -> Resource.t
+
+val result_process : Resource.t
+
+(** The four module kinds. *)
+type kind = K | H | S | R
+
+val cost : kind -> Resource.t
+val kind_to_string : kind -> string
+
+(** Long-form name ("Field Selection", ...). *)
+val kind_name : kind -> string
+
+val all_kinds : kind list
+
+(** One full module suite (K+H+S+R) — the per-stage cost of the compact
+    layout. *)
+val suite : Resource.t
+
+(** Per-stage cost of the naive one-module-per-stage layout. *)
+val naive_per_stage : Resource.t
+
+(** The newton_init classifier (ternary 5-tuple + TCP flags). *)
+val newton_init : Resource.t
+
+(** The newton_fin SP-snapshot table for CQE. *)
+val newton_fin : Resource.t
+
+(** Amortised share of a module per installed rule. *)
+val amortized : kind -> Resource.t
+
+(** Cost of a primitive occupying [suites] module suites (1 for
+    filter/map, the sketch depth for reduce/distinct). *)
+val primitive_cost : suites:int -> Resource.t

@@ -1,0 +1,71 @@
+(** Reconfiguration timing model.
+
+    Two reconfiguration regimes exist on programmable switches (§2.1):
+
+    - {b Runtime rule updates} (Newton): installing or removing a table
+      rule through the switch driver takes on the order of a millisecond
+      and does not disturb forwarding.  Fig. 11 measures whole-query
+      install/remove at 5–20 ms (a query is ~5–25 rules).
+
+    - {b Full program reload} (Sonata/Marple): loading a new P4 program
+      reboots the pipeline.  The switch stops forwarding for a fixed
+      drain/reload period plus the time to restore every forwarding-table
+      entry (TCAM/SRAM rules of switch.p4).  Fig. 10 measures ~7.5 s at
+      the default table sizes, growing linearly to ~30 s at 60 K entries.
+
+    Latencies are sampled from calibrated distributions so repeated runs
+    show realistic jitter; all sampling is seeded. *)
+
+(** Fixed driver round-trip cost per batched install operation,
+    seconds. *)
+let install_base = 1.8e-3
+
+(** Mean per-rule install latency within a batch, seconds. *)
+let rule_install_mean = 0.32e-3
+
+(** Fixed driver round-trip cost per batched removal, seconds. *)
+let remove_base = 1.2e-3
+
+(** Mean per-rule removal latency, seconds (removal skips action-data
+    writes, so it is cheaper). *)
+let rule_remove_mean = 0.22e-3
+
+(** Fixed pipeline drain + program load + port bring-up time for a full
+    reload, seconds. *)
+let reload_fixed = 5.0
+
+(** Per-forwarding-entry restore cost after a reload, seconds. *)
+let reload_per_entry = 0.42e-3
+
+(* Latency jitter: exponential around 25% of the mean, matching the
+   long-ish tail of driver RPC latencies. *)
+let jittered rng mean =
+  (mean *. 0.85) +. Newton_util.Prng.exponential rng (1.0 /. (mean *. 0.15))
+
+(** Latency of installing [n] rules (one batched driver call; per-rule
+    writes are serialised within it). *)
+let install_latency rng ~rules =
+  let acc = ref (jittered rng install_base) in
+  for _ = 1 to rules do
+    acc := !acc +. jittered rng rule_install_mean
+  done;
+  !acc
+
+(** Latency of removing [n] rules. *)
+let remove_latency rng ~rules =
+  let acc = ref (jittered rng remove_base) in
+  for _ = 1 to rules do
+    acc := !acc +. jittered rng rule_remove_mean
+  done;
+  !acc
+
+(** Forwarding outage caused by a full P4 program reload with
+    [fwd_entries] forwarding rules to restore. Newton never pays this;
+    Sonata pays it on every query create/update/remove. *)
+let reload_outage ?rng ~fwd_entries () =
+  let jitter =
+    match rng with
+    | None -> 0.0
+    | Some rng -> Newton_util.Prng.float_range rng 0.4 -. 0.2
+  in
+  reload_fixed +. (reload_per_entry *. float_of_int fwd_entries) +. jitter

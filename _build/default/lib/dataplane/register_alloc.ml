@@ -1,0 +1,146 @@
+(** Register allocation among concurrent queries.
+
+    The state bank supports "flexible register allocation among different
+    queries" (§4.1): H's configurable output range lets several queries'
+    stateful primitives share one physical register array, each owning a
+    disjoint [offset, offset+length) range.  This module manages those
+    ranges — first-fit allocation with block splitting and coalescing on
+    free — and provides {!View}s that index into the owning array.
+
+    Capacity planning for concurrent queries (Fig. 16) and the
+    register-sharing ablation bench build on this. *)
+
+open Newton_sketch
+
+type range = { array_id : int; offset : int; length : int }
+
+type t = {
+  arrays : Register_array.t array;
+  registers_per_array : int;
+  mutable free : range list; (* sorted by (array_id, offset) *)
+  mutable live : range list;
+}
+
+let create ~arrays ~registers_per_array =
+  if arrays <= 0 || registers_per_array <= 0 then
+    invalid_arg "Register_alloc.create: sizes must be positive";
+  {
+    arrays = Array.init arrays (fun _ -> Register_array.create registers_per_array);
+    registers_per_array;
+    free =
+      List.init arrays (fun i -> { array_id = i; offset = 0; length = registers_per_array });
+    live = [];
+  }
+
+let total_registers t = Array.length t.arrays * t.registers_per_array
+
+let allocated_registers t = List.fold_left (fun acc r -> acc + r.length) 0 t.live
+
+let free_registers t = total_registers t - allocated_registers t
+
+(** Size of the largest free block — what the next allocation can get. *)
+let largest_free_block t =
+  List.fold_left (fun acc r -> max acc r.length) 0 t.free
+
+(** External fragmentation: fraction of free memory outside each
+    array's largest free block (0 = every array's free memory is
+    contiguous, the best an allocator can do since ranges cannot span
+    arrays). *)
+let fragmentation t =
+  let free = free_registers t in
+  if free = 0 then 0.0
+  else begin
+    let per_array = Array.make (Array.length t.arrays) 0 in
+    List.iter
+      (fun b -> per_array.(b.array_id) <- max per_array.(b.array_id) b.length)
+      t.free;
+    let usable = Array.fold_left ( + ) 0 per_array in
+    1.0 -. (float_of_int usable /. float_of_int free)
+  end
+
+let range_compare a b = compare (a.array_id, a.offset) (b.array_id, b.offset)
+
+(** First-fit allocation of [registers] contiguous registers.  Returns
+    [None] when no free block is large enough (the controller then
+    spills the query to another switch or rejects it). *)
+let alloc t ~registers =
+  if registers <= 0 then invalid_arg "Register_alloc.alloc: need a positive size";
+  let rec go acc = function
+    | [] -> None
+    | blk :: rest when blk.length >= registers ->
+        let taken = { blk with length = registers } in
+        let remainder =
+          if blk.length = registers then []
+          else [ { blk with offset = blk.offset + registers; length = blk.length - registers } ]
+        in
+        t.free <- List.rev_append acc (remainder @ rest);
+        t.live <- taken :: t.live;
+        Some taken
+    | blk :: rest -> go (blk :: acc) rest
+  in
+  go [] t.free
+
+(* Merge adjacent free blocks within the same array. *)
+let coalesce blocks =
+  let sorted = List.sort range_compare blocks in
+  let rec go = function
+    | a :: b :: rest when a.array_id = b.array_id && a.offset + a.length = b.offset ->
+        go ({ a with length = a.length + b.length } :: rest)
+    | a :: rest -> a :: go rest
+    | [] -> []
+  in
+  go sorted
+
+exception Not_allocated
+
+(** Return a range to the pool (and zero its registers, as a window
+    reset would).  Raises {!Not_allocated} for an unknown range. *)
+let free t range =
+  if not (List.mem range t.live) then raise Not_allocated;
+  t.live <- List.filter (fun r -> r <> range) t.live;
+  let arr = t.arrays.(range.array_id) in
+  for i = range.offset to range.offset + range.length - 1 do
+    Register_array.set arr i 0
+  done;
+  t.free <- coalesce (range :: t.free)
+
+(** A view: the register window a query's S module indexes through.
+    Indices wrap modulo the view length, exactly like H's configurable
+    output range. *)
+module View = struct
+  type alloc = t
+
+  type t = { parent : Register_array.t; range : range }
+
+  let length v = v.range.length
+
+  let idx v i = v.range.offset + (i mod v.range.length)
+
+  let exec v alu i = Register_array.exec v.parent alu (idx v i)
+
+  let get v i = Register_array.get v.parent (idx v i)
+
+  let clear v =
+    for i = v.range.offset to v.range.offset + v.range.length - 1 do
+      Register_array.set v.parent i 0
+    done
+
+  let occupancy v =
+    let n = ref 0 in
+    for i = v.range.offset to v.range.offset + v.range.length - 1 do
+      if Register_array.get v.parent i <> 0 then incr n
+    done;
+    !n
+end
+
+let view t range = { View.parent = t.arrays.(range.array_id); range }
+
+(** Allocate-and-view in one step. *)
+let alloc_view t ~registers =
+  Option.map (view t) (alloc t ~registers)
+
+(** How many queries of [per_query] register demand fit (capacity
+    planning for Fig. 16-style concurrency). *)
+let capacity t ~per_query =
+  if per_query <= 0 then invalid_arg "Register_alloc.capacity";
+  List.fold_left (fun acc blk -> acc + (blk.length / per_query)) 0 t.free

@@ -1,0 +1,52 @@
+(** Register allocation among concurrent queries (§4.1's "flexible
+    register allocation"): several queries share physical register
+    arrays, each owning a disjoint range addressed through a {!View}.
+    First-fit allocation with block splitting and coalescing on free. *)
+
+type range = { array_id : int; offset : int; length : int }
+
+type t
+
+(** @raise Invalid_argument on non-positive sizes. *)
+val create : arrays:int -> registers_per_array:int -> t
+
+val total_registers : t -> int
+val allocated_registers : t -> int
+val free_registers : t -> int
+
+(** Largest single free block. *)
+val largest_free_block : t -> int
+
+(** Fraction of free memory outside each array's largest free block
+    (0 = free memory maximally contiguous). *)
+val fragmentation : t -> float
+
+(** First-fit allocation; [None] when no block is large enough.
+    @raise Invalid_argument on a non-positive size. *)
+val alloc : t -> registers:int -> range option
+
+exception Not_allocated
+
+(** Return a range to the pool, zeroing its registers.
+    @raise Not_allocated for a range not currently live. *)
+val free : t -> range -> unit
+
+(** The register window a query's state bank indexes through; indices
+    wrap modulo the view length (H's configurable output range). *)
+module View : sig
+  type alloc = t
+  type t
+
+  val length : t -> int
+  val exec : t -> Newton_sketch.Alu.t -> int -> int
+  val get : t -> int -> int
+  val clear : t -> unit
+  val occupancy : t -> int
+end
+
+val view : t -> range -> View.t
+
+val alloc_view : t -> registers:int -> View.t option
+
+(** How many queries of a given per-query register demand still fit. *)
+val capacity : t -> per_query:int -> int

@@ -1,0 +1,41 @@
+(** A physical pipeline stage: a resource budget plus the components
+    placed into it.  Placement fails when the summed resource vector of
+    the stage's components would exceed the budget — this is what makes
+    the naive-vs-compact layout comparison (§4.2) meaningful. *)
+
+type component = { name : string; cost : Resource.t }
+
+type t = {
+  index : int;
+  budget : Resource.t;
+  mutable used : Resource.t;
+  mutable components : component list;
+}
+
+let create ?(budget = Resource.stage_budget) index =
+  { index; budget; used = Resource.zero; components = [] }
+
+let index t = t.index
+let used t = t.used
+let budget t = t.budget
+let components t = List.rev t.components
+
+(** [can_place t cost] — would [cost] still fit? *)
+let can_place t cost = Resource.fits (Resource.add t.used cost) t.budget
+
+exception Stage_full of { stage : int; component : string }
+
+let place t ~name cost =
+  if not (can_place t cost) then raise (Stage_full { stage = t.index; component = name });
+  t.used <- Resource.add t.used cost;
+  t.components <- { name; cost } :: t.components
+
+let unplace t ~name =
+  match List.find_opt (fun c -> c.name = name) t.components with
+  | None -> false
+  | Some c ->
+      t.used <- Resource.sub t.used c.cost;
+      t.components <- List.filter (fun x -> x.name <> name) t.components;
+      true
+
+let utilization t = Resource.utilization t.used t.budget

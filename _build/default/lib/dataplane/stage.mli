@@ -1,0 +1,28 @@
+(** A physical pipeline stage: a resource budget plus placed
+    components; placement fails when the budget would be exceeded. *)
+
+type component = { name : string; cost : Resource.t }
+
+type t
+
+val create : ?budget:Resource.t -> int -> t
+
+val index : t -> int
+val used : t -> Resource.t
+val budget : t -> Resource.t
+
+(** Components in placement order. *)
+val components : t -> component list
+
+(** Would this cost still fit? *)
+val can_place : t -> Resource.t -> bool
+
+exception Stage_full of { stage : int; component : string }
+
+(** @raise Stage_full when the stage budget would be exceeded. *)
+val place : t -> name:string -> Resource.t -> unit
+
+(** Remove a component by name; [false] if absent. *)
+val unplace : t -> name:string -> bool
+
+val utilization : t -> Resource.t

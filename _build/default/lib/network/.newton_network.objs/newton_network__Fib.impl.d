@@ -1,0 +1,1 @@
+lib/network/fib.ml: Array List Newton_dataplane Printf Route Table Topo

@@ -1,0 +1,1 @@
+lib/network/route.ml: Array List Option Queue Set Topo

@@ -1,0 +1,1 @@
+lib/network/route.mli: Topo

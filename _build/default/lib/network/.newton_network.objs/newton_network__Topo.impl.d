@@ -1,0 +1,1 @@
+lib/network/topo.ml: Array Float Fun List Newton_util Printf

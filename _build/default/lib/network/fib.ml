@@ -1,0 +1,112 @@
+(** Per-switch forwarding tables (FIBs) with longest-prefix matching.
+
+    {!Route} computes paths centrally; this module materialises them the
+    way a real network does — as per-switch match-action tables mapping
+    destination prefixes to next hops, built on the same reconfigurable
+    {!Newton_dataplane.Table} Newton's own modules use.  That makes the
+    forwarding-state population (which Sonata's reloads must restore,
+    Fig. 10) a measured quantity instead of a constant, and lets tests
+    exercise convergence effects: between a failure and the next
+    recomputation, packets can blackhole or loop exactly as they would
+    in practice — the dynamics motivating resilient placement (§5.2).
+
+    Hosts are addressed by /24 prefixes derived from their node id. *)
+
+open Newton_dataplane
+
+(** The /24 network assigned to a host node. *)
+let host_prefix host = 0x0A000000 lor ((host land 0xFFFF) lsl 8)
+
+let prefix_mask = 0xFFFFFF00
+
+(** An address inside a host's prefix. *)
+let host_addr ?(low = 1) host = host_prefix host lor (low land 0xFF)
+
+type t = {
+  topo : Topo.t;
+  tables : int Table.t array; (** per switch; action = next-hop node *)
+  mutable generation : int;   (** bumped on every recompute *)
+}
+
+let create topo =
+  {
+    topo;
+    tables =
+      Array.init (Topo.num_switches topo) (fun s ->
+          Table.create ~capacity:65536
+            ~name:(Printf.sprintf "fib_sw%d" s)
+            ~key_width:1 ());
+    generation = 0;
+  }
+
+let topo t = t.topo
+let generation t = t.generation
+
+(** Forwarding entries installed on one switch. *)
+let entries t s = Table.size t.tables.(s)
+
+(** Total forwarding entries network-wide — what a full reload must
+    restore. *)
+let total_entries t =
+  Array.fold_left (fun acc tbl -> acc + Table.size tbl) 0 t.tables
+
+(** (Re)compute every switch's FIB from the current routing state
+    (honouring failed links).  Returns the number of installed entries. *)
+let recompute t (route : Route.t) =
+  t.generation <- t.generation + 1;
+  Array.iter Table.clear t.tables;
+  let installed = ref 0 in
+  List.iter
+    (fun host ->
+      (* BFS tree towards [host]: each switch's next hop is any usable
+         neighbor one step closer. *)
+      let dist = Route.distances route host in
+      List.iter
+        (fun s ->
+          if dist.(s) < max_int && dist.(s) > 0 then begin
+            let next =
+              List.find_opt
+                (fun n -> dist.(n) = dist.(s) - 1)
+                (List.filter
+                   (fun n -> not (Route.is_failed route (s, n)))
+                   (Topo.neighbors t.topo s))
+            in
+            match next with
+            | Some n ->
+                ignore
+                  (Table.add t.tables.(s) ~priority:24
+                     ~matches:
+                       [| Table.Ternary { value = host_prefix host; mask = prefix_mask } |]
+                     n);
+                incr installed
+            | None -> ()
+          end)
+        (Topo.switches t.topo))
+    (Topo.hosts t.topo);
+  !installed
+
+(** Next hop for a destination address at a switch ([None] = no route:
+    the packet blackholes). *)
+let next_hop t ~switch ~dst_addr = Table.lookup t.tables.(switch) [| dst_addr |]
+
+(** Walk a packet hop by hop through the FIBs from a host to a
+    destination address.  Unlike {!Route.switch_path}, this uses only
+    the installed state, so it observes stale-FIB effects. *)
+type walk =
+  | Delivered of int list  (** switches traversed, in order *)
+  | Blackholed of int list (** no route at the last listed switch *)
+  | Looped of int list     (** forwarding loop detected *)
+
+let walk ?(max_hops = 64) t ~src_host ~dst_addr =
+  let first = Topo.host_switch t.topo src_host in
+  let rec go switch acc hops =
+    if hops > max_hops then Looped (List.rev acc)
+    else
+      match next_hop t ~switch ~dst_addr with
+      | None -> Blackholed (List.rev (switch :: acc))
+      | Some n when Topo.is_host t.topo n -> Delivered (List.rev (switch :: acc))
+      | Some n ->
+          if List.mem n acc then Looped (List.rev (switch :: acc))
+          else go n (switch :: acc) (hops + 1)
+  in
+  go first [] 0

@@ -1,0 +1,43 @@
+(** Per-switch forwarding tables (FIBs) with longest-prefix matching,
+    materialised from {!Route} state on the same reconfigurable tables
+    Newton uses.  Walks observe convergence effects (blackholes/loops on
+    stale state).  Hosts are addressed by /24 prefixes derived from the
+    node id. *)
+
+(** The /24 network assigned to a host node. *)
+val host_prefix : int -> int
+
+val prefix_mask : int
+
+(** An address inside a host's prefix ([low] defaults to 1). *)
+val host_addr : ?low:int -> int -> int
+
+type t
+
+val create : Topo.t -> t
+
+val topo : t -> Topo.t
+
+(** Bumped on every {!recompute}. *)
+val generation : t -> int
+
+(** Forwarding entries installed on one switch. *)
+val entries : t -> int -> int
+
+(** Entries network-wide — what a full reload must restore. *)
+val total_entries : t -> int
+
+(** Rebuild every switch's FIB from the routing state (honouring failed
+    links); returns the entries installed. *)
+val recompute : t -> Route.t -> int
+
+(** Next hop for a destination address at a switch; [None] = no route. *)
+val next_hop : t -> switch:int -> dst_addr:int -> int option
+
+type walk =
+  | Delivered of int list  (** switches traversed, in order *)
+  | Blackholed of int list (** no route at the last listed switch *)
+  | Looped of int list     (** forwarding loop detected *)
+
+(** Walk hop by hop through installed state only. *)
+val walk : ?max_hops:int -> t -> src_host:int -> dst_addr:int -> walk

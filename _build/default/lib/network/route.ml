@@ -1,0 +1,125 @@
+(** Routing over a {!Topo}, with link failures.
+
+    Provides shortest-path forwarding (BFS, deterministic ECMP
+    tie-breaking by a flow hash) and failure injection: failed links are
+    excluded and paths recomputed, which models the "forwarding paths are
+    mutable and change over time" dynamics of §5.2. *)
+
+type link = int * int
+
+let norm (a, b) = if a <= b then (a, b) else (b, a)
+
+module Link_set = Set.Make (struct
+  type t = link
+
+  let compare = compare
+end)
+
+type t = {
+  topo : Topo.t;
+  mutable failed : Link_set.t;
+}
+
+let create topo = { topo; failed = Link_set.empty }
+
+let topo t = t.topo
+
+let fail_link t l = t.failed <- Link_set.add (norm l) t.failed
+let repair_link t l = t.failed <- Link_set.remove (norm l) t.failed
+let clear_failures t = t.failed <- Link_set.empty
+let failed_links t = Link_set.elements t.failed
+let is_failed t l = Link_set.mem (norm l) t.failed
+
+let usable_neighbors t n =
+  List.filter (fun m -> not (is_failed t (n, m))) (Topo.neighbors t.topo n)
+
+(** BFS distances from [src] over usable links. Unreachable = max_int. *)
+let distances t src =
+  let n = Topo.num_nodes t.topo in
+  let dist = Array.make n max_int in
+  dist.(src) <- 0;
+  let q = Queue.create () in
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun v ->
+        if dist.(v) = max_int then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v q
+        end)
+      (usable_neighbors t u)
+  done;
+  dist
+
+(** One shortest path from [src] to [dst] (node list, inclusive), with
+    deterministic ECMP tie-breaking by [flow_hash].  [None] if
+    disconnected. *)
+let shortest_path ?(flow_hash = 0) t ~src ~dst =
+  if src = dst then Some [ src ]
+  else
+    let dist = distances t dst in
+    if dist.(src) = max_int then None
+    else begin
+      let path = ref [ src ] in
+      let cur = ref src in
+      let hop = ref 0 in
+      while !cur <> dst do
+        let nexts =
+          List.filter (fun v -> dist.(v) = dist.(!cur) - 1) (usable_neighbors t !cur)
+          |> List.sort compare
+        in
+        let n = List.length nexts in
+        let pick = List.nth nexts ((flow_hash + !hop) mod n) in
+        path := pick :: !path;
+        cur := pick;
+        incr hop
+      done;
+      Some (List.rev !path)
+    end
+
+(** The switch-only portion of a host-to-host path. *)
+let switch_path ?flow_hash t ~src_host ~dst_host =
+  match shortest_path ?flow_hash t ~src:src_host ~dst:dst_host with
+  | None -> None
+  | Some path -> Some (List.filter (fun n -> Topo.is_switch t.topo n) path)
+
+(** All shortest paths between two nodes (used by resilience analysis;
+    exponential in theory, small in practice on our topologies). *)
+let all_shortest_paths t ~src ~dst =
+  let dist = distances t dst in
+  if dist.(src) = max_int then []
+  else
+    let rec extend node =
+      if node = dst then [ [ dst ] ]
+      else
+        List.concat_map
+          (fun v ->
+            if dist.(v) = dist.(node) - 1 then
+              List.map (fun p -> node :: p) (extend v)
+            else [])
+          (usable_neighbors t node)
+    in
+    extend src
+
+(** All simple paths from [src] to [dst] of length at most [max_hops]
+    switches — the "all the possible paths" of Algorithm 2's coverage
+    guarantee. *)
+let all_paths_bounded t ~src ~dst ~max_hops =
+  let rec go node visited len =
+    if node = dst then [ [ dst ] ]
+    else if len >= max_hops then []
+    else
+      List.concat_map
+        (fun v ->
+          if List.mem v visited then []
+          else List.map (fun p -> node :: p) (go v (v :: visited) (len + 1)))
+        (usable_neighbors t node)
+  in
+  go src [ src ] 0
+
+let path_length path = List.length path - 1
+
+(** Hop count between two hosts under current failures. *)
+let hop_count ?flow_hash t ~src_host ~dst_host =
+  Option.map List.length (switch_path ?flow_hash t ~src_host ~dst_host)

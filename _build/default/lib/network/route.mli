@@ -1,0 +1,39 @@
+(** Routing over a {!Topo} with link failures: BFS shortest paths with
+    deterministic per-flow ECMP, rerouting around failed links. *)
+
+type link = int * int
+
+type t
+
+val create : Topo.t -> t
+val topo : t -> Topo.t
+
+(** Links are normalised, so (a,b) and (b,a) refer to the same link. *)
+val fail_link : t -> link -> unit
+
+val repair_link : t -> link -> unit
+val clear_failures : t -> unit
+val failed_links : t -> link list
+val is_failed : t -> link -> bool
+
+(** BFS distances from a node over usable links; unreachable = [max_int]. *)
+val distances : t -> int -> int array
+
+(** One shortest path (inclusive node list) with deterministic ECMP
+    tie-breaking by [flow_hash]; [None] when disconnected. *)
+val shortest_path : ?flow_hash:int -> t -> src:int -> dst:int -> int list option
+
+(** The switch-only portion of a host-to-host shortest path. *)
+val switch_path :
+  ?flow_hash:int -> t -> src_host:int -> dst_host:int -> int list option
+
+(** All equal-cost shortest paths between two nodes. *)
+val all_shortest_paths : t -> src:int -> dst:int -> int list list
+
+(** All simple paths of at most [max_hops] links. *)
+val all_paths_bounded : t -> src:int -> dst:int -> max_hops:int -> int list list
+
+val path_length : int list -> int
+
+(** Number of switches on the host-to-host path. *)
+val hop_count : ?flow_hash:int -> t -> src_host:int -> dst_host:int -> int option

@@ -1,0 +1,1 @@
+lib/p4gen/emit.ml: Buffer Field List Newton_dataplane Newton_packet Printf String

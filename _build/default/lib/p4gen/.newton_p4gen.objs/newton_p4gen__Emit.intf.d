@@ -1,0 +1,1 @@
+lib/p4gen/emit.mli: Newton_dataplane Newton_packet

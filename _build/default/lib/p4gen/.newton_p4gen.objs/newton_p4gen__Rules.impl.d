@@ -1,0 +1,1 @@
+lib/p4gen/rules.ml: Array Buffer Compose Emit Field Ir List Newton_compiler Newton_packet Newton_query Printf String

@@ -1,0 +1,1 @@
+lib/p4gen/rules.mli: Newton_compiler

@@ -1,0 +1,1 @@
+lib/p4gen/validate.ml: Emit Hashtbl List Newton_util Option Printf Rules String

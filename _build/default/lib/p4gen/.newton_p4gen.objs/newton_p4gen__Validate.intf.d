@@ -1,0 +1,1 @@
+lib/p4gen/validate.mli: Emit Hashtbl Newton_compiler

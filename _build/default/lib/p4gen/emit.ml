@@ -1,0 +1,440 @@
+(** P4₁₆ program generation for the Newton module layout.
+
+    The paper's workflow (§3) starts at initialization time: "operators
+    should add Newton module layout into the P4 program, and load the P4
+    program into the switch pipeline"; everything after that is table
+    rules.  This module emits that one-time program: parser (including
+    the SP header on a dedicated EtherType), the two metadata sets, the
+    [newton_init] classifier, per-stage K/H/S/R tables with their
+    register arrays and stateful ALU actions, and [newton_fin].
+
+    The output targets the v1model architecture so it is readable and
+    portable; a Tofino port would swap the externs (Hash, RegisterAction)
+    but keep the structure.  Structure and naming are stable — the rule
+    generator ({!Rules}) refers to the same table and action names. *)
+
+open Newton_packet
+
+(** Layout parameters: how many stages carry Newton modules, register
+    count per state-bank array, and rules per module table. *)
+type layout = {
+  stages : int;
+  registers : int;
+  rules_per_table : int;
+}
+
+let default_layout =
+  {
+    stages = Newton_dataplane.Switch.default_stages;
+    registers = Newton_dataplane.Module_cost.default_registers;
+    rules_per_table = Newton_dataplane.Module_cost.rules_per_module;
+  }
+
+(** EtherType carrying the SP header between Newton-enabled switches
+    (local-experimental range). *)
+let sp_ethertype = 0x88B5
+
+let table_name ~stage ~kind ~set =
+  Printf.sprintf "newton_%s_s%d_m%d"
+    (String.lowercase_ascii (Newton_dataplane.Module_cost.kind_to_string kind))
+    stage set
+
+let register_name ~stage ~set = Printf.sprintf "newton_reg_s%d_m%d" stage set
+
+(* P4 metadata field for a (set, global header field) operation key. *)
+let key_field ~set f = Printf.sprintf "key%d_%s" set (String.map (function '.' -> '_' | c -> c) (Field.to_string f))
+
+let bf buf fmt = Printf.ksprintf (Buffer.add_string buf) fmt
+
+let emit_headers buf =
+  bf buf {|// ---------------------------------------------------------------
+// Headers
+// ---------------------------------------------------------------
+header ethernet_t {
+    bit<48> dst_addr;
+    bit<48> src_addr;
+    bit<16> ether_type;
+}
+
+// Result-snapshot header (12 bytes): hash/state results of both
+// metadata sets plus the global result, carried between Newton hops.
+header sp_t {
+    bit<16> hash1;
+    bit<24> state1;
+    bit<16> hash2;
+    bit<24> state2;
+    bit<16> global_result;
+}
+
+header ipv4_t {
+    bit<4>  version;
+    bit<4>  ihl;
+    bit<8>  diffserv;
+    bit<16> total_len;
+    bit<16> identification;
+    bit<3>  flags;
+    bit<13> frag_offset;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<16> hdr_checksum;
+    bit<32> src_addr;
+    bit<32> dst_addr;
+}
+
+header tcp_t {
+    bit<16> src_port;
+    bit<16> dst_port;
+    bit<32> seq_no;
+    bit<32> ack_no;
+    bit<4>  data_offset;
+    bit<4>  res;
+    bit<8>  flags;
+    bit<16> window;
+    bit<16> checksum;
+    bit<16> urgent_ptr;
+}
+
+header udp_t {
+    bit<16> src_port;
+    bit<16> dst_port;
+    bit<16> length;
+    bit<16> checksum;
+}
+
+header dns_t {
+    bit<16> id;
+    bit<1>  qr;
+    bit<15> flags;
+    bit<16> qdcount;
+    bit<16> ancount;
+}
+
+struct headers_t {
+    ethernet_t ethernet;
+    sp_t       sp;
+    ipv4_t     ipv4;
+    tcp_t      tcp;
+    udp_t      udp;
+    dns_t      dns;
+}
+
+|}
+
+let emit_metadata buf =
+  bf buf "// ---------------------------------------------------------------\n";
+  bf buf "// Metadata: two independent result sets (compact module layout)\n";
+  bf buf "// ---------------------------------------------------------------\n";
+  bf buf "struct metadata_t {\n";
+  for set = 0 to 1 do
+    List.iter
+      (fun f ->
+        bf buf "    bit<32> %s;\n" (key_field ~set f))
+      Field.all;
+    bf buf "    bit<16> hash%d_result;\n" (set + 1);
+    bf buf "    bit<32> state%d_result;\n" (set + 1)
+  done;
+  bf buf "    bit<16> global_result;\n";
+  bf buf "    bit<16> class_id;      // set by newton_init\n";
+  bf buf "    bit<1>  query_active;  // cleared by R's stop action\n";
+  bf buf "    bit<1>  report;        // set by R's report action\n";
+  bf buf "}\n\n"
+
+let emit_parser buf =
+  bf buf {|// ---------------------------------------------------------------
+// Parser (decodes the SP header when present and initializes result
+// sets from it; otherwise result sets start at zero)
+// ---------------------------------------------------------------
+parser NewtonParser(packet_in pkt, out headers_t hdr,
+                    inout metadata_t meta,
+                    inout standard_metadata_t std_meta) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.ether_type) {
+            0x%04X: parse_sp;
+            0x0800: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_sp {
+        pkt.extract(hdr.sp);
+        meta.hash1_result  = hdr.sp.hash1;
+        meta.state1_result = (bit<32>) hdr.sp.state1;
+        meta.hash2_result  = hdr.sp.hash2;
+        meta.state2_result = (bit<32>) hdr.sp.state2;
+        meta.global_result = hdr.sp.global_result;
+        transition parse_ipv4;
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            6:  parse_tcp;
+            17: parse_udp;
+            default: accept;
+        }
+    }
+    state parse_tcp { pkt.extract(hdr.tcp); transition accept; }
+    state parse_udp {
+        pkt.extract(hdr.udp);
+        transition select(hdr.udp.src_port, hdr.udp.dst_port) {
+            (53, _): parse_dns;
+            (_, 53): parse_dns;
+            default: accept;
+        }
+    }
+    state parse_dns { pkt.extract(hdr.dns); transition accept; }
+}
+
+|} sp_ethertype
+
+let emit_init_table buf layout =
+  bf buf {|    // newton_init: ternary classification over the 5-tuple and TCP
+    // control flags; dispatches packets to concurrent queries' chains.
+    action set_class(bit<16> class_id) {
+        meta.class_id = class_id;
+        meta.query_active = 1;
+    }
+    table newton_init {
+        key = {
+            hdr.ipv4.src_addr : ternary;
+            hdr.ipv4.dst_addr : ternary;
+            hdr.ipv4.protocol : ternary;
+            hdr.tcp.src_port  : ternary;
+            hdr.tcp.dst_port  : ternary;
+            hdr.tcp.flags     : ternary;
+        }
+        actions = { set_class; NoAction; }
+        size = %d;
+        default_action = NoAction();
+    }
+
+|} (4 * layout.rules_per_table)
+
+let emit_k_table buf ~stage ~set layout =
+  let name = table_name ~stage ~kind:Newton_dataplane.Module_cost.K ~set in
+  bf buf "    // K (field selection), stage %d, metadata set %d:\n" stage (set + 1);
+  bf buf "    // bit-masks the global fields into this set's operation keys.\n";
+  bf buf "    action %s_select(" name;
+  bf buf "%s) {\n"
+    (String.concat ", "
+       (List.map (fun f -> Printf.sprintf "bit<32> m_%s" (key_field ~set f)) Field.all));
+  List.iter
+    (fun f ->
+      let src =
+        match f with
+        | Field.Src_ip -> "hdr.ipv4.src_addr"
+        | Field.Dst_ip -> "hdr.ipv4.dst_addr"
+        | Field.Proto -> "(bit<32>) hdr.ipv4.protocol"
+        | Field.Src_port -> "(bit<32>) hdr.tcp.src_port"
+        | Field.Dst_port -> "(bit<32>) hdr.tcp.dst_port"
+        | Field.Tcp_flags -> "(bit<32>) hdr.tcp.flags"
+        | Field.Tcp_seq -> "hdr.tcp.seq_no"
+        | Field.Tcp_ack -> "hdr.tcp.ack_no"
+        | Field.Pkt_len -> "(bit<32>) hdr.ipv4.total_len"
+        | Field.Payload_len -> "(bit<32>) hdr.udp.length"
+        | Field.Ttl -> "(bit<32>) hdr.ipv4.ttl"
+        | Field.Dns_qr -> "(bit<32>) hdr.dns.qr"
+        | Field.Dns_ancount -> "(bit<32>) hdr.dns.ancount"
+        | Field.Ingress_port -> "(bit<32>) std_meta.ingress_port"
+      in
+      bf buf "        meta.%s = %s & m_%s;\n" (key_field ~set f) src (key_field ~set f))
+    Field.all;
+  bf buf "    }\n";
+  bf buf "    table %s {\n" name;
+  bf buf "        key = { meta.class_id : exact; }\n";
+  bf buf "        actions = { %s_select; NoAction; }\n" name;
+  bf buf "        size = %d;\n" layout.rules_per_table;
+  bf buf "        default_action = NoAction();\n    }\n\n"
+
+let emit_h_table buf ~stage ~set layout =
+  let name = table_name ~stage ~kind:Newton_dataplane.Module_cost.H ~set in
+  bf buf "    // H (hash calculation), stage %d, set %d: CRC over the\n" stage (set + 1);
+  bf buf "    // operation keys, range-reduced; or direct mode.\n";
+  bf buf "    action %s_hash(bit<16> range_mask) {\n" name;
+  bf buf "        hash(meta.hash%d_result, HashAlgorithm.crc16, (bit<16>) 0,\n" (set + 1);
+  bf buf "             { %s },\n"
+    (String.concat ", " (List.map (fun f -> "meta." ^ key_field ~set f) Field.all));
+  bf buf "             (bit<32>) 65536);\n";
+  bf buf "        meta.hash%d_result = meta.hash%d_result & range_mask;\n" (set + 1) (set + 1);
+  bf buf "    }\n";
+  bf buf "    action %s_direct() {\n" name;
+  bf buf "        meta.hash%d_result = (bit<16>) meta.%s;\n" (set + 1)
+    (key_field ~set Field.Src_port);
+  bf buf "    }\n";
+  bf buf "    table %s {\n" name;
+  bf buf "        key = { meta.class_id : exact; }\n";
+  bf buf "        actions = { %s_hash; %s_direct; NoAction; }\n" name name;
+  bf buf "        size = %d;\n" layout.rules_per_table;
+  bf buf "        default_action = NoAction();\n    }\n\n"
+
+let emit_s_table buf ~stage ~set layout =
+  let name = table_name ~stage ~kind:Newton_dataplane.Module_cost.S ~set in
+  let reg = register_name ~stage ~set in
+  bf buf "    // S (state bank), stage %d, set %d: register array with the\n" stage (set + 1);
+  bf buf "    // transactional ALU menu (+, |, max, read).\n";
+  bf buf "    action %s_add(bit<32> inc) {\n" name;
+  bf buf "        bit<32> v;\n";
+  bf buf "        %s.read(v, (bit<32>) meta.hash%d_result);\n" reg (set + 1);
+  bf buf "        v = v + inc;\n";
+  bf buf "        %s.write((bit<32>) meta.hash%d_result, v);\n" reg (set + 1);
+  bf buf "        meta.state%d_result = v;\n" (set + 1);
+  bf buf "    }\n";
+  bf buf "    action %s_bf() {\n" name;
+  bf buf "        bit<32> v;\n";
+  bf buf "        %s.read(v, (bit<32>) meta.hash%d_result);\n" reg (set + 1);
+  bf buf "        meta.state%d_result = v;  // previous bit\n" (set + 1);
+  bf buf "        %s.write((bit<32>) meta.hash%d_result, v | 1);\n" reg (set + 1);
+  bf buf "    }\n";
+  bf buf "    action %s_max(bit<32> val) {\n" name;
+  bf buf "        bit<32> v;\n";
+  bf buf "        %s.read(v, (bit<32>) meta.hash%d_result);\n" reg (set + 1);
+  bf buf "        v = (val > v) ? val : v;\n";
+  bf buf "        %s.write((bit<32>) meta.hash%d_result, v);\n" reg (set + 1);
+  bf buf "        meta.state%d_result = v;\n" (set + 1);
+  bf buf "    }\n";
+  bf buf "    action %s_pass() { meta.state%d_result = (bit<32>) meta.hash%d_result; }\n"
+    name (set + 1) (set + 1);
+  bf buf "    action %s_read() {\n" name;
+  bf buf "        bit<32> v;\n";
+  bf buf "        %s.read(v, (bit<32>) meta.hash%d_result);\n" reg (set + 1);
+  bf buf "        meta.state%d_result = v;\n" (set + 1);
+  bf buf "    }\n";
+  bf buf "    table %s {\n" name;
+  bf buf "        key = { meta.class_id : exact; }\n";
+  bf buf "        actions = { %s_add; %s_bf; %s_max; %s_pass; %s_read; NoAction; }\n" name name name name name;
+  bf buf "        size = %d;\n" layout.rules_per_table;
+  bf buf "        default_action = NoAction();\n    }\n\n"
+
+let emit_r_table buf ~stage ~set layout =
+  let name = table_name ~stage ~kind:Newton_dataplane.Module_cost.R ~set in
+  bf buf "    // R (result process), stage %d, set %d: ternary match over the\n" stage (set + 1);
+  bf buf "    // state result; merge into the global result, gate, report.\n";
+  bf buf "    action %s_set_global()  { meta.global_result = (bit<16>) meta.state%d_result; }\n" name (set + 1);
+  bf buf "    action %s_min_global()  {\n" name;
+  bf buf "        meta.global_result = (meta.global_result < (bit<16>) meta.state%d_result)\n" (set + 1);
+  bf buf "            ? meta.global_result : (bit<16>) meta.state%d_result;\n    }\n" (set + 1);
+  bf buf "    action %s_sub_global()  { meta.global_result = meta.global_result - (bit<16>) meta.state%d_result; }\n" name (set + 1);
+  bf buf "    action %s_stop()        { meta.query_active = 0; }\n" name;
+  bf buf "    action %s_report()      { meta.report = 1; clone(CloneType.I2E, 250); }\n" name;
+  bf buf "    table %s {\n" name;
+  bf buf "        key = {\n";
+  bf buf "            meta.class_id       : exact;\n";
+  bf buf "            meta.state%d_result : ternary;\n" (set + 1);
+  bf buf "            meta.global_result  : range;\n";
+  bf buf "        }\n";
+  bf buf "        actions = { %s_set_global; %s_min_global; %s_sub_global; %s_stop; %s_report; NoAction; }\n"
+    name name name name name;
+  bf buf "        size = %d;\n" layout.rules_per_table;
+  bf buf "        default_action = NoAction();\n    }\n\n"
+
+let emit_registers buf layout =
+  bf buf "    // State-bank register arrays, one per stage and metadata set.\n";
+  for stage = 0 to layout.stages - 1 do
+    for set = 0 to 1 do
+      bf buf "    register<bit<32>>(%d) %s;\n" layout.registers
+        (register_name ~stage ~set)
+    done
+  done;
+  bf buf "\n"
+
+let emit_fin_table buf =
+  bf buf {|    // newton_fin: snapshot the result sets into the SP header for the
+    // next Newton hop; the last hop invalidates it instead.
+    action sp_emit() {
+        hdr.sp.setValid();
+        hdr.sp.hash1  = meta.hash1_result;
+        hdr.sp.state1 = (bit<24>) meta.state1_result;
+        hdr.sp.hash2  = meta.hash2_result;
+        hdr.sp.state2 = (bit<24>) meta.state2_result;
+        hdr.sp.global_result = meta.global_result;
+        hdr.ethernet.ether_type = 0x88B5;
+    }
+    action sp_strip() {
+        hdr.sp.setInvalid();
+        hdr.ethernet.ether_type = 0x0800;
+    }
+    table newton_fin {
+        key = { std_meta.egress_spec : exact; }
+        actions = { sp_emit; sp_strip; NoAction; }
+        default_action = sp_strip();
+    }
+
+|}
+
+let emit_control buf layout =
+  bf buf "// ---------------------------------------------------------------\n";
+  bf buf "// Ingress: newton_init, then the compact module layout — every\n";
+  bf buf "// stage applies K, H, S and R of both metadata sets.\n";
+  bf buf "// ---------------------------------------------------------------\n";
+  bf buf
+    "control NewtonIngress(inout headers_t hdr, inout metadata_t meta,\n\
+    \                      inout standard_metadata_t std_meta) {\n";
+  emit_registers buf layout;
+  emit_init_table buf layout;
+  for stage = 0 to layout.stages - 1 do
+    for set = 0 to 1 do
+      emit_k_table buf ~stage ~set layout;
+      emit_h_table buf ~stage ~set layout;
+      emit_s_table buf ~stage ~set layout;
+      emit_r_table buf ~stage ~set layout
+    done
+  done;
+  emit_fin_table buf;
+  bf buf "    apply {\n";
+  bf buf "        newton_init.apply();\n";
+  bf buf "        if (meta.query_active == 1) {\n";
+  for stage = 0 to layout.stages - 1 do
+    bf buf "            // ---- physical stage %d ----\n" stage;
+    for set = 0 to 1 do
+      List.iter
+        (fun kind ->
+          bf buf "            %s.apply();\n" (table_name ~stage ~kind ~set))
+        Newton_dataplane.Module_cost.all_kinds
+    done
+  done;
+  bf buf "            newton_fin.apply();\n";
+  bf buf "        }\n";
+  bf buf "    }\n}\n\n"
+
+let emit_boilerplate buf =
+  bf buf {|control NewtonEgress(inout headers_t hdr, inout metadata_t meta,
+                     inout standard_metadata_t std_meta) {
+    apply { }
+}
+
+control NewtonVerifyChecksum(inout headers_t hdr, inout metadata_t meta) {
+    apply { }
+}
+control NewtonComputeChecksum(inout headers_t hdr, inout metadata_t meta) {
+    apply { }
+}
+
+control NewtonDeparser(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.sp);
+        pkt.emit(hdr.ipv4);
+        pkt.emit(hdr.tcp);
+        pkt.emit(hdr.udp);
+        pkt.emit(hdr.dns);
+    }
+}
+
+V1Switch(NewtonParser(), NewtonVerifyChecksum(), NewtonIngress(),
+         NewtonEgress(), NewtonComputeChecksum(), NewtonDeparser()) main;
+|}
+
+(** Emit the complete P4₁₆ program for a module layout. *)
+let program ?(layout = default_layout) () =
+  if layout.stages <= 0 || layout.registers <= 0 || layout.rules_per_table <= 0 then
+    invalid_arg "Emit.program: layout sizes must be positive";
+  let buf = Buffer.create (1 lsl 16) in
+  bf buf "// Newton module layout — generated; do not edit.\n";
+  bf buf "// stages=%d registers/array=%d rules/table=%d\n" layout.stages
+    layout.registers layout.rules_per_table;
+  bf buf "#include <core.p4>\n#include <v1model.p4>\n\n";
+  emit_headers buf;
+  emit_metadata buf;
+  emit_parser buf;
+  emit_control buf layout;
+  emit_boilerplate buf;
+  Buffer.contents buf

@@ -1,0 +1,27 @@
+(** P4₁₆ program generation for the Newton module layout — the one-time
+    program loaded at initialization; everything afterwards is table
+    rules ({!Rules}). Targets v1model for readability/portability. *)
+
+(** Layout parameters of the emitted pipeline. *)
+type layout = {
+  stages : int;           (** stages carrying Newton modules *)
+  registers : int;        (** registers per state-bank array *)
+  rules_per_table : int;  (** capacity of each module table *)
+}
+
+val default_layout : layout
+
+(** EtherType carrying the SP header between Newton hops. *)
+val sp_ethertype : int
+
+(** Stable table naming scheme shared with {!Rules}. *)
+val table_name : stage:int -> kind:Newton_dataplane.Module_cost.kind -> set:int -> string
+
+val register_name : stage:int -> set:int -> string
+
+(** Metadata field name of a (set, global field) operation key. *)
+val key_field : set:int -> Newton_packet.Field.t -> string
+
+(** Emit the complete program.
+    @raise Invalid_argument on non-positive layout sizes. *)
+val program : ?layout:layout -> unit -> string

@@ -1,0 +1,202 @@
+(** Runtime table-rule generation: translate a compiled query into the
+    control-plane entries that configure the emitted P4 program
+    ({!Emit}).  This is what the Newton controller pushes through the
+    switch driver instead of reloading a program — the essence of the
+    paper's contribution.
+
+    Entries are a typed representation plus a JSON rendering compatible
+    with simple_switch_CLI-style tooling.  Compound R configurations
+    (merge + guard + report in one rule) are emitted as a single entry
+    whose action is the R table's dominant behaviour with the rest
+    carried in parameters, mirroring how the extended R module of §4.1
+    packs them into one rule. *)
+
+open Newton_packet
+open Newton_compiler
+
+type mtch =
+  | M_exact of string * int
+  | M_ternary of string * int * int (* field, value, mask *)
+  | M_range of string * int * int   (* field, lo, hi *)
+
+type entry = {
+  table : string;
+  matches : mtch list;
+  action : string;
+  params : (string * string) list;
+  priority : int;
+}
+
+(* ---------------- per-slot translation ---------------- *)
+
+let guard_to_match set = function
+  | None -> []
+  | Some (target, op, value) ->
+      let field =
+        match target with
+        | Ir.On_state -> Printf.sprintf "meta.state%d_result" (set + 1)
+        | Ir.On_g1 | Ir.On_g2 -> "meta.global_result"
+      in
+      let max16 = 0xFFFF in
+      let r lo hi = [ M_range (field, lo, hi) ] in
+      (match op with
+      | Newton_query.Ast.Eq -> [ M_ternary (field, value, max_int) ]
+      | Newton_query.Ast.Neq -> [] (* encoded via priorities: specific entry + default *)
+      | Newton_query.Ast.Gt -> r (value + 1) max16
+      | Newton_query.Ast.Ge -> r value max16
+      | Newton_query.Ast.Lt -> r 0 (value - 1)
+      | Newton_query.Ast.Le -> r 0 value)
+
+let value_src_params = function
+  | Ir.Const k -> [ ("inc", string_of_int k) ]
+  | Ir.Field_val f -> [ ("inc_from_field", Field.to_string f) ]
+
+let slot_entry ~class_id (s : Ir.slot) =
+  let table =
+    Emit.table_name ~stage:s.Ir.stage ~kind:s.Ir.kind ~set:s.Ir.meta
+  in
+  let class_match = [ M_exact ("meta.class_id", class_id) ] in
+  match s.Ir.cfg with
+  | Ir.K_cfg keys ->
+      let selected = List.map (fun (k : Newton_query.Ast.key) -> (k.field, k.mask)) keys in
+      let params =
+        List.map
+          (fun f ->
+            let mask =
+              match List.assoc_opt f selected with Some m -> m | None -> 0
+            in
+            (Printf.sprintf "m_%s" (Emit.key_field ~set:s.Ir.meta f),
+             Printf.sprintf "0x%x" mask))
+          Field.all
+      in
+      { table; matches = class_match; action = table ^ "_select"; params;
+        priority = 1 }
+  | Ir.H_cfg { mode = `Hash seed; range } ->
+      { table; matches = class_match; action = table ^ "_hash";
+        params = [ ("range_mask", Printf.sprintf "0x%x" (range - 1));
+                   ("seed", string_of_int seed) ];
+        priority = 1 }
+  | Ir.H_cfg { mode = `Direct; _ } ->
+      { table; matches = class_match; action = table ^ "_direct"; params = [];
+        priority = 1 }
+  | Ir.S_cfg { op = Ir.S_cm src; _ } ->
+      { table; matches = class_match; action = table ^ "_add";
+        params = value_src_params src; priority = 1 }
+  | Ir.S_cfg { op = Ir.S_max src; _ } ->
+      { table; matches = class_match; action = table ^ "_max";
+        params = value_src_params src; priority = 1 }
+  | Ir.S_cfg { op = Ir.S_bf; _ } ->
+      { table; matches = class_match; action = table ^ "_bf"; params = [];
+        priority = 1 }
+  | Ir.S_cfg { op = Ir.S_pass; _ } ->
+      { table; matches = class_match; action = table ^ "_pass"; params = [];
+        priority = 1 }
+  | Ir.S_cfg { op = Ir.S_read { ar_branch; ar_prim; ar_suite }; _ } ->
+      { table; matches = class_match; action = table ^ "_read";
+        params =
+          [ ("array", Printf.sprintf "b%d_p%d_s%d" ar_branch ar_prim ar_suite) ];
+        priority = 1 }
+  | Ir.R_cfg { merge; guard; report; combine } ->
+      let action, action_params =
+        if report then (table ^ "_report", [])
+        else
+          match merge with
+          | Some (_, Ir.M_set) -> (table ^ "_set_global", [])
+          | Some (_, Ir.M_min) -> (table ^ "_min_global", [])
+          | Some (_, Ir.M_max) -> (table ^ "_max_global", [])
+          | Some (_, Ir.M_add) -> (table ^ "_add_global", [])
+          | Some (_, Ir.M_sub) -> (table ^ "_sub_global", [])
+          | None -> ("NoAction", [])
+      in
+      let params =
+        action_params
+        @ (match merge with
+          | Some (acc, op) when report ->
+              [ ("merge",
+                 Printf.sprintf "%s:%s"
+                   (match acc with Ir.G1 -> "g1" | Ir.G2 -> "g2")
+                   (match op with
+                   | Ir.M_set -> "set" | Ir.M_min -> "min" | Ir.M_max -> "max"
+                   | Ir.M_add -> "add" | Ir.M_sub -> "sub")) ]
+          | _ -> [])
+        @ (match combine with
+          | Some Ir.M_sub -> [ ("combine", "sub") ]
+          | Some Ir.M_min -> [ ("combine", "min") ]
+          | Some _ -> [ ("combine", "other") ]
+          | None -> [])
+      in
+      { table;
+        matches = class_match @ guard_to_match s.Ir.meta guard;
+        action; params; priority = 10 }
+
+let init_entry ~class_id (e : Ir.init_entry) =
+  let field_name f =
+    match f with
+    | Field.Src_ip -> "hdr.ipv4.src_addr"
+    | Field.Dst_ip -> "hdr.ipv4.dst_addr"
+    | Field.Proto -> "hdr.ipv4.protocol"
+    | Field.Src_port -> "hdr.tcp.src_port"
+    | Field.Dst_port -> "hdr.tcp.dst_port"
+    | Field.Tcp_flags -> "hdr.tcp.flags"
+    | _ -> "hdr.unknown"
+  in
+  {
+    table = "newton_init";
+    matches =
+      List.map
+        (fun (f, v, m) -> M_ternary (field_name f, v, m))
+        e.Ir.ie_matches;
+    action = "set_class";
+    params = [ ("class_id", string_of_int class_id) ];
+    priority = 10;
+  }
+
+(** All runtime entries configuring [compiled] under the given traffic
+    class: one [newton_init] entry per branch plus one entry per module
+    slot.  [class_id] is controller-assigned (branch b gets
+    [class_id + b]). *)
+let entries ?(class_id = 1) (compiled : Compose.t) =
+  let inits =
+    Array.to_list compiled.Compose.init_entries
+    |> List.map (fun e -> init_entry ~class_id:(class_id + e.Ir.ie_branch) e)
+  in
+  let slots =
+    Array.to_list compiled.Compose.branches
+    |> List.concat_map (fun slots ->
+           List.map
+             (fun s -> slot_entry ~class_id:(class_id + s.Ir.branch) s)
+             slots)
+  in
+  inits @ slots
+
+(* ---------------- JSON rendering ---------------- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let match_to_json = function
+  | M_exact (f, v) -> Printf.sprintf {|{"field":"%s","type":"exact","value":%d}|} (escape f) v
+  | M_ternary (f, v, m) ->
+      Printf.sprintf {|{"field":"%s","type":"ternary","value":%d,"mask":%d}|} (escape f) v m
+  | M_range (f, lo, hi) ->
+      Printf.sprintf {|{"field":"%s","type":"range","lo":%d,"hi":%d}|} (escape f) lo hi
+
+let entry_to_json e =
+  Printf.sprintf
+    {|{"table":"%s","priority":%d,"match":[%s],"action":"%s","params":{%s}}|}
+    (escape e.table) e.priority
+    (String.concat "," (List.map match_to_json e.matches))
+    (escape e.action)
+    (String.concat ","
+       (List.map (fun (k, v) -> Printf.sprintf {|"%s":"%s"|} (escape k) (escape v)) e.params))
+
+(** Render entries as a JSON array (one entry per line). *)
+let to_json entries =
+  "[\n" ^ String.concat ",\n" (List.map entry_to_json entries) ^ "\n]\n"

@@ -1,0 +1,23 @@
+(** Runtime table-rule generation: the control-plane entries that
+    configure the emitted P4 program for one compiled query — what the
+    Newton controller pushes instead of reloading a program. *)
+
+type mtch =
+  | M_exact of string * int
+  | M_ternary of string * int * int (** field, value, mask *)
+  | M_range of string * int * int   (** field, lo, hi *)
+
+type entry = {
+  table : string;
+  matches : mtch list;
+  action : string;
+  params : (string * string) list;
+  priority : int;
+}
+
+(** One [newton_init] entry per branch plus one entry per module slot;
+    branch b is assigned traffic class [class_id + b]. *)
+val entries : ?class_id:int -> Newton_compiler.Compose.t -> entry list
+
+(** Render as a JSON array, one entry per line. *)
+val to_json : entry list -> string

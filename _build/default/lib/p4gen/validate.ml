@@ -1,0 +1,152 @@
+(** Deployment-artifact linting: check a rule JSON document against an
+    emitted P4 program.
+
+    A real rollout pushes two artifacts: the module-layout program
+    (loaded once) and per-query rule files (pushed at runtime).  This
+    validator catches the mismatches that brick such rollouts — rules
+    naming tables or actions the program does not declare, more entries
+    than a table's size, or malformed rule documents — without needing
+    a P4 toolchain. *)
+
+type issue =
+  | Unknown_table of string
+  | Unknown_action of { table : string; action : string }
+  | Table_overflow of { table : string; size : int; entries : int }
+  | Malformed of string
+
+let issue_to_string = function
+  | Unknown_table t -> Printf.sprintf "rule references undeclared table %s" t
+  | Unknown_action { table; action } ->
+      Printf.sprintf "table %s has no action %s" table action
+  | Table_overflow { table; size; entries } ->
+      Printf.sprintf "table %s holds %d entries but its size is %d" table entries size
+  | Malformed msg -> "malformed rule document: " ^ msg
+
+(* ---------------- program inventory ---------------- *)
+
+(** What the emitted program declares, recovered from its text. *)
+type inventory = {
+  tables : (string, int) Hashtbl.t;           (* table -> size *)
+  actions : (string, string list) Hashtbl.t;  (* table -> action names *)
+}
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+(* Scan [src] for occurrences of [keyword] followed by an identifier. *)
+let scan_decls src keyword =
+  let kw = keyword ^ " " in
+  let n = String.length src and m = String.length kw in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i + m <= n do
+    if String.sub src !i m = kw
+       && (!i = 0 || not (is_ident_char src.[!i - 1]))
+    then begin
+      let j = ref (!i + m) in
+      let start = !j in
+      while !j < n && is_ident_char src.[!j] do incr j done;
+      if !j > start then out := (String.sub src start (!j - start), !j) :: !out;
+      i := !j
+    end
+    else incr i
+  done;
+  List.rev !out
+
+(* The size of the table whose body starts at [from]: look for
+   "size = N" between this declaration and the next "table" keyword. *)
+let table_size src from =
+  let find_sub needle lo hi =
+    let m = String.length needle in
+    let rec go i =
+      if i + m > hi then None
+      else if String.sub src i m = needle then Some i
+      else go (i + 1)
+    in
+    go lo
+  in
+  let bound =
+    match find_sub "table " (from + 1) (String.length src) with
+    | Some i -> i
+    | None -> String.length src
+  in
+  match find_sub "size = " from bound with
+  | None -> max_int (* no explicit size: unbounded in v1model *)
+  | Some i ->
+      let j = ref (i + String.length "size = ") in
+      let start = !j in
+      while !j < String.length src && src.[!j] >= '0' && src.[!j] <= '9' do incr j done;
+      int_of_string (String.sub src start (!j - start))
+
+(** Build the table/action inventory of an emitted program. *)
+let inventory_of_program src =
+  let tables = Hashtbl.create 64 in
+  let actions = Hashtbl.create 64 in
+  let action_names = List.map fst (scan_decls src "action") in
+  List.iter
+    (fun (table, pos) ->
+      Hashtbl.replace tables table (table_size src pos);
+      (* Actions of a table: the emitted naming convention prefixes
+         module actions with the table name; newton_init/fin have fixed
+         action sets; NoAction is always available. *)
+      let mine =
+        List.filter
+          (fun a ->
+            String.length a > String.length table
+            && String.sub a 0 (String.length table) = table)
+          action_names
+      in
+      let extra =
+        match table with
+        | "newton_init" -> [ "set_class" ]
+        | "newton_fin" -> [ "sp_emit"; "sp_strip" ]
+        | _ -> []
+      in
+      Hashtbl.replace actions table (("NoAction" :: extra) @ mine))
+    (scan_decls src "table");
+  { tables; actions }
+
+(* ---------------- rule-document checking ---------------- *)
+
+(** Validate a rule JSON document (as produced by {!Rules.to_json})
+    against a program's inventory.  Returns all issues found. *)
+let check ~program ~rules_json =
+  let inv = inventory_of_program program in
+  match Newton_util.Json.of_string rules_json with
+  | exception Newton_util.Json.Parse_error { pos; msg } ->
+      [ Malformed (Printf.sprintf "JSON error at %d: %s" pos msg) ]
+  | Newton_util.Json.List entries ->
+      let counts = Hashtbl.create 32 in
+      let issues = ref [] in
+      List.iter
+        (fun entry ->
+          match
+            ( Newton_util.Json.member "table" entry,
+              Newton_util.Json.member "action" entry )
+          with
+          | Some (Newton_util.Json.String table), Some (Newton_util.Json.String action)
+            -> (
+              Hashtbl.replace counts table
+                (1 + Option.value (Hashtbl.find_opt counts table) ~default:0);
+              match Hashtbl.find_opt inv.actions table with
+              | None -> issues := Unknown_table table :: !issues
+              | Some acts ->
+                  if not (List.mem action acts) then
+                    issues := Unknown_action { table; action } :: !issues)
+          | _ -> issues := Malformed "entry lacks table/action strings" :: !issues)
+        entries;
+      Hashtbl.iter
+        (fun table entries ->
+          match Hashtbl.find_opt inv.tables table with
+          | Some size when entries > size ->
+              issues := Table_overflow { table; size; entries } :: !issues
+          | _ -> ())
+        counts;
+      List.rev !issues
+  | _ -> [ Malformed "top level is not an array" ]
+
+(** Convenience: emit a program and a query's rules, then lint them. *)
+let check_compiled ?(layout = Emit.default_layout) ?class_id compiled =
+  let program = Emit.program ~layout () in
+  let rules_json = Rules.to_json (Rules.entries ?class_id compiled) in
+  check ~program ~rules_json

@@ -1,0 +1,28 @@
+(** Deployment-artifact linting: check rule JSON against an emitted P4
+    program — undeclared tables/actions, table-size overflows, and
+    malformed documents, without a P4 toolchain. *)
+
+type issue =
+  | Unknown_table of string
+  | Unknown_action of { table : string; action : string }
+  | Table_overflow of { table : string; size : int; entries : int }
+  | Malformed of string
+
+val issue_to_string : issue -> string
+
+(** Tables (with sizes) and per-table action sets recovered from an
+    emitted program's text. *)
+type inventory = {
+  tables : (string, int) Hashtbl.t;
+  actions : (string, string list) Hashtbl.t;
+}
+
+val inventory_of_program : string -> inventory
+
+(** All issues a rule document has against a program (empty = clean). *)
+val check : program:string -> rules_json:string -> issue list
+
+(** Emit program + rules for a compiled query, then lint them. *)
+val check_compiled :
+  ?layout:Emit.layout -> ?class_id:int -> Newton_compiler.Compose.t ->
+  issue list

@@ -1,0 +1,1 @@
+lib/packet/fivetuple.ml: Field Format Hashtbl Packet Printf

@@ -1,0 +1,1 @@
+lib/packet/fivetuple.mli: Format Hashtbl Packet

@@ -1,0 +1,1 @@
+lib/packet/packet.ml: Array Field Format List Printf String

@@ -1,0 +1,1 @@
+lib/packet/sp_header.ml: Bytes Format Printf

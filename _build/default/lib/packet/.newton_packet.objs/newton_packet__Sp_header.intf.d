@@ -1,0 +1,1 @@
+lib/packet/sp_header.mli: Format

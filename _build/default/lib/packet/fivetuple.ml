@@ -1,0 +1,60 @@
+(** The classic 5-tuple flow key (src/dst IP, protocol, src/dst port).
+
+    Used by the [newton_init] classifier, the flow-level trace model, and
+    the per-flow baselines (TurboFlow, FlowRadar). *)
+
+type t = {
+  src_ip : int;
+  dst_ip : int;
+  proto : int;
+  src_port : int;
+  dst_port : int;
+}
+
+let make ~src_ip ~dst_ip ~proto ~src_port ~dst_port =
+  { src_ip; dst_ip; proto; src_port; dst_port }
+
+let of_packet p =
+  {
+    src_ip = Packet.get p Field.Src_ip;
+    dst_ip = Packet.get p Field.Dst_ip;
+    proto = Packet.get p Field.Proto;
+    src_port = Packet.get p Field.Src_port;
+    dst_port = Packet.get p Field.Dst_port;
+  }
+
+(** The flow in the opposite direction (for matching replies). *)
+let reverse t =
+  {
+    src_ip = t.dst_ip;
+    dst_ip = t.src_ip;
+    proto = t.proto;
+    src_port = t.dst_port;
+    dst_port = t.src_port;
+  }
+
+let equal a b =
+  a.src_ip = b.src_ip && a.dst_ip = b.dst_ip && a.proto = b.proto
+  && a.src_port = b.src_port && a.dst_port = b.dst_port
+
+let compare = compare
+
+let hash t =
+  (* Mix the five components; good enough for Hashtbl bucketing. *)
+  let h = ref 0x811c9dc5 in
+  let mix v = h := (!h lxor v) * 0x01000193 land max_int in
+  mix t.src_ip; mix t.dst_ip; mix t.proto; mix t.src_port; mix t.dst_port;
+  !h
+
+let to_string t =
+  Printf.sprintf "%s:%d->%s:%d/%d"
+    (Packet.ip_to_string t.src_ip) t.src_port
+    (Packet.ip_to_string t.dst_ip) t.dst_port t.proto
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,52 @@
+(** Packet representation: a timestamp plus a dense vector of global
+    header-field values (see {!Field}); allocation-free access in the
+    pipeline's hot loop. *)
+
+type t
+
+val num_fields : int
+
+(** An all-zero packet. *)
+val create : ?ts:float -> unit -> t
+
+val get : t -> Field.t -> int
+
+(** Set a field; the value is truncated to the field's width. *)
+val set : t -> Field.t -> int -> unit
+
+(** Arrival time, seconds since trace start. *)
+val ts : t -> float
+
+(** Same fields, different timestamp. *)
+val with_ts : t -> float -> t
+
+val copy : t -> t
+
+(** Construct a packet from common header values; unset fields default
+    to zero (length 64, TTL 64). *)
+val make :
+  ?ts:float -> ?src_ip:int -> ?dst_ip:int -> ?proto:int -> ?src_port:int ->
+  ?dst_port:int -> ?tcp_flags:int -> ?tcp_seq:int -> ?tcp_ack:int ->
+  ?pkt_len:int -> ?payload_len:int -> ?ttl:int -> ?dns_qr:int ->
+  ?dns_ancount:int -> ?ingress_port:int -> unit -> t
+
+val is_tcp : t -> bool
+val is_udp : t -> bool
+
+(** [has_flags p mask] — all bits of [mask] set in the TCP flags. *)
+val has_flags : t -> int -> bool
+
+(** TCP with flags exactly SYN. *)
+val is_syn : t -> bool
+
+val is_syn_ack : t -> bool
+val is_fin : t -> bool
+
+(** Dotted-quad rendering of an int-encoded IPv4. *)
+val ip_to_string : int -> string
+
+(** @raise Invalid_argument on a malformed dotted quad. *)
+val ip_of_string : string -> int
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,87 @@
+(** The Result-Snapshot (SP) header for cross-switch query execution.
+
+    CQE (§5.1 of the paper) lets one query span several switches along the
+    forwarding path.  Each Newton-enabled switch snapshots its module
+    execution results into a 12-byte header appended by [newton_fin]; the
+    next switch's parser decodes it to initialise its result sets.  The last
+    Newton switch before the destination strips the header.
+
+    Layout (12 bytes, big-endian):
+    {v
+      0..1   hash result, metadata set 1   (16 bits)
+      2..4   state result, metadata set 1  (24 bits)
+      5..6   hash result, metadata set 2   (16 bits)
+      7..9   state result, metadata set 2  (24 bits)
+      10..11 global result                 (16 bits)
+    v}
+
+    The 24-bit state results are saturated on encode: sketch counters can
+    exceed 2^24 only for flows far above any reporting threshold, so
+    saturation never changes a report decision. *)
+
+type t = {
+  hash1 : int;   (* 16 bits *)
+  state1 : int;  (* 24 bits *)
+  hash2 : int;   (* 16 bits *)
+  state2 : int;  (* 24 bits *)
+  global : int;  (* 16 bits *)
+}
+
+let size_bytes = 12
+
+(** Bandwidth overhead of SP for a given packet size, e.g.
+    [overhead_ratio ~pkt_len:1500 = 0.008] — the paper's "<1 %". *)
+let overhead_ratio ~pkt_len =
+  if pkt_len <= 0 then invalid_arg "Sp_header.overhead_ratio";
+  float_of_int size_bytes /. float_of_int pkt_len
+
+let empty = { hash1 = 0; state1 = 0; hash2 = 0; state2 = 0; global = 0 }
+
+let make ~hash1 ~state1 ~hash2 ~state2 ~global =
+  { hash1; state1; hash2; state2; global }
+
+let sat16 v = if v < 0 then 0 else if v > 0xffff then 0xffff else v
+let sat24 v = if v < 0 then 0 else if v > 0xffffff then 0xffffff else v
+
+let encode t =
+  let b = Bytes.create size_bytes in
+  let h1 = sat16 t.hash1 and s1 = sat24 t.state1 in
+  let h2 = sat16 t.hash2 and s2 = sat24 t.state2 in
+  let g = sat16 t.global in
+  Bytes.set_uint8 b 0 (h1 lsr 8);
+  Bytes.set_uint8 b 1 (h1 land 0xff);
+  Bytes.set_uint8 b 2 (s1 lsr 16);
+  Bytes.set_uint8 b 3 ((s1 lsr 8) land 0xff);
+  Bytes.set_uint8 b 4 (s1 land 0xff);
+  Bytes.set_uint8 b 5 (h2 lsr 8);
+  Bytes.set_uint8 b 6 (h2 land 0xff);
+  Bytes.set_uint8 b 7 (s2 lsr 16);
+  Bytes.set_uint8 b 8 ((s2 lsr 8) land 0xff);
+  Bytes.set_uint8 b 9 (s2 land 0xff);
+  Bytes.set_uint8 b 10 (g lsr 8);
+  Bytes.set_uint8 b 11 (g land 0xff);
+  b
+
+let decode b =
+  if Bytes.length b <> size_bytes then
+    invalid_arg
+      (Printf.sprintf "Sp_header.decode: expected %d bytes, got %d" size_bytes
+         (Bytes.length b));
+  let u8 i = Bytes.get_uint8 b i in
+  {
+    hash1 = (u8 0 lsl 8) lor u8 1;
+    state1 = (u8 2 lsl 16) lor (u8 3 lsl 8) lor u8 4;
+    hash2 = (u8 5 lsl 8) lor u8 6;
+    state2 = (u8 7 lsl 16) lor (u8 8 lsl 8) lor u8 9;
+    global = (u8 10 lsl 8) lor u8 11;
+  }
+
+let equal a b =
+  a.hash1 = b.hash1 && a.state1 = b.state1 && a.hash2 = b.hash2
+  && a.state2 = b.state2 && a.global = b.global
+
+let to_string t =
+  Printf.sprintf "SP{h1=%d s1=%d h2=%d s2=%d g=%d}" t.hash1 t.state1 t.hash2
+    t.state2 t.global
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,1 @@
+lib/query/ast.ml: Field List Newton_packet Option Printf String

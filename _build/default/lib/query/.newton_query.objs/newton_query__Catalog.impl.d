@@ -1,0 +1,1 @@
+lib/query/catalog.ml: Ast Field Newton_packet Printf

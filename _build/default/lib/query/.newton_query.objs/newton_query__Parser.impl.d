@@ -1,0 +1,1 @@
+lib/query/parser.ml: Ast Field Lexer List Newton_packet Printf String

@@ -1,0 +1,1 @@
+lib/query/printer.ml: Ast Field List Newton_packet Printf String

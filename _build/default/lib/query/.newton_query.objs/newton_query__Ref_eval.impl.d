@@ -1,0 +1,1 @@
+lib/query/ref_eval.ml: Array Ast Exact Hashtbl List Newton_packet Newton_sketch Packet Printf Report String

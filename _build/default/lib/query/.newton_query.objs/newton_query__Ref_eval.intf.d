@@ -1,0 +1,1 @@
+lib/query/ref_eval.mli: Ast Newton_packet Packet Report

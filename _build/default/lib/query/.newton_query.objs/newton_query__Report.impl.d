@@ -1,0 +1,1 @@
+lib/query/report.ml: Array Format Hashtbl List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/query/series.ml: Array Buffer Hashtbl List Option Printf Report String

@@ -1,0 +1,1 @@
+lib/query/series.mli: Report

@@ -1,0 +1,287 @@
+(** The nine evaluation queries (Table 2 of the paper).
+
+    These follow the Sonata open-source query repository the paper cites
+    [25]; thresholds are tuned to the synthetic traces' 100 ms windows so
+    injected attacks are clear positives while background traffic stays
+    below threshold. *)
+
+open Newton_packet
+open Ast
+
+let tcp = Field.Protocol.tcp
+let udp = Field.Protocol.udp
+
+(** Q1 — Monitor new TCP connections: hosts receiving many SYNs. *)
+let q1 ?(th = 30) () =
+  chain ~id:1 ~name:"new_tcp_connections"
+    ~description:"hosts receiving more than Th new TCP connections per window"
+    [
+      Filter [ field_is Field.Proto tcp; field_is Field.Tcp_flags Field.Tcp_flag.syn ];
+      Map (keys [ Field.Dst_ip ]);
+      Reduce { keys = keys [ Field.Dst_ip ]; agg = Count };
+      Filter [ result_gt th ];
+      Map (keys [ Field.Dst_ip ]);
+    ]
+
+(** Q2 — Monitor hosts under SSH brute-force attacks: many distinct
+    (source, packet-length) pairs to port 22 on one host. *)
+let q2 ?(th = 25) () =
+  chain ~id:2 ~name:"ssh_brute"
+    ~description:"hosts receiving SSH connections from many distinct sources"
+    [
+      Filter [ field_is Field.Proto tcp; field_is Field.Dst_port 22 ];
+      Map (keys [ Field.Dst_ip; Field.Src_ip; Field.Pkt_len ]);
+      Distinct (keys [ Field.Dst_ip; Field.Src_ip; Field.Pkt_len ]);
+      Map (keys [ Field.Dst_ip ]);
+      Reduce { keys = keys [ Field.Dst_ip ]; agg = Count };
+      Filter [ result_gt th ];
+      Map (keys [ Field.Dst_ip ]);
+    ]
+
+(** Q3 — Monitor super spreaders: sources contacting many distinct
+    destinations. *)
+let q3 ?(th = 60) () =
+  chain ~id:3 ~name:"super_spreader"
+    ~description:"sources contacting more than Th distinct destinations"
+    [
+      Map (keys [ Field.Src_ip; Field.Dst_ip ]);
+      Distinct (keys [ Field.Src_ip; Field.Dst_ip ]);
+      Map (keys [ Field.Src_ip ]);
+      Reduce { keys = keys [ Field.Src_ip ]; agg = Count };
+      Filter [ result_gt th ];
+      Map (keys [ Field.Src_ip ]);
+    ]
+
+(** Q4 — Monitor hosts under port scanning: one source probing many
+    distinct destination ports. *)
+let q4 ?(th = 40) () =
+  chain ~id:4 ~name:"port_scan"
+    ~description:"sources probing more than Th distinct destination ports"
+    [
+      Filter [ field_is Field.Proto tcp ];
+      Map (keys [ Field.Src_ip; Field.Dst_port ]);
+      Distinct (keys [ Field.Src_ip; Field.Dst_port ]);
+      Map (keys [ Field.Src_ip ]);
+      Reduce { keys = keys [ Field.Src_ip ]; agg = Count };
+      Filter [ result_gt th ];
+      Map (keys [ Field.Src_ip ]);
+    ]
+
+(** Q5 — Monitor hosts under UDP DDoS: destinations receiving UDP from
+    many distinct sources. *)
+let q5 ?(th = 35) () =
+  chain ~id:5 ~name:"udp_ddos"
+    ~description:"hosts receiving UDP traffic from more than Th distinct sources"
+    [
+      Filter [ field_is Field.Proto udp ];
+      Map (keys [ Field.Dst_ip; Field.Src_ip ]);
+      Distinct (keys [ Field.Dst_ip; Field.Src_ip ]);
+      Map (keys [ Field.Dst_ip ]);
+      Reduce { keys = keys [ Field.Dst_ip ]; agg = Count };
+      Filter [ result_gt th ];
+      Map (keys [ Field.Dst_ip ]);
+    ]
+
+(** Q6 — Monitor hosts under SYN-flood attacks (Fig. 6): per-host
+    #SYN minus #FIN exceeding Th — floods open connections they never
+    close. Two parallel sub-queries merged on the data plane. *)
+let q6 ?(th = 25) () =
+  make ~id:6 ~name:"syn_flood"
+    ~description:"hosts whose #SYN - #FIN exceeds Th (SYN-flood victims)"
+    ~combine:{ op = Sub; threshold = result_gt th }
+    [
+      [
+        Filter [ field_is Field.Proto tcp; field_is Field.Tcp_flags Field.Tcp_flag.syn ];
+        Map (keys [ Field.Dst_ip ]);
+        Reduce { keys = keys [ Field.Dst_ip ]; agg = Count };
+      ];
+      [
+        Filter
+          [
+            field_is Field.Proto tcp;
+            Cmp
+              {
+                field = Field.Tcp_flags;
+                mask = Field.Tcp_flag.fin;
+                op = Eq;
+                value = Field.Tcp_flag.fin;
+              };
+          ];
+        Map (keys [ Field.Dst_ip ]);
+        Reduce { keys = keys [ Field.Dst_ip ]; agg = Count };
+      ];
+    ]
+
+(** Q7 — Monitor completed TCP connections: hosts where many connections
+    both open (SYN) and close (FIN); completed ~= min(#opened, #closed). *)
+let q7 ?(th = 20) () =
+  make ~id:7 ~name:"completed_tcp"
+    ~description:"hosts completing more than Th TCP connections per window"
+    ~combine:{ op = Min; threshold = result_gt th }
+    [
+      [
+        Filter [ field_is Field.Proto tcp; field_is Field.Tcp_flags Field.Tcp_flag.syn ];
+        Map (keys [ Field.Dst_ip; Field.Src_ip; Field.Src_port ]);
+        Distinct (keys [ Field.Dst_ip; Field.Src_ip; Field.Src_port ]);
+        Map (keys [ Field.Dst_ip ]);
+        Reduce { keys = keys [ Field.Dst_ip ]; agg = Count };
+      ];
+      [
+        Filter
+          [
+            field_is Field.Proto tcp;
+            Cmp
+              {
+                field = Field.Tcp_flags;
+                mask = Field.Tcp_flag.fin;
+                op = Eq;
+                value = Field.Tcp_flag.fin;
+              };
+          ];
+        Map (keys [ Field.Dst_ip; Field.Src_ip; Field.Src_port ]);
+        Distinct (keys [ Field.Dst_ip; Field.Src_ip; Field.Src_port ]);
+        Map (keys [ Field.Dst_ip ]);
+        Reduce { keys = keys [ Field.Dst_ip ]; agg = Count };
+      ];
+    ]
+
+(** Q8 — Monitor hosts under Slowloris attacks: many connections but few
+    payload bytes.  The ratio test runs on the analyzer (the paper notes
+    some primitives stay on CPU); the data plane exports both per-host
+    aggregates. *)
+let q8 ?(th = 60) () =
+  make ~id:8 ~name:"slowloris"
+    ~description:"hosts with many connections carrying few bytes (Slowloris)"
+    ~combine:{ op = Pair; threshold = result_gt th }
+    [
+      [
+        Filter [ field_is Field.Proto tcp; field_is Field.Tcp_flags Field.Tcp_flag.syn ];
+        Map (keys [ Field.Dst_ip; Field.Src_ip; Field.Src_port ]);
+        Distinct (keys [ Field.Dst_ip; Field.Src_ip; Field.Src_port ]);
+        Map (keys [ Field.Dst_ip ]);
+        Reduce { keys = keys [ Field.Dst_ip ]; agg = Count };
+      ];
+      [
+        Filter [ field_is Field.Proto tcp ];
+        Map (keys [ Field.Dst_ip ]);
+        Reduce { keys = keys [ Field.Dst_ip ]; agg = Sum_field Field.Payload_len };
+      ];
+    ]
+
+(** Q9 — Monitor hosts that receive DNS answers but never open a TCP
+    connection afterwards (DNS-tunnelling / reflection indicator). *)
+let q9 ?(th = 1) () =
+  make ~id:9 ~name:"dns_no_tcp"
+    ~description:"hosts with DNS responses not followed by TCP connections"
+    ~combine:{ op = Sub; threshold = result_gt th }
+    [
+      [
+        Filter
+          [
+            field_is Field.Proto udp;
+            field_is Field.Src_port 53;
+            field_is Field.Dns_qr 1;
+          ];
+        Map (keys [ Field.Dst_ip ]);
+        Reduce { keys = keys [ Field.Dst_ip ]; agg = Count };
+      ];
+      [
+        Filter [ field_is Field.Proto tcp; field_is Field.Tcp_flags Field.Tcp_flag.syn ];
+        Map (keys [ Field.Src_ip ]);
+        Reduce { keys = keys [ Field.Src_ip ]; agg = Count };
+      ];
+    ]
+
+(** All nine queries with default thresholds, in paper order. *)
+let all () =
+  [ q1 (); q2 (); q3 (); q4 (); q5 (); q6 (); q7 (); q8 (); q9 () ]
+
+let by_id id =
+  match id with
+  | 1 -> q1 () | 2 -> q2 () | 3 -> q3 () | 4 -> q4 () | 5 -> q5 ()
+  | 6 -> q6 () | 7 -> q7 () | 8 -> q8 () | 9 -> q9 ()
+  | _ -> invalid_arg (Printf.sprintf "Catalog.by_id: no query Q%d" id)
+
+(* ------------------------------------------------------------------ *)
+(* Extension queries — beyond the paper's Table 2, exercising the byte
+   and maximum aggregations. *)
+
+(** Q10 — heavy hitters by volume: hosts receiving more than [th] bytes
+    per window (the traffic-engineering intent of §1). *)
+let q10 ?(th = 500_000) () =
+  chain ~id:10 ~name:"heavy_hitter_bytes"
+    ~description:"hosts receiving more than Th bytes per window"
+    [
+      Map (keys [ Field.Dst_ip ]);
+      Reduce { keys = keys [ Field.Dst_ip ]; agg = Sum_field Field.Pkt_len };
+      Filter [ result_gt th ];
+      Map (keys [ Field.Dst_ip ]);
+    ]
+
+(** Q11 — jumbo senders: sources whose largest packet exceeds [th]
+    bytes (MTU-probing / tunnelling indicator; uses the Max ALU). *)
+let q11 ?(th = 1400) () =
+  chain ~id:11 ~name:"jumbo_senders"
+    ~description:"sources sending packets larger than Th bytes"
+    [
+      Map (keys [ Field.Src_ip ]);
+      Reduce { keys = keys [ Field.Src_ip ]; agg = Max_field Field.Pkt_len };
+      Filter [ result_gt th ];
+      Map (keys [ Field.Src_ip ]);
+    ]
+
+(** Q12 — DNS amplification: hosts receiving far more DNS-response
+    bytes than they send in queries.  Both byte counts export as a
+    [Pair]; the analyzer applies the amplification-ratio intent. *)
+let q12 ?(th = 1000) () =
+  make ~id:12 ~name:"dns_amplification"
+    ~description:"hosts receiving amplified DNS response volume"
+    ~combine:{ op = Pair; threshold = result_gt th }
+    [
+      [
+        Filter [ field_is Field.Proto udp; field_is Field.Src_port 53 ];
+        Map (keys [ Field.Dst_ip ]);
+        Reduce { keys = keys [ Field.Dst_ip ]; agg = Sum_field Field.Pkt_len };
+      ];
+      [
+        Filter [ field_is Field.Proto udp; field_is Field.Dst_port 53 ];
+        Map (keys [ Field.Src_ip ]);
+        Reduce { keys = keys [ Field.Src_ip ]; agg = Sum_field Field.Pkt_len };
+      ];
+    ]
+
+(** Q13 — ICMP floods: hosts receiving ICMP above rate [th]. *)
+let q13 ?(th = 50) () =
+  chain ~id:13 ~name:"icmp_flood"
+    ~description:"hosts receiving more than Th ICMP packets per window"
+    [
+      Filter [ field_is Field.Proto Field.Protocol.icmp ];
+      Map (keys [ Field.Dst_ip ]);
+      Reduce { keys = keys [ Field.Dst_ip ]; agg = Count };
+      Filter [ result_gt th ];
+      Map (keys [ Field.Dst_ip ]);
+    ]
+
+(** Q14 — SYN-ACK reflection victims: hosts receiving far more SYN-ACKs
+    than the SYNs they sent out (spoofed-source reflection). *)
+let q14 ?(th = 30) () =
+  make ~id:14 ~name:"synack_reflection"
+    ~description:"hosts receiving unsolicited SYN-ACKs (reflection victims)"
+    ~combine:{ op = Sub; threshold = result_gt th }
+    [
+      [
+        Filter
+          [ field_is Field.Proto tcp; field_is Field.Tcp_flags Field.Tcp_flag.syn_ack ];
+        Map (keys [ Field.Dst_ip ]);
+        Reduce { keys = keys [ Field.Dst_ip ]; agg = Count };
+      ];
+      [
+        Filter
+          [ field_is Field.Proto tcp; field_is Field.Tcp_flags Field.Tcp_flag.syn ];
+        Map (keys [ Field.Src_ip ]);
+        Reduce { keys = keys [ Field.Src_ip ]; agg = Count };
+      ];
+    ]
+
+(** The extension queries (not part of the paper's evaluation set). *)
+let extras () = [ q10 (); q11 (); q12 (); q13 (); q14 () ]

@@ -1,0 +1,56 @@
+(** The nine evaluation queries of the paper's Table 2, plus extension
+    queries exercising the byte and maximum aggregations.  All
+    thresholds are per 100 ms window and overridable. *)
+
+(** Q1 — hosts receiving more than [th] new TCP connections. *)
+val q1 : ?th:int -> unit -> Ast.t
+
+(** Q2 — hosts under SSH brute-force attacks. *)
+val q2 : ?th:int -> unit -> Ast.t
+
+(** Q3 — super spreaders (sources contacting many destinations). *)
+val q3 : ?th:int -> unit -> Ast.t
+
+(** Q4 — port scanners (sources probing many destination ports). *)
+val q4 : ?th:int -> unit -> Ast.t
+
+(** Q5 — hosts under UDP DDoS (many distinct UDP sources). *)
+val q5 : ?th:int -> unit -> Ast.t
+
+(** Q6 — SYN-flood victims (#SYN − #FIN, two branches, Sub combine). *)
+val q6 : ?th:int -> unit -> Ast.t
+
+(** Q7 — hosts completing many TCP connections (Min combine). *)
+val q7 : ?th:int -> unit -> Ast.t
+
+(** Q8 — Slowloris victims (connections vs. bytes, Pair combine; the
+    ratio test runs on the analyzer). *)
+val q8 : ?th:int -> unit -> Ast.t
+
+(** Q9 — hosts with DNS responses never followed by TCP connections
+    (Sub combine). *)
+val q9 : ?th:int -> unit -> Ast.t
+
+(** The paper's nine queries, in order. *)
+val all : unit -> Ast.t list
+
+(** @raise Invalid_argument outside 1–9. *)
+val by_id : int -> Ast.t
+
+(** Q10 — byte heavy hitters (sum aggregation). *)
+val q10 : ?th:int -> unit -> Ast.t
+
+(** Q11 — jumbo senders (max aggregation). *)
+val q11 : ?th:int -> unit -> Ast.t
+
+(** Q12 — DNS amplification victims (byte Pair combine). *)
+val q12 : ?th:int -> unit -> Ast.t
+
+(** Q13 — ICMP flood victims. *)
+val q13 : ?th:int -> unit -> Ast.t
+
+(** Q14 — SYN-ACK reflection victims (Sub combine). *)
+val q14 : ?th:int -> unit -> Ast.t
+
+(** The extension queries (not part of the paper's evaluation set). *)
+val extras : unit -> Ast.t list

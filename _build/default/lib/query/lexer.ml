@@ -1,0 +1,122 @@
+(** Tokenizer for the textual query DSL (see {!Parser}). *)
+
+open Newton_packet
+
+type token =
+  | IDENT of string   (** filter, map, dip, count, sum ... *)
+  | INT of int        (** decimal or 0x hex *)
+  | IP of int         (** dotted quad, e.g. 10.0.0.1 *)
+  | LPAREN | RPAREN
+  | COMMA
+  | PIPE              (** | — primitive chaining *)
+  | PARALLEL          (** || — branch separator *)
+  | ARROW             (** => — combine clause *)
+  | AMP               (** & — bit mask *)
+  | EQ | NEQ | GT | GE | LT | LE
+  | DOT
+  | EOF
+
+exception Lex_error of { pos : int; msg : string }
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || is_digit c || c = '_'
+
+let token_to_string = function
+  | IDENT s -> s
+  | INT i -> string_of_int i
+  | IP i -> Packet.ip_to_string i
+  | LPAREN -> "(" | RPAREN -> ")" | COMMA -> "," | PIPE -> "|"
+  | PARALLEL -> "||" | ARROW -> "=>" | AMP -> "&"
+  | EQ -> "==" | NEQ -> "!=" | GT -> ">" | GE -> ">=" | LT -> "<" | LE -> "<="
+  | DOT -> "." | EOF -> "<eof>"
+
+(** Tokenize a query string. Raises {!Lex_error} on bad input. *)
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let push t = toks := t :: !toks in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '(' then (push LPAREN; incr i)
+    else if c = ')' then (push RPAREN; incr i)
+    else if c = ',' then (push COMMA; incr i)
+    else if c = '.' then (push DOT; incr i)
+    else if c = '&' then
+      if peek 1 = Some '&' then (push AMP; i := !i + 2) (* && == & for predicates *)
+      else (push AMP; incr i)
+    else if c = '|' then
+      if peek 1 = Some '|' then (push PARALLEL; i := !i + 2)
+      else (push PIPE; incr i)
+    else if c = '=' then begin
+      match peek 1 with
+      | Some '=' -> push EQ; i := !i + 2
+      | Some '>' -> push ARROW; i := !i + 2
+      | _ -> raise (Lex_error { pos = !i; msg = "expected == or =>" })
+    end
+    else if c = '!' then begin
+      if peek 1 = Some '=' then (push NEQ; i := !i + 2)
+      else raise (Lex_error { pos = !i; msg = "expected !=" })
+    end
+    else if c = '>' then
+      if peek 1 = Some '=' then (push GE; i := !i + 2) else (push GT; incr i)
+    else if c = '<' then
+      if peek 1 = Some '=' then (push LE; i := !i + 2) else (push LT; incr i)
+    else if is_digit c then begin
+      (* int, hex int, or dotted-quad IP *)
+      let start = !i in
+      let int_token text =
+        match int_of_string_opt text with
+        | Some v -> push (INT v)
+        | None -> raise (Lex_error { pos = start; msg = "integer out of range: " ^ text })
+      in
+      if c = '0' && peek 1 = Some 'x' then begin
+        i := !i + 2;
+        while !i < n && (is_digit src.[!i]
+                        || (src.[!i] >= 'a' && src.[!i] <= 'f')
+                        || (src.[!i] >= 'A' && src.[!i] <= 'F')) do incr i done;
+        int_token (String.sub src start (!i - start))
+      end
+      else begin
+        while !i < n && is_digit src.[!i] do incr i done;
+        (* lookahead for an IP: digit groups separated by dots followed by
+           another digit (a plain DOT token would be field access) *)
+        if !i < n && src.[!i] = '.' && (match peek 1 with Some d -> is_digit d | None -> false)
+        then begin
+          let j = ref !i in
+          let groups = ref 1 in
+          let ok = ref true in
+          while !ok && !groups < 4 do
+            if !j < n && src.[!j] = '.' then begin
+              incr j;
+              let s = !j in
+              while !j < n && is_digit src.[!j] do incr j done;
+              if !j = s then ok := false else incr groups
+            end
+            else ok := false
+          done;
+          if !ok && !groups = 4 then begin
+            let text = String.sub src start (!j - start) in
+            i := !j;
+            match Packet.ip_of_string text with
+            | ip -> push (IP ip)
+            | exception Invalid_argument _ ->
+                raise (Lex_error { pos = start; msg = "bad IPv4 literal " ^ text })
+          end
+          else int_token (String.sub src start (!i - start))
+        end
+        else int_token (String.sub src start (!i - start))
+      end
+    end
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      push (IDENT (String.sub src start (!i - start)))
+    end
+    else raise (Lex_error { pos = !i; msg = Printf.sprintf "unexpected character %C" c })
+  done;
+  push EOF;
+  List.rev !toks

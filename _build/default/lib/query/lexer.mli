@@ -1,0 +1,23 @@
+(** Tokenizer for the textual query DSL. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | IP of int      (** dotted-quad IPv4 literal *)
+  | LPAREN | RPAREN
+  | COMMA
+  | PIPE           (** [|] — primitive chaining *)
+  | PARALLEL       (** [||] — branch separator *)
+  | ARROW          (** [=>] — combine clause *)
+  | AMP            (** [&] and [&&] *)
+  | EQ | NEQ | GT | GE | LT | LE
+  | DOT
+  | EOF
+
+exception Lex_error of { pos : int; msg : string }
+
+val token_to_string : token -> string
+
+(** Tokenize a query string; the list ends with [EOF].
+    @raise Lex_error on unexpected characters. *)
+val tokenize : string -> token list

@@ -1,0 +1,59 @@
+(** DSL printing: render a query AST in the textual query language such
+    that {!Parser.parse} reconstructs the same structure — the inverse
+    used to display, store and exchange intents. *)
+
+open Newton_packet
+
+let key_to_dsl (k : Ast.key) =
+  if k.Ast.mask = Field.full_mask k.Ast.field then Field.to_string k.Ast.field
+  else Printf.sprintf "%s & 0x%X" (Field.to_string k.Ast.field) k.Ast.mask
+
+let cmp_to_dsl = Ast.cmp_to_string
+
+let pred_to_dsl = function
+  | Ast.Cmp { field; mask; op; value } ->
+      if mask = Field.full_mask field then
+        Printf.sprintf "%s %s %d" (Field.to_string field) (cmp_to_dsl op) value
+      else
+        Printf.sprintf "%s & 0x%X %s %d" (Field.to_string field) mask
+          (cmp_to_dsl op) value
+  | Ast.Result_cmp { op; value } ->
+      Printf.sprintf "count %s %d" (cmp_to_dsl op) value
+
+let agg_to_dsl = function
+  | Ast.Count -> "count"
+  | Ast.Sum_field f -> "sum " ^ Field.to_string f
+  | Ast.Max_field f -> "max " ^ Field.to_string f
+
+let primitive_to_dsl = function
+  | Ast.Filter preds ->
+      Printf.sprintf "filter(%s)" (String.concat ", " (List.map pred_to_dsl preds))
+  | Ast.Map keys ->
+      Printf.sprintf "map(%s)" (String.concat ", " (List.map key_to_dsl keys))
+  | Ast.Distinct keys ->
+      Printf.sprintf "distinct(%s)" (String.concat ", " (List.map key_to_dsl keys))
+  | Ast.Reduce { keys; agg } ->
+      Printf.sprintf "reduce(%s, %s)"
+        (String.concat ", " (List.map key_to_dsl keys))
+        (agg_to_dsl agg)
+
+let branch_to_dsl prims = String.concat " | " (List.map primitive_to_dsl prims)
+
+let combine_to_dsl (c : Ast.combine) =
+  let op =
+    match c.Ast.op with Ast.Sub -> "sub" | Ast.Min -> "min" | Ast.Pair -> "pair"
+  in
+  match c.Ast.threshold with
+  | Ast.Result_cmp { op = cmp; value } ->
+      Printf.sprintf "%s(count %s %d)" op (cmp_to_dsl cmp) value
+  | Ast.Cmp _ -> invalid_arg "Printer.combine_to_dsl: field threshold"
+
+(** Render a query in the textual DSL.  For any valid query,
+    [Parser.parse (to_dsl q)] reconstructs the same branches and
+    combine (ids, names and windows are metadata the text does not
+    carry). *)
+let to_dsl (q : Ast.t) =
+  let branches = String.concat " || " (List.map branch_to_dsl q.Ast.branches) in
+  match q.Ast.combine with
+  | None -> branches
+  | Some c -> branches ^ " => " ^ combine_to_dsl c

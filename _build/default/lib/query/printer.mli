@@ -1,0 +1,14 @@
+(** DSL printing — the inverse of {!Parser}: for any valid query,
+    [Parser.parse (to_dsl q)] reconstructs the same branches and
+    combine (ids, names and windows are metadata the text does not
+    carry). *)
+
+val key_to_dsl : Ast.key -> string
+val pred_to_dsl : Ast.pred -> string
+val agg_to_dsl : Ast.agg -> string
+val primitive_to_dsl : Ast.primitive -> string
+
+(** @raise Invalid_argument for a combine with a field threshold. *)
+val combine_to_dsl : Ast.combine -> string
+
+val to_dsl : Ast.t -> string

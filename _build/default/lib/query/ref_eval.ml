@@ -1,0 +1,191 @@
+(** Exact reference evaluator for queries.
+
+    Executes a query over a packet stream with unbounded exact state
+    (hashtables instead of sketches).  Its output is the {e ground truth}
+    the data-plane runtime is measured against in the accuracy experiments
+    (Fig. 14), and it doubles as the software analyzer for query parts
+    deferred to CPU.
+
+    Semantics per window (length [query.window]):
+    - [Filter]: drop packets failing any predicate; [Result_cmp] reads the
+      running aggregate of the nearest upstream stateful primitive.
+    - [Map]: project the tuple onto the given (masked) keys.
+    - [Distinct]: pass only the first packet per key per window.
+    - [Reduce]: update the per-key aggregate; downstream sees the new value.
+    - Single-branch queries report a key the first time its aggregate
+      satisfies the trailing threshold filter in a window (crossing
+      semantics — counts only grow within a window).
+    - Multi-branch queries evaluate the combine at window end over the
+      union of keys. *)
+
+open Newton_packet
+open Newton_sketch
+
+let project pkt keys =
+  Array.of_list
+    (List.map (fun (k : Ast.key) -> Packet.get pkt k.field land k.mask) keys)
+
+(* Mutable per-branch state, rebuilt each window. *)
+type branch_state = {
+  mutable distincts : Exact.Distinct.t list; (* one per Distinct, in order *)
+  mutable counters : Exact.Counter.t list;   (* one per Reduce, in order *)
+  reported : (int array, unit) Hashtbl.t;    (* keys already reported this window *)
+}
+
+let fresh_branch_state branch =
+  let distincts =
+    List.filter_map (function Ast.Distinct _ -> Some (Exact.Distinct.create ()) | _ -> None) branch
+  in
+  let counters =
+    List.filter_map (function Ast.Reduce _ -> Some (Exact.Counter.create ()) | _ -> None) branch
+  in
+  { distincts; counters; reported = Hashtbl.create 64 }
+
+type t = {
+  query : Ast.t;
+  mutable states : branch_state list;
+  mutable window : int;
+  mutable reports : Report.t list; (* reverse order *)
+}
+
+let create query =
+  if not (Ast.is_valid query) then
+    invalid_arg
+      (Printf.sprintf "Ref_eval.create: invalid query %s: %s" query.Ast.name
+         (String.concat "; " (List.map Ast.error_to_string (Ast.validate query))));
+  {
+    query;
+    states = List.map fresh_branch_state query.Ast.branches;
+    window = 0;
+    reports = [];
+  }
+
+let agg_value pkt = function
+  | Ast.Count -> 1
+  | Ast.Sum_field f | Ast.Max_field f -> Packet.get pkt f
+
+(* Run one packet through a branch. Returns (survived, keys, result). *)
+let run_branch state branch pkt =
+  let distincts = ref state.distincts in
+  let counters = ref state.counters in
+  let next l =
+    match !l with
+    | [] -> invalid_arg "Ref_eval: state list exhausted (validation bug)"
+    | x :: rest ->
+        l := rest;
+        x
+  in
+  let keys = ref [||] in
+  let result = ref 0 in
+  let rec go = function
+    | [] -> true
+    | prim :: rest -> (
+        match prim with
+        | Ast.Filter preds ->
+            let ok =
+              List.for_all
+                (function
+                  | Ast.Cmp { field; mask; op; value } ->
+                      Ast.cmp_holds op (Packet.get pkt field land mask) value
+                  | Ast.Result_cmp { op; value } -> Ast.cmp_holds op !result value)
+                preds
+            in
+            if ok then go rest else false
+        | Ast.Map ks ->
+            keys := project pkt ks;
+            go rest
+        | Ast.Distinct ks ->
+            let d = next distincts in
+            let k = project pkt ks in
+            if Exact.Distinct.test_and_set d k then false
+            else begin
+              keys := k;
+              go rest
+            end
+        | Ast.Reduce { keys = ks; agg } ->
+            let c = next counters in
+            let k = project pkt ks in
+            (match agg with
+            | Ast.Count | Ast.Sum_field _ ->
+                result := Exact.Counter.add c k (agg_value pkt agg)
+            | Ast.Max_field _ ->
+                result := Exact.Counter.merge_max c k (agg_value pkt agg));
+            keys := k;
+            go rest)
+  in
+  let survived = go branch in
+  (survived, !keys, !result)
+
+let combine_value op a b =
+  match op with
+  | Ast.Sub -> max 0 (a - b)
+  | Ast.Min -> min a b
+  | Ast.Pair -> a
+
+(* Window-end evaluation for multi-branch queries. *)
+let flush_combine t =
+  match (t.query.Ast.combine, t.states) with
+  | Some { op; threshold }, [ sa; sb ] ->
+      let counter_of s =
+        match List.rev s.counters with
+        | last :: _ -> last
+        | [] -> invalid_arg "Ref_eval: combine branch lacks a reduce"
+      in
+      let ca = counter_of sa and cb = counter_of sb in
+      Exact.Counter.fold
+        (fun k a () ->
+          let b = Exact.Counter.count cb k in
+          let v = combine_value op a b in
+          let passes =
+            match threshold with
+            | Ast.Result_cmp { op = cmp; value } -> Ast.cmp_holds cmp v value
+            | Ast.Cmp _ -> false
+          in
+          if passes then
+            let value2 = match op with Ast.Pair -> Some b | _ -> None in
+            t.reports <-
+              Report.make ~query_id:t.query.Ast.id ~window:t.window ~keys:k ~value:v
+                ~value2 ()
+              :: t.reports)
+        ca ()
+  | Some _, _ -> invalid_arg "Ref_eval: combine requires exactly two branches"
+  | None, _ -> ()
+
+let advance_window t new_window =
+  flush_combine t;
+  t.states <- List.map fresh_branch_state t.query.Ast.branches;
+  t.window <- new_window
+
+(** Feed one packet (timestamps must be non-decreasing). *)
+let feed t pkt =
+  let w = int_of_float (Packet.ts pkt /. t.query.Ast.window) in
+  if w <> t.window then advance_window t w;
+  match t.query.Ast.combine with
+  | None ->
+      let state = List.hd t.states in
+      let branch = List.hd t.query.Ast.branches in
+      let survived, keys, result = run_branch state branch pkt in
+      if survived && not (Hashtbl.mem state.reported keys) then begin
+        Hashtbl.add state.reported keys ();
+        t.reports <-
+          Report.make ~query_id:t.query.Ast.id ~window:t.window ~keys ~value:result ()
+          :: t.reports
+      end
+  | Some _ ->
+      List.iter2
+        (fun state branch -> ignore (run_branch state branch pkt))
+        t.states t.query.Ast.branches
+
+(** Finish the stream: evaluate the trailing window's combine step. *)
+let finish t =
+  flush_combine t;
+  t.states <- List.map fresh_branch_state t.query.Ast.branches
+
+let reports t = List.rev t.reports
+
+(** Convenience: evaluate [query] over a full packet array. *)
+let evaluate query packets =
+  let t = create query in
+  Array.iter (feed t) packets;
+  finish t;
+  reports t

@@ -1,0 +1,26 @@
+(** Exact reference evaluator: executes a query with unbounded exact
+    state — the ground truth for accuracy experiments and the software
+    analyzer for query parts deferred to CPU.
+
+    Single-branch queries report a key the first time its aggregate
+    satisfies the trailing threshold in a window; multi-branch queries
+    evaluate the combine at window end. *)
+
+open Newton_packet
+
+type t
+
+(** @raise Invalid_argument for a query failing {!Ast.validate}. *)
+val create : Ast.t -> t
+
+(** Feed one packet; timestamps must be non-decreasing. *)
+val feed : t -> Packet.t -> unit
+
+(** Flush the trailing window's combine step (idempotent). *)
+val finish : t -> unit
+
+(** Reports so far, in emission order. *)
+val reports : t -> Report.t list
+
+(** Evaluate a query over a whole packet array (create/feed/finish). *)
+val evaluate : Ast.t -> Packet.t array -> Report.t list

@@ -1,0 +1,53 @@
+(** Monitoring reports — what queries export to the analyzer.
+
+    A report identifies the query, the time window, the operation-key
+    values that satisfied the query intent, and the aggregate value(s)
+    behind the decision.  Both the exact reference evaluator and the
+    data-plane runtime produce this type, so results are directly
+    comparable in accuracy experiments. *)
+
+type t = {
+  query_id : int;
+  window : int;        (** window index = floor(ts / window_size) *)
+  keys : int array;    (** projected (masked) operation-key values *)
+  value : int;         (** the (combined) aggregate that crossed the intent *)
+  value2 : int option; (** second aggregate for [Pair]-combined queries *)
+}
+
+let make ?(value2 = None) ~query_id ~window ~keys ~value () =
+  { query_id; window; keys; value; value2 }
+
+let compare a b =
+  match compare a.query_id b.query_id with
+  | 0 -> (
+      match compare a.window b.window with
+      | 0 -> compare a.keys b.keys
+      | c -> c)
+  | c -> c
+
+let equal_identity a b =
+  a.query_id = b.query_id && a.window = b.window && a.keys = b.keys
+
+(** Deduplicate by (query, window, keys), keeping the first occurrence. *)
+let dedup reports =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun r ->
+      let key = (r.query_id, r.window, r.keys) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    reports
+
+(** The set of distinct key vectors reported by a query (across windows). *)
+let reported_keys reports =
+  List.sort_uniq Stdlib.compare (List.map (fun r -> r.keys) reports)
+
+let to_string t =
+  let keys = Array.to_list t.keys |> List.map string_of_int |> String.concat "," in
+  let v2 = match t.value2 with None -> "" | Some v -> Printf.sprintf " v2=%d" v in
+  Printf.sprintf "Q%d w%d keys=(%s) v=%d%s" t.query_id t.window keys t.value v2
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

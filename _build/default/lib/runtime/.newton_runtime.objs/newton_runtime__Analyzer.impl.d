@@ -1,0 +1,1 @@
+lib/runtime/analyzer.ml: Array Buffer Hashtbl List Newton_query Printf Report String

@@ -1,0 +1,1 @@
+lib/runtime/analyzer.mli: Newton_query Report

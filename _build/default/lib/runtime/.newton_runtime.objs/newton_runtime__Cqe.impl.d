@@ -1,0 +1,1 @@
+lib/runtime/cqe.ml: Ctx Engine Field Hashtbl List Newton_compiler Newton_packet Newton_query Packet Sp_header

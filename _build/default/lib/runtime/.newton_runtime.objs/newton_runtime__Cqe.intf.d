@@ -1,0 +1,1 @@
+lib/runtime/cqe.mli: Engine Newton_packet Packet

@@ -1,0 +1,1 @@
+lib/runtime/ctx.ml: Array Newton_packet Sp_header

@@ -1,0 +1,1 @@
+lib/runtime/ctx.mli: Newton_packet Sp_header

@@ -1,0 +1,1 @@
+lib/runtime/engine.ml: Alu Array Ast Compose Ctx Field Hash Hashtbl Ir List Newton_compiler Newton_dataplane Newton_packet Newton_query Newton_sketch Option Packet Printf Register_array Report

@@ -1,0 +1,1 @@
+lib/runtime/engine.mli: Compose Ctx Hashtbl Ir Newton_compiler Newton_dataplane Newton_packet Newton_query Newton_sketch Packet Report

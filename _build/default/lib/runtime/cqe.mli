@@ -1,0 +1,20 @@
+(** Cross-switch query execution (§5.1): run a packet through the
+    engines along its forwarding path, threading the execution context
+    through the 12-byte SP header between consecutive switches. *)
+
+open Newton_packet
+
+type stats = {
+  mutable sp_bytes : int;   (** SP header bytes added on the wire *)
+  mutable packets : int;
+  mutable wire_bytes : int; (** raw packet bytes, for the ratio *)
+}
+
+val create_stats : unit -> stats
+
+(** SP bytes / wire bytes. *)
+val overhead_ratio : stats -> float
+
+(** Process a packet along [engines] (path order); instances are
+    matched across switches by their controller-assigned uid. *)
+val process_path : ?stats:stats -> Engine.t list -> Packet.t -> unit

@@ -1,0 +1,55 @@
+(** Per-packet, per-query execution context.
+
+    Mirrors the PHV metadata of the compact module layout (§4.2): two
+    metadata sets — operation keys, hash result, state result — plus the
+    global result that R modules merge into.  [g2] is the second
+    accumulator combine read-backs use within a single R rule.
+
+    Cross-switch execution serialises the context into the 12-byte SP
+    header ({!Newton_packet.Sp_header}) and restores it at the next
+    Newton-enabled switch; operation keys are not carried — the next
+    switch's K modules re-select them from the packet itself. *)
+
+open Newton_packet
+
+type t = {
+  mutable op_keys : int array array; (* [2] metadata sets *)
+  mutable hash : int array;          (* [2] *)
+  mutable state : int array;         (* [2] *)
+  mutable g1 : int;
+  mutable g2 : int;
+  mutable stopped : bool;
+}
+
+let create () =
+  {
+    op_keys = [| [||]; [||] |];
+    hash = [| 0; 0 |];
+    state = [| 0; 0 |];
+    g1 = 0;
+    g2 = 0;
+    stopped = false;
+  }
+
+let reset t =
+  t.op_keys <- [| [||]; [||] |];
+  t.hash <- [| 0; 0 |];
+  t.state <- [| 0; 0 |];
+  t.g1 <- 0;
+  t.g2 <- 0;
+  t.stopped <- false
+
+(** Snapshot the context into an SP header (the [newton_fin] action). *)
+let to_sp t =
+  Sp_header.make ~hash1:t.hash.(0) ~state1:t.state.(0) ~hash2:t.hash.(1)
+    ~state2:t.state.(1) ~global:t.g1
+
+(** Restore result sets from a decoded SP header (the parser path). *)
+let of_sp sp =
+  let t = create () in
+  t.hash.(0) <- sp.Sp_header.hash1;
+  t.state.(0) <- sp.Sp_header.state1;
+  t.hash.(1) <- sp.Sp_header.hash2;
+  t.state.(1) <- sp.Sp_header.state2;
+  t.g1 <- sp.Sp_header.global;
+  t

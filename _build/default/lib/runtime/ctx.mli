@@ -1,0 +1,25 @@
+(** Per-packet, per-query execution context: the PHV metadata of the
+    compact module layout — two metadata sets (operation keys, hash
+    result, state result) plus the global-result accumulators — bridged
+    through the 12-byte SP header between switches. *)
+
+open Newton_packet
+
+type t = {
+  mutable op_keys : int array array; (** per metadata set *)
+  mutable hash : int array;
+  mutable state : int array;
+  mutable g1 : int; (** the global result *)
+  mutable g2 : int; (** second accumulator for combine read-backs *)
+  mutable stopped : bool;
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+(** Snapshot into an SP header (the [newton_fin] action); [g2] and the
+    operation keys do not cross switches. *)
+val to_sp : t -> Sp_header.t
+
+(** Restore result sets from a decoded SP header (the parser path). *)
+val of_sp : Sp_header.t -> t

@@ -1,0 +1,526 @@
+(** Per-switch query execution engine.
+
+    Holds the query instances installed on one switch — each a slice of a
+    compiled query's module chain (the whole chain for sole-switch
+    execution, a stage range for CQE) — together with the register arrays
+    their state banks own.  Packets are run through [newton_init]
+    classification and then through each matching instance's slots in
+    chain order; windowed state resets every [query.window] seconds as in
+    §6 ("values of reduce and distinct are evaluated and reset every
+    100 ms").
+
+    Stage placement governs {e which} slots a switch hosts and its
+    resource accounting; execution follows chain order, which the
+    composition's dependency constraints keep consistent with stage
+    order. *)
+
+open Newton_packet
+open Newton_sketch
+open Newton_query
+open Newton_compiler
+
+type array_key = int * int * int (* branch, prim, suite *)
+
+type instance = {
+  uid : int;                       (** controller-assigned install id *)
+  compiled : Compose.t;
+  stage_lo : int;                  (** slice bounds, inclusive *)
+  stage_hi : int;
+  slots : Ir.slot list array;      (** hosted slots per branch, chain order *)
+  arrays : (array_key, Register_array.t) Hashtbl.t;
+  reported : (int * int array, unit) Hashtbl.t; (** (window, keys) dedup *)
+  mutable rules : int;             (** table entries this slice holds *)
+  mutable window_index : int;      (** this instance's current window *)
+}
+
+type t = {
+  switch_id : int;
+  (* Mirror-session budget: reports are exported by cloning packets to
+     the analyzer; a switch mirrors at most [report_budget] packets per
+     window (None = unlimited).  Overflow reports are dropped on the
+     wire — the analyzer's dedup sees at-most-once anyway. *)
+  mutable report_budget : int option;
+  mutable budget_window : int;
+  mutable window_reports : int;
+  mutable dropped_reports : int;
+  mutable instances : instance list;
+  (* newton_init: ternary match over the 5-tuple + TCP flags (§4.1
+     "Concurrency"), dispatching packets to instance/branch chains.
+     Bounded like any hardware table. *)
+  init_table : (int * int) Newton_dataplane.Table.t; (* (uid, branch) *)
+  (* table entries per physical module cell (stage, kind, set); each
+     cell is one hardware table of [Module_cost.rules_per_module]
+     capacity — this is what bounds concurrent queries. *)
+  cell_rules : (int * Newton_dataplane.Module_cost.kind * int, int) Hashtbl.t;
+  mutable reports : Report.t list; (* reverse order *)
+  mutable report_count : int;
+  mutable packets_seen : int;
+  mutable next_uid : int;
+}
+
+(** Raised when a module table cannot accept another query's rule; the
+    controller reacts by placing the query elsewhere. *)
+exception Rules_exhausted of { stage : int; kind : string }
+
+let create ~switch_id =
+  {
+    switch_id;
+    report_budget = None;
+    budget_window = -1;
+    window_reports = 0;
+    dropped_reports = 0;
+    instances = [];
+    init_table =
+      Newton_dataplane.Table.create ~capacity:1024 ~name:"newton_init"
+        ~key_width:6 ();
+    cell_rules = Hashtbl.create 64;
+    reports = [];
+    report_count = 0;
+    packets_seen = 0;
+    next_uid = 1;
+  }
+
+let switch_id t = t.switch_id
+
+(** Cap the mirror sessions: at most [n] report exports per window. *)
+let set_report_budget t n = t.report_budget <- n
+
+(** Reports dropped because the mirror budget was exhausted. *)
+let dropped_reports t = t.dropped_reports
+let instances t = t.instances
+let reports t = List.rev t.reports
+let report_count t = t.report_count
+let packets_seen t = t.packets_seen
+
+(** Install a slice [stage_lo, stage_hi] of a compiled query.  Returns
+    the instance uid and the number of table entries installed (module
+    rules in the slice + the newton_init entries when stage 0 is here). *)
+let install t ?uid ?(stage_lo = 0) ?(stage_hi = max_int) compiled =
+  let slots =
+    Array.map
+      (fun branch_slots ->
+        let in_range s = s.Ir.stage >= stage_lo && s.Ir.stage <= stage_hi in
+        if stage_lo = 0 then List.filter in_range branch_slots
+        else begin
+          (* Shadow replication for CQE slices: operation keys and
+             per-suite hash results do not cross switches (the 12-byte SP
+             header only carries one hash/state per metadata set and the
+             global result), so a non-first slice re-installs the
+             upstream K of each metadata set it uses and, for every
+             hosted state bank whose hash module lives upstream, that
+             suite's H (re-hashing locally is how a real deployment
+             co-locates each register array with its index computation). *)
+          let h_of = Hashtbl.create 8 in
+          List.iter
+            (fun s ->
+              if s.Ir.kind = Newton_dataplane.Module_cost.H && s.Ir.stage < stage_lo
+              then Hashtbl.replace h_of (s.Ir.branch, s.Ir.prim, s.Ir.suite) s)
+            branch_slots;
+          let emitted = Hashtbl.create 8 in
+          let emit acc s =
+            let key = (s.Ir.kind, s.Ir.branch, s.Ir.prim, s.Ir.suite, s.Ir.meta) in
+            if Hashtbl.mem emitted key then acc
+            else begin
+              Hashtbl.add emitted key ();
+              s :: acc
+            end
+          in
+          (* Chain-latest K per metadata set, hosted or upstream: a
+             slot needing keys shadows exactly the K whose selection is
+             in effect at its chain position. *)
+          let last_k = [| None; None |] in
+          let acc =
+            List.fold_left
+              (fun acc s ->
+                if s.Ir.kind = Newton_dataplane.Module_cost.K then
+                  last_k.(s.Ir.meta) <- Some s;
+                if not (in_range s) then acc
+                else
+                  let needs_keys =
+                    match (s.Ir.kind, s.Ir.cfg) with
+                    | (Newton_dataplane.Module_cost.H | Newton_dataplane.Module_cost.S), _ ->
+                        true
+                    | Newton_dataplane.Module_cost.R, Ir.R_cfg { report = true; _ } ->
+                        (* reports carry the operation keys *)
+                        true
+                    | _ -> false
+                  in
+                  let acc =
+                    if needs_keys then
+                      match last_k.(s.Ir.meta) with
+                      | Some k -> emit acc k
+                      | None -> acc
+                    else acc
+                  in
+                  let acc =
+                    match s.Ir.kind with
+                    | Newton_dataplane.Module_cost.S -> (
+                        (* re-hash locally when the suite's H is upstream *)
+                        match
+                          Hashtbl.find_opt h_of (s.Ir.branch, s.Ir.prim, s.Ir.suite)
+                        with
+                        | Some h -> emit acc h
+                        | None -> acc)
+                    | _ -> acc
+                  in
+                  emit acc s)
+              [] branch_slots
+          in
+                    List.rev acc
+        end)
+      compiled.Compose.branches
+  in
+  let arrays = Hashtbl.create 16 in
+  Array.iter
+    (List.iter (fun s ->
+         match s.Ir.cfg with
+         | Ir.S_cfg { op = Ir.S_bf | Ir.S_cm _ | Ir.S_max _; registers } ->
+             Hashtbl.replace arrays
+               (s.Ir.branch, s.Ir.prim, s.Ir.suite)
+               (Register_array.create registers)
+         | _ -> ()))
+    slots;
+  let nrules =
+    Array.fold_left (fun acc l -> acc + List.length l) 0 slots
+    + if stage_lo = 0 then Array.length compiled.Compose.init_entries else 0
+  in
+  (* CQE slices of one deployment share a controller-assigned uid so the
+     path executor can thread one context across switches. *)
+  let uid =
+    match uid with
+    | Some u ->
+        t.next_uid <- max t.next_uid (u + 1);
+        u
+    | None ->
+        let u = t.next_uid in
+        t.next_uid <- u + 1;
+        u
+  in
+  (* Atomic per-cell rule accounting: every hosted slot is one rule in
+     the physical table of its (stage, kind, set) cell, which holds at
+     most [Module_cost.rules_per_module] rules.  Check the whole batch
+     before committing so a rejected install leaves no residue. *)
+  let increments = Hashtbl.create 32 in
+  Array.iter
+    (List.iter (fun s ->
+         let cell = (s.Ir.stage, s.Ir.kind, s.Ir.meta) in
+         Hashtbl.replace increments cell
+           (1 + Option.value (Hashtbl.find_opt increments cell) ~default:0)))
+    slots;
+  Hashtbl.iter
+    (fun ((stage, kind, _) as cell) inc ->
+      let used = Option.value (Hashtbl.find_opt t.cell_rules cell) ~default:0 in
+      if used + inc > Newton_dataplane.Module_cost.rules_per_module then
+        raise
+          (Rules_exhausted
+             { stage; kind = Newton_dataplane.Module_cost.kind_to_string kind }))
+    increments;
+  Hashtbl.iter
+    (fun cell inc ->
+      Hashtbl.replace t.cell_rules cell
+        (inc + Option.value (Hashtbl.find_opt t.cell_rules cell) ~default:0))
+    increments;
+  (* newton_init entries: ternary over (5-tuple, TCP flags). *)
+  if stage_lo = 0 then
+    Array.iteri
+      (fun b entry ->
+        let matches =
+          Array.of_list
+            (List.map
+               (fun field ->
+                 match
+                   List.find_opt
+                     (fun (f, _, _) -> Field.equal f field)
+                     entry.Ir.ie_matches
+                 with
+                 | Some (_, value, mask) -> Newton_dataplane.Table.Ternary { value; mask }
+                 | None -> Newton_dataplane.Table.Any)
+               Ir.init_fields)
+        in
+        ignore
+          (Newton_dataplane.Table.add t.init_table ~priority:uid ~matches (uid, b)))
+      compiled.Compose.init_entries;
+  let inst =
+    {
+      uid;
+      compiled;
+      stage_lo;
+      stage_hi;
+      slots;
+      arrays;
+      reported = Hashtbl.create 64;
+      rules = nrules;
+      window_index = 0;
+    }
+  in
+  t.instances <- t.instances @ [ inst ];
+  (uid, nrules)
+
+(** Remove an instance; returns how many table entries were freed, or
+    [None] if the uid is unknown. *)
+let remove t uid =
+  match List.find_opt (fun i -> i.uid = uid) t.instances with
+  | None -> None
+  | Some inst ->
+      t.instances <- List.filter (fun i -> i.uid <> uid) t.instances;
+      (* release the module-cell rules and the newton_init entries *)
+      Array.iter
+        (List.iter (fun s ->
+             let cell = (s.Ir.stage, s.Ir.kind, s.Ir.meta) in
+             match Hashtbl.find_opt t.cell_rules cell with
+             | Some n when n > 1 -> Hashtbl.replace t.cell_rules cell (n - 1)
+             | Some _ -> Hashtbl.remove t.cell_rules cell
+             | None -> ()))
+        inst.slots;
+      List.iter
+        (fun id -> ignore (Newton_dataplane.Table.remove t.init_table id))
+        (Newton_dataplane.Table.find_ids t.init_table (fun (u, _) -> u = uid));
+      Some inst.rules
+
+let find_instance t uid = List.find_opt (fun i -> i.uid = uid) t.instances
+
+let total_rules t = List.fold_left (fun acc i -> acc + i.rules) 0 t.instances
+
+(* ---------------- newton_init classification ---------------- *)
+
+let init_entry_matches pkt (e : Ir.init_entry) =
+  List.for_all
+    (fun (field, value, mask) -> Packet.get pkt field land mask = value)
+    e.Ir.ie_matches
+
+(* ---------------- slot execution ---------------- *)
+
+let project pkt keys =
+  Array.of_list
+    (List.map (fun (k : Ast.key) -> Packet.get pkt k.Ast.field land k.Ast.mask) keys)
+
+(* Direct-mode hash: single key passes through, several keys pack with
+   the same formula the compiler used for the expected constant. *)
+let direct_value keys =
+  match Array.length keys with
+  | 0 -> 0
+  | 1 -> keys.(0)
+  | _ -> Array.fold_left (fun acc v -> ((acc lsl 16) lxor v) land 0x3FFFFFFF) 0 keys
+
+let merge_value op acc v =
+  match op with
+  | Ir.M_set -> v
+  | Ir.M_min -> min acc v
+  | Ir.M_max -> max acc v
+  | Ir.M_add -> acc + v
+  | Ir.M_sub -> max 0 (acc - v)
+
+let exec_slot inst (ctx : Ctx.t) pkt (s : Ir.slot) =
+  let m = s.Ir.meta in
+  match s.Ir.cfg with
+  | Ir.K_cfg keys -> ctx.op_keys.(m) <- project pkt keys
+  | Ir.H_cfg { mode; range } ->
+      let keys = ctx.op_keys.(m) in
+      let v =
+        match mode with
+        | `Direct -> direct_value keys
+        | `Hash seed -> Hash.hash_vector ~seed keys mod range
+      in
+      ctx.hash.(m) <- v
+  | Ir.S_cfg { op; _ } -> (
+      let idx = ctx.hash.(m) in
+      match op with
+      | Ir.S_pass -> ctx.state.(m) <- idx
+      | Ir.S_bf ->
+          let arr = Hashtbl.find inst.arrays (s.Ir.branch, s.Ir.prim, s.Ir.suite) in
+          ctx.state.(m) <- Register_array.exec arr (Alu.Or 1) idx
+      | Ir.S_cm src ->
+          let v =
+            match src with Ir.Const k -> k | Ir.Field_val f -> Packet.get pkt f
+          in
+          let arr = Hashtbl.find inst.arrays (s.Ir.branch, s.Ir.prim, s.Ir.suite) in
+          ctx.state.(m) <- Register_array.exec arr (Alu.Add v) idx
+      | Ir.S_max src ->
+          let v =
+            match src with Ir.Const k -> k | Ir.Field_val f -> Packet.get pkt f
+          in
+          let arr = Hashtbl.find inst.arrays (s.Ir.branch, s.Ir.prim, s.Ir.suite) in
+          ctx.state.(m) <- Register_array.exec arr (Alu.Max v) idx
+      | Ir.S_read { ar_branch; ar_prim; ar_suite } -> (
+          (* Reads the sibling branch's array when hosted locally; a
+             remote array (CQE slicing) reads as 0 and the analyzer
+             refines — the state-dispersion limitation of §7. *)
+          match Hashtbl.find_opt inst.arrays (ar_branch, ar_prim, ar_suite) with
+          | Some arr -> ctx.state.(m) <- Register_array.get arr idx
+          | None -> ctx.state.(m) <- 0))
+  | Ir.R_cfg { merge; guard; report; combine } ->
+      (match merge with
+      | Some (acc, op) -> (
+          let v = ctx.state.(m) in
+          match acc with
+          | Ir.G1 -> ctx.g1 <- merge_value op ctx.g1 v
+          | Ir.G2 -> ctx.g2 <- merge_value op ctx.g2 v)
+      | None -> ());
+      (match combine with
+      | Some op -> ctx.g1 <- merge_value op ctx.g1 ctx.g2
+      | None -> ());
+      let passes =
+        match guard with
+        | None -> true
+        | Some (target, op, value) ->
+            let v =
+              match target with
+              | Ir.On_state -> ctx.state.(m)
+              | Ir.On_g1 -> ctx.g1
+              | Ir.On_g2 -> ctx.g2
+            in
+            Ast.cmp_holds op v value
+      in
+      ignore report;
+      if not passes then ctx.stopped <- true
+
+(* Whether an R slot requests a report (used after a non-stopped pass). *)
+let slot_reports (s : Ir.slot) =
+  match s.Ir.cfg with Ir.R_cfg { report; _ } -> report | _ -> false
+
+(* ---------------- windowing ---------------- *)
+
+(* Each instance keeps its own window clock: concurrent queries may use
+   different window lengths (Ast.window). *)
+let roll_instance_window inst now =
+  let w =
+    int_of_float (now /. inst.compiled.Compose.query.Ast.window)
+  in
+  if w <> inst.window_index then begin
+    inst.window_index <- w;
+    Hashtbl.iter (fun _ arr -> Register_array.clear arr) inst.arrays;
+    Hashtbl.reset inst.reported
+  end
+
+(* Backwards-compatible wrapper used by the path executor and the
+   controller: rolls every instance of the engine. *)
+let maybe_roll_window t now _window_size =
+  List.iter (fun inst -> roll_instance_window inst now) t.instances
+
+(* ---------------- packet processing ---------------- *)
+
+(** Process a packet through one instance, resuming from [ctx] (fresh or
+    SP-restored).  Returns the context after the slice (for [newton_fin])
+    or [None] if the packet failed classification / a guard. *)
+let process_instance t inst ?(ctx = Ctx.create ()) pkt =
+  let window = int_of_float (Packet.ts pkt /. inst.compiled.Compose.query.Ast.window) in
+  Array.iteri
+    (fun b slots ->
+      let entry = inst.compiled.Compose.init_entries.(b) in
+      if (not ctx.Ctx.stopped) && init_entry_matches pkt entry && slots <> [] then begin
+        (* Branch 0 runs on the caller's context (which CQE may have
+           restored from an SP header); other branches process disjoint
+           traffic and start fresh. *)
+        let bctx = if b = 0 then ctx else Ctx.create () in
+        let stopped = ref false in
+        List.iter
+          (fun s ->
+            if not !stopped then begin
+              exec_slot inst bctx pkt s;
+              if bctx.Ctx.stopped then stopped := true
+              else if slot_reports s then begin
+                let keys = bctx.Ctx.op_keys.(s.Ir.meta) in
+                let dedup_key = (window, keys) in
+                if not (Hashtbl.mem inst.reported dedup_key) then begin
+                  Hashtbl.add inst.reported dedup_key ();
+                  let over_budget =
+                    match t.report_budget with
+                    | Some budget ->
+                        if window <> t.budget_window then begin
+                          t.budget_window <- window;
+                          t.window_reports <- 0
+                        end;
+                        t.window_reports >= budget
+                    | None -> false
+                  in
+                  if over_budget then t.dropped_reports <- t.dropped_reports + 1
+                  else begin
+                    t.window_reports <- t.window_reports + 1;
+                    let value2 =
+                      match inst.compiled.Compose.query.Ast.combine with
+                      | Some { op = Ast.Pair; _ } -> Some bctx.Ctx.g2
+                      | _ -> None
+                    in
+                    t.reports <-
+                      Report.make ~query_id:inst.compiled.Compose.query.Ast.id
+                        ~window ~keys ~value:bctx.Ctx.g1 ~value2 ()
+                      :: t.reports;
+                    t.report_count <- t.report_count + 1
+                  end
+                end
+              end
+            end)
+          slots;
+        (* Propagate branch-0 context for CQE snapshots. *)
+        if b = 0 then ctx.Ctx.stopped <- !stopped
+      end)
+    inst.slots;
+  ctx
+
+(** Process one packet through every installed instance (device-level,
+    fresh contexts).  Window state rolls based on the packet timestamp. *)
+(* The newton_init lookup key: 5-tuple then TCP flags, matching
+   [Ir.init_fields] order. *)
+let init_key pkt =
+  Array.of_list (List.map (fun f -> Packet.get pkt f) Ir.init_fields)
+
+let process_packet t pkt =
+  t.packets_seen <- t.packets_seen + 1;
+  (* Classify once through newton_init; a packet may match several
+     concurrent queries' entries (chained queries). *)
+  let matched = Newton_dataplane.Table.lookup_all t.init_table (init_key pkt) in
+  let uids = List.sort_uniq compare (List.map fst matched) in
+  List.iter
+    (fun inst ->
+      if List.mem inst.uid uids then begin
+        roll_instance_window inst (Packet.ts pkt);
+        ignore (process_instance t inst pkt)
+      end)
+    t.instances
+
+(** Drain collected reports (e.g. per measurement interval). *)
+let drain_reports t =
+  let r = List.rev t.reports in
+  t.reports <- [];
+  r
+
+(* ---------------- observability ---------------- *)
+
+(** Per-instance runtime statistics for operator dashboards. *)
+type instance_stats = {
+  st_uid : int;
+  st_query : string;
+  st_rules : int;
+  st_stage_lo : int;
+  st_stage_hi : int;
+  st_arrays : int;            (** register arrays owned by this slice *)
+  st_registers : int;         (** registers across those arrays *)
+  st_occupancy : int;         (** non-zero registers right now *)
+  st_window : int;            (** current window index *)
+  st_reported_keys : int;     (** keys reported in the current window *)
+}
+
+let instance_stats (inst : instance) =
+  let arrays = Hashtbl.fold (fun _ a acc -> a :: acc) inst.arrays [] in
+  {
+    st_uid = inst.uid;
+    st_query = inst.compiled.Compose.query.Ast.name;
+    st_rules = inst.rules;
+    st_stage_lo = inst.stage_lo;
+    st_stage_hi = inst.stage_hi;
+    st_arrays = List.length arrays;
+    st_registers = List.fold_left (fun acc a -> acc + Register_array.size a) 0 arrays;
+    st_occupancy = List.fold_left (fun acc a -> acc + Register_array.occupancy a) 0 arrays;
+    st_window = inst.window_index;
+    st_reported_keys = Hashtbl.length inst.reported;
+  }
+
+(** Statistics for every installed instance. *)
+let stats t = List.map instance_stats t.instances
+
+let stats_to_string s =
+  Printf.sprintf
+    "#%d %-22s rules=%d stages=[%d,%s] arrays=%d regs=%d occ=%d w=%d reported=%d"
+    s.st_uid s.st_query s.st_rules s.st_stage_lo
+    (if s.st_stage_hi = max_int then "end" else string_of_int s.st_stage_hi)
+    s.st_arrays s.st_registers s.st_occupancy s.st_window s.st_reported_keys

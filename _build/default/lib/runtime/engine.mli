@@ -1,0 +1,116 @@
+(** Per-switch query execution engine.
+
+    Holds installed query instances — whole chains for sole-switch
+    execution or stage-range slices for CQE — with their register
+    arrays, a ternary [newton_init] classifier table, per-module-cell
+    rule capacity, per-instance 100 ms windows, and report
+    deduplication. *)
+
+open Newton_packet
+open Newton_query
+open Newton_compiler
+
+type array_key = int * int * int (** branch, prim, suite *)
+
+type instance = {
+  uid : int;
+  compiled : Compose.t;
+  stage_lo : int;
+  stage_hi : int;
+  slots : Ir.slot list array; (** hosted slots per branch, chain order *)
+  arrays : (array_key, Newton_sketch.Register_array.t) Hashtbl.t;
+  reported : (int * int array, unit) Hashtbl.t;
+  mutable rules : int;
+  mutable window_index : int;
+}
+
+type t = {
+  switch_id : int;
+  mutable report_budget : int option;
+  mutable budget_window : int;
+  mutable window_reports : int;
+  mutable dropped_reports : int;
+  mutable instances : instance list;
+  init_table : (int * int) Newton_dataplane.Table.t;
+  cell_rules : (int * Newton_dataplane.Module_cost.kind * int, int) Hashtbl.t;
+  mutable reports : Report.t list;
+  mutable report_count : int;
+  mutable packets_seen : int;
+  mutable next_uid : int;
+}
+
+(** Raised when a module table cannot accept another query's rule. *)
+exception Rules_exhausted of { stage : int; kind : string }
+
+val create : switch_id:int -> t
+
+val switch_id : t -> int
+
+(** Cap the mirror sessions: at most [n] report exports per window
+    ([None] = unlimited, the default).  Overflow reports are dropped on
+    the wire. *)
+val set_report_budget : t -> int option -> unit
+
+(** Reports dropped because the mirror budget was exhausted. *)
+val dropped_reports : t -> int
+val instances : t -> instance list
+
+(** Reports in emission order. *)
+val reports : t -> Report.t list
+
+val report_count : t -> int
+val packets_seen : t -> int
+
+(** Install a slice [stage_lo, stage_hi] of a compiled query (defaults:
+    the whole chain).  Non-first slices re-install shadow K/H modules
+    (keys and per-suite hashes do not cross switches).  CQE slices of
+    one deployment pass the same [uid].  Returns (uid, table entries).
+    @raise Rules_exhausted when a module cell is out of capacity; the
+    check is atomic (a rejected install leaves no residue). *)
+val install :
+  t -> ?uid:int -> ?stage_lo:int -> ?stage_hi:int -> Compose.t -> int * int
+
+(** Remove an instance, releasing its rules and classifier entries;
+    returns the freed entry count. *)
+val remove : t -> int -> int option
+
+val find_instance : t -> int -> instance option
+
+(** Monitoring table entries currently installed. *)
+val total_rules : t -> int
+
+(** Roll an instance's window if [now] crossed a boundary (resets its
+    sketch state and report dedup). *)
+val roll_instance_window : instance -> float -> unit
+
+(** Roll every instance (used by the path executor / controller). *)
+val maybe_roll_window : t -> float -> float -> unit
+
+(** Run a packet through one instance, resuming from [ctx] (fresh, or
+    SP-restored under CQE); returns the post-slice context. *)
+val process_instance : t -> instance -> ?ctx:Ctx.t -> Packet.t -> Ctx.t
+
+(** Device-level processing: classify through [newton_init], roll
+    windows, run every matching instance. *)
+val process_packet : t -> Packet.t -> unit
+
+(** Return and clear the collected reports. *)
+val drain_reports : t -> Report.t list
+
+(** Per-instance runtime statistics for operator dashboards. *)
+type instance_stats = {
+  st_uid : int;
+  st_query : string;
+  st_rules : int;
+  st_stage_lo : int;
+  st_stage_hi : int;
+  st_arrays : int;
+  st_registers : int;
+  st_occupancy : int;
+  st_window : int;
+  st_reported_keys : int;
+}
+
+val instance_stats : instance -> instance_stats
+val stats : t -> instance_stats list
+val stats_to_string : instance_stats -> string

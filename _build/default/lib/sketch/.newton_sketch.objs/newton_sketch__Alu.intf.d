@@ -1,0 +1,1 @@
+lib/sketch/alu.mli: Format

@@ -1,0 +1,1 @@
+lib/sketch/bloom.ml: Alu Array Hash Register_array

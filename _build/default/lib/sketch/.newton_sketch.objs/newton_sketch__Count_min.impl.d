@@ -1,0 +1,1 @@
+lib/sketch/count_min.ml: Alu Array Float Hash Register_array

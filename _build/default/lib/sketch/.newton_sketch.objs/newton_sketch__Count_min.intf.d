@@ -1,0 +1,1 @@
+lib/sketch/count_min.mli:

@@ -1,0 +1,1 @@
+lib/sketch/register_array.ml: Alu Array Printf

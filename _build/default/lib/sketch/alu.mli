@@ -1,0 +1,16 @@
+(** Stateful ALU operations executable over a register — the
+    transactional menu of the state bank (sufficient for Bloom filters,
+    Count-Min sketches, and running maxima). *)
+
+type t =
+  | Add of int   (** register <- register + k; returns the new value *)
+  | Or of int    (** register <- register lor k; returns the {e previous} value *)
+  | Max of int   (** register <- max register k; returns the new value *)
+  | Read         (** returns the register unchanged *)
+  | Write of int (** register <- k; returns the previous value *)
+
+(** Perform the read-modify-write at an index; returns the ALU result. *)
+val exec : t -> int array -> int -> int
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+(** Bloom filter over integer key vectors.
+
+    Newton implements the [distinct] primitive with a Bloom filter built
+    from k (hash, register-array) pairs using the [Or] ALU — the ALU
+    returns the {e previous} bit, so a packet learns in one pass whether
+    its key was already present.  This module is both the reference
+    implementation used by tests and the building block the runtime
+    assembles from S-module suites. *)
+
+type t = {
+  arrays : Register_array.t array;
+  hashes : Hash.t array;
+  mutable inserted : int;
+}
+
+(** [create ~width ~depth ~seed] — [depth] hash functions over arrays of
+    [width] bits each (modelled one bit per register). *)
+let create ~width ~depth ~seed =
+  if depth <= 0 then invalid_arg "Bloom.create: depth must be positive";
+  {
+    arrays = Array.init depth (fun _ -> Register_array.create width);
+    hashes = Array.init depth (fun i -> Hash.create ~seed:(seed + i) ~range:width);
+    inserted = 0;
+  }
+
+let width t = Register_array.size t.arrays.(0)
+let depth t = Array.length t.arrays
+let inserted t = t.inserted
+
+(** [test_and_set t keys] inserts and returns whether the key was
+    (apparently) already present — exactly the dataplane's one-pass
+    distinct check. *)
+let test_and_set t keys =
+  let was_present = ref true in
+  Array.iteri
+    (fun i arr ->
+      let idx = Hash.apply t.hashes.(i) keys in
+      let prev = Register_array.exec arr (Alu.Or 1) idx in
+      if prev = 0 then was_present := false)
+    t.arrays;
+  if not !was_present then t.inserted <- t.inserted + 1;
+  !was_present
+
+(** Pure membership test (no insertion). *)
+let mem t keys =
+  Array.for_all2
+    (fun arr h -> Register_array.get arr (Hash.apply h keys) <> 0)
+    t.arrays t.hashes
+
+let clear t =
+  Array.iter Register_array.clear t.arrays;
+  t.inserted <- 0
+
+(** Expected false-positive rate given current occupancy. *)
+let expected_fpr t =
+  let w = float_of_int (width t) in
+  let k = float_of_int (depth t) in
+  let n = float_of_int t.inserted in
+  (1.0 -. exp (-.k *. n /. w)) ** k

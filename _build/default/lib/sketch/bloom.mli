@@ -1,0 +1,27 @@
+(** Bloom filter over integer key vectors — the data-plane realisation
+    of the [distinct] primitive ([Or]-ALU rows over register arrays). *)
+
+type t
+
+(** [create ~width ~depth ~seed]: [depth] independent hash rows over
+    [width] one-bit registers each.
+    @raise Invalid_argument if [depth <= 0]. *)
+val create : width:int -> depth:int -> seed:int -> t
+
+val width : t -> int
+val depth : t -> int
+
+(** Distinct keys inserted so far (as observed, no false negatives). *)
+val inserted : t -> int
+
+(** Insert and report whether the key was (apparently) already present —
+    the data plane's one-pass distinct check. *)
+val test_and_set : t -> int array -> bool
+
+(** Pure membership test. *)
+val mem : t -> int array -> bool
+
+val clear : t -> unit
+
+(** Expected false-positive rate at the current occupancy. *)
+val expected_fpr : t -> float

@@ -1,0 +1,27 @@
+(** Count-Min sketch over integer key vectors — the data-plane
+    realisation of [reduce]'s sums ([Add]-ALU rows, min over rows).
+    Estimates never underestimate. *)
+
+type t
+
+(** @raise Invalid_argument if [depth <= 0]. *)
+val create : width:int -> depth:int -> seed:int -> t
+
+val width : t -> int
+val depth : t -> int
+
+(** Sum of all inserted counts. *)
+val total : t -> int
+
+(** Add [k] to the key's count and return the new estimate (min over
+    rows after the update — the data plane's single-pass update+read). *)
+val add : t -> int array -> int -> int
+
+(** Point estimate without updating. *)
+val estimate : t -> int array -> int
+
+val clear : t -> unit
+
+(** Standard CM bound: estimate <= truth + (e/width) * total with
+    probability 1 - (1/e)^depth. *)
+val error_bound : t -> float

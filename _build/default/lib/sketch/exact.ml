@@ -1,0 +1,64 @@
+(** Exact (oracle) counting structures for ground truth.
+
+    The accuracy experiments (Fig. 14) compare sketch answers against the
+    true per-key values; these hashtable-backed oracles provide them.  They
+    are also what the software analyzer uses for primitives deferred to
+    CPU. *)
+
+module Key = struct
+  type t = int array
+
+  let equal = ( = )
+  let hash (k : t) = Hashtbl.hash k
+end
+
+module Tbl = Hashtbl.Make (Key)
+
+(** Exact counter: key vector -> running sum. *)
+module Counter = struct
+  type t = int Tbl.t
+
+  let create () : t = Tbl.create 1024
+
+  let add t keys k =
+    let cur = Option.value (Tbl.find_opt t keys) ~default:0 in
+    let v = cur + k in
+    Tbl.replace t keys v;
+    v
+
+  (** [merge_max t keys v] keeps the running maximum instead of a sum. *)
+  let merge_max t keys v =
+    let cur = Option.value (Tbl.find_opt t keys) ~default:0 in
+    let m = max cur v in
+    Tbl.replace t keys m;
+    m
+
+  let count t keys = Option.value (Tbl.find_opt t keys) ~default:0
+  let cardinality t = Tbl.length t
+  let clear t = Tbl.reset t
+
+  let fold f t init = Tbl.fold f t init
+
+  (** Keys whose count strictly exceeds [threshold]. *)
+  let over_threshold t threshold =
+    Tbl.fold (fun k v acc -> if v > threshold then (k, v) :: acc else acc) t []
+end
+
+(** Exact distinct-set: key vector membership. *)
+module Distinct = struct
+  type t = unit Tbl.t
+
+  let create () : t = Tbl.create 1024
+
+  (** Returns whether the key was already present, then inserts. *)
+  let test_and_set t keys =
+    if Tbl.mem t keys then true
+    else begin
+      Tbl.replace t keys ();
+      false
+    end
+
+  let mem t keys = Tbl.mem t keys
+  let cardinality t = Tbl.length t
+  let clear t = Tbl.reset t
+end

@@ -1,0 +1,43 @@
+(** Seeded hash functions over integer key vectors.
+
+    Programmable switches expose a small set of configurable hash units
+    (CRC polynomials on Tofino); Newton's H module picks the algorithm and
+    output range at rule-install time.  We model a family of independent
+    hash functions indexed by [seed], built on a 64-bit mix (xxhash-style
+    avalanche), and reduce to an arbitrary power-of-two or general range. *)
+
+type t = { seed : int; range : int }
+
+(** [create ~seed ~range] — hash values fall in [0, range). *)
+let create ~seed ~range =
+  if range <= 0 then invalid_arg "Hash.create: range must be positive";
+  { seed; range }
+
+let range t = t.range
+let seed t = t.seed
+
+let mix64 h =
+  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+  let h = Int64.mul h 0xFF51AFD7ED558CCDL in
+  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+  let h = Int64.mul h 0xC4CEB9FE1A85EC53L in
+  Int64.logxor h (Int64.shift_right_logical h 33)
+
+(** Hash a single int with a seed; full 62-bit positive output. *)
+let hash_int ~seed v =
+  let h =
+    mix64 (Int64.logxor (Int64.of_int v) (Int64.mul (Int64.of_int (seed + 1)) 0x9E3779B97F4A7C15L))
+  in
+  Int64.to_int (Int64.shift_right_logical h 2)
+
+(** Hash a key vector (e.g. masked operation keys) by chaining. *)
+let hash_vector ~seed keys =
+  let acc = ref (Int64.mul (Int64.of_int (seed + 1)) 0x9E3779B97F4A7C15L) in
+  Array.iter
+    (fun k ->
+      acc := mix64 (Int64.add (Int64.logxor !acc (Int64.of_int k)) 0x632BE59BD9B4E019L))
+    keys;
+  Int64.to_int (Int64.shift_right_logical (mix64 !acc) 2)
+
+let apply t keys = hash_vector ~seed:t.seed keys mod t.range
+let apply_int t v = hash_int ~seed:t.seed v mod t.range

@@ -1,0 +1,23 @@
+(** Seeded hash functions over integer key vectors, modelling the
+    configurable hash units of a programmable switch (H module). *)
+
+type t
+
+(** [create ~seed ~range] — outputs fall in [0, range).
+    @raise Invalid_argument if [range <= 0]. *)
+val create : seed:int -> range:int -> t
+
+val range : t -> int
+val seed : t -> int
+
+(** Hash a single int with a seed; full-width positive output. *)
+val hash_int : seed:int -> int -> int
+
+(** Hash a key vector by chained mixing; order-sensitive. *)
+val hash_vector : seed:int -> int array -> int
+
+(** Apply to a key vector, reduced into [0, range). *)
+val apply : t -> int array -> int
+
+(** Apply to a single int, reduced into [0, range). *)
+val apply_int : t -> int -> int

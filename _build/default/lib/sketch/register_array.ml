@@ -1,0 +1,46 @@
+(** A register array — the stateful-memory unit of the state bank (S).
+
+    Models one SRAM register array of a programmable switch stage: a fixed
+    number of word-sized registers, each supporting one transactional ALU
+    per packet.  Windowed queries ([reduce]/[distinct] over 100 ms windows
+    in the paper) reset arrays between windows via [clear]. *)
+
+type t = {
+  size : int;
+  regs : int array;
+  mutable ops : int; (* lifetime ALU executions, for accounting *)
+}
+
+let create size =
+  if size <= 0 then invalid_arg "Register_array.create: size must be positive";
+  { size; regs = Array.make size 0; ops = 0 }
+
+let size t = t.size
+let ops t = t.ops
+
+let get t idx =
+  if idx < 0 || idx >= t.size then invalid_arg "Register_array.get: index out of range";
+  t.regs.(idx)
+
+let set t idx v =
+  if idx < 0 || idx >= t.size then invalid_arg "Register_array.set: index out of range";
+  t.regs.(idx) <- v
+
+(** Execute a stateful ALU at [idx]; returns the ALU result. *)
+let exec t alu idx =
+  if idx < 0 || idx >= t.size then
+    invalid_arg
+      (Printf.sprintf "Register_array.exec: index %d out of range [0,%d)" idx t.size);
+  t.ops <- t.ops + 1;
+  Alu.exec alu t.regs idx
+
+let clear t = Array.fill t.regs 0 t.size 0
+
+(** Number of non-zero registers (occupancy), used in accuracy analyses. *)
+let occupancy t =
+  Array.fold_left (fun acc v -> if v <> 0 then acc + 1 else acc) 0 t.regs
+
+let fold f init t = Array.fold_left f init t.regs
+
+(** SRAM footprint in bytes assuming 32-bit words, for resource accounting. *)
+let sram_bytes t = t.size * 4

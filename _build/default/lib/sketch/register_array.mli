@@ -1,0 +1,35 @@
+(** A register array — the stateful-memory unit of the state bank.
+
+    Models one SRAM register array of a programmable switch stage:
+    fixed-size, word-wide registers, one transactional ALU execution per
+    packet.  Windowed queries reset arrays via {!clear}. *)
+
+type t
+
+(** @raise Invalid_argument if the size is not positive. *)
+val create : int -> t
+
+val size : t -> int
+
+(** Lifetime count of ALU executions (for accounting). *)
+val ops : t -> int
+
+(** @raise Invalid_argument when the index is out of range. *)
+val get : t -> int -> int
+
+val set : t -> int -> int -> unit
+
+(** Execute a stateful ALU at an index; returns the ALU result.
+    @raise Invalid_argument when the index is out of range. *)
+val exec : t -> Alu.t -> int -> int
+
+(** Zero every register (window reset). *)
+val clear : t -> unit
+
+(** Number of non-zero registers. *)
+val occupancy : t -> int
+
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+
+(** SRAM footprint in bytes at 32-bit words. *)
+val sram_bytes : t -> int

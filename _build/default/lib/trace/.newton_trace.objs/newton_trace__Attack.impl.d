@@ -1,0 +1,1 @@
+lib/trace/attack.ml: Field Newton_packet Newton_util Packet Printf

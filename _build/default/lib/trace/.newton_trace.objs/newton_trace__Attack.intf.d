@@ -1,0 +1,1 @@
+lib/trace/attack.mli: Newton_packet Newton_util Packet

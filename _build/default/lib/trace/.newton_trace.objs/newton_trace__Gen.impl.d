@@ -1,0 +1,1 @@
+lib/trace/gen.ml: Array Attack Field Float List Newton_packet Newton_util Packet Profile

@@ -1,0 +1,1 @@
+lib/trace/gen.mli: Attack Newton_packet Packet Profile

@@ -1,0 +1,1 @@
+lib/trace/trace_io.ml: Array Buffer Bytes Field Fun Gen Int32 Int64 List Newton_packet Packet Printf Profile String

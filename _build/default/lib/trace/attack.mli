@@ -1,0 +1,32 @@
+(** Attack traffic injectors: one per detection intent of the paper's
+    Table 2 queries, so every query has ground-truth positives. *)
+
+open Newton_packet
+
+type t =
+  | Syn_flood of { victim : int; attackers : int; syns_per_attacker : int }
+  | Port_scan of { scanner : int; victim : int; ports : int }
+  | Super_spreader of { source : int; fanout : int }
+  | Udp_ddos of { victim : int; attackers : int; pkts_per_attacker : int }
+  | Ssh_brute of { victim : int; attackers : int; attempts_each : int }
+  | Slowloris of { victim : int; conns : int }
+  | Dns_orphan of { resolver : int; victims : int }
+  | Icmp_flood of { victim : int; attackers : int; pkts_per_attacker : int }
+  | Reflection of { victim : int; reflectors : int; pkts_each : int }
+
+(** The IP a correct detector should report. *)
+val reported_host : t -> int
+
+val to_string : t -> string
+
+(** Attack infrastructure addresses live in 10.200.0.0/16, disjoint
+    from background hosts. *)
+val host_of : int -> int
+
+(** Generate the attack's packets with timestamps uniform over
+    [0, duration); unsorted (the trace builder sorts globally). *)
+val generate : Newton_util.Prng.t -> duration:float -> t -> Packet.t list
+
+(** One of each attack, sized so every catalog query has clear
+    positives in each 100 ms window of a 1-second trace. *)
+val default_suite : t list

@@ -1,0 +1,76 @@
+(** Trace profiles — the synthetic stand-ins for the CAIDA and MAWI traces.
+
+    The paper evaluates on one CAIDA (Chicago 2014) and one MAWI trace.
+    Neither is redistributable, so we model their statistically relevant
+    properties: flow-count scale, Zipfian flow-size skew, protocol mix and
+    mean flow length.  The evaluation metrics we reproduce (monitoring
+    messages per packet, sketch accuracy vs. memory) depend on exactly
+    these properties, not on payload bytes.
+
+    Profile parameters follow published characterisations: CAIDA backbone
+    traces are TCP-dominated (~83 %) with heavy-tailed flow sizes; MAWI
+    transit traces carry more UDP/DNS and shorter flows. *)
+
+type t = {
+  name : string;
+  flows : int;            (** number of background flows *)
+  zipf_exponent : float;  (** skew of flow-popularity distribution *)
+  duration : float;       (** trace duration in seconds *)
+  tcp_fraction : float;   (** fraction of flows that are TCP *)
+  dns_fraction : float;   (** fraction of UDP flows that are DNS (port 53) *)
+  mean_flow_pkts : float; (** mean packets per flow (Pareto-distributed) *)
+  pareto_alpha : float;   (** flow-size tail index; smaller = heavier tail *)
+  hosts : int;            (** size of the address pool *)
+  complete_fraction : float; (** TCP flows that finish the FIN handshake *)
+  burstiness : float;     (** 0 = flow arrivals uniform over the trace;
+                              towards 1, arrivals concentrate into
+                              on-periods (self-similar-ish load) *)
+}
+
+let caida_like =
+  {
+    name = "caida-like";
+    flows = 20_000;
+    zipf_exponent = 1.1;
+    duration = 1.0;
+    tcp_fraction = 0.83;
+    dns_fraction = 0.25;
+    mean_flow_pkts = 12.0;
+    pareto_alpha = 1.3;
+    hosts = 8_192;
+    complete_fraction = 0.85;
+    burstiness = 0.0;
+  }
+
+let mawi_like =
+  {
+    name = "mawi-like";
+    flows = 20_000;
+    zipf_exponent = 0.9;
+    duration = 1.0;
+    tcp_fraction = 0.62;
+    dns_fraction = 0.55;
+    mean_flow_pkts = 6.0;
+    pareto_alpha = 1.6;
+    hosts = 12_288;
+    complete_fraction = 0.70;
+    burstiness = 0.0;
+  }
+
+(** Scale the flow count (and address pool) of a profile, keeping the
+    distributional shape; used to vary traffic volume in benchmarks. *)
+let scale t factor =
+  {
+    t with
+    flows = max 1 (int_of_float (float_of_int t.flows *. factor));
+    hosts = max 16 (int_of_float (float_of_int t.hosts *. factor));
+  }
+
+let with_flows t flows = { t with flows }
+
+(** Set the arrival burstiness, clamped to [0, 0.95]. *)
+let with_burstiness t b = { t with burstiness = Float.max 0.0 (Float.min 0.95 b) }
+
+let to_string t =
+  Printf.sprintf "%s(flows=%d, tcp=%.0f%%, mean_pkts=%.1f)" t.name t.flows
+    (100.0 *. t.tcp_fraction) t.mean_flow_pkts

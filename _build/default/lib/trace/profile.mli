@@ -1,0 +1,33 @@
+(** Trace profiles — synthetic stand-ins for the CAIDA and MAWI traces,
+    modelling the statistically relevant properties (flow-size skew,
+    protocol mix, flow lengths) the evaluation metrics depend on. *)
+
+type t = {
+  name : string;
+  flows : int;            (** number of background flows *)
+  zipf_exponent : float;  (** flow-popularity skew *)
+  duration : float;       (** trace duration, seconds *)
+  tcp_fraction : float;   (** fraction of flows that are TCP *)
+  dns_fraction : float;   (** fraction of UDP flows that are DNS *)
+  mean_flow_pkts : float; (** mean packets per flow (Pareto) *)
+  pareto_alpha : float;   (** flow-size tail index *)
+  hosts : int;            (** address-pool size *)
+  complete_fraction : float; (** TCP flows finishing the FIN handshake *)
+  burstiness : float;     (** 0 = uniform flow arrivals; towards 1,
+                              arrivals concentrate into on-periods *)
+}
+
+(** TCP-dominated backbone mix. *)
+val caida_like : t
+
+(** DNS/UDP-heavier transit mix with shorter flows. *)
+val mawi_like : t
+
+(** Scale flows and hosts, keeping the distributional shape. *)
+val scale : t -> float -> t
+
+val with_flows : t -> int -> t
+
+(** Set arrival burstiness, clamped to [0, 0.95]. *)
+val with_burstiness : t -> float -> t
+val to_string : t -> string

@@ -1,0 +1,81 @@
+(** Trace serialization: save generated traces to disk and replay them
+    later, so experiments can share the exact same packet stream across
+    processes (the role pcap files play for the real system).
+
+    Format (little-endian):
+    {v
+      magic   "NTRC"            4 bytes
+      version u8                currently 1
+      name    u16 len + bytes   profile name
+      count   u32               number of packets
+      packets count * (f64 ts + Field.count * u32 fields)
+    v} *)
+
+open Newton_packet
+
+let magic = "NTRC"
+let version = 1
+
+exception Format_error of string
+
+let save (trace : Gen.t) path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let buf = Buffer.create (1 lsl 16) in
+      Buffer.add_string buf magic;
+      Buffer.add_uint8 buf version;
+      let name = (Gen.profile trace).Profile.name in
+      Buffer.add_uint16_le buf (String.length name);
+      Buffer.add_string buf name;
+      Buffer.add_int32_le buf (Int32.of_int (Gen.length trace));
+      Gen.iter
+        (fun p ->
+          Buffer.add_int64_le buf (Int64.bits_of_float (Packet.ts p));
+          List.iter
+            (fun f -> Buffer.add_int32_le buf (Int32.of_int (Packet.get p f)))
+            Field.all;
+          if Buffer.length buf > 1 lsl 20 then begin
+            Buffer.output_buffer oc buf;
+            Buffer.clear buf
+          end)
+        trace;
+      Buffer.output_buffer oc buf)
+
+let read_exactly ic n =
+  let b = Bytes.create n in
+  really_input ic b 0 n;
+  b
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      (try
+         let m = really_input_string ic 4 in
+         if m <> magic then raise (Format_error ("bad magic " ^ m))
+       with End_of_file -> raise (Format_error "truncated header"));
+      let v = input_byte ic in
+      if v <> version then
+        raise (Format_error (Printf.sprintf "unsupported version %d" v));
+      let name_len = Bytes.get_uint16_le (read_exactly ic 2) 0 in
+      let name = really_input_string ic name_len in
+      let count = Int32.to_int (Bytes.get_int32_le (read_exactly ic 4) 0) in
+      if count < 0 then raise (Format_error "negative packet count");
+      let record_bytes = 8 + (Field.count * 4) in
+      let packets =
+        try
+          Array.init count (fun _ ->
+              let b = read_exactly ic record_bytes in
+              let ts = Int64.float_of_bits (Bytes.get_int64_le b 0) in
+              let p = Packet.create ~ts () in
+              List.iteri
+                (fun i f ->
+                  Packet.set p f (Int32.to_int (Bytes.get_int32_le b (8 + (i * 4)))))
+                Field.all;
+              p)
+        with End_of_file -> raise (Format_error "truncated packet data")
+      in
+      Gen.of_packets ~name:("loaded:" ^ name) packets)

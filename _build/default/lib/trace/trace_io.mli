@@ -1,0 +1,12 @@
+(** Trace serialization: save generated traces and replay them later —
+    the role pcap files play for the real system. *)
+
+exception Format_error of string
+
+(** Write a trace to a file (binary, versioned). *)
+val save : Gen.t -> string -> unit
+
+(** Load a trace saved with {!save}; the profile name gains a
+    ["loaded:"] prefix.
+    @raise Format_error on bad magic, version, or truncation. *)
+val load : string -> Gen.t

@@ -1,0 +1,27 @@
+(** A minimal JSON implementation (strict RFC 8259 subset: objects,
+    arrays, strings with common escapes, ints/floats, booleans, null). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of { pos : int; msg : string }
+
+(** Compact rendering (no insignificant whitespace). *)
+val to_string : t -> string
+
+(** Parse a complete document.
+    @raise Parse_error on malformed input or trailing garbage. *)
+val of_string : string -> t
+
+(** Object member lookup ([None] on non-objects too). *)
+val member : string -> t -> t option
+
+val to_list : t -> t list option
+val to_string_opt : t -> string option
+val to_int_opt : t -> int option

@@ -1,0 +1,82 @@
+(** Deterministic pseudo-random number generation.
+
+    Every stochastic component of the reproduction (trace generation, hash
+    seeds, failure injection) draws from an explicit [t] so that experiments
+    are reproducible bit-for-bit given a seed.  The core generator is
+    SplitMix64, which is fast, passes BigCrush, and splits cleanly into
+    independent streams. *)
+
+type t = { mutable state : int64 }
+
+let create ?(seed = 0x9E3779B97F4A7C15L) () = { state = seed }
+
+let of_int seed = { state = Int64.of_int seed }
+
+(* SplitMix64 step: state += golden gamma; output = mix(state). *)
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** [split t] returns a new generator whose stream is statistically
+    independent of [t]'s subsequent outputs. *)
+let split t =
+  let seed = next_int64 t in
+  { state = Int64.logxor seed 0x2545F4914F6CDD1DL }
+
+(** Non-negative int uniform over the full 62-bit range. *)
+let next_int t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+(** [int t bound] is uniform in [0, bound). Raises if [bound <= 0]. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  next_int t mod bound
+
+(** Uniform float in [0, 1). *)
+let float t =
+  let bits = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int bits /. 9007199254740992.0 (* 2^53 *)
+
+(** Uniform float in [0, hi). *)
+let float_range t hi = float t *. hi
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(** Bernoulli trial with success probability [p]. *)
+let bernoulli t p = float t < p
+
+(** Exponential variate with rate [lambda] (mean [1/lambda]). *)
+let exponential t lambda =
+  if lambda <= 0.0 then invalid_arg "Prng.exponential: lambda must be positive";
+  -.log (1.0 -. float t) /. lambda
+
+(** Geometric: number of failures before first success, p in (0,1]. *)
+let geometric t p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Prng.geometric: p out of range";
+  if p >= 1.0 then 0
+  else
+    let u = float t in
+    int_of_float (Float.round (log (1.0 -. u) /. log (1.0 -. p)))
+
+(** Pareto variate with shape [alpha] and scale [xm]. Heavy-tailed flow
+    sizes in the trace generator use this. *)
+let pareto t ~alpha ~xm =
+  let u = float t in
+  xm /. ((1.0 -. u) ** (1.0 /. alpha))
+
+(** Fisher-Yates shuffle in place. *)
+let shuffle t arr =
+  let n = Array.length arr in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+(** Pick a uniformly random element of a non-empty array. *)
+let choice t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.choice: empty array";
+  arr.(int t (Array.length arr))

@@ -1,0 +1,47 @@
+(** Zipf-distributed sampling over ranks [1..n].
+
+    Internet flow popularity is famously Zipfian; the CAIDA/MAWI trace
+    substitutes in [Newton_trace] draw flow ranks from this sampler.  We
+    precompute the normalised CDF once and sample by binary search, so each
+    draw is O(log n). *)
+
+type t = {
+  n : int;
+  exponent : float;
+  cdf : float array; (* cdf.(i) = P(rank <= i+1) *)
+}
+
+let create ~n ~exponent =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if exponent < 0.0 then invalid_arg "Zipf.create: exponent must be >= 0";
+  let weights = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** exponent)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (weights.(i) /. total);
+    cdf.(i) <- !acc
+  done;
+  (* Guard against floating-point shortfall at the top end. *)
+  cdf.(n - 1) <- 1.0;
+  { n; exponent; cdf }
+
+let size t = t.n
+let exponent t = t.exponent
+
+(** [sample t rng] draws a rank in [1..n]; rank 1 is the most popular. *)
+let sample t rng =
+  let u = Prng.float rng in
+  (* Binary search for the first index with cdf >= u. *)
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo + 1
+
+(** Probability mass of a given rank (1-based). *)
+let pmf t rank =
+  if rank < 1 || rank > t.n then 0.0
+  else if rank = 1 then t.cdf.(0)
+  else t.cdf.(rank - 1) -. t.cdf.(rank - 2)

@@ -1,0 +1,16 @@
+(** Zipf-distributed sampling over ranks [1..n], used by the trace
+    generators to model flow-popularity skew.  O(log n) per sample. *)
+
+type t
+
+(** @raise Invalid_argument if [n <= 0] or [exponent < 0]. *)
+val create : n:int -> exponent:float -> t
+
+val size : t -> int
+val exponent : t -> float
+
+(** Draw a rank in [1..n]; rank 1 is the most popular. *)
+val sample : t -> Prng.t -> int
+
+(** Probability mass of a 1-based rank (0 outside [1..n]). *)
+val pmf : t -> int -> float

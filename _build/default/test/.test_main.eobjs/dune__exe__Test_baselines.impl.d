@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Field Flowradar List Newton_baselines Newton_compiler Newton_packet Newton_query Packet Scream Sonata Starflow Turboflow

@@ -1,0 +1,1 @@
+test/test_cpu_analyzer.ml: Alcotest Array Catalog Cpu_analyzer List Newton_baselines Newton_core Newton_query Newton_trace Ref_eval Report Starflow

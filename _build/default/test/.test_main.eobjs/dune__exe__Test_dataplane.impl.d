@@ -1,0 +1,1 @@
+test/test_dataplane.ml: Alcotest Module_cost Newton_dataplane Newton_util Reconfig Resource Stage Switch Table

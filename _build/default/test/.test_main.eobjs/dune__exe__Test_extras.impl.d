@@ -1,0 +1,1 @@
+test/test_extras.ml: Alcotest Analyzer Array Ast Catalog Device List Newton_compiler Newton_core Newton_query Newton_runtime Newton_trace Packet Ref_eval Report

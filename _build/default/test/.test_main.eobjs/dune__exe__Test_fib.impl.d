@@ -1,0 +1,1 @@
+test/test_fib.ml: Alcotest Fib List Newton_baselines Newton_compiler Newton_controller Newton_dataplane Newton_network Newton_query Option Route String Topo

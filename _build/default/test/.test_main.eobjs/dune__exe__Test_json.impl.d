@@ -1,0 +1,1 @@
+test/test_json.ml: Alcotest Json List Newton_compiler Newton_p4gen Newton_query Newton_util Option Printf QCheck QCheck_alcotest

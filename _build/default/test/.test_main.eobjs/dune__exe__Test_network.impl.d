@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Array List Newton_compiler Newton_controller Newton_network Newton_query Option Printf QCheck QCheck_alcotest Route Topo

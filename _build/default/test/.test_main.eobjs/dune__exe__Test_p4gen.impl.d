@@ -1,0 +1,1 @@
+test/test_p4gen.ml: Alcotest Emit Hashtbl List Newton_compiler Newton_dataplane Newton_p4gen Newton_query Option Printf Rules String

@@ -1,0 +1,1 @@
+test/test_packet.ml: Alcotest Bytes Field Fivetuple List Newton_packet Packet QCheck QCheck_alcotest Sp_header

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Catalog Field Gen Lexer List Newton_core Newton_packet Newton_query Newton_trace Parser Printer Printf QCheck QCheck_alcotest

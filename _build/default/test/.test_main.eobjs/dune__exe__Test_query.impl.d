@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Array Catalog Field List Newton_packet Newton_query Packet Ref_eval Report String

@@ -1,0 +1,1 @@
+test/test_reactive.ml: Alcotest Array Ast Catalog List Newton Newton_core Newton_dataplane Newton_packet Newton_query Newton_trace Reactive Report

@@ -1,0 +1,1 @@
+test/test_refine.ml: Alcotest Array Device Field List Newton_core Newton_dataplane Newton_trace Query Refine Report

@@ -1,0 +1,1 @@
+test/test_register_alloc.ml: Alcotest Alu Gen Hash List Newton_dataplane Newton_sketch Option QCheck QCheck_alcotest Register_alloc Register_array

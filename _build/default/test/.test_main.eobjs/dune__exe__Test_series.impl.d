@@ -1,0 +1,1 @@
+test/test_series.ml: Alcotest Array Catalog List Newton_core Newton_query Newton_trace Report Series String

@@ -1,0 +1,1 @@
+test/test_sketch.ml: Alcotest Alu Array Bloom Count_min Exact Gen Hash Hashtbl List Newton_sketch Newton_util Option QCheck QCheck_alcotest Register_array

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Attack Field Gen List Newton_core Newton_packet Newton_query Newton_trace Newton_util Packet Profile String

@@ -1,0 +1,1 @@
+test/test_trace_io.ml: Alcotest Array Attack Field Filename Gen In_channel List Newton_core Newton_packet Newton_query Newton_trace Packet Profile String Sys Trace_io

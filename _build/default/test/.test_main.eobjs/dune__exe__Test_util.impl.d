@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun List Newton_util Prng Stats String Tablefmt Zipf

@@ -1,0 +1,1 @@
+test/test_validate.ml: Alcotest Emit Hashtbl List Newton_compiler Newton_p4gen Newton_query Printf String Validate

@@ -1,0 +1,172 @@
+(** Tests for Newton_baselines: export models of TurboFlow, *Flow,
+    FlowRadar, SCREAM, and the Sonata reload semantics. *)
+
+open Newton_packet
+open Newton_baselines
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let pkt ?(ts = 0.01) ?(src = 1) ?(dst = 2) ?(sport = 1000) ?(dport = 80) () =
+  Packet.make ~ts ~src_ip:src ~dst_ip:dst ~proto:6 ~src_port:sport ~dst_port:dport ()
+
+(* ---------------- TurboFlow ---------------- *)
+
+let test_turboflow_one_record_per_flow () =
+  let t = Turboflow.create ~cache_size:4096 () in
+  for f = 1 to 50 do
+    for _ = 1 to 10 do
+      Turboflow.process t (pkt ~src:f ())
+    done
+  done;
+  Turboflow.finish t;
+  checki "one record per flow" 50 (Turboflow.messages t);
+  checki "packets counted" 500 (Turboflow.packets t)
+
+let test_turboflow_evictions_on_collision () =
+  let t = Turboflow.create ~cache_size:1 () in
+  Turboflow.process t (pkt ~src:1 ());
+  Turboflow.process t (pkt ~src:2 ());
+  Turboflow.process t (pkt ~src:1 ());
+  checkb "collisions evict" true (Turboflow.evictions t >= 2)
+
+let test_turboflow_interval_flush () =
+  let t = Turboflow.create ~interval:0.1 () in
+  Turboflow.process t (pkt ~ts:0.01 ());
+  Turboflow.process t (pkt ~ts:0.15 ());
+  (* window rollover flushed the first record *)
+  checki "flushed at interval" 1 (Turboflow.messages t);
+  Turboflow.finish t;
+  checki "final flush" 2 (Turboflow.messages t)
+
+(* ---------------- *Flow ---------------- *)
+
+let test_starflow_gpv_batching () =
+  let t = Starflow.create ~gpv_len:4 () in
+  for _ = 1 to 12 do
+    Starflow.process t (pkt ())
+  done;
+  checki "12 packets = 3 full GPVs" 3 (Starflow.messages t)
+
+let test_starflow_eviction_ships_partial () =
+  let t = Starflow.create ~cache_size:1 ~gpv_len:8 () in
+  Starflow.process t (pkt ~src:1 ());
+  Starflow.process t (pkt ~src:2 ());
+  checki "eviction ships partial GPV" 1 (Starflow.messages t)
+
+let test_starflow_finish_flushes () =
+  let t = Starflow.create ~gpv_len:8 () in
+  Starflow.process t (pkt ());
+  Starflow.finish t;
+  checki "trailing partial shipped" 1 (Starflow.messages t)
+
+let test_starflow_overhead_scale () =
+  (* *Flow's message count is proportional to packets/gpv_len — the
+     "overheads proportional to traffic volume" claim. *)
+  let t = Starflow.create ~gpv_len:4 () in
+  for i = 1 to 4000 do
+    Starflow.process t (pkt ~src:(i mod 64) ())
+  done;
+  let ratio = float_of_int (Starflow.messages t) /. 4000.0 in
+  checkb "~1/gpv_len of packets" true (ratio > 0.2 && ratio <= 0.3)
+
+(* ---------------- FlowRadar ---------------- *)
+
+let test_flowradar_fixed_export_per_window () =
+  let t = Flowradar.create ~array_size:4096 ~cells_per_msg:64 ~interval:0.1 () in
+  for i = 1 to 1000 do
+    Flowradar.process t (pkt ~ts:0.01 ~src:i ())
+  done;
+  checki "no export mid-window" 0 (Flowradar.messages t);
+  Flowradar.process t (pkt ~ts:0.15 ());
+  checki "one window export = cells/batch" 64 (Flowradar.messages t)
+
+let test_flowradar_overhead_independent_of_traffic () =
+  let run n =
+    let t = Flowradar.create ~interval:0.1 () in
+    for i = 1 to n do
+      Flowradar.process t (pkt ~ts:0.01 ~src:i ())
+    done;
+    Flowradar.finish t;
+    Flowradar.messages t
+  in
+  checki "same messages for 10x traffic" (run 100) (run 1000)
+
+(* ---------------- SCREAM ---------------- *)
+
+let test_scream_periodic_export () =
+  let t = Scream.create ~width:2048 ~depth:3 ~counters_per_msg:64 ~interval:0.1 () in
+  Scream.process t (pkt ~ts:0.01 ());
+  Scream.process t (pkt ~ts:0.15 ());
+  checki "sketch exported at window" (2048 * 3 / 64) (Scream.messages t)
+
+(* ---------------- Sonata ---------------- *)
+
+let compile = Newton_compiler.Compose.compile
+
+let test_sonata_install_causes_outage () =
+  let s = Sonata.create () in
+  let outage = Sonata.install_query s (compile (Newton_query.Catalog.q1 ())) in
+  checkb "seconds of outage" true (outage > 5.0);
+  checki "one outage recorded" 1 (List.length (Sonata.outages s))
+
+let test_sonata_outage_linear_in_entries () =
+  let small = Sonata.create ~fwd_entries:10_000 () in
+  let large = Sonata.create ~fwd_entries:60_000 () in
+  let o1 = Sonata.install_query small (compile (Newton_query.Catalog.q1 ())) in
+  let o2 = Sonata.install_query large (compile (Newton_query.Catalog.q1 ())) in
+  checkb "larger tables, longer outage" true (o2 > o1 +. 15.0)
+
+let test_sonata_reload_loses_state () =
+  let s = Sonata.create () in
+  let _ = Sonata.install_query s (compile (Newton_query.Catalog.q1 ~th:5 ())) in
+  (* Accumulate state just below threshold... *)
+  for i = 1 to 5 do
+    Sonata.process_packet s
+      (Packet.make ~ts:0.01 ~src_ip:i ~dst_ip:9 ~proto:6
+         ~tcp_flags:Field.Tcp_flag.syn ())
+  done;
+  (* ...then an update reloads the pipeline and wipes it. *)
+  let _ = Sonata.install_query s (compile (Newton_query.Catalog.q4 ())) in
+  Sonata.process_packet s
+    (Packet.make ~ts:0.02 ~src_ip:6 ~dst_ip:9 ~proto:6 ~tcp_flags:Field.Tcp_flag.syn ());
+  checki "counter restarted, no report" 0 (Sonata.message_count s)
+
+let test_sonata_queries_survive_reload () =
+  let s = Sonata.create () in
+  let _ = Sonata.install_query s (compile (Newton_query.Catalog.q1 ~th:5 ())) in
+  let _ = Sonata.install_query s (compile (Newton_query.Catalog.q4 ())) in
+  (* Both queries run after the second reload. *)
+  for i = 1 to 10 do
+    Sonata.process_packet s
+      (Packet.make ~ts:0.01 ~src_ip:i ~dst_ip:9 ~proto:6
+         ~tcp_flags:Field.Tcp_flag.syn ())
+  done;
+  checkb "q1 fires after reload" true (Sonata.message_count s >= 1)
+
+let test_sonata_remove_query () =
+  let s = Sonata.create () in
+  let c = compile (Newton_query.Catalog.q1 ()) in
+  let _ = Sonata.install_query s c in
+  let _ = Sonata.remove_query s c in
+  checki "two outages (install+remove)" 2 (List.length (Sonata.outages s));
+  checkb "total outage accumulates" true (Sonata.total_outage s > 10.0)
+
+let suite =
+  [
+    ("turboflow one record per flow", `Quick, test_turboflow_one_record_per_flow);
+    ("turboflow evictions", `Quick, test_turboflow_evictions_on_collision);
+    ("turboflow interval flush", `Quick, test_turboflow_interval_flush);
+    ("starflow gpv batching", `Quick, test_starflow_gpv_batching);
+    ("starflow eviction ships partial", `Quick, test_starflow_eviction_ships_partial);
+    ("starflow finish flushes", `Quick, test_starflow_finish_flushes);
+    ("starflow overhead scale", `Quick, test_starflow_overhead_scale);
+    ("flowradar fixed export", `Quick, test_flowradar_fixed_export_per_window);
+    ("flowradar traffic-independent", `Quick, test_flowradar_overhead_independent_of_traffic);
+    ("scream periodic export", `Quick, test_scream_periodic_export);
+    ("sonata install causes outage", `Quick, test_sonata_install_causes_outage);
+    ("sonata outage linear", `Quick, test_sonata_outage_linear_in_entries);
+    ("sonata reload loses state", `Quick, test_sonata_reload_loses_state);
+    ("sonata queries survive reload", `Quick, test_sonata_queries_survive_reload);
+    ("sonata remove query", `Quick, test_sonata_remove_query);
+  ]

@@ -1,0 +1,34 @@
+(** Test aggregator: one alcotest section per library. *)
+
+let () =
+  Alcotest.run "newton"
+    [
+      ("util", Test_util.suite);
+      ("json", Test_json.suite);
+      ("packet", Test_packet.suite);
+      ("sketch", Test_sketch.suite);
+      ("trace", Test_trace.suite);
+      ("trace_io", Test_trace_io.suite);
+      ("series", Test_series.suite);
+      ("dataplane", Test_dataplane.suite);
+      ("register_alloc", Test_register_alloc.suite);
+      ("query", Test_query.suite);
+      ("parser", Test_parser.suite);
+      ("extras", Test_extras.suite);
+      ("p4gen", Test_p4gen.suite);
+      ("validate", Test_validate.suite);
+      ("compiler", Test_compiler.suite);
+      ("network", Test_network.suite);
+      ("fib", Test_fib.suite);
+      ("runtime", Test_runtime.suite);
+      ("controller", Test_controller.suite);
+      ("partial_deploy", Test_partial_deploy.suite);
+      ("scheduler", Test_scheduler.suite);
+      ("baselines", Test_baselines.suite);
+      ("cpu_analyzer", Test_cpu_analyzer.suite);
+      ("core", Test_core.suite);
+      ("integration", Test_integration.suite);
+      ("properties", Test_properties.suite);
+      ("reactive", Test_reactive.suite);
+      ("refine", Test_refine.suite);
+    ]

@@ -1,0 +1,194 @@
+(** Tests for the P4 program generator and the runtime rule generator. *)
+
+open Newton_p4gen
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let count_occurrences s sub =
+  let m = String.length sub in
+  let rec go i acc =
+    if i + m > String.length s then acc
+    else if String.sub s i m = sub then go (i + m) (acc + 1)
+    else go (i + 1) acc
+  in
+  if m = 0 then 0 else go 0 0
+
+let small_layout = { Emit.stages = 3; registers = 1024; rules_per_table = 64 }
+
+(* ---------------- program emission ---------------- *)
+
+let test_program_structure () =
+  let p = Emit.program ~layout:small_layout () in
+  List.iter
+    (fun piece -> checkb ("contains " ^ piece) true (contains p piece))
+    [ "#include <v1model.p4>"; "header sp_t"; "struct metadata_t";
+      "parser NewtonParser"; "control NewtonIngress"; "table newton_init";
+      "table newton_fin"; "V1Switch"; "NewtonDeparser" ]
+
+let test_program_table_counts () =
+  let p = Emit.program ~layout:small_layout () in
+  (* 3 stages x 2 sets x 4 kinds module tables *)
+  checki "K tables" 6 (count_occurrences p "table newton_k_s");
+  checki "H tables" 6 (count_occurrences p "table newton_h_s");
+  checki "S tables" 6 (count_occurrences p "table newton_s_s");
+  checki "R tables" 6 (count_occurrences p "table newton_r_s");
+  (* one register array per stage and set *)
+  checki "register arrays" 6 (count_occurrences p "register<bit<32>>(1024) newton_reg_")
+
+let test_program_sp_layout () =
+  let p = Emit.program ~layout:small_layout () in
+  (* The SP header mirrors Sp_header: 16+24+16+24+16 bits = 12 bytes. *)
+  checkb "hash fields 16 bits" true (contains p "bit<16> hash1;");
+  checkb "state fields 24 bits" true (contains p "bit<24> state1;");
+  checkb "parser initializes result sets" true
+    (contains p "meta.state1_result = (bit<32>) hdr.sp.state1;");
+  checkb "fin emits on the SP ethertype" true (contains p "0x88B5")
+
+let test_program_applies_all_modules () =
+  let p = Emit.program ~layout:small_layout () in
+  (* every module table is applied exactly once in the control flow *)
+  checki "apply calls" 24 (count_occurrences p "_m0.apply()" + count_occurrences p "_m1.apply()")
+
+let test_program_scales_with_layout () =
+  let small = Emit.program ~layout:small_layout () in
+  let large = Emit.program ~layout:{ small_layout with Emit.stages = 12 } () in
+  checkb "more stages emit more code" true (String.length large > String.length small)
+
+let test_program_rejects_bad_layout () =
+  checkb "rejects zero stages" true
+    (try ignore (Emit.program ~layout:{ small_layout with Emit.stages = 0 } ()); false
+     with Invalid_argument _ -> true)
+
+let test_table_names_stable () =
+  Alcotest.(check string) "table name scheme" "newton_s_s4_m1"
+    (Emit.table_name ~stage:4 ~kind:Newton_dataplane.Module_cost.S ~set:1)
+
+(* ---------------- rule generation ---------------- *)
+
+let compile = Newton_compiler.Compose.compile
+
+let test_rules_count_matches_compiled () =
+  List.iter
+    (fun q ->
+      let c = compile q in
+      let entries = Rules.entries c in
+      checki
+        (Printf.sprintf "Q%d: one entry per rule" q.Newton_query.Ast.id)
+        c.Newton_compiler.Compose.stats.Newton_compiler.Compose.rules
+        (List.length entries))
+    (Newton_query.Catalog.all ())
+
+let test_rules_reference_emitted_tables () =
+  let layout = { Emit.default_layout with Emit.stages = 12 } in
+  let p = Emit.program ~layout () in
+  let c = compile (Newton_query.Catalog.q4 ()) in
+  List.iter
+    (fun (e : Rules.entry) ->
+      checkb ("emitted program declares " ^ e.Rules.table) true
+        (contains p ("table " ^ e.Rules.table)))
+    (Rules.entries c)
+
+let test_rules_init_entry_shape () =
+  let c = compile (Newton_query.Catalog.q1 ()) in
+  match List.filter (fun (e : Rules.entry) -> e.Rules.table = "newton_init") (Rules.entries c) with
+  | [ e ] ->
+      Alcotest.(check string) "action" "set_class" e.Rules.action;
+      checkb "ternary matches on proto+flags" true (List.length e.Rules.matches = 2)
+  | l -> Alcotest.failf "expected 1 init entry, got %d" (List.length l)
+
+let test_rules_k_masks () =
+  let c = compile (Newton_query.Catalog.q1 ()) in
+  let k_entries =
+    List.filter
+      (fun (e : Rules.entry) -> contains e.Rules.action "_select")
+      (Rules.entries c)
+  in
+  checkb "K entries exist" true (k_entries <> []);
+  List.iter
+    (fun (e : Rules.entry) ->
+      (* Q1 selects dip: its mask parameter is full, others zero. *)
+      let full =
+        List.filter (fun (_, v) -> v = "0xffffffff") e.Rules.params
+      in
+      checki "exactly one selected field" 1 (List.length full))
+    k_entries
+
+let test_rules_threshold_becomes_range () =
+  let c = compile (Newton_query.Catalog.q1 ~th:30 ()) in
+  let has_range =
+    List.exists
+      (fun (e : Rules.entry) ->
+        List.exists
+          (function Rules.M_range ("meta.global_result", 31, _) -> true | _ -> false)
+          e.Rules.matches)
+      (Rules.entries c)
+  in
+  checkb "count > 30 compiles to a [31, max] range match" true has_range
+
+let test_rules_distinct_classes_per_branch () =
+  let c = compile (Newton_query.Catalog.q6 ()) in
+  let inits =
+    List.filter (fun (e : Rules.entry) -> e.Rules.table = "newton_init") (Rules.entries c)
+  in
+  let classes =
+    List.filter_map
+      (fun (e : Rules.entry) -> List.assoc_opt "class_id" e.Rules.params)
+      inits
+    |> List.sort_uniq compare
+  in
+  checki "two branches, two traffic classes" 2 (List.length classes)
+
+let test_rules_json_renders () =
+  let c = compile (Newton_query.Catalog.q4 ()) in
+  let json = Rules.to_json (Rules.entries c) in
+  checkb "json array" true (String.length json > 2 && json.[0] = '[');
+  checkb "mentions the classifier" true (contains json "newton_init");
+  checkb "no unescaped quotes in fields" true (not (contains json "\"\"\""));
+  (* entry count = line count of entries *)
+  checki "one line per entry"
+    (List.length (Rules.entries c))
+    (count_occurrences json "{\"table\"")
+
+let test_rules_fit_emitted_table_sizes () =
+  (* Per-table entry counts of a full catalog deployment stay within the
+     emitted table sizes. *)
+  let per_table = Hashtbl.create 64 in
+  List.iteri
+    (fun i q ->
+      List.iter
+        (fun (e : Rules.entry) ->
+          Hashtbl.replace per_table e.Rules.table
+            (1 + Option.value (Hashtbl.find_opt per_table e.Rules.table) ~default:0))
+        (Rules.entries ~class_id:(1 + (i * 10)) (compile q)))
+    (Newton_query.Catalog.all ());
+  let cap = Emit.default_layout.Emit.rules_per_table in
+  Hashtbl.iter
+    (fun table n ->
+      let limit = if table = "newton_init" then 4 * cap else cap in
+      checkb (table ^ " within size") true (n <= limit))
+    per_table
+
+let suite =
+  [
+    ("program structure", `Quick, test_program_structure);
+    ("program table counts", `Quick, test_program_table_counts);
+    ("program sp layout", `Quick, test_program_sp_layout);
+    ("program applies all modules", `Quick, test_program_applies_all_modules);
+    ("program scales with layout", `Quick, test_program_scales_with_layout);
+    ("program rejects bad layout", `Quick, test_program_rejects_bad_layout);
+    ("table names stable", `Quick, test_table_names_stable);
+    ("rules count matches compiled", `Quick, test_rules_count_matches_compiled);
+    ("rules reference emitted tables", `Quick, test_rules_reference_emitted_tables);
+    ("rules init entry shape", `Quick, test_rules_init_entry_shape);
+    ("rules k masks", `Quick, test_rules_k_masks);
+    ("rules threshold becomes range", `Quick, test_rules_threshold_becomes_range);
+    ("rules distinct classes per branch", `Quick, test_rules_distinct_classes_per_branch);
+    ("rules json renders", `Quick, test_rules_json_renders);
+    ("rules fit emitted table sizes", `Quick, test_rules_fit_emitted_table_sizes);
+  ]

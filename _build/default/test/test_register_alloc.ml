@@ -1,0 +1,174 @@
+(** Tests for register allocation among concurrent queries. *)
+
+open Newton_dataplane
+open Newton_sketch
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+let mk () = Register_alloc.create ~arrays:2 ~registers_per_array:1024
+
+let test_create_accounting () =
+  let a = mk () in
+  checki "total" 2048 (Register_alloc.total_registers a);
+  checki "all free" 2048 (Register_alloc.free_registers a);
+  checki "nothing live" 0 (Register_alloc.allocated_registers a)
+
+let test_alloc_first_fit () =
+  let a = mk () in
+  match Register_alloc.alloc a ~registers:256 with
+  | Some r ->
+      checki "first array" 0 r.Register_alloc.array_id;
+      checki "at offset 0" 0 r.Register_alloc.offset;
+      checki "length" 256 r.Register_alloc.length;
+      checki "accounted" 256 (Register_alloc.allocated_registers a)
+  | None -> Alcotest.fail "alloc failed"
+
+let test_alloc_splits_blocks () =
+  let a = mk () in
+  let r1 = Option.get (Register_alloc.alloc a ~registers:100) in
+  let r2 = Option.get (Register_alloc.alloc a ~registers:100) in
+  checki "adjacent" (r1.Register_alloc.offset + 100) r2.Register_alloc.offset;
+  checki "free shrinks" 1848 (Register_alloc.free_registers a)
+
+let test_alloc_spills_to_second_array () =
+  let a = mk () in
+  let _ = Option.get (Register_alloc.alloc a ~registers:1024) in
+  match Register_alloc.alloc a ~registers:512 with
+  | Some r -> checki "second array" 1 r.Register_alloc.array_id
+  | None -> Alcotest.fail "should spill to second array"
+
+let test_alloc_exhaustion () =
+  let a = mk () in
+  let _ = Option.get (Register_alloc.alloc a ~registers:1024) in
+  let _ = Option.get (Register_alloc.alloc a ~registers:1024) in
+  checkb "pool exhausted" true (Register_alloc.alloc a ~registers:1 = None)
+
+let test_alloc_no_cross_array_block () =
+  (* 1024 left in each array: a 1500-register request cannot span. *)
+  let a = mk () in
+  checkb "no spanning allocation" true (Register_alloc.alloc a ~registers:1500 = None)
+
+let test_free_and_reuse () =
+  let a = mk () in
+  let r1 = Option.get (Register_alloc.alloc a ~registers:512) in
+  let _ = Option.get (Register_alloc.alloc a ~registers:512) in
+  Register_alloc.free a r1;
+  (match Register_alloc.alloc a ~registers:512 with
+  | Some r -> checki "reuses freed block" 0 r.Register_alloc.offset
+  | None -> Alcotest.fail "reuse failed");
+  checkb "double free raises" true
+    (try Register_alloc.free a r1; Register_alloc.free a r1; false
+     with Register_alloc.Not_allocated -> true)
+
+let test_free_coalesces () =
+  let a = mk () in
+  let r1 = Option.get (Register_alloc.alloc a ~registers:512) in
+  let r2 = Option.get (Register_alloc.alloc a ~registers:512) in
+  Register_alloc.free a r1;
+  Register_alloc.free a r2;
+  checki "coalesced back to a full array" 1024 (Register_alloc.largest_free_block a);
+  checkf "no fragmentation" 0.0 (Register_alloc.fragmentation a)
+
+let test_fragmentation_measure () =
+  let a = Register_alloc.create ~arrays:1 ~registers_per_array:1024 in
+  let _r1 = Option.get (Register_alloc.alloc a ~registers:256) in
+  let r2 = Option.get (Register_alloc.alloc a ~registers:256) in
+  let _r3 = Option.get (Register_alloc.alloc a ~registers:256) in
+  Register_alloc.free a r2;
+  (* free = 256 (hole) + 256 (tail); largest block 256 *)
+  checkf "half the free memory is stranded" 0.5 (Register_alloc.fragmentation a)
+
+let test_free_zeroes_registers () =
+  let a = mk () in
+  let r = Option.get (Register_alloc.alloc a ~registers:16) in
+  let v = Register_alloc.view a r in
+  ignore (Register_alloc.View.exec v (Alu.Add 7) 3);
+  Register_alloc.free a r;
+  let r' = Option.get (Register_alloc.alloc a ~registers:16) in
+  checki "fresh allocation sees zeroes" 0
+    (Register_alloc.View.get (Register_alloc.view a r') 3)
+
+let test_view_isolation () =
+  let a = mk () in
+  let v1 = Option.get (Register_alloc.alloc_view a ~registers:128) in
+  let v2 = Option.get (Register_alloc.alloc_view a ~registers:128) in
+  ignore (Register_alloc.View.exec v1 (Alu.Add 5) 0);
+  checki "other query's range untouched" 0 (Register_alloc.View.get v2 0);
+  checki "own value visible" 5 (Register_alloc.View.get v1 0)
+
+let test_view_wraps_indices () =
+  let a = mk () in
+  let v = Option.get (Register_alloc.alloc_view a ~registers:8) in
+  ignore (Register_alloc.View.exec v (Alu.Add 1) 3);
+  checki "index 11 wraps to 3" 1 (Register_alloc.View.get v 11)
+
+let test_view_clear_and_occupancy () =
+  let a = mk () in
+  let v = Option.get (Register_alloc.alloc_view a ~registers:32) in
+  ignore (Register_alloc.View.exec v (Alu.Add 1) 1);
+  ignore (Register_alloc.View.exec v (Alu.Add 1) 2);
+  checki "occupancy" 2 (Register_alloc.View.occupancy v);
+  Register_alloc.View.clear v;
+  checki "cleared" 0 (Register_alloc.View.occupancy v)
+
+let test_capacity_planning () =
+  let a = mk () in
+  checki "queries of 256 registers" 8 (Register_alloc.capacity a ~per_query:256);
+  let _ = Option.get (Register_alloc.alloc a ~registers:512) in
+  checki "capacity shrinks" 6 (Register_alloc.capacity a ~per_query:256)
+
+let test_sharing_degrades_accuracy_gracefully () =
+  (* Two queries share a 512-register array, 256 each: each behaves
+     exactly like a private 256-register sketch. *)
+  let a = Register_alloc.create ~arrays:1 ~registers_per_array:512 in
+  let shared = Option.get (Register_alloc.alloc_view a ~registers:256) in
+  let private_arr = Register_array.create 256 in
+  let h = Hash.create ~seed:3 ~range:256 in
+  for k = 0 to 499 do
+    let i = Hash.apply_int h k in
+    ignore (Register_alloc.View.exec shared (Alu.Add 1) i);
+    ignore (Register_array.exec private_arr (Alu.Add 1) i)
+  done;
+  for i = 0 to 255 do
+    checki "identical contents" (Register_array.get private_arr i)
+      (Register_alloc.View.get shared i)
+  done
+
+let qcheck_alloc_free_invariant =
+  QCheck.Test.make ~count:100 ~name:"register_alloc: alloc/free conserves registers"
+    QCheck.(list_of_size Gen.(int_range 1 30) (int_range 1 300))
+    (fun sizes ->
+      let a = Register_alloc.create ~arrays:4 ~registers_per_array:1024 in
+      let total = Register_alloc.total_registers a in
+      let allocated =
+        List.filter_map (fun s -> Register_alloc.alloc a ~registers:s) sizes
+      in
+      let mid_ok =
+        Register_alloc.free_registers a + Register_alloc.allocated_registers a = total
+      in
+      List.iter (Register_alloc.free a) allocated;
+      mid_ok
+      && Register_alloc.free_registers a = total
+      && Register_alloc.fragmentation a = 0.0)
+
+let suite =
+  [
+    ("create accounting", `Quick, test_create_accounting);
+    ("alloc first fit", `Quick, test_alloc_first_fit);
+    ("alloc splits blocks", `Quick, test_alloc_splits_blocks);
+    ("alloc spills to second array", `Quick, test_alloc_spills_to_second_array);
+    ("alloc exhaustion", `Quick, test_alloc_exhaustion);
+    ("no cross-array block", `Quick, test_alloc_no_cross_array_block);
+    ("free and reuse", `Quick, test_free_and_reuse);
+    ("free coalesces", `Quick, test_free_coalesces);
+    ("fragmentation measure", `Quick, test_fragmentation_measure);
+    ("free zeroes registers", `Quick, test_free_zeroes_registers);
+    ("view isolation", `Quick, test_view_isolation);
+    ("view wraps indices", `Quick, test_view_wraps_indices);
+    ("view clear and occupancy", `Quick, test_view_clear_and_occupancy);
+    ("capacity planning", `Quick, test_capacity_planning);
+    ("sharing equals private sketch", `Quick, test_sharing_degrades_accuracy_gracefully);
+    QCheck_alcotest.to_alcotest qcheck_alloc_free_invariant;
+  ]

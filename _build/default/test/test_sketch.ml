@@ -1,0 +1,265 @@
+(** Tests for Newton_sketch: hashes, ALUs, register arrays, Bloom
+    filters, Count-Min sketches, exact oracles. *)
+
+open Newton_sketch
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* ---------------- Hash ---------------- *)
+
+let test_hash_deterministic () =
+  let h = Hash.create ~seed:1 ~range:1024 in
+  checki "same input same output" (Hash.apply h [| 1; 2; 3 |]) (Hash.apply h [| 1; 2; 3 |])
+
+let test_hash_range () =
+  let h = Hash.create ~seed:2 ~range:100 in
+  for i = 0 to 999 do
+    let v = Hash.apply h [| i; i * 7 |] in
+    checkb "in range" true (v >= 0 && v < 100)
+  done
+
+let test_hash_seed_independence () =
+  let h1 = Hash.create ~seed:1 ~range:1048576 in
+  let h2 = Hash.create ~seed:2 ~range:1048576 in
+  let collisions = ref 0 in
+  for i = 0 to 999 do
+    if Hash.apply h1 [| i |] = Hash.apply h2 [| i |] then incr collisions
+  done;
+  checkb "seeds behave independently" true (!collisions < 5)
+
+let test_hash_spreads () =
+  let h = Hash.create ~seed:3 ~range:4096 in
+  let seen = Hashtbl.create 64 in
+  for i = 0 to 999 do
+    Hashtbl.replace seen (Hash.apply h [| i |]) ()
+  done;
+  checkb "well spread over 4096 buckets" true (Hashtbl.length seen > 850)
+
+let test_hash_order_sensitive () =
+  let h = Hash.create ~seed:4 ~range:(1 lsl 30) in
+  checkb "key order matters" true (Hash.apply h [| 1; 2 |] <> Hash.apply h [| 2; 1 |])
+
+let test_hash_rejects_bad_range () =
+  Alcotest.check_raises "range 0" (Invalid_argument "Hash.create: range must be positive")
+    (fun () -> ignore (Hash.create ~seed:0 ~range:0))
+
+(* ---------------- Alu ---------------- *)
+
+let test_alu_add () =
+  let regs = [| 10 |] in
+  checki "returns new value" 15 (Alu.exec (Alu.Add 5) regs 0);
+  checki "register updated" 15 regs.(0)
+
+let test_alu_or_returns_previous () =
+  let regs = [| 0 |] in
+  checki "prev was 0" 0 (Alu.exec (Alu.Or 1) regs 0);
+  checki "now set" 1 regs.(0);
+  checki "prev now 1" 1 (Alu.exec (Alu.Or 1) regs 0)
+
+let test_alu_max () =
+  let regs = [| 7 |] in
+  checki "max keeps larger" 7 (Alu.exec (Alu.Max 3) regs 0);
+  checki "max takes larger" 9 (Alu.exec (Alu.Max 9) regs 0)
+
+let test_alu_read_write () =
+  let regs = [| 42 |] in
+  checki "read" 42 (Alu.exec Alu.Read regs 0);
+  checki "write returns prev" 42 (Alu.exec (Alu.Write 5) regs 0);
+  checki "write stores" 5 regs.(0)
+
+(* ---------------- Register_array ---------------- *)
+
+let test_reg_array_basic () =
+  let a = Register_array.create 8 in
+  checki "size" 8 (Register_array.size a);
+  Register_array.set a 3 9;
+  checki "get" 9 (Register_array.get a 3)
+
+let test_reg_array_bounds () =
+  let a = Register_array.create 4 in
+  Alcotest.check_raises "get out of range"
+    (Invalid_argument "Register_array.get: index out of range") (fun () ->
+      ignore (Register_array.get a 4))
+
+let test_reg_array_exec_counts_ops () =
+  let a = Register_array.create 4 in
+  ignore (Register_array.exec a (Alu.Add 1) 0);
+  ignore (Register_array.exec a (Alu.Add 1) 1);
+  checki "two ops" 2 (Register_array.ops a)
+
+let test_reg_array_clear_and_occupancy () =
+  let a = Register_array.create 8 in
+  ignore (Register_array.exec a (Alu.Add 1) 2);
+  ignore (Register_array.exec a (Alu.Add 1) 5);
+  checki "occupancy 2" 2 (Register_array.occupancy a);
+  Register_array.clear a;
+  checki "occupancy 0 after clear" 0 (Register_array.occupancy a)
+
+let test_reg_array_sram_bytes () =
+  checki "4096 regs = 16KB" 16384 (Register_array.sram_bytes (Register_array.create 4096))
+
+let test_reg_array_rejects_nonpositive () =
+  Alcotest.check_raises "size 0"
+    (Invalid_argument "Register_array.create: size must be positive") (fun () ->
+      ignore (Register_array.create 0))
+
+(* ---------------- Bloom ---------------- *)
+
+let test_bloom_no_false_negatives () =
+  let b = Bloom.create ~width:1024 ~depth:3 ~seed:5 in
+  for i = 0 to 99 do
+    ignore (Bloom.test_and_set b [| i |])
+  done;
+  for i = 0 to 99 do
+    checkb "inserted key found" true (Bloom.mem b [| i |])
+  done
+
+let test_bloom_test_and_set_semantics () =
+  let b = Bloom.create ~width:1024 ~depth:3 ~seed:5 in
+  checkb "first insert: absent" false (Bloom.test_and_set b [| 42 |]);
+  checkb "second insert: present" true (Bloom.test_and_set b [| 42 |])
+
+let test_bloom_clear () =
+  let b = Bloom.create ~width:64 ~depth:2 ~seed:6 in
+  ignore (Bloom.test_and_set b [| 1 |]);
+  Bloom.clear b;
+  checkb "cleared" false (Bloom.mem b [| 1 |]);
+  checki "inserted reset" 0 (Bloom.inserted b)
+
+let test_bloom_fpr_low_when_sparse () =
+  let b = Bloom.create ~width:8192 ~depth:3 ~seed:7 in
+  for i = 0 to 99 do
+    ignore (Bloom.test_and_set b [| i |])
+  done;
+  let fp = ref 0 in
+  for i = 1000 to 1999 do
+    if Bloom.mem b [| i |] then incr fp
+  done;
+  checkb "few false positives when sparse" true (!fp < 10);
+  checkb "expected fpr small" true (Bloom.expected_fpr b < 0.01)
+
+let qcheck_bloom_no_false_negatives =
+  QCheck.Test.make ~count:100 ~name:"bloom: no false negatives"
+    QCheck.(list_of_size Gen.(int_range 1 200) (int_bound 1_000_000))
+    (fun keys ->
+      let b = Bloom.create ~width:4096 ~depth:3 ~seed:11 in
+      List.iter (fun k -> ignore (Bloom.test_and_set b [| k |])) keys;
+      List.for_all (fun k -> Bloom.mem b [| k |]) keys)
+
+(* ---------------- Count_min ---------------- *)
+
+let test_cm_exact_when_sparse () =
+  let cm = Count_min.create ~width:4096 ~depth:3 ~seed:8 in
+  for _ = 1 to 5 do
+    ignore (Count_min.add cm [| 7 |] 1)
+  done;
+  checki "exact count when uncontended" 5 (Count_min.estimate cm [| 7 |])
+
+let test_cm_add_returns_estimate () =
+  let cm = Count_min.create ~width:4096 ~depth:2 ~seed:9 in
+  checki "first add returns 1" 1 (Count_min.add cm [| 3 |] 1);
+  checki "second add returns 2" 2 (Count_min.add cm [| 3 |] 1)
+
+let test_cm_weighted_add () =
+  let cm = Count_min.create ~width:4096 ~depth:2 ~seed:10 in
+  ignore (Count_min.add cm [| 1 |] 100);
+  checki "weighted" 100 (Count_min.estimate cm [| 1 |])
+
+let test_cm_never_underestimates () =
+  let cm = Count_min.create ~width:64 ~depth:2 ~seed:11 in
+  let truth = Hashtbl.create 16 in
+  let rng = Newton_util.Prng.of_int 3 in
+  for _ = 1 to 2000 do
+    let k = Newton_util.Prng.int rng 300 in
+    Hashtbl.replace truth k (1 + Option.value (Hashtbl.find_opt truth k) ~default:0);
+    ignore (Count_min.add cm [| k |] 1)
+  done;
+  Hashtbl.iter
+    (fun k v -> checkb "estimate >= truth" true (Count_min.estimate cm [| k |] >= v))
+    truth
+
+let test_cm_clear () =
+  let cm = Count_min.create ~width:64 ~depth:2 ~seed:12 in
+  ignore (Count_min.add cm [| 1 |] 5);
+  Count_min.clear cm;
+  checki "cleared" 0 (Count_min.estimate cm [| 1 |]);
+  checki "total reset" 0 (Count_min.total cm)
+
+let test_cm_unknown_key_zero () =
+  let cm = Count_min.create ~width:4096 ~depth:3 ~seed:13 in
+  checki "empty sketch estimates 0" 0 (Count_min.estimate cm [| 999 |])
+
+let qcheck_cm_overestimate_only =
+  QCheck.Test.make ~count:50 ~name:"count-min: never underestimates"
+    QCheck.(list_of_size Gen.(int_range 1 500) (int_bound 100))
+    (fun keys ->
+      let cm = Count_min.create ~width:128 ~depth:3 ~seed:17 in
+      List.iter (fun k -> ignore (Count_min.add cm [| k |] 1)) keys;
+      let truth = Hashtbl.create 16 in
+      List.iter
+        (fun k ->
+          Hashtbl.replace truth k (1 + Option.value (Hashtbl.find_opt truth k) ~default:0))
+        keys;
+      Hashtbl.fold
+        (fun k v acc -> acc && Count_min.estimate cm [| k |] >= v)
+        truth true)
+
+(* ---------------- Exact ---------------- *)
+
+let test_exact_counter () =
+  let c = Exact.Counter.create () in
+  checki "add returns running total" 1 (Exact.Counter.add c [| 1; 2 |] 1);
+  checki "accumulates" 4 (Exact.Counter.add c [| 1; 2 |] 3);
+  checki "separate keys isolated" 0 (Exact.Counter.count c [| 9 |]);
+  checki "cardinality" 1 (Exact.Counter.cardinality c)
+
+let test_exact_counter_over_threshold () =
+  let c = Exact.Counter.create () in
+  ignore (Exact.Counter.add c [| 1 |] 10);
+  ignore (Exact.Counter.add c [| 2 |] 3);
+  let over = Exact.Counter.over_threshold c 5 in
+  checki "one key over 5" 1 (List.length over)
+
+let test_exact_distinct () =
+  let d = Exact.Distinct.create () in
+  checkb "first time false" false (Exact.Distinct.test_and_set d [| 5 |]);
+  checkb "second time true" true (Exact.Distinct.test_and_set d [| 5 |]);
+  checki "cardinality" 1 (Exact.Distinct.cardinality d);
+  Exact.Distinct.clear d;
+  checkb "cleared" false (Exact.Distinct.mem d [| 5 |])
+
+let suite =
+  [
+    ("hash deterministic", `Quick, test_hash_deterministic);
+    ("hash range", `Quick, test_hash_range);
+    ("hash seed independence", `Quick, test_hash_seed_independence);
+    ("hash spreads", `Quick, test_hash_spreads);
+    ("hash order sensitive", `Quick, test_hash_order_sensitive);
+    ("hash rejects bad range", `Quick, test_hash_rejects_bad_range);
+    ("alu add", `Quick, test_alu_add);
+    ("alu or returns previous", `Quick, test_alu_or_returns_previous);
+    ("alu max", `Quick, test_alu_max);
+    ("alu read/write", `Quick, test_alu_read_write);
+    ("register array basic", `Quick, test_reg_array_basic);
+    ("register array bounds", `Quick, test_reg_array_bounds);
+    ("register array op count", `Quick, test_reg_array_exec_counts_ops);
+    ("register array clear/occupancy", `Quick, test_reg_array_clear_and_occupancy);
+    ("register array sram bytes", `Quick, test_reg_array_sram_bytes);
+    ("register array rejects nonpositive", `Quick, test_reg_array_rejects_nonpositive);
+    ("bloom no false negatives", `Quick, test_bloom_no_false_negatives);
+    ("bloom test_and_set semantics", `Quick, test_bloom_test_and_set_semantics);
+    ("bloom clear", `Quick, test_bloom_clear);
+    ("bloom fpr low when sparse", `Quick, test_bloom_fpr_low_when_sparse);
+    QCheck_alcotest.to_alcotest qcheck_bloom_no_false_negatives;
+    ("cm exact when sparse", `Quick, test_cm_exact_when_sparse);
+    ("cm add returns estimate", `Quick, test_cm_add_returns_estimate);
+    ("cm weighted add", `Quick, test_cm_weighted_add);
+    ("cm never underestimates", `Quick, test_cm_never_underestimates);
+    ("cm clear", `Quick, test_cm_clear);
+    ("cm unknown key zero", `Quick, test_cm_unknown_key_zero);
+    QCheck_alcotest.to_alcotest qcheck_cm_overestimate_only;
+    ("exact counter", `Quick, test_exact_counter);
+    ("exact counter over_threshold", `Quick, test_exact_counter_over_threshold);
+    ("exact distinct", `Quick, test_exact_distinct);
+  ]

@@ -1,0 +1,106 @@
+(** Tests for trace serialization (save / load round-trips). *)
+
+open Newton_packet
+open Newton_trace
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) ("newton_" ^ name)
+
+let test_roundtrip () =
+  let trace =
+    Gen.generate ~attacks:Attack.default_suite ~seed:4
+      (Profile.with_flows Profile.caida_like 300)
+  in
+  let path = tmp "roundtrip.ntrc" in
+  Trace_io.save trace path;
+  let loaded = Trace_io.load path in
+  checki "packet count" (Gen.length trace) (Gen.length loaded);
+  Array.iteri
+    (fun i p ->
+      let q = (Gen.packets loaded).(i) in
+      checkb "timestamp preserved" true (Packet.ts p = Packet.ts q);
+      List.iter
+        (fun f ->
+          checki (Field.to_string f) (Packet.get p f) (Packet.get q f))
+        Field.all)
+    (Gen.packets trace);
+  Sys.remove path
+
+let test_loaded_trace_replays_identically () =
+  let trace =
+    Gen.generate ~attacks:Attack.default_suite ~seed:6
+      (Profile.with_flows Profile.caida_like 400)
+  in
+  let path = tmp "replay.ntrc" in
+  Trace_io.save trace path;
+  let loaded = Trace_io.load path in
+  let run t =
+    let d = Newton_core.Newton.Device.create () in
+    List.iter
+      (fun q -> ignore (Newton_core.Newton.Device.add_query d q))
+      (Newton_query.Catalog.all ());
+    Newton_core.Newton.Device.process_trace d t;
+    Newton_core.Newton.Device.reports d
+    |> List.map Newton_query.Report.to_string
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "identical detections on replay" (run trace) (run loaded);
+  Sys.remove path
+
+let test_profile_name_preserved () =
+  let trace = Gen.generate ~seed:7 (Profile.with_flows Profile.mawi_like 50) in
+  let path = tmp "name.ntrc" in
+  Trace_io.save trace path;
+  let loaded = Trace_io.load path in
+  Alcotest.(check string) "name carries a loaded: prefix" "loaded:mawi-like"
+    (Gen.profile loaded).Profile.name;
+  Sys.remove path
+
+let test_empty_trace () =
+  let path = tmp "empty.ntrc" in
+  Trace_io.save (Gen.of_packets ~name:"none" [||]) path;
+  checki "empty round-trips" 0 (Gen.length (Trace_io.load path));
+  Sys.remove path
+
+let expect_format_error name f =
+  checkb name true (try ignore (f ()); false with Trace_io.Format_error _ -> true)
+
+let test_rejects_bad_magic () =
+  let path = tmp "badmagic.ntrc" in
+  let oc = open_out_bin path in
+  output_string oc "XXXX\x01";
+  close_out oc;
+  expect_format_error "bad magic" (fun () -> Trace_io.load path);
+  Sys.remove path
+
+let test_rejects_bad_version () =
+  let path = tmp "badver.ntrc" in
+  let oc = open_out_bin path in
+  output_string oc "NTRC\x63";
+  close_out oc;
+  expect_format_error "bad version" (fun () -> Trace_io.load path);
+  Sys.remove path
+
+let test_rejects_truncated () =
+  let trace = Gen.generate ~seed:8 (Profile.with_flows Profile.caida_like 40) in
+  let path = tmp "trunc.ntrc" in
+  Trace_io.save trace path;
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  let oc = open_out_bin path in
+  output_string oc (String.sub full 0 (String.length full / 2));
+  close_out oc;
+  expect_format_error "truncated data" (fun () -> Trace_io.load path);
+  Sys.remove path
+
+let suite =
+  [
+    ("roundtrip", `Quick, test_roundtrip);
+    ("loaded trace replays identically", `Quick, test_loaded_trace_replays_identically);
+    ("profile name preserved", `Quick, test_profile_name_preserved);
+    ("empty trace", `Quick, test_empty_trace);
+    ("rejects bad magic", `Quick, test_rejects_bad_magic);
+    ("rejects bad version", `Quick, test_rejects_bad_version);
+    ("rejects truncated", `Quick, test_rejects_truncated);
+  ]
