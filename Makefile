@@ -1,6 +1,10 @@
 # Conventional entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench examples doc clean data
+.PHONY: all build test bench examples doc clean data ci
+
+# Maximum shard count the parallel replay bench measures (powers of two
+# up to this value); see EXPERIMENTS.md.
+NEWTON_BENCH_JOBS ?= 4
 
 all: build
 
@@ -12,11 +16,11 @@ test:
 
 # Regenerate every paper table/figure (plus ablations & derived benches)
 bench:
-	dune exec bench/main.exe
+	NEWTON_BENCH_JOBS=$(NEWTON_BENCH_JOBS) dune exec bench/main.exe
 
 # Also write gnuplot-ready .dat files under out/
 data:
-	NEWTON_BENCH_DATA=out dune exec bench/main.exe
+	NEWTON_BENCH_DATA=out NEWTON_BENCH_JOBS=$(NEWTON_BENCH_JOBS) dune exec bench/main.exe
 
 examples:
 	dune exec examples/quickstart.exe
@@ -27,6 +31,15 @@ examples:
 
 doc:
 	dune build @doc
+
+# Exactly what .github/workflows/ci.yml runs: artifact-hygiene guard,
+# build, tests, example smoke-runs.
+ci:
+	@test -z "$$(git ls-files _build)" || \
+	  { echo "error: _build artifacts are tracked in git"; exit 1; }
+	$(MAKE) build
+	$(MAKE) test
+	$(MAKE) examples
 
 clean:
 	dune clean

@@ -17,6 +17,7 @@ let experiments =
     ("ablation", Ablation.run);
     ("detection", Detection.run);
     ("refinement", Refinement.run);
+    ("parallel", Parallel.run);
     ("micro", Microbench.run) ]
 
 let () =

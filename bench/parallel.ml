@@ -1,0 +1,130 @@
+(** Parallel replay speedup: the sequential engine vs the domain-pool
+    sharded engine at increasing shard counts, over the synthetic
+    Zipf-background trace with the default attack suite and all nine
+    catalog queries installed.
+
+    Shard counts come from NEWTON_BENCH_JOBS (the maximum; powers of
+    two up to it are measured, default 4).  Besides the table, results
+    are written as a JSON artifact — out/bench_parallel.json, or the
+    path in NEWTON_BENCH_JSON — which CI uploads per run.  Speedup is
+    wall-clock and therefore needs as many cores as shards; on a
+    single-core host (or an OCaml 4 build, where the domain pool
+    degrades to sequential execution) expect ~1x. *)
+
+let getenv_int name default =
+  match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+  | Some v when v > 0 -> v
+  | _ -> default
+
+let json_path () =
+  Option.value (Sys.getenv_opt "NEWTON_BENCH_JSON")
+    ~default:"out/bench_parallel.json"
+
+let jobs_to_measure () =
+  let max_jobs = getenv_int "NEWTON_BENCH_JOBS" 4 in
+  let rec powers j acc = if j >= max_jobs then acc else powers (2 * j) (j :: acc) in
+  List.rev (max_jobs :: powers 1 [])
+
+let install_all engine =
+  List.iter
+    (fun q -> ignore (Newton_runtime.Engine.install engine (Common.compile q)))
+    (Common.all_queries ())
+
+let install_all_parallel engine =
+  List.iter
+    (fun q ->
+      ignore (Newton_runtime.Parallel_engine.install engine (Common.compile q)))
+    (Common.all_queries ())
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let run () =
+  Common.banner "Parallel replay speedup (sharded engine, Zipf trace)";
+  let flows = getenv_int "NEWTON_BENCH_FLOWS" 4000 in
+  let trace = Common.caida_trace ~flows () in
+  let packets = Newton_trace.Gen.packets trace in
+  let npkts = Array.length packets in
+  Common.note "trace: %d packets, %d flows; 9 catalog queries installed" npkts
+    flows;
+  if not Newton_runtime.Domain_pool.parallel then
+    Common.note
+      "NOTE: OCaml 4 build — domain pool runs shards sequentially, speedup ~1x";
+  (* Sequential baseline: the plain per-switch engine. *)
+  let seq = Newton_runtime.Engine.create ~switch_id:0 in
+  install_all seq;
+  let t_seq =
+    time (fun () -> Array.iter (Newton_runtime.Engine.process_packet seq) packets)
+  in
+  let seq_reports = List.length (Newton_runtime.Engine.reports seq) in
+  let t =
+    Common.T.create
+      ~aligns:[ Common.T.Right; Common.T.Right; Common.T.Right; Common.T.Right; Common.T.Right ]
+      [ "jobs"; "seconds"; "speedup"; "pkts/s"; "reports" ]
+  in
+  Common.T.add_row t
+    [ "seq"; Printf.sprintf "%.3f" t_seq; "1.00x";
+      Printf.sprintf "%.0f" (float_of_int npkts /. t_seq);
+      string_of_int seq_reports ];
+  let results =
+    List.map
+      (fun jobs ->
+        let par =
+          Newton_runtime.Parallel_engine.create ~jobs ~switch_id:0 ()
+        in
+        install_all_parallel par;
+        let t_par =
+          time (fun () ->
+              Newton_runtime.Parallel_engine.process_packets par packets)
+        in
+        let reports = List.length (Newton_runtime.Parallel_engine.reports par) in
+        let speedup = t_seq /. t_par in
+        Common.T.add_row t
+          [ string_of_int jobs; Printf.sprintf "%.3f" t_par;
+            Printf.sprintf "%.2fx" speedup;
+            Printf.sprintf "%.0f" (float_of_int npkts /. t_par);
+            string_of_int reports ];
+        (jobs, t_par, speedup, reports))
+      (jobs_to_measure ())
+  in
+  Common.T.print t;
+  Common.note
+    "flow sharding splits cross-flow aggregates across shards, so the \
+     multi-query report count drops vs seq (docs/PARALLELISM.md); per-query \
+     equivalence uses branch-key sharding (test suite 'parallel')";
+  Common.maybe_dat t "parallel_speedup";
+  (* BENCH json artifact *)
+  let open Newton_util.Json in
+  let json =
+    Obj
+      [
+        ("bench", String "parallel_replay_speedup");
+        ("trace", Obj [ ("packets", Int npkts); ("flows", Int flows) ]);
+        ("queries", Int (List.length (Common.all_queries ())));
+        ("domains_parallel", Bool Newton_runtime.Domain_pool.parallel);
+        ( "sequential",
+          Obj [ ("seconds", Float t_seq); ("reports", Int seq_reports) ] );
+        ( "sharded",
+          List
+            (List.map
+               (fun (jobs, secs, speedup, reports) ->
+                 Obj
+                   [
+                     ("jobs", Int jobs);
+                     ("seconds", Float secs);
+                     ("speedup", Float speedup);
+                     ("reports", Int reports);
+                   ])
+               results) );
+      ]
+  in
+  let path = json_path () in
+  let dir = Filename.dirname path in
+  if dir <> "." && not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out path in
+  output_string oc (to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Common.note "[json written to %s]" path

@@ -216,23 +216,76 @@ let cmd_p4 =
 
 (* ---------------- run (device level) ---------------- *)
 
+let jobs_arg =
+  let doc =
+    "Replay shards (OCaml 5 domains). 1 = the sequential engine; N > 1 \
+     shards the packet stream (per-query key when one query is installed, \
+     5-tuple otherwise) and merges the per-shard results."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let batch_arg =
+  let doc = "Packets processed per shard batch (sharded replay only)." in
+  Arg.(value & opt int Newton_runtime.Parallel_engine.default_batch
+       & info [ "batch" ] ~docv:"B" ~doc)
+
 let cmd_run =
-  let run ids dsl profile flows seed attacks verbose trace_in trace_out =
+  let run ids dsl profile flows seed attacks verbose trace_in trace_out jobs
+      batch =
     match gather_queries ids dsl with
     | Error msg -> prerr_endline msg; exit 1
     | Ok qs ->
-        let device = Device.create () in
-        List.iter
-          (fun q ->
-            let _, lat = Device.add_query device q in
-            Printf.printf "installed Q%d (%s) in %.1f ms\n" q.Query.id q.Query.name
-              (lat *. 1e3))
-          qs;
+        if jobs < 1 || batch < 1 then begin
+          prerr_endline "--jobs and --batch must be >= 1";
+          exit 1
+        end;
         let trace = make_trace ?trace_in ?trace_out profile flows seed attacks in
         Printf.printf "trace: %d packets (%s)\n" (Trace.length trace)
           (Trace_profile.to_string (Trace.profile trace));
-        Device.process_trace device trace;
-        let reports = Device.reports device in
+        let reports =
+          if jobs = 1 then begin
+            let device = Device.create () in
+            List.iter
+              (fun q ->
+                let _, lat = Device.add_query device q in
+                Printf.printf "installed Q%d (%s) in %.1f ms\n" q.Query.id
+                  q.Query.name (lat *. 1e3))
+              qs;
+            Device.process_trace device trace;
+            Device.reports device
+          end
+          else begin
+            (* One query: shard on its aggregation key so shard-merged
+               results match the sequential engine; several queries:
+               5-tuple sharding (divergence documented in
+               docs/PARALLELISM.md). *)
+            let shard_key =
+              match qs with
+              | [ q ] ->
+                  Newton_runtime.Shard.for_compiled (Compiler.compile q)
+              | _ ->
+                  Printf.printf
+                    "note: several queries — 5-tuple sharding; cross-flow \
+                     aggregates split across shards (docs/PARALLELISM.md)\n";
+                  Newton_runtime.Shard.Flow
+            in
+            let pdev = Parallel_device.create ~jobs ~batch ~shard_key () in
+            List.iter
+              (fun q ->
+                ignore (Parallel_device.add_query pdev q);
+                Printf.printf "installed Q%d (%s) on %d shards\n" q.Query.id
+                  q.Query.name jobs)
+              qs;
+            Parallel_device.process_trace pdev trace;
+            Printf.printf "shard loads: [%s] (%s)\n"
+              (String.concat "; "
+                 (Array.to_list
+                    (Array.map string_of_int (Parallel_device.shard_loads pdev))))
+              (Newton_runtime.Parallel_engine.to_string
+                 (Parallel_device.engine pdev));
+            Parallel_device.reports pdev
+          end
+        in
         Printf.printf "monitoring messages: %d (%.4f%% of packets)\n"
           (List.length reports)
           (100.0 *. float_of_int (List.length reports)
@@ -261,7 +314,8 @@ let cmd_run =
     (Cmd.info "run" ~doc:"Run queries on a single switch over a synthetic trace")
     Term.(
       const run $ queries_arg $ dsl_arg $ profile_arg $ flows_arg $ seed_arg
-      $ attacks_arg $ verbose_arg $ trace_in_arg $ trace_out_arg)
+      $ attacks_arg $ verbose_arg $ trace_in_arg $ trace_out_arg $ jobs_arg
+      $ batch_arg)
 
 (* ---------------- netrun (network-wide) ---------------- *)
 

@@ -35,6 +35,8 @@ module Topo = Newton_network.Topo
 module Route = Newton_network.Route
 module Placement = Newton_controller.Placement
 module Analyzer = Newton_runtime.Analyzer
+module Shard = Newton_runtime.Shard
+module Parallel_engine = Newton_runtime.Parallel_engine
 
 (** A query installed on a device or network; returned by [add_query]. *)
 type handle = { uid : int; query : Newton_query.Ast.t }
@@ -99,6 +101,54 @@ module Device = struct
   let reports t = Engine.reports t.engine
   let message_count t = Engine.report_count t.engine
   let monitor_rules t = Engine.total_rules t.engine
+end
+
+(** Sharded replay (§6-scale evaluation): one switch whose packet
+    stream is partitioned across OCaml 5 domains, each shard a replica
+    engine, results folded back with the ALU merge ops.  [jobs = 1] is
+    bit-identical to {!Device}. *)
+module Parallel_device = struct
+  open Newton_runtime
+
+  type t = {
+    engine : Parallel_engine.t;
+    options : Newton_compiler.Decompose.options;
+    mutable handles : handle list;
+  }
+
+  let create ?(options = Newton_compiler.Decompose.default_options) ?jobs
+      ?batch ?shard_key () =
+    {
+      engine = Parallel_engine.create ?jobs ?batch ?shard_key ~switch_id:0 ();
+      options;
+      handles = [];
+    }
+
+  let engine t = t.engine
+  let jobs t = Parallel_engine.jobs t.engine
+  let queries t = List.map (fun h -> h.query) t.handles
+
+  (** Compile and install a query on every shard. *)
+  let add_query ?options t query =
+    let options = Option.value options ~default:t.options in
+    let compiled = Newton_compiler.Compose.compile ~options query in
+    let uid, _rules = Parallel_engine.install t.engine compiled in
+    let h = { uid; query } in
+    t.handles <- h :: t.handles;
+    h
+
+  let remove_query t h =
+    match Parallel_engine.remove t.engine h.uid with
+    | None -> false
+    | Some _ ->
+        t.handles <- List.filter (fun x -> x.uid <> h.uid) t.handles;
+        true
+
+  let process_packets t pkts = Parallel_engine.process_packets t.engine pkts
+  let process_trace t trace = Parallel_engine.process_trace t.engine trace
+  let reports t = Parallel_engine.reports t.engine
+  let message_count t = Parallel_engine.message_count t.engine
+  let shard_loads t = Parallel_engine.shard_loads t.engine
 end
 
 (** Network-wide Newton (§5): resilient placement + cross-switch query

@@ -1,0 +1,25 @@
+(** A minimal domain pool for sharded trace replay.
+
+    On OCaml 5 this wraps [Domain]: tasks run on freshly spawned domains,
+    at most [max_domains] at a time (waves), and results are joined in
+    task order.  On OCaml 4 (no multicore runtime) the same interface
+    degrades to in-order sequential execution — shard {e semantics} are
+    identical either way, only wall-clock parallelism differs.
+
+    The implementation is selected at build time by a dune rule on
+    [%{ocaml_version}]: [domain_pool.ocaml5] or [domain_pool.ocaml4]. *)
+
+(** Whether tasks actually run on parallel domains. *)
+val parallel : bool
+
+(** A sensible shard count for this machine:
+    [Domain.recommended_domain_count] on OCaml 5, [1] on OCaml 4. *)
+val recommended_jobs : unit -> int
+
+(** Run every task and return their results in task order.  At most
+    [max_domains] tasks run concurrently (default: the task count).
+    Tasks must not share mutable state unless independently
+    synchronised.  An exception raised by any task is re-raised after
+    the wave it ran in completes.
+    @raise Invalid_argument if [max_domains < 1]. *)
+val run : ?max_domains:int -> (unit -> 'a) array -> 'a array

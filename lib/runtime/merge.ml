@@ -1,0 +1,74 @@
+(** Folding per-shard replay results back into one view.
+
+    Two halves, mirroring what a sharded deployment exports:
+
+    - {b Reports}: each shard emits its reports in packet order; the
+      merge concatenates them epoch-aligned — stable-sorted by
+      (window, query) so every epoch's reports are contiguous, with
+      shard order preserved inside an epoch — then deduplicates by
+      report identity, exactly like the analyzer's network-wide dedup.
+    - {b Sketch state}: per-shard register arrays combine with the ALU
+      merge op of their owning S slot ([`Or] for Bloom banks, [`Add]
+      for Count-Min rows, [`Max] for running maxima).  Because every
+      shard hashes with the same seeds, the merged banks are
+      register-for-register what the sequential engine would hold over
+      the same window. *)
+
+open Newton_query
+open Newton_sketch
+open Newton_compiler
+
+(** The cross-shard combine op of a state slot, when it has mergeable
+    state ([S_bf]/[S_cm]/[S_max]). *)
+let slot_merge_op (s : Ir.slot) =
+  match s.Ir.cfg with
+  | Ir.S_cfg { op = Ir.S_bf; _ } -> Some `Or
+  | Ir.S_cfg { op = Ir.S_cm _; _ } -> Some `Add
+  | Ir.S_cfg { op = Ir.S_max _; _ } -> Some `Max
+  | _ -> None
+
+(** Epoch-aligned merge of per-shard report streams: stable sort on
+    (window, query) keeps shard-major order within an epoch, then
+    first-wins identity dedup. *)
+let reports (per_shard : Report.t list list) =
+  List.concat per_shard
+  |> List.stable_sort (fun (a : Report.t) (b : Report.t) ->
+         match compare a.Report.window b.Report.window with
+         | 0 -> compare a.Report.query_id b.Report.query_id
+         | c -> c)
+  |> Report.dedup
+
+(** Merge one instance's register arrays across shards.  [instances]
+    are the same installed query on every shard engine (same uid, same
+    compiled layout).  Returns the merged array per state-bank key.
+    @raise Invalid_argument if the instance lists are shape-mismatched. *)
+let instance_arrays (instances : Engine.instance list) =
+  match instances with
+  | [] -> []
+  | first :: rest ->
+      (* Locate the merge op of every array key from the slot layout. *)
+      let op_of = Hashtbl.create 8 in
+      Array.iter
+        (List.iter (fun (s : Ir.slot) ->
+             match slot_merge_op s with
+             | Some op ->
+                 Hashtbl.replace op_of (s.Ir.branch, s.Ir.prim, s.Ir.suite) op
+             | None -> ()))
+        first.Engine.slots;
+      Hashtbl.fold
+        (fun key arr acc ->
+          let op =
+            match Hashtbl.find_opt op_of key with
+            | Some op -> op
+            | None -> `Add (* pass-through state defaults to summation *)
+          in
+          let merged = Register_array.copy arr in
+          List.iter
+            (fun (inst : Engine.instance) ->
+              match Hashtbl.find_opt inst.Engine.arrays key with
+              | Some src -> Register_array.merge_into ~op ~dst:merged ~src
+              | None ->
+                  invalid_arg "Merge.instance_arrays: array-key mismatch")
+            rest;
+          (key, merged) :: acc)
+        first.Engine.arrays []

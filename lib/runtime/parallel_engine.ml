@@ -1,0 +1,174 @@
+(** Domain-pool sharded trace replay (§6-scale evaluation path).
+
+    Wraps [jobs] replica {!Engine}s — one per shard, each owning the
+    full rule layout of every installed query but only the state of the
+    packets its shard key routes to it.  Replay partitions the packet
+    stream with a {!Shard} strategy (order-preserving per shard),
+    processes each shard's stream in fixed-size batches on its own
+    OCaml 5 domain ({!Domain_pool}), and folds the per-shard results
+    back together with {!Merge}: epoch-aligned report concatenation
+    plus ALU-merged sketch state.
+
+    With [jobs = 1] the engine degenerates to the sequential
+    {!Engine} — same packets, same order, bit-identical reports — which
+    is the correctness oracle the differential tests rely on. *)
+
+open Newton_packet
+
+type t = {
+  jobs : int;
+  batch : int;
+  strategy : Shard.strategy;
+  sharder : Shard.t;
+  shards : Engine.t array;
+  mutable shard_packets : int array; (* packets routed per shard, lifetime *)
+}
+
+let default_batch = 512
+
+let create ?jobs ?(batch = default_batch) ?(shard_key = Shard.Flow)
+    ~switch_id () =
+  let jobs =
+    match jobs with
+    | Some j when j < 1 -> invalid_arg "Parallel_engine.create: jobs < 1"
+    | Some j -> j
+    | None -> max 1 (Domain_pool.recommended_jobs ())
+  in
+  if batch <= 0 then invalid_arg "Parallel_engine.create: batch <= 0";
+  {
+    jobs;
+    batch;
+    strategy = shard_key;
+    sharder = Shard.make ~jobs shard_key;
+    shards = Array.init jobs (fun _ -> Engine.create ~switch_id);
+    shard_packets = Array.make jobs 0;
+  }
+
+let jobs t = t.jobs
+let batch t = t.batch
+let strategy t = t.strategy
+let shard_engines t = t.shards
+
+(** Packets routed to each shard so far (load-balance view). *)
+let shard_loads t = Array.copy t.shard_packets
+
+(* ---------------- install / remove ---------------- *)
+
+(** Install a compiled query on every shard under one uid.  The
+    returned rule count is the per-switch footprint (each shard is a
+    core of the same switch, so rules are counted once).
+    @raise Engine.Rules_exhausted as {!Engine.install}; shard 0 is
+    installed first, so a rejected install leaves no residue. *)
+let install t ?uid compiled =
+  let uid, rules = Engine.install t.shards.(0) ?uid compiled in
+  for i = 1 to t.jobs - 1 do
+    ignore (Engine.install t.shards.(i) ~uid compiled)
+  done;
+  (uid, rules)
+
+(** Remove an installed query from every shard; freed rules are the
+    per-switch count. *)
+let remove t uid =
+  let freed = Engine.remove t.shards.(0) uid in
+  for i = 1 to t.jobs - 1 do
+    ignore (Engine.remove t.shards.(i) uid)
+  done;
+  freed
+
+(** Mirror-session budget, applied per shard (a sharded switch budgets
+    each core's mirror port independently; divergence from the
+    sequential engine's single budget is documented). *)
+let set_report_budget t n =
+  Array.iter (fun e -> Engine.set_report_budget e n) t.shards
+
+(* ---------------- replay ---------------- *)
+
+(* One shard's replay loop: its packet slice in batches of [t.batch].
+   Batches amortise the per-packet dispatch in a real pipeline; here
+   they also bound the work a domain does between scheduler touchpoints. *)
+let replay_shard t engine (packets : Packet.t array) () =
+  let n = Array.length packets in
+  let i = ref 0 in
+  while !i < n do
+    let hi = min n (!i + t.batch) in
+    for j = !i to hi - 1 do
+      Engine.process_packet engine packets.(j)
+    done;
+    i := hi
+  done
+
+(** Replay a packet array: partition by shard key (order preserved per
+    shard), then run every shard's stream on its own domain. *)
+let process_packets t packets =
+  if t.jobs = 1 then begin
+    Array.iter (Engine.process_packet t.shards.(0)) packets;
+    t.shard_packets.(0) <- t.shard_packets.(0) + Array.length packets
+  end
+  else begin
+    let n = Array.length packets in
+    let owner = Array.make n 0 in
+    let counts = Array.make t.jobs 0 in
+    for i = 0 to n - 1 do
+      let s = Shard.assign t.sharder packets.(i) in
+      owner.(i) <- s;
+      counts.(s) <- counts.(s) + 1
+    done;
+    let parts =
+      (* dummy-init then fill in stream order, keeping per-shard order *)
+      Array.init t.jobs (fun s -> Array.make counts.(s) packets.(0))
+    in
+    let fill = Array.make t.jobs 0 in
+    for i = 0 to n - 1 do
+      let s = owner.(i) in
+      parts.(s).(fill.(s)) <- packets.(i);
+      fill.(s) <- fill.(s) + 1
+    done;
+    ignore
+      (Domain_pool.run
+         (Array.init t.jobs (fun s -> replay_shard t t.shards.(s) parts.(s))));
+    Array.iteri (fun s c -> t.shard_packets.(s) <- t.shard_packets.(s) + c) counts
+  end
+
+let process_trace t trace =
+  if Newton_trace.Gen.length trace > 0 then
+    process_packets t (Newton_trace.Gen.packets trace)
+
+(* ---------------- merged results ---------------- *)
+
+(** Shard-merged reports: with [jobs = 1], exactly the sequential
+    engine's report stream; otherwise the epoch-aligned {!Merge} of the
+    per-shard streams. *)
+let reports t =
+  if t.jobs = 1 then Engine.reports t.shards.(0)
+  else Merge.reports (Array.to_list (Array.map Engine.reports t.shards))
+
+(** Drain every shard and return the merged stream. *)
+let drain_reports t =
+  if t.jobs = 1 then Engine.drain_reports t.shards.(0)
+  else
+    Merge.reports (Array.to_list (Array.map Engine.drain_reports t.shards))
+
+(** Total reports emitted across shards (pre-dedup — the monitoring
+    message count a sharded deployment puts on the wire). *)
+let message_count t =
+  Array.fold_left (fun acc e -> acc + Engine.report_count e) 0 t.shards
+
+let packets_seen t =
+  Array.fold_left (fun acc e -> acc + Engine.packets_seen e) 0 t.shards
+
+(** ALU-merged register state of one installed query across shards
+    (see {!Merge.instance_arrays}); [None] if the uid is unknown. *)
+let merged_arrays t uid =
+  let instances =
+    Array.to_list t.shards
+    |> List.filter_map (fun e -> Engine.find_instance e uid)
+  in
+  match instances with [] -> None | l -> Some (Merge.instance_arrays l)
+
+(** Per-shard engine statistics (one list per shard). *)
+let stats t = Array.to_list (Array.map Engine.stats t.shards)
+
+let to_string t =
+  Printf.sprintf "parallel-engine jobs=%d batch=%d shard=%s%s" t.jobs t.batch
+    (Shard.strategy_to_string t.strategy)
+    (if Domain_pool.parallel then "" else " (sequential fallback)")

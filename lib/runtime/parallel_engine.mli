@@ -1,0 +1,70 @@
+(** Domain-pool sharded trace replay.
+
+    [jobs] replica {!Engine}s, one per shard; replay partitions packets
+    with a {!Shard} strategy, runs each shard's stream in fixed-size
+    batches on its own OCaml 5 domain, and merges results with {!Merge}
+    (epoch-aligned reports, ALU-merged sketch state).  [jobs = 1] is
+    bit-identical to the sequential {!Engine}.  Divergences of sharded
+    replay (per-shard Bloom false-positive rates, per-shard report
+    budgets, Flow-sharded cross-flow aggregates) are documented in
+    docs/PARALLELISM.md. *)
+
+open Newton_packet
+open Newton_query
+open Newton_sketch
+open Newton_compiler
+
+type t
+
+val default_batch : int
+
+(** [create ?jobs ?batch ?shard_key ~switch_id ()] — [jobs] defaults to
+    {!Domain_pool.recommended_jobs} and [shard_key] to {!Shard.Flow}.
+    @raise Invalid_argument if [jobs < 1] or [batch <= 0]. *)
+val create :
+  ?jobs:int -> ?batch:int -> ?shard_key:Shard.strategy -> switch_id:int ->
+  unit -> t
+
+val jobs : t -> int
+val batch : t -> int
+val strategy : t -> Shard.strategy
+val shard_engines : t -> Engine.t array
+
+(** Packets routed to each shard so far. *)
+val shard_loads : t -> int array
+
+(** Install a compiled query on every shard under one uid; the rule
+    count is the per-switch footprint.
+    @raise Engine.Rules_exhausted as {!Engine.install}. *)
+val install : t -> ?uid:int -> Compose.t -> int * int
+
+(** Remove an installed query from every shard. *)
+val remove : t -> int -> int option
+
+(** Mirror budget, applied per shard. *)
+val set_report_budget : t -> int option -> unit
+
+(** Replay a packet array: partition, then one domain per shard. *)
+val process_packets : t -> Packet.t array -> unit
+
+val process_trace : t -> Newton_trace.Gen.t -> unit
+
+(** Shard-merged reports (sequential stream when [jobs = 1]). *)
+val reports : t -> Report.t list
+
+(** Drain every shard; returns the merged stream. *)
+val drain_reports : t -> Report.t list
+
+(** Reports emitted across shards, pre-dedup. *)
+val message_count : t -> int
+
+val packets_seen : t -> int
+
+(** ALU-merged register state of one installed query across shards. *)
+val merged_arrays :
+  t -> int -> (Engine.array_key * Register_array.t) list option
+
+(** Per-shard engine statistics. *)
+val stats : t -> Engine.instance_stats list list
+
+val to_string : t -> string

@@ -51,6 +51,27 @@ let clear t =
   Array.iter Register_array.clear t.arrays;
   t.inserted <- 0
 
+(** Union of two filters built with identical geometry and hash seeds
+    (bitwise [Or] of every bank).  [inserted] adds up, so
+    {!expected_fpr} stays an upper bound — double-inserted keys are
+    counted twice.  Sharded engines use this to fold per-shard distinct
+    state back into one network view.
+    @raise Invalid_argument on a geometry or seed mismatch. *)
+let merge a b =
+  if width a <> width b || depth a <> depth b then
+    invalid_arg "Bloom.merge: geometry mismatch";
+  Array.iter2
+    (fun ha hb ->
+      if Hash.seed ha <> Hash.seed hb then
+        invalid_arg "Bloom.merge: hash seed mismatch")
+    a.hashes b.hashes;
+  {
+    arrays =
+      Array.map2 (fun x y -> Register_array.merge ~op:`Or x y) a.arrays b.arrays;
+    hashes = a.hashes;
+    inserted = a.inserted + b.inserted;
+  }
+
 (** Expected false-positive rate given current occupancy. *)
 let expected_fpr t =
   let w = float_of_int (width t) in

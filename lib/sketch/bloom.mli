@@ -23,5 +23,10 @@ val mem : t -> int array -> bool
 
 val clear : t -> unit
 
+(** Union of two same-geometry, same-seed filters (bitwise [Or] per
+    bank); [inserted] adds up, keeping {!expected_fpr} an upper bound.
+    @raise Invalid_argument on a geometry or seed mismatch. *)
+val merge : t -> t -> t
+
 (** Expected false-positive rate at the current occupancy. *)
 val expected_fpr : t -> float

@@ -54,6 +54,26 @@ let clear t =
   Array.iter Register_array.clear t.rows;
   t.total <- 0
 
+(** Sum of two sketches built with identical geometry and hash seeds
+    (counter-wise [Add] of every row) — the classic CM mergeability
+    property.  Estimates over the merged sketch equal estimates over the
+    union stream; sharded engines use this to fold per-shard reduce
+    state back into one network view.
+    @raise Invalid_argument on a geometry or seed mismatch. *)
+let merge a b =
+  if width a <> width b || depth a <> depth b then
+    invalid_arg "Count_min.merge: geometry mismatch";
+  Array.iter2
+    (fun ha hb ->
+      if Hash.seed ha <> Hash.seed hb then
+        invalid_arg "Count_min.merge: hash seed mismatch")
+    a.hashes b.hashes;
+  {
+    rows = Array.map2 (fun x y -> Register_array.merge ~op:`Add x y) a.rows b.rows;
+    hashes = a.hashes;
+    total = a.total + b.total;
+  }
+
 (** Standard CM error bound: estimate <= true + (e/w) * total with
     probability 1 - (1/e)^d. *)
 let error_bound t =

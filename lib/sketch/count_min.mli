@@ -22,6 +22,12 @@ val estimate : t -> int array -> int
 
 val clear : t -> unit
 
+(** Sum of two same-geometry, same-seed sketches (counter-wise [Add]
+    per row): estimates over the merge equal estimates over the union
+    stream.
+    @raise Invalid_argument on a geometry or seed mismatch. *)
+val merge : t -> t -> t
+
 (** Standard CM bound: estimate <= truth + (e/width) * total with
     probability 1 - (1/e)^depth. *)
 val error_bound : t -> float

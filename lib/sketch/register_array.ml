@@ -36,6 +36,38 @@ let exec t alu idx =
 
 let clear t = Array.fill t.regs 0 t.size 0
 
+let copy t = { t with regs = Array.copy t.regs }
+
+(* ---------------- shard merging ---------------- *)
+
+(* The cross-shard combine menu mirrors the stateful ALUs: Bloom banks
+   union with [`Or], Count-Min rows sum with [`Add], running maxima take
+   [`Max].  All three are associative and commutative, so shard state
+   folds in any order. *)
+type merge_op = [ `Add | `Or | `Max ]
+
+let merge_op_to_string = function `Add -> "+" | `Or -> "|" | `Max -> "max"
+
+let alu_of_merge_op op v =
+  match op with `Add -> Alu.Add v | `Or -> Alu.Or v | `Max -> Alu.Max v
+
+(** Fold [src] into [dst] register-by-register with the merge op's ALU;
+    merging is not counted as packet ALU executions. *)
+let merge_into ~op ~dst ~src =
+  if dst.size <> src.size then
+    invalid_arg
+      (Printf.sprintf "Register_array.merge_into: size mismatch (%d vs %d)"
+         dst.size src.size);
+  for i = 0 to dst.size - 1 do
+    ignore (Alu.exec (alu_of_merge_op op src.regs.(i)) dst.regs i)
+  done
+
+(** Functional merge: a fresh array holding [op]-combined registers. *)
+let merge ~op a b =
+  let t = copy a in
+  merge_into ~op ~dst:t ~src:b;
+  t
+
 (** Number of non-zero registers (occupancy), used in accuracy analyses. *)
 let occupancy t =
   Array.fold_left (fun acc v -> if v <> 0 then acc + 1 else acc) 0 t.regs

@@ -26,6 +26,24 @@ val exec : t -> Alu.t -> int -> int
 (** Zero every register (window reset). *)
 val clear : t -> unit
 
+(** Independent copy (registers duplicated, op counter carried over). *)
+val copy : t -> t
+
+(** Cross-shard combine ops, one per stateful-ALU family: [`Or] unions
+    Bloom banks, [`Add] sums Count-Min rows, [`Max] folds running
+    maxima.  All are associative and commutative. *)
+type merge_op = [ `Add | `Or | `Max ]
+
+val merge_op_to_string : merge_op -> string
+
+(** Fold [src] into [dst] register-by-register.
+    @raise Invalid_argument on a size mismatch. *)
+val merge_into : op:merge_op -> dst:t -> src:t -> unit
+
+(** Functional merge into a fresh array.
+    @raise Invalid_argument on a size mismatch. *)
+val merge : op:merge_op -> t -> t -> t
+
 (** Number of non-zero registers. *)
 val occupancy : t -> int
 

@@ -21,6 +21,7 @@ let () =
       ("network", Test_network.suite);
       ("fib", Test_fib.suite);
       ("runtime", Test_runtime.suite);
+      ("parallel", Test_parallel.suite);
       ("controller", Test_controller.suite);
       ("partial_deploy", Test_partial_deploy.suite);
       ("scheduler", Test_scheduler.suite);
