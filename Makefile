@@ -33,10 +33,16 @@ doc:
 	dune build @doc
 
 # Exactly what .github/workflows/ci.yml runs: artifact-hygiene guard,
-# build, tests, example smoke-runs.
+# .mli interface guard, build, tests, example smoke-runs.
 ci:
 	@test -z "$$(git ls-files _build)" || \
 	  { echo "error: _build artifacts are tracked in git"; exit 1; }
+	@missing=0; for f in $$(git ls-files 'lib/*/*.ml'); do \
+	  if [ ! -f "$${f}i" ]; then \
+	    echo "error: $$f has no $${f}i — every lib module needs an interface"; \
+	    missing=1; \
+	  fi; \
+	done; exit $$missing
 	$(MAKE) build
 	$(MAKE) test
 	$(MAKE) examples

@@ -53,7 +53,7 @@ let run () =
     Common.note
       "NOTE: OCaml 4 build — domain pool runs shards sequentially, speedup ~1x";
   (* Sequential baseline: the plain per-switch engine. *)
-  let seq = Newton_runtime.Engine.create ~switch_id:0 in
+  let seq = Newton_runtime.Engine.create ~switch_id:0 () in
   install_all seq;
   let t_seq =
     time (fun () -> Array.iter (Newton_runtime.Engine.process_packet seq) packets)
@@ -68,6 +68,7 @@ let run () =
     [ "seq"; Printf.sprintf "%.3f" t_seq; "1.00x";
       Printf.sprintf "%.0f" (float_of_int npkts /. t_seq);
       string_of_int seq_reports ];
+  let last_par = ref None in
   let results =
     List.map
       (fun jobs ->
@@ -75,6 +76,7 @@ let run () =
           Newton_runtime.Parallel_engine.create ~jobs ~switch_id:0 ()
         in
         install_all_parallel par;
+        last_par := Some (jobs, par);
         let t_par =
           time (fun () ->
               Newton_runtime.Parallel_engine.process_packets par packets)
@@ -127,4 +129,30 @@ let run () =
   output_string oc (to_string json);
   output_char oc '\n';
   close_out oc;
-  Common.note "[json written to %s]" path
+  Common.note "[json written to %s]" path;
+  (* Telemetry snapshot artifact: the sequential engine's metrics next
+     to the widest sharded run's merged metrics, so CI can diff counter
+     totals (and sketch health) between the two per run. *)
+  let stats_path =
+    Option.value (Sys.getenv_opt "NEWTON_STATS_JSON")
+      ~default:"out/bench_stats.json"
+  in
+  let snap =
+    Newton_telemetry.Snapshot.merge
+      (Newton_runtime.Introspect.engine_metrics
+         ~labels:[ ("engine", "seq") ]
+         seq)
+      (match !last_par with
+      | Some (jobs, par) ->
+          Newton_runtime.Introspect.parallel_metrics
+            ~labels:[ ("engine", Printf.sprintf "par-%d" jobs) ]
+            par
+      | None -> Newton_telemetry.Snapshot.empty)
+  in
+  let dir = Filename.dirname stats_path in
+  if dir <> "." && not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out stats_path in
+  output_string oc (Newton_telemetry.Export.to_json_string snap);
+  output_char oc '\n';
+  close_out oc;
+  Common.note "[stats json written to %s]" stats_path

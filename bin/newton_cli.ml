@@ -7,7 +7,7 @@
     - [netrun -q N ...]    deploy network-wide and run over a topology *)
 
 open Cmdliner
-open Newton_core.Newton
+open Newton
 
 (* ---------------- shared argument parsing ---------------- *)
 
@@ -216,17 +216,30 @@ let cmd_p4 =
 
 (* ---------------- run (device level) ---------------- *)
 
+(* Positive integer with parse-time validation: a bad --jobs/--batch is
+   a CLI error (usage + nonzero exit), not a late runtime check. *)
+let pos_int ~what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some n -> Error (`Msg (Printf.sprintf "%s must be >= 1, got %d" what n))
+    | None -> Error (`Msg (Printf.sprintf "%s expects an integer, got %S" what s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let jobs_arg =
   let doc =
     "Replay shards (OCaml 5 domains). 1 = the sequential engine; N > 1 \
      shards the packet stream (per-query key when one query is installed, \
      5-tuple otherwise) and merges the per-shard results."
   in
-  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  Arg.(value & opt (pos_int ~what:"--jobs") 1
+       & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 let batch_arg =
   let doc = "Packets processed per shard batch (sharded replay only)." in
-  Arg.(value & opt int Newton_runtime.Parallel_engine.default_batch
+  Arg.(value
+       & opt (pos_int ~what:"--batch") Newton_runtime.Parallel_engine.default_batch
        & info [ "batch" ] ~docv:"B" ~doc)
 
 let cmd_run =
@@ -235,10 +248,6 @@ let cmd_run =
     match gather_queries ids dsl with
     | Error msg -> prerr_endline msg; exit 1
     | Ok qs ->
-        if jobs < 1 || batch < 1 then begin
-          prerr_endline "--jobs and --batch must be >= 1";
-          exit 1
-        end;
         let trace = make_trace ?trace_in ?trace_out profile flows seed attacks in
         Printf.printf "trace: %d packets (%s)\n" (Trace.length trace)
           (Trace_profile.to_string (Trace.profile trace));
@@ -317,6 +326,68 @@ let cmd_run =
       $ attacks_arg $ verbose_arg $ trace_in_arg $ trace_out_arg $ jobs_arg
       $ batch_arg)
 
+(* ---------------- stats (telemetry snapshot) ---------------- *)
+
+let cmd_stats =
+  let run ids dsl profile flows seed attacks trace_in jobs batch format output =
+    match gather_queries ids dsl with
+    | Error msg -> prerr_endline msg; exit 1
+    | Ok qs ->
+        let trace = make_trace ?trace_in profile flows seed attacks in
+        let snap =
+          if jobs = 1 then begin
+            let device = Device.create () in
+            List.iter (fun q -> ignore (Device.add_query device q)) qs;
+            Device.process_trace device trace;
+            Device.metrics device
+          end
+          else begin
+            let shard_key =
+              match qs with
+              | [ q ] -> Newton_runtime.Shard.for_compiled (Compiler.compile q)
+              | _ -> Newton_runtime.Shard.Flow
+            in
+            let pdev = Parallel_device.create ~jobs ~batch ~shard_key () in
+            List.iter (fun q -> ignore (Parallel_device.add_query pdev q)) qs;
+            Parallel_device.process_trace pdev trace;
+            Parallel_device.metrics pdev
+          end
+        in
+        let text =
+          match format with
+          | `Json -> Telemetry.Export.to_json_string snap ^ "\n"
+          | `Prometheus -> Telemetry.Export.to_prometheus snap
+        in
+        match output with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc text;
+            close_out oc;
+            Printf.eprintf "stats written to %s\n" path
+        | None -> print_string text
+  in
+  let format_arg =
+    Arg.(value
+         & opt (enum [ ("json", `Json); ("prometheus", `Prometheus); ("prom", `Prometheus) ]) `Json
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"Output format: json or prometheus.")
+  in
+  let output_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write the snapshot to a file instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run queries over a trace and export the telemetry snapshot \
+          (counters, rule utilization, sketch health) as JSON or Prometheus \
+          text")
+    Term.(
+      const run $ queries_arg $ dsl_arg $ profile_arg $ flows_arg $ seed_arg
+      $ attacks_arg $ trace_in_arg $ jobs_arg $ batch_arg $ format_arg
+      $ output_arg)
+
 (* ---------------- netrun (network-wide) ---------------- *)
 
 let topo_arg =
@@ -392,7 +463,9 @@ let cmd_shell =
         \  install <dsl>        install an ad-hoc DSL query\n\
         \  remove <id>          remove an installed query\n\
         \  list                 installed queries\n\
-        \  stats                per-instance runtime statistics\n\
+        \  stats [json|prom]    runtime statistics: per-instance lines plus\n\
+        \                       counters and sketch-health gauges; json/prom\n\
+        \                       dumps the full telemetry snapshot\n\
         \  gen [flows] [seed]   generate an attack trace and run it\n\
         \  reports              print reports since the last call\n\
         \  help | quit\n"
@@ -454,6 +527,41 @@ let cmd_shell =
             (fun s ->
               print_endline ("  " ^ Newton_runtime.Engine.stats_to_string s))
             (Newton_runtime.Engine.stats (Device.engine device));
+          let snap = Device.metrics device in
+          let show name =
+            match Telemetry.Snapshot.find name snap with
+            | None -> ()
+            | Some m ->
+                List.iter
+                  (fun (s : Telemetry.Metric.sample) ->
+                    match s.Telemetry.Metric.value with
+                    | Telemetry.Metric.V f ->
+                        Printf.printf "  %s%s %s\n" name
+                          (Telemetry.Metric.labels_to_string
+                             s.Telemetry.Metric.labels)
+                          (Telemetry.Metric.string_of_value f)
+                    | Telemetry.Metric.Buckets _ -> ())
+                  m.Telemetry.Metric.samples
+          in
+          List.iter show
+            [
+              "newton_packets_processed_total";
+              "newton_module_hits_total";
+              "newton_reports_emitted_total";
+              "newton_reports_deduped_total";
+              "newton_reports_dropped_total";
+              "newton_monitor_rules";
+              "newton_module_cell_utilization";
+              "newton_bloom_fill_ratio";
+              "newton_bloom_fpr_estimate";
+              "newton_cm_error_bound";
+            ];
+          true
+      | [ "stats"; "json" ] ->
+          print_endline (Telemetry.Export.to_json_string (Device.metrics device));
+          true
+      | [ "stats"; "prom" ] ->
+          print_string (Telemetry.Export.to_prometheus (Device.metrics device));
           true
       | "gen" :: rest -> (
           let flows =
@@ -501,4 +609,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ cmd_queries; cmd_compile; cmd_p4; cmd_run; cmd_netrun; cmd_shell ]))
+          [
+            cmd_queries;
+            cmd_compile;
+            cmd_p4;
+            cmd_run;
+            cmd_stats;
+            cmd_netrun;
+            cmd_shell;
+          ]))

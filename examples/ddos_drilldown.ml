@@ -11,7 +11,7 @@
     updates that finish in milliseconds; a Sonata-style system would
     reboot the switch (seconds of outage) for each. *)
 
-open Newton_core.Newton
+open Newton
 
 let pct a b = 100.0 *. float_of_int a /. float_of_int b
 

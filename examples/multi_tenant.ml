@@ -10,7 +10,7 @@
     concurrent queries fit in the module/stage budget of a single
     deployment — Fig. 16's P-Newton line. *)
 
-open Newton_core.Newton
+open Newton
 
 (* Each tenant owns a /24 inside 10.0.0.0/16 and asks for a port-scan
    detector scoped to its own prefix. *)

@@ -15,7 +15,7 @@
     12-byte SP header, reporting once per path instead of once per
     switch. *)
 
-open Newton_core.Newton
+open Newton
 open Newton_controller
 
 let scan_trace =

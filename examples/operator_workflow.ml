@@ -11,7 +11,7 @@
        sparklines, active spans and top offenders. *)
 
 open Newton_core
-open Newton_core.Newton
+open Newton
 
 let standing_intents =
   [ (* hosts receiving too many new TCP connections *)

@@ -9,7 +9,7 @@
     touching packet forwarding, and exports exactly the intent-relevant
     data. *)
 
-open Newton_core.Newton
+open Newton
 
 let () =
   print_endline "== Newton quickstart ==\n";

@@ -28,7 +28,7 @@ type t = {
 let create ?(fwd_entries = Switch.default_fwd_entries) ?(switch_id = 0) () =
   {
     switch = Switch.create ~id:switch_id ~fwd_entries ();
-    engine = Engine.create ~switch_id;
+    engine = Engine.create ~switch_id ();
     outages = [];
     queries = [];
   }
@@ -44,7 +44,7 @@ let total_outage t = List.fold_left ( +. ) 0.0 t.outages
 let reload ?(offered_pps = 0.0) t =
   let outage = Switch.full_reload ~offered_pps t.switch in
   t.outages <- outage :: t.outages;
-  let engine = Engine.create ~switch_id:(Switch.id t.switch) in
+  let engine = Engine.create ~switch_id:(Switch.id t.switch) () in
   List.iter (fun c -> ignore (Engine.install engine c)) t.queries;
   t.engine <- engine;
   outage

@@ -69,14 +69,14 @@ let create ?(fwd_entries = Switch.default_fwd_entries) topo =
   {
     topo;
     route = Route.create topo;
-    engines = Array.init n (fun i -> Engine.create ~switch_id:i);
+    engines = Array.init n (fun i -> Engine.create ~switch_id:i ());
     switches =
       Array.init n (fun id ->
           let sw = Switch.create ~id ~fwd_entries () in
           place_layout sw;
           sw);
     analyzer = Analyzer.create ();
-    software = Engine.create ~switch_id:(-1);
+    software = Engine.create ~switch_id:(-1) ();
     deployments = [];
     next_uid = 1;
     sp_bytes = 0;
@@ -166,8 +166,8 @@ let deploy ?mode ?edge_switches ?stages_per_switch t compiled =
       (fun engine ->
         List.iter
           (fun (inst : Engine.instance) ->
-            if inst.Engine.uid / 1000 = uid then
-              ignore (Engine.remove engine inst.Engine.uid))
+            if Engine.instance_uid inst / 1000 = uid then
+              ignore (Engine.remove engine (Engine.instance_uid inst)))
           (Engine.instances engine))
       t.engines;
     raise e
@@ -184,8 +184,8 @@ let undeploy t uid =
           let removed = ref 0 in
           List.iter
             (fun inst ->
-              if inst.Engine.uid / 1000 = uid then
-                match Engine.remove engine inst.Engine.uid with
+              if Engine.instance_uid inst / 1000 = uid then
+                match Engine.remove engine (Engine.instance_uid inst) with
                 | Some rules -> removed := !removed + rules
                 | None -> ())
             (Engine.instances engine);
@@ -244,6 +244,9 @@ let software_continue t dep ~next_slice ~ctx pkt =
       Engine.maybe_roll_window t.software
         (Newton_packet.Packet.ts pkt)
         dep.compiled.Newton_compiler.Compose.query.Newton_query.Ast.window;
+      Newton_telemetry.Stats.bump
+        (Engine.sink t.software)
+        Newton_telemetry.Stats.Software_continuations 1;
       ignore (Engine.process_instance t.software inst ~ctx pkt)
 
 (* ---------------- packet processing ---------------- *)
@@ -272,7 +275,7 @@ let process_packet t ~src_host ~dst_host pkt =
                   let engine = t.engines.(s) in
                   match Engine.find_instance engine (slice_uid dep.uid 1) with
                   | Some inst ->
-                      engine.Engine.packets_seen <- engine.Engine.packets_seen + 1;
+                      Engine.record_packet_seen engine;
                       Engine.maybe_roll_window engine (Newton_packet.Packet.ts pkt)
                         dep.compiled.Newton_compiler.Compose.query.Newton_query.Ast.window;
                       ignore (Engine.process_instance engine inst pkt)
@@ -295,15 +298,20 @@ let process_packet t ~src_host ~dst_host pkt =
                   if t.enabled.(s) && (not !ctx.Ctx.stopped) && !d < m then begin
                     incr d;
                     let engine = t.engines.(s) in
+                    Newton_telemetry.Stats.bump (Engine.sink engine)
+                      Newton_telemetry.Stats.Cqe_hops 1;
                     (match Engine.find_instance engine (slice_uid dep.uid !d) with
                     | Some inst ->
-                        engine.Engine.packets_seen <- engine.Engine.packets_seen + 1;
+                        Engine.record_packet_seen engine;
                         Engine.maybe_roll_window engine (Newton_packet.Packet.ts pkt)
                           dep.compiled.Newton_compiler.Compose.query.Newton_query.Ast.window;
                         if !d > 1 then begin
                           if hop = !prev_enabled_hop + 1 then begin
                             (* SP header between adjacent Newton hops. *)
                             t.sp_bytes <- t.sp_bytes + Newton_packet.Sp_header.size_bytes;
+                            Newton_telemetry.Stats.bump (Engine.sink engine)
+                              Newton_telemetry.Stats.Sp_header_bytes
+                              Newton_packet.Sp_header.size_bytes;
                             let restored =
                               Ctx.of_sp
                                 (Newton_packet.Sp_header.decode
@@ -354,6 +362,24 @@ let sp_overhead_ratio t =
   else float_of_int t.sp_bytes /. float_of_int t.wire_bytes
 
 let packets t = t.packets
+
+(** Network-wide telemetry snapshot: one {!Introspect.engine_metrics}
+    per switch (labelled [switch=<id>]) plus the analyzer's software
+    engine ([switch="analyzer"]), merged so same-named families carry
+    every switch's samples. *)
+let snapshot t =
+  let per_switch =
+    Array.to_list
+      (Array.mapi
+         (fun i e ->
+           Introspect.engine_metrics
+             ~labels:[ ("switch", string_of_int i) ]
+             e)
+         t.engines)
+  in
+  Newton_telemetry.Snapshot.merge_all
+    (per_switch
+    @ [ Introspect.engine_metrics ~labels:[ ("switch", "analyzer") ] t.software ])
 
 (* ---------------- failures ---------------- *)
 

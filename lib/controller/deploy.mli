@@ -78,6 +78,11 @@ val sp_overhead_ratio : t -> float
 
 val packets : t -> int
 
+(** Network-wide telemetry snapshot: per-switch engine metrics
+    (labelled [switch=<id>]) plus the analyzer's software engine
+    ([switch="analyzer"]), merged into one metric set. *)
+val snapshot : t -> Newton_telemetry.Snapshot.t
+
 (** Fail a link: forwarding reroutes on the next packet; resilient
     placement keeps monitoring without controller involvement. *)
 val fail_link : t -> Route.link -> unit

@@ -37,6 +37,8 @@ module Placement = Newton_controller.Placement
 module Analyzer = Newton_runtime.Analyzer
 module Shard = Newton_runtime.Shard
 module Parallel_engine = Newton_runtime.Parallel_engine
+module Telemetry = Newton_telemetry
+module Introspect = Newton_runtime.Introspect
 
 (** A query installed on a device or network; returned by [add_query]. *)
 type handle = { uid : int; query : Newton_query.Ast.t }
@@ -57,7 +59,7 @@ module Device = struct
   let create ?(options = Newton_compiler.Decompose.default_options)
       ?(fwd_entries = Switch.default_fwd_entries) () =
     {
-      engine = Engine.create ~switch_id:0;
+      engine = Engine.create ~switch_id:0 ();
       switch = Switch.create ~id:0 ~fwd_entries ();
       options;
       handles = [];
@@ -101,6 +103,10 @@ module Device = struct
   let reports t = Engine.reports t.engine
   let message_count t = Engine.report_count t.engine
   let monitor_rules t = Engine.total_rules t.engine
+
+  (** Telemetry snapshot of the device: sink counters, rule-table
+      utilization, sketch health (see {!Newton_telemetry}). *)
+  let metrics t = Newton_runtime.Introspect.engine_metrics t.engine
 end
 
 (** Sharded replay (§6-scale evaluation): one switch whose packet
@@ -149,6 +155,10 @@ module Parallel_device = struct
   let reports t = Parallel_engine.reports t.engine
   let message_count t = Parallel_engine.message_count t.engine
   let shard_loads t = Parallel_engine.shard_loads t.engine
+
+  (** Telemetry snapshot: per-domain sinks merged, sketch health over
+      the ALU-merged banks — totals match the sequential {!Device}. *)
+  let metrics t = Newton_runtime.Introspect.parallel_metrics t.engine
 end
 
 (** Network-wide Newton (§5): resilient placement + cross-switch query
@@ -221,4 +231,8 @@ module Network = struct
       register budget). *)
   let deploy_plan ?mode ?edge_switches ?stages_per_switch t plan =
     Deploy.deploy_plan ?mode ?edge_switches ?stages_per_switch t.deploy plan
+
+  (** Network-wide telemetry snapshot: every switch's engine metrics
+      (labelled [switch=<id>]) plus the analyzer's software engine. *)
+  let metrics t = Deploy.snapshot t.deploy
 end

@@ -1,0 +1,13 @@
+(** The [Newton] umbrella: the one module external users open.
+
+    [open Newton] pulls in the full public surface — the query DSL and
+    catalog, the compiler, runtime engines, telemetry, trace tooling,
+    and the {!Device} / {!Parallel_device} / {!Network} facades —
+    without depending on any [Newton_*] internal library name, which
+    are free to move between PRs. *)
+
+include Newton_core.Newton
+
+(** Runtime internals (engines, analyzer, introspection) for users who
+    need more than the facades expose. *)
+module Runtime = Newton_runtime

@@ -1,0 +1,16 @@
+(** The [Newton] umbrella: the one module external users open.
+
+    Re-exports the full public surface — query DSL ({!Query},
+    {!Catalog}), compiler ({!Compiler}), runtime ({!Runtime},
+    {!Parallel_engine}), telemetry ({!Telemetry}), trace tooling
+    ({!Trace}), and the {!Device} / {!Parallel_device} / {!Network}
+    facades — so programs never depend on [Newton_*] internal library
+    names. *)
+
+include module type of struct
+  include Newton_core.Newton
+end
+
+(** Runtime internals (engines, analyzer, introspection) for users who
+    need more than the facades expose. *)
+module Runtime = Newton_runtime

@@ -35,13 +35,16 @@ let process_path ?stats engines pkt =
   let ctxs : (int, Ctx.t) Hashtbl.t = Hashtbl.create 4 in
   List.iteri
     (fun hop engine ->
-      engine.Engine.packets_seen <- engine.Engine.packets_seen + 1;
+      Engine.record_packet_seen engine;
+      Newton_telemetry.Stats.bump (Engine.sink engine)
+        Newton_telemetry.Stats.Cqe_hops 1;
       List.iter
         (fun inst ->
           Engine.maybe_roll_window engine (Packet.ts pkt)
-            inst.Engine.compiled.Newton_compiler.Compose.query.Newton_query.Ast.window;
+            (Engine.instance_query inst).Newton_query.Ast.window;
+          let uid = Engine.instance_uid inst in
           let ctx =
-            match Hashtbl.find_opt ctxs inst.Engine.uid with
+            match Hashtbl.find_opt ctxs uid with
             | Some c -> c
             | None -> Ctx.create ()
           in
@@ -57,12 +60,15 @@ let process_path ?stats engines pkt =
               end
             in
             let ctx' = Engine.process_instance engine inst ~ctx pkt in
-            Hashtbl.replace ctxs inst.Engine.uid ctx'
+            Hashtbl.replace ctxs uid ctx'
           end)
-        engine.Engine.instances;
+        (Engine.instances engine);
       (* newton_fin: snapshot for the next hop (not after the last). *)
-      if hop < nengines - 1 then
+      if hop < nengines - 1 then begin
+        Newton_telemetry.Stats.bump (Engine.sink engine)
+          Newton_telemetry.Stats.Sp_header_bytes Sp_header.size_bytes;
         match stats with
         | Some s -> s.sp_bytes <- s.sp_bytes + Sp_header.size_bytes
-        | None -> ())
+        | None -> ()
+      end)
     engines

@@ -18,6 +18,7 @@ open Newton_packet
 open Newton_sketch
 open Newton_query
 open Newton_compiler
+open Newton_telemetry
 
 type array_key = int * int * int (* branch, prim, suite *)
 
@@ -42,7 +43,11 @@ type t = {
   mutable report_budget : int option;
   mutable budget_window : int;
   mutable window_reports : int;
+  mutable window_drops : int; (* budget drops in the current window *)
   mutable dropped_reports : int;
+  (* Telemetry sink: every event below is one [Stats.bump] away;
+     [Stats.null] turns the whole layer into a single branch. *)
+  mutable sink : Stats.sink;
   mutable instances : instance list;
   (* newton_init: ternary match over the 5-tuple + TCP flags (§4.1
      "Concurrency"), dispatching packets to instance/branch chains.
@@ -62,13 +67,15 @@ type t = {
     controller reacts by placing the query elsewhere. *)
 exception Rules_exhausted of { stage : int; kind : string }
 
-let create ~switch_id =
+let create ?(sink = Stats.create ()) ~switch_id () =
   {
     switch_id;
     report_budget = None;
     budget_window = -1;
     window_reports = 0;
+    window_drops = 0;
     dropped_reports = 0;
+    sink;
     instances = [];
     init_table =
       Newton_dataplane.Table.create ~capacity:1024 ~name:"newton_init"
@@ -85,12 +92,40 @@ let switch_id t = t.switch_id
 (** Cap the mirror sessions: at most [n] report exports per window. *)
 let set_report_budget t n = t.report_budget <- n
 
+let report_budget t = t.report_budget
+
 (** Reports dropped because the mirror budget was exhausted. *)
 let dropped_reports t = t.dropped_reports
 let instances t = t.instances
 let reports t = List.rev t.reports
 let report_count t = t.report_count
 let packets_seen t = t.packets_seen
+
+let sink t = t.sink
+let set_sink t s = t.sink <- s
+
+(** Count a packet against this engine without executing it — the CQE
+    path executor and the controller account path hops this way. *)
+let record_packet_seen t =
+  t.packets_seen <- t.packets_seen + 1;
+  Stats.bump t.sink Stats.Packets_processed 1
+
+(* ---------------- instance accessors ---------------- *)
+
+let instance_uid i = i.uid
+let instance_compiled i = i.compiled
+let instance_query i = i.compiled.Compose.query
+let instance_rules i = i.rules
+let instance_stage_lo i = i.stage_lo
+let instance_stage_hi i = i.stage_hi
+let instance_window i = i.window_index
+let instance_reported_keys i = Hashtbl.length i.reported
+let instance_slots i = i.slots
+
+let instance_arrays i =
+  Hashtbl.fold (fun key arr acc -> (key, arr) :: acc) i.arrays []
+
+let instance_array i key = Hashtbl.find_opt i.arrays key
 
 (** Install a slice [stage_lo, stage_hi] of a compiled query.  Returns
     the instance uid and the number of table entries installed (module
@@ -281,6 +316,15 @@ let find_instance t uid = List.find_opt (fun i -> i.uid = uid) t.instances
 
 let total_rules t = List.fold_left (fun acc i -> acc + i.rules) 0 t.instances
 
+(** Entries currently in the [newton_init] classifier. *)
+let init_table_size t = Newton_dataplane.Table.size t.init_table
+
+(** Rules held per physical module cell (stage, kind, set) — the
+    utilization side of the [Module_cost.rules_per_module] capacity. *)
+let cell_usage t =
+  Hashtbl.fold (fun cell used acc -> (cell, used) :: acc) t.cell_rules []
+  |> List.sort compare
+
 (* ---------------- newton_init classification ---------------- *)
 
 let init_entry_matches pkt (e : Ir.init_entry) =
@@ -309,6 +353,13 @@ let merge_value op acc v =
   | Ir.M_max -> max acc v
   | Ir.M_add -> acc + v
   | Ir.M_sub -> max 0 (acc - v)
+
+(* The telemetry counter of a slot-kind execution. *)
+let hit_key = function
+  | Newton_dataplane.Module_cost.K -> Stats.Module_hits_k
+  | Newton_dataplane.Module_cost.H -> Stats.Module_hits_h
+  | Newton_dataplane.Module_cost.S -> Stats.Module_hits_s
+  | Newton_dataplane.Module_cost.R -> Stats.Module_hits_r
 
 let exec_slot inst (ctx : Ctx.t) pkt (s : Ir.slot) =
   let m = s.Ir.meta in
@@ -382,20 +433,21 @@ let slot_reports (s : Ir.slot) =
 
 (* Each instance keeps its own window clock: concurrent queries may use
    different window lengths (Ast.window). *)
-let roll_instance_window inst now =
+let roll_instance_window t inst now =
   let w =
     int_of_float (now /. inst.compiled.Compose.query.Ast.window)
   in
   if w <> inst.window_index then begin
     inst.window_index <- w;
     Hashtbl.iter (fun _ arr -> Register_array.clear arr) inst.arrays;
-    Hashtbl.reset inst.reported
+    Hashtbl.reset inst.reported;
+    Stats.bump t.sink Stats.Window_rolls 1
   end
 
-(* Backwards-compatible wrapper used by the path executor and the
-   controller: rolls every instance of the engine. *)
+(* Wrapper used by the path executor and the controller: rolls every
+   instance of the engine. *)
 let maybe_roll_window t now _window_size =
-  List.iter (fun inst -> roll_instance_window inst now) t.instances
+  List.iter (fun inst -> roll_instance_window t inst now) t.instances
 
 (* ---------------- packet processing ---------------- *)
 
@@ -416,24 +468,38 @@ let process_instance t inst ?(ctx = Ctx.create ()) pkt =
         List.iter
           (fun s ->
             if not !stopped then begin
+              Stats.bump t.sink (hit_key s.Ir.kind) 1;
               exec_slot inst bctx pkt s;
-              if bctx.Ctx.stopped then stopped := true
+              if bctx.Ctx.stopped then begin
+                stopped := true;
+                Stats.bump t.sink Stats.Guard_stops 1
+              end
               else if slot_reports s then begin
                 let keys = bctx.Ctx.op_keys.(s.Ir.meta) in
                 let dedup_key = (window, keys) in
-                if not (Hashtbl.mem inst.reported dedup_key) then begin
+                if Hashtbl.mem inst.reported dedup_key then
+                  Stats.bump t.sink Stats.Reports_deduped 1
+                else begin
                   Hashtbl.add inst.reported dedup_key ();
                   let over_budget =
                     match t.report_budget with
                     | Some budget ->
                         if window <> t.budget_window then begin
+                          (* close the previous window's drop tally *)
+                          if t.budget_window >= 0 then
+                            Stats.observe_window_drops t.sink t.window_drops;
                           t.budget_window <- window;
-                          t.window_reports <- 0
+                          t.window_reports <- 0;
+                          t.window_drops <- 0
                         end;
                         t.window_reports >= budget
                     | None -> false
                   in
-                  if over_budget then t.dropped_reports <- t.dropped_reports + 1
+                  if over_budget then begin
+                    t.dropped_reports <- t.dropped_reports + 1;
+                    t.window_drops <- t.window_drops + 1;
+                    Stats.bump t.sink Stats.Reports_dropped 1
+                  end
                   else begin
                     t.window_reports <- t.window_reports + 1;
                     let value2 =
@@ -445,7 +511,12 @@ let process_instance t inst ?(ctx = Ctx.create ()) pkt =
                       Report.make ~query_id:inst.compiled.Compose.query.Ast.id
                         ~window ~keys ~value:bctx.Ctx.g1 ~value2 ()
                       :: t.reports;
-                    t.report_count <- t.report_count + 1
+                    t.report_count <- t.report_count + 1;
+                    Stats.bump t.sink Stats.Reports_emitted 1;
+                    Stats.observe_report_latency t.sink
+                      (Packet.ts pkt
+                      -. (float_of_int window
+                         *. inst.compiled.Compose.query.Ast.window))
                   end
                 end
               end
@@ -465,7 +536,7 @@ let init_key pkt =
   Array.of_list (List.map (fun f -> Packet.get pkt f) Ir.init_fields)
 
 let process_packet t pkt =
-  t.packets_seen <- t.packets_seen + 1;
+  record_packet_seen t;
   (* Classify once through newton_init; a packet may match several
      concurrent queries' entries (chained queries). *)
   let matched = Newton_dataplane.Table.lookup_all t.init_table (init_key pkt) in
@@ -473,7 +544,7 @@ let process_packet t pkt =
   List.iter
     (fun inst ->
       if List.mem inst.uid uids then begin
-        roll_instance_window inst (Packet.ts pkt);
+        roll_instance_window t inst (Packet.ts pkt);
         ignore (process_instance t inst pkt)
       end)
     t.instances

@@ -4,55 +4,53 @@
     execution or stage-range slices for CQE — with their register
     arrays, a ternary [newton_init] classifier table, per-module-cell
     rule capacity, per-instance 100 ms windows, and report
-    deduplication. *)
+    deduplication.
+
+    Both {!t} and {!instance} are abstract: every observable — budgets,
+    counters, rules, arrays — is reached through accessor functions, so
+    callers (the CQE path executor, the controller, the sharded replay
+    engine, telemetry) never depend on the engine's representation.
+    Runtime events feed the engine's {!Newton_telemetry.Stats.sink};
+    pass {!Newton_telemetry.Stats.null} to make the instrumentation
+    cost a single branch. *)
 
 open Newton_packet
 open Newton_query
 open Newton_compiler
+open Newton_telemetry
 
 type array_key = int * int * int (** branch, prim, suite *)
 
-type instance = {
-  uid : int;
-  compiled : Compose.t;
-  stage_lo : int;
-  stage_hi : int;
-  slots : Ir.slot list array; (** hosted slots per branch, chain order *)
-  arrays : (array_key, Newton_sketch.Register_array.t) Hashtbl.t;
-  reported : (int * int array, unit) Hashtbl.t;
-  mutable rules : int;
-  mutable window_index : int;
-}
+(** One installed query slice (abstract; see the [instance_*]
+    accessors). *)
+type instance
 
-type t = {
-  switch_id : int;
-  mutable report_budget : int option;
-  mutable budget_window : int;
-  mutable window_reports : int;
-  mutable dropped_reports : int;
-  mutable instances : instance list;
-  init_table : (int * int) Newton_dataplane.Table.t;
-  cell_rules : (int * Newton_dataplane.Module_cost.kind * int, int) Hashtbl.t;
-  mutable reports : Report.t list;
-  mutable report_count : int;
-  mutable packets_seen : int;
-  mutable next_uid : int;
-}
+type t
 
 (** Raised when a module table cannot accept another query's rule. *)
 exception Rules_exhausted of { stage : int; kind : string }
 
-val create : switch_id:int -> t
+(** [create ~switch_id ()] — [sink] defaults to a fresh recording sink;
+    pass [Stats.null] to disable telemetry entirely. *)
+val create : ?sink:Stats.sink -> switch_id:int -> unit -> t
 
 val switch_id : t -> int
+
+(** The engine's telemetry sink. *)
+val sink : t -> Stats.sink
+
+val set_sink : t -> Stats.sink -> unit
 
 (** Cap the mirror sessions: at most [n] report exports per window
     ([None] = unlimited, the default).  Overflow reports are dropped on
     the wire. *)
 val set_report_budget : t -> int option -> unit
 
+val report_budget : t -> int option
+
 (** Reports dropped because the mirror budget was exhausted. *)
 val dropped_reports : t -> int
+
 val instances : t -> instance list
 
 (** Reports in emission order. *)
@@ -60,6 +58,10 @@ val reports : t -> Report.t list
 
 val report_count : t -> int
 val packets_seen : t -> int
+
+(** Count a packet against this engine without executing it (path-hop
+    accounting in the CQE executor and the controller). *)
+val record_packet_seen : t -> unit
 
 (** Install a slice [stage_lo, stage_hi] of a compiled query (defaults:
     the whole chain).  Non-first slices re-install shadow K/H modules
@@ -79,9 +81,18 @@ val find_instance : t -> int -> instance option
 (** Monitoring table entries currently installed. *)
 val total_rules : t -> int
 
+(** Entries currently in the [newton_init] classifier. *)
+val init_table_size : t -> int
+
+(** Rules held per physical module cell (stage, kind, metadata set),
+    sorted — the utilization side of the
+    [Module_cost.rules_per_module] capacity. *)
+val cell_usage :
+  t -> ((int * Newton_dataplane.Module_cost.kind * int) * int) list
+
 (** Roll an instance's window if [now] crossed a boundary (resets its
     sketch state and report dedup). *)
-val roll_instance_window : instance -> float -> unit
+val roll_instance_window : t -> instance -> float -> unit
 
 (** Roll every instance (used by the path executor / controller). *)
 val maybe_roll_window : t -> float -> float -> unit
@@ -97,7 +108,40 @@ val process_packet : t -> Packet.t -> unit
 (** Return and clear the collected reports. *)
 val drain_reports : t -> Report.t list
 
-(** Per-instance runtime statistics for operator dashboards. *)
+(** {2 Instance accessors} *)
+
+val instance_uid : instance -> int
+val instance_compiled : instance -> Compose.t
+
+(** The instance's source query ([instance_compiled].query). *)
+val instance_query : instance -> Ast.t
+
+(** Table entries this slice holds. *)
+val instance_rules : instance -> int
+
+val instance_stage_lo : instance -> int
+val instance_stage_hi : instance -> int
+
+(** Current window index. *)
+val instance_window : instance -> int
+
+(** Keys reported (deduped) in the current window. *)
+val instance_reported_keys : instance -> int
+
+(** Hosted slots per branch, chain order. *)
+val instance_slots : instance -> Ir.slot list array
+
+(** The register arrays this slice owns, keyed by (branch, prim,
+    suite). *)
+val instance_arrays :
+  instance -> (array_key * Newton_sketch.Register_array.t) list
+
+val instance_array :
+  instance -> array_key -> Newton_sketch.Register_array.t option
+
+(** {2 Operator dashboards} *)
+
+(** Per-instance runtime statistics. *)
 type instance_stats = {
   st_uid : int;
   st_query : string;

@@ -1,0 +1,265 @@
+(** Engine introspection: assembling telemetry snapshots.
+
+    Pairs the event counters a {!Newton_telemetry.Stats.sink} has been
+    collecting with gauges computed from live engine state — rule-table
+    utilization against the [Module_cost.rules_per_module] cell
+    capacity, stage occupancy, per-instance footprints, and sketch
+    health (Bloom fill / false-positive estimate, Count-Min
+    epsilon–delta bounds) read straight off the register arrays.  For
+    the sharded engine the counters are the per-domain merge and the
+    sketch gauges are evaluated over the ALU-merged banks, so the
+    snapshot a 4-shard replay exports totals to the sequential one. *)
+
+open Newton_sketch
+open Newton_compiler
+open Newton_telemetry
+
+let kind_label k = Newton_dataplane.Module_cost.kind_to_string k
+
+(* ---------------- capacity / occupancy gauges ---------------- *)
+
+let cell_metrics ~labels engine =
+  let capacity = Newton_dataplane.Module_cost.rules_per_module in
+  let cells = Engine.cell_usage engine in
+  let cell_labels (stage, kind, set) =
+    labels
+    @ [
+        ("stage", string_of_int stage);
+        ("kind", kind_label kind);
+        ("set", string_of_int set);
+      ]
+  in
+  [
+    Metric.gauge ~name:"newton_init_entries"
+      ~help:"Entries in the newton_init classifier table"
+      [ Metric.vi ~labels (Engine.init_table_size engine) ];
+    Metric.gauge ~name:"newton_monitor_rules"
+      ~help:"Monitoring table entries currently installed"
+      [ Metric.vi ~labels (Engine.total_rules engine) ];
+    Metric.gauge ~name:"newton_module_cell_rules"
+      ~help:"Rules held per physical module cell (stage, kind, set)"
+      (List.map
+         (fun (cell, used) -> Metric.vi ~labels:(cell_labels cell) used)
+         cells);
+    Metric.gauge ~name:"newton_module_cell_utilization"
+      ~help:
+        (Printf.sprintf
+           "Module-cell rule utilization against the %d-rule capacity"
+           capacity)
+      (List.map
+         (fun (cell, used) ->
+           Metric.v ~labels:(cell_labels cell)
+             (Health.utilization ~used ~capacity))
+         cells);
+  ]
+
+(* Hosted slots per pipeline stage, across every installed instance. *)
+let stage_metrics ~labels engine =
+  let per_stage = Hashtbl.create 16 in
+  List.iter
+    (fun inst ->
+      Array.iter
+        (List.iter (fun (s : Ir.slot) ->
+             Hashtbl.replace per_stage s.Ir.stage
+               (1 + Option.value (Hashtbl.find_opt per_stage s.Ir.stage) ~default:0)))
+        (Engine.instance_slots inst))
+    (Engine.instances engine)
+  ;
+  let stages =
+    Hashtbl.fold (fun stage n acc -> (stage, n) :: acc) per_stage []
+    |> List.sort compare
+  in
+  [
+    Metric.gauge ~name:"newton_stage_slots"
+      ~help:"Module slots hosted per pipeline stage"
+      (List.map
+         (fun (stage, n) ->
+           Metric.vi ~labels:(labels @ [ ("stage", string_of_int stage) ]) n)
+         stages);
+  ]
+
+(* ---------------- sketch health ---------------- *)
+
+(* The S slots of an instance, grouped by (branch, prim): one group is
+   one logical sketch whose rows are the group's suites. *)
+let sketch_groups slots =
+  let groups = Hashtbl.create 8 in
+  Array.iter
+    (List.iter (fun (s : Ir.slot) ->
+         match s.Ir.cfg with
+         | Ir.S_cfg { op = (Ir.S_bf | Ir.S_cm _ | Ir.S_max _) as op; _ } ->
+             let k = (s.Ir.branch, s.Ir.prim) in
+             let prev = Option.value (Hashtbl.find_opt groups k) ~default:[] in
+             Hashtbl.replace groups k ((s.Ir.suite, op) :: prev)
+         | _ -> ()))
+    slots;
+  Hashtbl.fold (fun k rows acc -> (k, List.sort compare rows) :: acc) groups []
+  |> List.sort compare
+
+(** Sketch-health gauges of one instance layout over [arrays] — live
+    per-shard banks or their ALU merge, evaluated identically. *)
+let sketch_metrics ~labels ~slots ~arrays =
+  let bloom = ref [] and cm = ref [] in
+  List.iter
+    (fun ((branch, prim), rows) ->
+      let row_arrays =
+        List.filter_map
+          (fun (suite, op) ->
+            List.assoc_opt (branch, prim, suite) arrays
+            |> Option.map (fun arr -> (op, arr)))
+          rows
+      in
+      let sk_labels =
+        labels
+        @ [ ("branch", string_of_int branch); ("prim", string_of_int prim) ]
+      in
+      match row_arrays with
+      | (Ir.S_bf, _) :: _ ->
+          let fills =
+            List.map
+              (fun (_, arr) ->
+                Health.bloom_fill
+                  ~set_bits:(Register_array.occupancy arr)
+                  ~bits:(Register_array.size arr))
+              row_arrays
+          in
+          let mean_fill =
+            List.fold_left ( +. ) 0.0 fills /. float_of_int (List.length fills)
+          in
+          bloom :=
+            ( sk_labels,
+              mean_fill,
+              Health.bloom_fpr ~fills )
+            :: !bloom
+      | (Ir.S_cm _, first) :: _ ->
+          let width = Register_array.size first in
+          let depth = List.length row_arrays in
+          (* every row receives every update, so any row's sum is the
+             stream mass; take the first *)
+          let mass = Register_array.fold ( + ) 0 first in
+          cm :=
+            ( sk_labels,
+              Health.cm_epsilon ~width,
+              Health.cm_delta ~depth,
+              Health.cm_error_bound ~width ~mass )
+            :: !cm
+      | _ -> ())
+    (sketch_groups slots);
+  let bloom = List.rev !bloom and cm = List.rev !cm in
+  (if bloom = [] then []
+   else
+     [
+       Metric.gauge ~name:"newton_bloom_fill_ratio"
+         ~help:"Mean fraction of set bits across a Bloom filter's rows"
+         (List.map (fun (l, fill, _) -> Metric.v ~labels:l fill) bloom);
+       Metric.gauge ~name:"newton_bloom_fpr_estimate"
+         ~help:"Bloom false-positive estimate at current occupancy"
+         (List.map (fun (l, _, fpr) -> Metric.v ~labels:l fpr) bloom);
+     ])
+  @
+  if cm = [] then []
+  else
+    [
+      Metric.gauge ~name:"newton_cm_epsilon"
+        ~help:"Count-Min per-key error factor e/width"
+        (List.map (fun (l, e, _, _) -> Metric.v ~labels:l e) cm);
+      Metric.gauge ~name:"newton_cm_delta"
+        ~help:"Probability the Count-Min error bound is exceeded"
+        (List.map (fun (l, _, d, _) -> Metric.v ~labels:l d) cm);
+      Metric.gauge ~name:"newton_cm_error_bound"
+        ~help:"Absolute Count-Min error bound at the observed stream mass"
+        (List.map (fun (l, _, _, b) -> Metric.v ~labels:l b) cm);
+    ]
+
+(* ---------------- per-instance gauges ---------------- *)
+
+let instance_labels ~labels inst =
+  labels
+  @ [
+      ("uid", string_of_int (Engine.instance_uid inst));
+      ("query", (Engine.instance_query inst).Newton_query.Ast.name);
+    ]
+
+let instance_metrics ~labels engine =
+  let insts = Engine.instances engine in
+  if insts = [] then []
+  else
+    let g name help f =
+      Metric.gauge ~name ~help
+        (List.map
+           (fun inst -> Metric.vi ~labels:(instance_labels ~labels inst) (f inst))
+           insts)
+    in
+    [
+      g "newton_instance_rules" "Table entries an installed instance holds"
+        Engine.instance_rules;
+      g "newton_instance_registers" "Registers across an instance's arrays"
+        (fun inst ->
+          List.fold_left
+            (fun acc (_, a) -> acc + Register_array.size a)
+            0 (Engine.instance_arrays inst));
+      g "newton_instance_register_occupancy"
+        "Non-zero registers in an instance's arrays" (fun inst ->
+          List.fold_left
+            (fun acc (_, a) -> acc + Register_array.occupancy a)
+            0 (Engine.instance_arrays inst));
+      g "newton_instance_reported_keys"
+        "Keys reported (deduped) in the current window"
+        Engine.instance_reported_keys;
+      g "newton_instance_window" "Current measurement-window index"
+        Engine.instance_window;
+    ]
+
+(* ---------------- entry points ---------------- *)
+
+(** Full snapshot of a sequential engine: sink counters + capacity,
+    stage, per-instance and sketch-health gauges, every sample tagged
+    with [labels]. *)
+let engine_metrics ?(labels = []) engine =
+  Snapshot.of_sink ~labels (Engine.sink engine)
+  @ cell_metrics ~labels engine
+  @ stage_metrics ~labels engine
+  @ instance_metrics ~labels engine
+  @ List.concat_map
+      (fun inst ->
+        sketch_metrics
+          ~labels:(instance_labels ~labels inst)
+          ~slots:(Engine.instance_slots inst)
+          ~arrays:(Engine.instance_arrays inst))
+      (Engine.instances engine)
+
+(** Snapshot of a sharded engine: merged per-domain counters, shard
+    load gauges, shard-0 layout gauges (every shard installs the same
+    rules), and sketch health over the ALU-merged banks — counter
+    totals equal the sequential engine's over the same stream. *)
+let parallel_metrics ?(labels = []) par =
+  let shards = Parallel_engine.shard_engines par in
+  let shard0 = shards.(0) in
+  let loads = Parallel_engine.shard_loads par in
+  Snapshot.of_sink ~labels (Parallel_engine.merged_sink par)
+  @ [
+      Metric.gauge ~name:"newton_shard_packets"
+        ~help:"Packets routed to each replay shard"
+        (Array.to_list
+           (Array.mapi
+              (fun s n ->
+                Metric.vi ~labels:(labels @ [ ("shard", string_of_int s) ]) n)
+              loads));
+    ]
+  @ cell_metrics ~labels shard0
+  @ stage_metrics ~labels shard0
+  @ instance_metrics ~labels shard0
+  @ List.concat_map
+      (fun inst ->
+        let arrays =
+          match
+            Parallel_engine.merged_arrays par (Engine.instance_uid inst)
+          with
+          | Some merged -> merged
+          | None -> Engine.instance_arrays inst
+        in
+        sketch_metrics
+          ~labels:(instance_labels ~labels inst)
+          ~slots:(Engine.instance_slots inst)
+          ~arrays)
+      (Engine.instances shard0)

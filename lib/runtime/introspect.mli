@@ -1,0 +1,26 @@
+(** Engine introspection: assembling telemetry snapshots from sink
+    counters plus gauges computed off live engine state (rule-table
+    utilization vs cell capacity, stage occupancy, per-instance
+    footprints, Bloom / Count-Min health). *)
+
+open Newton_compiler
+open Newton_telemetry
+
+(** Sketch-health gauges of one instance layout over [arrays] — live
+    per-shard banks or their ALU merge, evaluated identically. *)
+val sketch_metrics :
+  labels:(string * string) list ->
+  slots:Ir.slot list array ->
+  arrays:(Engine.array_key * Newton_sketch.Register_array.t) list ->
+  Snapshot.t
+
+(** Full snapshot of a sequential engine, every sample tagged with
+    [labels] (e.g. [("switch", "0")]). *)
+val engine_metrics : ?labels:(string * string) list -> Engine.t -> Snapshot.t
+
+(** Snapshot of a sharded engine: merged per-domain counters, shard
+    loads, shard-0 layout gauges, sketch health over the ALU-merged
+    banks.  Counter totals equal the sequential engine's over the same
+    stream. *)
+val parallel_metrics :
+  ?labels:(string * string) list -> Parallel_engine.t -> Snapshot.t

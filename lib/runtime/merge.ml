@@ -54,9 +54,9 @@ let instance_arrays (instances : Engine.instance list) =
              | Some op ->
                  Hashtbl.replace op_of (s.Ir.branch, s.Ir.prim, s.Ir.suite) op
              | None -> ()))
-        first.Engine.slots;
-      Hashtbl.fold
-        (fun key arr acc ->
+        (Engine.instance_slots first);
+      List.fold_left
+        (fun acc (key, arr) ->
           let op =
             match Hashtbl.find_opt op_of key with
             | Some op -> op
@@ -65,10 +65,11 @@ let instance_arrays (instances : Engine.instance list) =
           let merged = Register_array.copy arr in
           List.iter
             (fun (inst : Engine.instance) ->
-              match Hashtbl.find_opt inst.Engine.arrays key with
+              match Engine.instance_array inst key with
               | Some src -> Register_array.merge_into ~op ~dst:merged ~src
               | None ->
                   invalid_arg "Merge.instance_arrays: array-key mismatch")
             rest;
           (key, merged) :: acc)
-        first.Engine.arrays []
+        []
+        (Engine.instance_arrays first)

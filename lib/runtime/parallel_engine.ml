@@ -40,7 +40,7 @@ let create ?jobs ?(batch = default_batch) ?(shard_key = Shard.Flow)
     batch;
     strategy = shard_key;
     sharder = Shard.make ~jobs shard_key;
-    shards = Array.init jobs (fun _ -> Engine.create ~switch_id);
+    shards = Array.init jobs (fun _ -> Engine.create ~switch_id ());
     shard_packets = Array.make jobs 0;
   }
 
@@ -48,6 +48,23 @@ let jobs t = t.jobs
 let batch t = t.batch
 let strategy t = t.strategy
 let shard_engines t = t.shards
+
+(** Merged per-domain telemetry: each shard engine owns its sink (no
+    cross-domain contention); the fold adds counters and histograms the
+    same way {!Merge} folds sketch state. *)
+let merged_sink t =
+  Newton_telemetry.Stats.merge_all
+    (Array.to_list (Array.map Engine.sink t.shards))
+
+(** Enable (fresh per-shard sinks) or disable ([Stats.null]) telemetry
+    on every shard. *)
+let set_telemetry t enabled =
+  Array.iter
+    (fun e ->
+      Engine.set_sink e
+        (if enabled then Newton_telemetry.Stats.create ()
+         else Newton_telemetry.Stats.null))
+    t.shards
 
 (** Packets routed to each shard so far (load-balance view). *)
 let shard_loads t = Array.copy t.shard_packets

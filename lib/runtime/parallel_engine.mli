@@ -30,6 +30,15 @@ val batch : t -> int
 val strategy : t -> Shard.strategy
 val shard_engines : t -> Engine.t array
 
+(** Merged per-domain telemetry: each shard engine owns its own sink;
+    the fold adds counters and histograms (associative/commutative,
+    like the ALU merge of sketch state). *)
+val merged_sink : t -> Newton_telemetry.Stats.sink
+
+(** Enable (fresh per-shard sinks) or disable
+    ([Newton_telemetry.Stats.null]) telemetry on every shard. *)
+val set_telemetry : t -> bool -> unit
+
 (** Packets routed to each shard so far. *)
 val shard_loads : t -> int array
 

@@ -1,0 +1,50 @@
+(** Exact (oracle) counting structures for ground truth.
+
+    The accuracy experiments (Fig. 14) compare sketch answers against
+    the true per-key values; these hashtable-backed oracles provide
+    them.  Also used by the software analyzer for primitives deferred
+    to CPU. *)
+
+module Key : sig
+  type t = int array
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+module Tbl : Hashtbl.S with type key = Key.t
+
+(** Exact counter: key vector -> running sum. *)
+module Counter : sig
+  type t = int Tbl.t
+
+  val create : unit -> t
+
+  (** [add t keys k] adds [k] and returns the new sum. *)
+  val add : t -> Key.t -> int -> int
+
+  (** [merge_max t keys v] keeps the running maximum instead of a sum. *)
+  val merge_max : t -> Key.t -> int -> int
+
+  val count : t -> Key.t -> int
+  val cardinality : t -> int
+  val clear : t -> unit
+  val fold : (Key.t -> int -> 'a -> 'a) -> t -> 'a -> 'a
+
+  (** Keys whose count strictly exceeds [threshold]. *)
+  val over_threshold : t -> int -> (Key.t * int) list
+end
+
+(** Exact distinct-set: key vector membership. *)
+module Distinct : sig
+  type t = unit Tbl.t
+
+  val create : unit -> t
+
+  (** Returns whether the key was already present, then inserts. *)
+  val test_and_set : t -> Key.t -> bool
+
+  val mem : t -> Key.t -> bool
+  val cardinality : t -> int
+  val clear : t -> unit
+end

@@ -1,0 +1,12 @@
+(** Snapshot exporters: JSON (bench/CI artifacts) and the Prometheus
+    text exposition format.  Both renderings are deterministic, so
+    golden tests can compare exact strings. *)
+
+(** The snapshot as a JSON value: [{"metrics": [...]}]. *)
+val to_json : Snapshot.t -> Newton_util.Json.t
+
+val to_json_string : Snapshot.t -> string
+
+(** The snapshot in the Prometheus text exposition format (cumulative
+    [_bucket{le=...}] lines plus [_sum]/[_count] for histograms). *)
+val to_prometheus : Snapshot.t -> string

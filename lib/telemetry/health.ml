@@ -1,0 +1,36 @@
+(** Sketch-health and capacity gauges.
+
+    Pure formulas over observable state — register occupancy, table
+    fill, stream mass — so they can be evaluated over live per-shard
+    banks or over their ALU merge identically.  The collector in
+    [Newton_runtime.Introspect] pairs them with engine state. *)
+
+(** [used / capacity] in [0, 1]; 0 when the capacity is 0. *)
+let utilization ~used ~capacity =
+  if capacity <= 0 then 0.0
+  else
+    Float.min 1.0 (Float.max 0.0 (float_of_int used /. float_of_int capacity))
+
+(** Fraction of set bits in one Bloom row. *)
+let bloom_fill ~set_bits ~bits = utilization ~used:set_bits ~capacity:bits
+
+(** False-positive estimate of a Bloom filter from its per-row fill
+    ratios: a lookup is positive iff every row's probed bit is set, and
+    at the current occupancy each row answers 1 with its fill ratio. *)
+let bloom_fpr ~fills =
+  match fills with
+  | [] -> 0.0
+  | _ -> List.fold_left (fun acc f -> acc *. Float.min 1.0 (Float.max 0.0 f)) 1.0 fills
+
+(** Count-Min overestimation factor: with width [w], the expected
+    per-key error is bounded by [(e / w) * mass]. *)
+let cm_epsilon ~width =
+  if width <= 0 then Float.infinity else Float.exp 1.0 /. float_of_int width
+
+(** Probability the CM bound is exceeded: [(1 / e) ^ depth]. *)
+let cm_delta ~depth =
+  if depth <= 0 then 1.0 else Float.exp (-.float_of_int depth)
+
+(** Absolute error bound [epsilon * mass] at the observed stream mass
+    (the sum of one row's counters). *)
+let cm_error_bound ~width ~mass = cm_epsilon ~width *. float_of_int mass

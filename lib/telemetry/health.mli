@@ -1,0 +1,22 @@
+(** Sketch-health and capacity gauges: pure formulas over observable
+    state (register occupancy, table fill, stream mass), identical over
+    live per-shard banks and over their ALU merge. *)
+
+(** [used / capacity] clamped to [0, 1]; 0 when the capacity is 0. *)
+val utilization : used:int -> capacity:int -> float
+
+(** Fraction of set bits in one Bloom row. *)
+val bloom_fill : set_bits:int -> bits:int -> float
+
+(** False-positive estimate from the per-row fill ratios (their
+    product); 0 for an empty row list. *)
+val bloom_fpr : fills:float list -> float
+
+(** Count-Min per-key error factor [e / width]. *)
+val cm_epsilon : width:int -> float
+
+(** Probability the CM bound is exceeded: [(1/e) ^ depth]. *)
+val cm_delta : depth:int -> float
+
+(** Absolute error bound [epsilon * mass] at the observed stream mass. *)
+val cm_error_bound : width:int -> mass:int -> float

@@ -1,0 +1,82 @@
+(** Fixed-bound histograms for the telemetry sinks.
+
+    Buckets are defined by an ascending array of inclusive upper
+    bounds plus an implicit [+Inf] overflow bucket; counts are stored
+    non-cumulative (the Prometheus exporter accumulates on render).
+    Merging is element-wise addition, which is what lets per-domain
+    sinks fold back into one switch-level view ({!Stats.merge}). *)
+
+type t = {
+  bounds : float array;
+  counts : int array; (* length = Array.length bounds + 1 *)
+  mutable sum : float;
+  mutable count : int;
+}
+
+(** 1-2-5 decades from 100 µs to 10 s: report latency within a 100 ms
+    window lands mid-range with room for long windows. *)
+let latency_bounds =
+  [| 1e-4; 2e-4; 5e-4; 1e-3; 2e-3; 5e-3; 1e-2; 2e-2; 5e-2; 0.1; 0.2; 0.5;
+     1.0; 2.0; 5.0; 10.0 |]
+
+(** 1-2-5 decades from 1 to 10k: per-window drop / message counts. *)
+let count_bounds =
+  [| 1.0; 2.0; 5.0; 10.0; 20.0; 50.0; 100.0; 200.0; 500.0; 1000.0; 2000.0;
+     5000.0; 10000.0 |]
+
+let create bounds =
+  let n = Array.length bounds in
+  for i = 1 to n - 1 do
+    if bounds.(i) <= bounds.(i - 1) then
+      invalid_arg "Hist.create: bounds not strictly ascending"
+  done;
+  { bounds = Array.copy bounds; counts = Array.make (n + 1) 0; sum = 0.0; count = 0 }
+
+let bounds t = Array.copy t.bounds
+let count t = t.count
+let sum t = t.sum
+
+(* First bucket whose bound covers [x]; the overflow bucket otherwise.
+   Linear scan: bound arrays are small and observe is not on the
+   per-packet path (reports and window rolls only). *)
+let bucket_of t x =
+  let n = Array.length t.bounds in
+  let rec go i = if i >= n then n else if x <= t.bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe t x =
+  let b = bucket_of t x in
+  t.counts.(b) <- t.counts.(b) + 1;
+  t.sum <- t.sum +. x;
+  t.count <- t.count + 1
+
+(** Non-cumulative counts including the overflow bucket. *)
+let counts t = Array.copy t.counts
+
+let clear t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.sum <- 0.0;
+  t.count <- 0
+
+let copy t =
+  { bounds = Array.copy t.bounds; counts = Array.copy t.counts; sum = t.sum;
+    count = t.count }
+
+(** Fold [src] into [dst] bucket-wise.
+    @raise Invalid_argument on a bound-layout mismatch. *)
+let merge_into ~dst ~src =
+  if dst.bounds <> src.bounds then invalid_arg "Hist.merge_into: bounds mismatch";
+  Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) src.counts;
+  dst.sum <- dst.sum +. src.sum;
+  dst.count <- dst.count + src.count
+
+let merge a b =
+  let t = copy a in
+  merge_into ~dst:t ~src:b;
+  t
+
+(** The histogram as a {!Metric} sample value. *)
+let to_value t =
+  Metric.Buckets
+    { bounds = Array.copy t.bounds; counts = Array.copy t.counts; sum = t.sum;
+      count = t.count }

@@ -1,0 +1,41 @@
+(** Fixed-bound histograms for the telemetry sinks: ascending inclusive
+    upper bounds plus an implicit [+Inf] overflow bucket, non-cumulative
+    counts, element-wise merge (per-domain sinks fold into one view). *)
+
+type t
+
+(** 1-2-5 decades from 100 µs to 10 s (report latency within a window). *)
+val latency_bounds : float array
+
+(** 1-2-5 decades from 1 to 10k (per-window drop / message counts). *)
+val count_bounds : float array
+
+(** @raise Invalid_argument unless bounds are strictly ascending. *)
+val create : float array -> t
+
+val bounds : t -> float array
+
+(** Observations so far. *)
+val count : t -> int
+
+(** Sum of observed values. *)
+val sum : t -> float
+
+val observe : t -> float -> unit
+
+(** Non-cumulative counts, overflow bucket last
+    ([Array.length (counts t) = Array.length (bounds t) + 1]). *)
+val counts : t -> int array
+
+val clear : t -> unit
+val copy : t -> t
+
+(** Fold [src] into [dst] bucket-wise.
+    @raise Invalid_argument on a bound-layout mismatch. *)
+val merge_into : dst:t -> src:t -> unit
+
+(** Functional merge into a fresh histogram. *)
+val merge : t -> t -> t
+
+(** The histogram as a {!Metric} sample value. *)
+val to_value : t -> Metric.value

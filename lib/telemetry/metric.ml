@@ -1,0 +1,62 @@
+(** Metric model for Newton's self-monitoring (§4–§5 visibility).
+
+    A snapshot is a list of metric families, each a named, typed set of
+    labelled samples — deliberately the Prometheus data model, so the
+    exporters ({!Export}) are a direct rendering.  Values are produced
+    by the runtime collectors ({!Stats} sinks, the per-engine
+    introspection in [Newton_runtime.Introspect]); this module only
+    defines the shapes. *)
+
+type kind = Counter | Gauge | Histogram
+
+let kind_to_string = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Histogram -> "histogram"
+
+(** Histogram samples carry the full bucket layout: [bounds.(i)] is the
+    inclusive upper edge of bucket [i] (non-cumulative counts; the
+    Prometheus exporter accumulates), with one implicit [+Inf] bucket
+    at the end, so [Array.length counts = Array.length bounds + 1]. *)
+type value =
+  | V of float
+  | Buckets of {
+      bounds : float array;
+      counts : int array;
+      sum : float;
+      count : int;
+    }
+
+type sample = { labels : (string * string) list; value : value }
+
+type t = {
+  name : string;  (** full metric name, e.g. ["newton_reports_total"] *)
+  help : string;
+  kind : kind;
+  samples : sample list;
+}
+
+let sample ?(labels = []) value = { labels; value }
+
+let v ?labels x = sample ?labels (V x)
+let vi ?labels x = sample ?labels (V (float_of_int x))
+
+let make ~name ~help ~kind samples = { name; help; kind; samples }
+
+let counter ~name ~help samples = make ~name ~help ~kind:Counter samples
+let gauge ~name ~help samples = make ~name ~help ~kind:Gauge samples
+let histogram ~name ~help samples = make ~name ~help ~kind:Histogram samples
+
+(** Deterministic float rendering shared by both exporters: integers
+    print without an exponent or trailing [.], everything else as the
+    shortest round-trippable decimal. *)
+let string_of_value x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.12g" x
+
+let label_to_string (k, v) = Printf.sprintf "%s=%S" k v
+
+let labels_to_string = function
+  | [] -> ""
+  | ls -> "{" ^ String.concat "," (List.map label_to_string ls) ^ "}"

@@ -1,0 +1,95 @@
+(** A telemetry snapshot: the point-in-time metric families one engine,
+    shard group, or network exports.
+
+    Snapshots compose: {!merge} concatenates the sample lists of
+    same-named families (labels keep them apart), so a network-wide
+    snapshot is the merge of per-switch snapshots, each labelled with
+    its switch id. *)
+
+type t = Metric.t list
+
+let empty = []
+
+(** Counter families of a sink, every sample tagged with [labels]
+    (e.g. [("switch", "3")]).  The four [Module_hits_*] keys fold into
+    one family with a [kind] label; zero-valued counters are kept so
+    scrapes always expose the full vocabulary. *)
+let of_sink ?(labels = []) sink =
+  let sample key =
+    Metric.vi ~labels:(labels @ Stats.labels key) (Stats.get sink key)
+  in
+  (* group keys by metric name, preserving [Stats.all] order *)
+  let families =
+    List.fold_left
+      (fun acc key ->
+        let name = Stats.name key in
+        match List.assoc_opt name acc with
+        | Some keys ->
+            (name, keys @ [ key ]) :: List.remove_assoc name acc
+        | None -> (name, [ key ]) :: acc)
+      [] Stats.all
+    |> List.rev
+  in
+  let counters =
+    List.map
+      (fun (name, keys) ->
+        Metric.counter ~name ~help:(Stats.help (List.hd keys))
+          (List.map sample keys))
+      families
+  in
+  let hist name help = function
+    | None -> []
+    | Some h ->
+        [ Metric.histogram ~name ~help
+            [ Metric.sample ~labels (Hist.to_value h) ] ]
+  in
+  counters
+  @ hist "newton_report_latency_seconds"
+      "Seconds from window start to report emission"
+      (Stats.report_latency sink)
+  @ hist "newton_report_drops_per_window"
+      "Mirror-budget report drops per closed window"
+      (Stats.window_drops sink)
+
+(** Merge two snapshots: same-named families concatenate their samples
+    (first snapshot's family order wins), new families append. *)
+let merge (a : t) (b : t) : t =
+  let merged_a =
+    List.map
+      (fun (m : Metric.t) ->
+        match List.find_opt (fun (m' : Metric.t) -> m'.Metric.name = m.Metric.name) b with
+        | Some m' -> { m with Metric.samples = m.Metric.samples @ m'.Metric.samples }
+        | None -> m)
+      a
+  in
+  let fresh_b =
+    List.filter
+      (fun (m : Metric.t) ->
+        not (List.exists (fun (m' : Metric.t) -> m'.Metric.name = m.Metric.name) a))
+      b
+  in
+  merged_a @ fresh_b
+
+let merge_all = function [] -> empty | s :: rest -> List.fold_left merge s rest
+
+let find name (t : t) =
+  List.find_opt (fun (m : Metric.t) -> m.Metric.name = name) t
+
+(** Sum of a family's plain-valued samples, optionally restricted to
+    samples carrying every pair in [where]; 0 when absent.  Handy for
+    test assertions ("merged total = sequential total"). *)
+let total ?(where = []) name t =
+  match find name t with
+  | None -> 0.0
+  | Some m ->
+      List.fold_left
+        (fun acc (s : Metric.sample) ->
+          let matches =
+            List.for_all
+              (fun (k, v) -> List.assoc_opt k s.Metric.labels = Some v)
+              where
+          in
+          match s.Metric.value with
+          | Metric.V x when matches -> acc +. x
+          | _ -> acc)
+        0.0 m.Metric.samples

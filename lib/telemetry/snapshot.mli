@@ -1,0 +1,24 @@
+(** A telemetry snapshot: point-in-time metric families.  Snapshots
+    compose by {!merge} (same-named families concatenate samples), so a
+    network-wide snapshot is the merge of labelled per-switch ones. *)
+
+type t = Metric.t list
+
+val empty : t
+
+(** Counter + histogram families of a sink, every sample tagged with
+    [labels].  Zero-valued counters are kept so scrapes always expose
+    the full vocabulary. *)
+val of_sink : ?labels:(string * string) list -> Stats.sink -> t
+
+(** Same-named families concatenate their samples; new families
+    append. *)
+val merge : t -> t -> t
+
+val merge_all : t list -> t
+
+val find : string -> t -> Metric.t option
+
+(** Sum of a family's plain-valued samples, optionally restricted to
+    samples carrying every pair in [where]; 0 when absent. *)
+val total : ?where:(string * string) list -> string -> t -> float

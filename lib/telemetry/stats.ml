@@ -1,0 +1,157 @@
+(** Event counters and the telemetry sink threaded through the runtime.
+
+    The engine, the CQE path executor and the network controller all
+    take a [sink] and bump fixed, array-indexed counters on it as
+    packets flow; {!null} is a sink that drops everything, so an
+    instrumented hot path costs exactly one branch when telemetry is
+    off.  Per-domain sinks ({!Newton_runtime.Parallel_engine}) merge
+    with {!merge} — counters add, histograms add bucket-wise — the same
+    shape as the ALU merge of sharded sketch state. *)
+
+(** The fixed counter vocabulary.  Adding a key means adding it here,
+    in [all], and in [name]/[help] — the compiler enforces the rest. *)
+type key =
+  | Packets_processed  (** packets run through an engine *)
+  | Module_hits_k      (** K (key-selection) slot executions *)
+  | Module_hits_h      (** H (hash) slot executions *)
+  | Module_hits_s      (** S (state-bank) slot executions *)
+  | Module_hits_r      (** R (result-process) slot executions *)
+  | Guard_stops        (** chains stopped by an R guard *)
+  | Reports_emitted    (** reports exported to the analyzer *)
+  | Reports_deduped    (** reports suppressed by per-window dedup *)
+  | Reports_dropped    (** reports dropped by the mirror budget *)
+  | Window_rolls       (** per-instance window resets *)
+  | Cqe_hops           (** per-hop slice executions on the CQE path *)
+  | Sp_header_bytes    (** SP snapshot bytes added on the wire *)
+  | Software_continuations  (** packets deferred to the CPU analyzer *)
+
+let all =
+  [ Packets_processed; Module_hits_k; Module_hits_h; Module_hits_s;
+    Module_hits_r; Guard_stops; Reports_emitted; Reports_deduped;
+    Reports_dropped; Window_rolls; Cqe_hops; Sp_header_bytes;
+    Software_continuations ]
+
+let index = function
+  | Packets_processed -> 0
+  | Module_hits_k -> 1
+  | Module_hits_h -> 2
+  | Module_hits_s -> 3
+  | Module_hits_r -> 4
+  | Guard_stops -> 5
+  | Reports_emitted -> 6
+  | Reports_deduped -> 7
+  | Reports_dropped -> 8
+  | Window_rolls -> 9
+  | Cqe_hops -> 10
+  | Sp_header_bytes -> 11
+  | Software_continuations -> 12
+
+let num_keys = List.length all
+
+(** Prometheus-style metric name (counters end in [_total]). *)
+let name = function
+  | Packets_processed -> "newton_packets_processed_total"
+  | Module_hits_k -> "newton_module_hits_total" (* labelled kind=K *)
+  | Module_hits_h -> "newton_module_hits_total"
+  | Module_hits_s -> "newton_module_hits_total"
+  | Module_hits_r -> "newton_module_hits_total"
+  | Guard_stops -> "newton_guard_stops_total"
+  | Reports_emitted -> "newton_reports_emitted_total"
+  | Reports_deduped -> "newton_reports_deduped_total"
+  | Reports_dropped -> "newton_reports_dropped_total"
+  | Window_rolls -> "newton_window_rolls_total"
+  | Cqe_hops -> "newton_cqe_hops_total"
+  | Sp_header_bytes -> "newton_sp_header_bytes_total"
+  | Software_continuations -> "newton_software_continuations_total"
+
+let help = function
+  | Packets_processed -> "Packets run through the engine"
+  | Module_hits_k | Module_hits_h | Module_hits_s | Module_hits_r ->
+      "Module slot executions by kind (K/H/S/R)"
+  | Guard_stops -> "Chains stopped by an R-module guard"
+  | Reports_emitted -> "Reports exported to the analyzer"
+  | Reports_deduped -> "Reports suppressed by per-window dedup"
+  | Reports_dropped -> "Reports dropped by the mirror-session budget"
+  | Window_rolls -> "Per-instance measurement-window resets"
+  | Cqe_hops -> "Per-hop slice executions on the CQE path"
+  | Sp_header_bytes -> "SP snapshot bytes added on the wire"
+  | Software_continuations -> "Packets deferred to the CPU analyzer"
+
+(** The label set distinguishing samples that share a metric name. *)
+let labels = function
+  | Module_hits_k -> [ ("kind", "K") ]
+  | Module_hits_h -> [ ("kind", "H") ]
+  | Module_hits_s -> [ ("kind", "S") ]
+  | Module_hits_r -> [ ("kind", "R") ]
+  | _ -> []
+
+type active = {
+  counts : int array;
+  report_latency : Hist.t;  (** seconds from window start to emission *)
+  window_drops : Hist.t;    (** budget drops per closed window *)
+}
+
+(** [Null] is the zero-cost-when-disabled case: every instrumentation
+    point is one pattern match. *)
+type sink = Null | Active of active
+
+let null = Null
+
+let create () =
+  Active
+    {
+      counts = Array.make num_keys 0;
+      report_latency = Hist.create Hist.latency_bounds;
+      window_drops = Hist.create Hist.count_bounds;
+    }
+
+let enabled = function Null -> false | Active _ -> true
+
+let bump sink k n =
+  match sink with
+  | Null -> ()
+  | Active a ->
+      let i = index k in
+      a.counts.(i) <- a.counts.(i) + n
+
+let get sink k =
+  match sink with Null -> 0 | Active a -> a.counts.(index k)
+
+let observe_report_latency sink secs =
+  match sink with Null -> () | Active a -> Hist.observe a.report_latency secs
+
+let observe_window_drops sink n =
+  match sink with
+  | Null -> ()
+  | Active a -> Hist.observe a.window_drops (float_of_int n)
+
+let report_latency = function
+  | Null -> None
+  | Active a -> Some a.report_latency
+
+let window_drops = function Null -> None | Active a -> Some a.window_drops
+
+let counters sink = List.map (fun k -> (k, get sink k)) all
+
+let clear = function
+  | Null -> ()
+  | Active a ->
+      Array.fill a.counts 0 num_keys 0;
+      Hist.clear a.report_latency;
+      Hist.clear a.window_drops
+
+(** Sum of two sinks ([Null] is the identity): counters add, histograms
+    merge bucket-wise.  Associative and commutative, like the ALU merge
+    of sharded sketch state. *)
+let merge a b =
+  match (a, b) with
+  | Null, s | s, Null -> s
+  | Active x, Active y ->
+      Active
+        {
+          counts = Array.init num_keys (fun i -> x.counts.(i) + y.counts.(i));
+          report_latency = Hist.merge x.report_latency y.report_latency;
+          window_drops = Hist.merge x.window_drops y.window_drops;
+        }
+
+let merge_all sinks = List.fold_left merge Null sinks

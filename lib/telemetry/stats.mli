@@ -1,0 +1,69 @@
+(** Event counters and the telemetry sink threaded through the runtime
+    ({!Newton_runtime.Engine}, CQE, the controller).  {!null} makes
+    every instrumentation point cost one pattern match; per-domain
+    sinks fold back together with {!merge}. *)
+
+(** The fixed counter vocabulary. *)
+type key =
+  | Packets_processed
+  | Module_hits_k
+  | Module_hits_h
+  | Module_hits_s
+  | Module_hits_r
+  | Guard_stops
+  | Reports_emitted
+  | Reports_deduped
+  | Reports_dropped
+  | Window_rolls
+  | Cqe_hops
+  | Sp_header_bytes
+  | Software_continuations
+
+val all : key list
+
+(** Dense index, [0 .. num_keys - 1]. *)
+val index : key -> int
+
+val num_keys : int
+
+(** Prometheus-style metric name; the four [Module_hits_*] keys share
+    one name and are distinguished by {!labels}. *)
+val name : key -> string
+
+val help : key -> string
+val labels : key -> (string * string) list
+
+type sink
+
+(** The disabled sink: drops everything, zero allocation. *)
+val null : sink
+
+(** A fresh recording sink. *)
+val create : unit -> sink
+
+val enabled : sink -> bool
+
+(** [bump sink key n] adds [n] to a counter (no-op on {!null}). *)
+val bump : sink -> key -> int -> unit
+
+val get : sink -> key -> int
+
+(** All counters in {!all} order. *)
+val counters : sink -> (key * int) list
+
+(** Seconds from window start to report emission. *)
+val observe_report_latency : sink -> float -> unit
+
+(** Mirror-budget drops in a closed window. *)
+val observe_window_drops : sink -> int -> unit
+
+val report_latency : sink -> Hist.t option
+val window_drops : sink -> Hist.t option
+
+val clear : sink -> unit
+
+(** Sum of two sinks ([null] is the identity): counters add, histograms
+    merge bucket-wise.  Associative and commutative. *)
+val merge : sink -> sink -> sink
+
+val merge_all : sink list -> sink

@@ -30,7 +30,7 @@ let report_list_eq a b =
    engine exactly — reports equal element-for-element, order included. *)
 let test_jobs1_bit_identical () =
   let trace = attack_trace () in
-  let seq = Engine.create ~switch_id:0 in
+  let seq = Engine.create ~switch_id:0 () in
   let par = Parallel_engine.create ~jobs:1 ~batch:64 ~switch_id:0 () in
   List.iter
     (fun q ->
@@ -58,7 +58,7 @@ let differential_options =
 let run_differential q =
   let trace = attack_trace () in
   let compiled = compile ~options:differential_options q in
-  let seq = Engine.create ~switch_id:0 in
+  let seq = Engine.create ~switch_id:0 () in
   ignore (Engine.install seq compiled);
   Newton_trace.Gen.iter (Engine.process_packet seq) trace;
   let par =
@@ -102,7 +102,7 @@ let test_merged_state_matches_sequential () =
   (* wide banks: the sequential engine's fuller Bloom filter must not
      suppress chain continuations the per-shard filters allow *)
   let compiled = compile ~options:differential_options q in
-  let seq = Engine.create ~switch_id:0 in
+  let seq = Engine.create ~switch_id:0 () in
   let uid_seq, _ = Engine.install seq compiled in
   Newton_trace.Gen.iter (Engine.process_packet seq) trace;
   let par =
@@ -116,7 +116,7 @@ let test_merged_state_matches_sequential () =
   checkb "has state banks" true (merged <> []);
   List.iter
     (fun (key, arr) ->
-      let seq_arr = Hashtbl.find seq_inst.Engine.arrays key in
+      let seq_arr = Option.get (Engine.instance_array seq_inst key) in
       checki "bank size" (Register_array.size seq_arr) (Register_array.size arr);
       for i = 0 to Register_array.size arr - 1 do
         if Register_array.get arr i <> Register_array.get seq_arr i then

@@ -104,7 +104,7 @@ let prop_engine_matches_reference =
     (fun q ->
       let trace = Lazy.force test_trace in
       let truth = Ref_eval.evaluate q (Newton_trace.Gen.packets trace) in
-      let e = Engine.create ~switch_id:0 in
+      let e = Engine.create ~switch_id:0 () in
       let _ = Engine.install e (compile q) in
       Array.iter (Engine.process_packet e) (Newton_trace.Gen.packets trace);
       let a = Analyzer.score ~truth ~detected:(Engine.reports e) in
@@ -116,13 +116,13 @@ let prop_cqe_slicing_equivalent =
     (fun (q, nslices) ->
       let compiled = compile q in
       let trace = Lazy.force test_trace in
-      let single = Engine.create ~switch_id:0 in
+      let single = Engine.create ~switch_id:0 () in
       let _ = Engine.install single compiled in
       let stages = compiled.Newton_compiler.Compose.stats.Newton_compiler.Compose.stages in
       let per = max 1 ((stages + nslices - 1) / nslices) in
       let sliced =
         List.init nslices (fun i ->
-            let e = Engine.create ~switch_id:(i + 1) in
+            let e = Engine.create ~switch_id:(i + 1) () in
             let lo = i * per in
             let hi = if i = nslices - 1 then max_int else (lo + per) - 1 in
             ignore (Engine.install e ~uid:1 ~stage_lo:lo ~stage_hi:hi compiled);
@@ -146,7 +146,7 @@ let prop_window_isolation =
     (fun q ->
       (* Feeding the same single-window burst twice in different windows
          yields exactly the same per-window report count. *)
-      let e = Engine.create ~switch_id:0 in
+      let e = Engine.create ~switch_id:0 () in
       let _ = Engine.install e (compile q) in
       let burst base_ts =
         for i = 1 to 40 do

@@ -40,26 +40,26 @@ let test_ctx_reset () =
 (* ---------------- Engine basics ---------------- *)
 
 let test_install_returns_rules () =
-  let e = Engine.create ~switch_id:0 in
+  let e = Engine.create ~switch_id:0 () in
   let compiled = compile (Catalog.q1 ()) in
   let _, rules = Engine.install e compiled in
   checki "rules = compiled rules" compiled.Newton_compiler.Compose.stats.Newton_compiler.Compose.rules rules;
   checki "tracked" rules (Engine.total_rules e)
 
 let test_remove_frees_rules () =
-  let e = Engine.create ~switch_id:0 in
+  let e = Engine.create ~switch_id:0 () in
   let uid, rules = Engine.install e (compile (Catalog.q1 ())) in
   Alcotest.(check (option int)) "remove returns rules" (Some rules) (Engine.remove e uid);
   checki "no instances left" 0 (List.length (Engine.instances e));
   Alcotest.(check (option int)) "double remove" None (Engine.remove e uid)
 
 let test_explicit_uid () =
-  let e = Engine.create ~switch_id:0 in
+  let e = Engine.create ~switch_id:0 () in
   let uid, _ = Engine.install e ~uid:5000 (compile (Catalog.q1 ())) in
   checki "uid honoured" 5000 uid
 
 let test_q1_detects_flood () =
-  let e = Engine.create ~switch_id:0 in
+  let e = Engine.create ~switch_id:0 () in
   let _ = Engine.install e (compile (Catalog.q1 ~th:10 ())) in
   for i = 1 to 20 do
     Engine.process_packet e (syn ~ts:0.01 ~src:i ~dst:999)
@@ -72,7 +72,7 @@ let test_q1_detects_flood () =
   | _ -> Alcotest.fail "expected one report"
 
 let test_non_matching_traffic_ignored () =
-  let e = Engine.create ~switch_id:0 in
+  let e = Engine.create ~switch_id:0 () in
   let _ = Engine.install e (compile (Catalog.q1 ~th:5 ())) in
   for i = 1 to 20 do
     (* UDP traffic: Q1's newton_init entry (tcp, SYN) must not match. *)
@@ -81,7 +81,7 @@ let test_non_matching_traffic_ignored () =
   checki "no reports" 0 (Engine.report_count e)
 
 let test_window_roll_resets_state () =
-  let e = Engine.create ~switch_id:0 in
+  let e = Engine.create ~switch_id:0 () in
   let _ = Engine.install e (compile (Catalog.q1 ~th:10 ())) in
   for i = 1 to 8 do
     Engine.process_packet e (syn ~ts:0.01 ~src:i ~dst:999)
@@ -93,7 +93,7 @@ let test_window_roll_resets_state () =
   checki "no report across window boundary" 0 (Engine.report_count e)
 
 let test_report_dedup_within_window () =
-  let e = Engine.create ~switch_id:0 in
+  let e = Engine.create ~switch_id:0 () in
   let _ = Engine.install e (compile (Catalog.q1 ~th:5 ())) in
   for i = 1 to 50 do
     Engine.process_packet e (syn ~ts:0.01 ~src:i ~dst:999)
@@ -101,7 +101,7 @@ let test_report_dedup_within_window () =
   checki "one report despite 44 above-threshold packets" 1 (Engine.report_count e)
 
 let test_reports_again_next_window () =
-  let e = Engine.create ~switch_id:0 in
+  let e = Engine.create ~switch_id:0 () in
   let _ = Engine.install e (compile (Catalog.q1 ~th:5 ())) in
   for i = 1 to 10 do
     Engine.process_packet e (syn ~ts:0.01 ~src:i ~dst:999)
@@ -112,7 +112,7 @@ let test_reports_again_next_window () =
   checki "one report per window" 2 (Engine.report_count e)
 
 let test_drain_reports () =
-  let e = Engine.create ~switch_id:0 in
+  let e = Engine.create ~switch_id:0 () in
   let _ = Engine.install e (compile (Catalog.q1 ~th:3 ())) in
   for i = 1 to 10 do
     Engine.process_packet e (syn ~ts:0.01 ~src:i ~dst:7)
@@ -121,7 +121,7 @@ let test_drain_reports () =
   checki "drain empties buffer" 0 (List.length (Engine.drain_reports e))
 
 let test_multiple_instances_coexist () =
-  let e = Engine.create ~switch_id:0 in
+  let e = Engine.create ~switch_id:0 () in
   let _ = Engine.install e (compile (Catalog.q1 ~th:5 ())) in
   let _ = Engine.install e (compile (Catalog.q5 ~th:5 ())) in
   for i = 1 to 10 do
@@ -145,7 +145,7 @@ let test_engine_matches_reference () =
   List.iter
     (fun q ->
       let truth = Ref_eval.evaluate q (Newton_trace.Gen.packets trace) in
-      let e = Engine.create ~switch_id:0 in
+      let e = Engine.create ~switch_id:0 () in
       let _ = Engine.install e (compile q) in
       Array.iter (Engine.process_packet e) (Newton_trace.Gen.packets trace);
       let a = Analyzer.score ~truth ~detected:(Engine.reports e) in
@@ -160,7 +160,7 @@ let cqe_engines compiled n =
   let stages = compiled.Newton_compiler.Compose.stats.Newton_compiler.Compose.stages in
   let per = max 1 ((stages + n - 1) / n) in
   List.init n (fun i ->
-      let e = Engine.create ~switch_id:i in
+      let e = Engine.create ~switch_id:i () in
       let lo = i * per in
       let hi = if i = n - 1 then max_int else (lo + per) - 1 in
       ignore (Engine.install e ~uid:1 ~stage_lo:lo ~stage_hi:hi compiled);
@@ -168,7 +168,7 @@ let cqe_engines compiled n =
 
 let test_cqe_equivalent_to_single_switch () =
   let compiled = compile (Catalog.q1 ~th:10 ()) in
-  let single = Engine.create ~switch_id:0 in
+  let single = Engine.create ~switch_id:0 () in
   let _ = Engine.install single compiled in
   let sliced = cqe_engines compiled 3 in
   let trace =
@@ -202,14 +202,14 @@ let test_cqe_reports_once_per_path () =
 
 let test_shadow_k_installed_for_slices () =
   let compiled = compile (Catalog.q1 ()) in
-  let e = Engine.create ~switch_id:1 in
+  let e = Engine.create ~switch_id:1 () in
   let _ = Engine.install e ~stage_lo:2 ~stage_hi:10 compiled in
   let inst = List.hd (Engine.instances e) in
   let has_k =
     Array.exists
       (fun slots ->
         List.exists (fun s -> s.Newton_compiler.Ir.kind = Newton_dataplane.Module_cost.K) slots)
-      inst.Engine.slots
+      (Engine.instance_slots inst)
   in
   checkb "slice re-installs upstream K" true has_k
 
@@ -218,7 +218,7 @@ let test_shadow_k_installed_for_slices () =
 let test_capacity_bounds_concurrent_queries () =
   (* Each module cell holds 256 rules; installing clones beyond that
      raises. *)
-  let e = Engine.create ~switch_id:0 in
+  let e = Engine.create ~switch_id:0 () in
   let compiled = compile (Catalog.q4 ()) in
   let installed = ref 0 in
   (try
@@ -231,7 +231,7 @@ let test_capacity_bounds_concurrent_queries () =
     Newton_dataplane.Module_cost.rules_per_module !installed
 
 let test_capacity_released_on_remove () =
-  let e = Engine.create ~switch_id:0 in
+  let e = Engine.create ~switch_id:0 () in
   let compiled = compile (Catalog.q4 ()) in
   (* Churn well past the static capacity: removal must free the cells. *)
   for _ = 1 to 300 do
@@ -241,7 +241,7 @@ let test_capacity_released_on_remove () =
   checki "engine empty after churn" 0 (List.length (Engine.instances e))
 
 let test_rejected_install_leaves_no_residue () =
-  let e = Engine.create ~switch_id:0 in
+  let e = Engine.create ~switch_id:0 () in
   let compiled = compile (Catalog.q4 ()) in
   for _ = 1 to Newton_dataplane.Module_cost.rules_per_module do
     ignore (Engine.install e compiled)
@@ -251,22 +251,22 @@ let test_rejected_install_leaves_no_residue () =
     (try ignore (Engine.install e compiled); false
      with Engine.Rules_exhausted _ -> true);
   (* ...so removing one clone frees exactly one slot again *)
-  let victim = (List.hd (Engine.instances e)).Engine.uid in
+  let victim = Engine.instance_uid (List.hd (Engine.instances e)) in
   ignore (Engine.remove e victim);
   checkb "slot freed" true
     (try ignore (Engine.install e compiled); true
      with Engine.Rules_exhausted _ -> false)
 
 let test_init_table_entries_tracked () =
-  let e = Engine.create ~switch_id:0 in
+  let e = Engine.create ~switch_id:0 () in
   let uid, _ = Engine.install e (compile (Catalog.q6 ())) in
   (* Q6 has two branches -> two classifier entries. *)
-  checki "two init entries" 2 (Newton_dataplane.Table.size e.Engine.init_table);
+  checki "two init entries" 2 (Engine.init_table_size e);
   ignore (Engine.remove e uid);
-  checki "entries removed" 0 (Newton_dataplane.Table.size e.Engine.init_table)
+  checki "entries removed" 0 (Engine.init_table_size e)
 
 let test_report_budget_caps_exports () =
-  let e = Engine.create ~switch_id:0 in
+  let e = Engine.create ~switch_id:0 () in
   Engine.set_report_budget e (Some 3);
   let _ = Engine.install e (compile (Catalog.q1 ~th:2 ())) in
   (* ten distinct victims all cross the threshold in one window *)
@@ -279,7 +279,7 @@ let test_report_budget_caps_exports () =
   checki "rest dropped on the wire" 7 (Engine.dropped_reports e)
 
 let test_report_budget_resets_per_window () =
-  let e = Engine.create ~switch_id:0 in
+  let e = Engine.create ~switch_id:0 () in
   Engine.set_report_budget e (Some 2);
   let _ = Engine.install e (compile (Catalog.q1 ~th:2 ())) in
   for v = 1 to 5 do
@@ -295,7 +295,7 @@ let test_report_budget_resets_per_window () =
   checki "budget renews each window" 4 (Engine.report_count e)
 
 let test_no_budget_is_unlimited () =
-  let e = Engine.create ~switch_id:0 in
+  let e = Engine.create ~switch_id:0 () in
   let _ = Engine.install e (compile (Catalog.q1 ~th:2 ())) in
   for v = 1 to 10 do
     for i = 1 to 5 do
@@ -306,7 +306,7 @@ let test_no_budget_is_unlimited () =
   checki "nothing dropped" 0 (Engine.dropped_reports e)
 
 let test_instance_stats () =
-  let e = Engine.create ~switch_id:0 in
+  let e = Engine.create ~switch_id:0 () in
   let _ = Engine.install e (compile (Catalog.q1 ~th:5 ())) in
   for i = 1 to 10 do
     Engine.process_packet e (syn ~ts:0.01 ~src:i ~dst:7)

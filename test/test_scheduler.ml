@@ -80,7 +80,7 @@ let test_plan_is_installable () =
     Scheduler.plan ~register_pool:100_000
       [ d ~weight:4.0 (Catalog.q1 ()); d (Catalog.q4 ()); d (Catalog.q5 ()) ]
   in
-  let e = Newton_runtime.Engine.create ~switch_id:0 in
+  let e = Newton_runtime.Engine.create ~switch_id:0 () in
   List.iter
     (fun (a : Scheduler.assignment) ->
       let options =

@@ -1,0 +1,359 @@
+(** Telemetry subsystem tests: counter monotonicity under replay,
+    parallel sink merge == sequential sink (per-query differential over
+    the full catalog), sketch-health gauge bounds, and golden
+    Prometheus / JSON renderings. *)
+
+open Newton_query
+open Newton_runtime
+open Newton_telemetry
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let compile = Newton_compiler.Compose.compile
+
+let attack_trace ?(flows = 400) ?(seed = 7) () =
+  Newton_trace.Gen.generate ~attacks:Newton_trace.Attack.default_suite ~seed
+    (Newton_trace.Profile.with_flows Newton_trace.Profile.caida_like flows)
+
+(* ---------------- sink basics ---------------- *)
+
+let test_null_sink_is_inert () =
+  let s = Stats.null in
+  checkb "disabled" false (Stats.enabled s);
+  Stats.bump s Stats.Packets_processed 5;
+  Stats.observe_report_latency s 0.1;
+  checki "no count" 0 (Stats.get s Stats.Packets_processed);
+  checkb "no histogram" true (Stats.report_latency s = None)
+
+let test_bump_and_get () =
+  let s = Stats.create () in
+  checkb "enabled" true (Stats.enabled s);
+  Stats.bump s Stats.Cqe_hops 3;
+  Stats.bump s Stats.Cqe_hops 4;
+  checki "accumulates" 7 (Stats.get s Stats.Cqe_hops);
+  checki "others zero" 0 (Stats.get s Stats.Guard_stops)
+
+let test_merge_adds_counters_and_hists () =
+  let a = Stats.create () and b = Stats.create () in
+  Stats.bump a Stats.Reports_emitted 2;
+  Stats.bump b Stats.Reports_emitted 5;
+  Stats.observe_report_latency a 0.001;
+  Stats.observe_report_latency b 0.5;
+  let m = Stats.merge a b in
+  checki "counters add" 7 (Stats.get m Stats.Reports_emitted);
+  (match Stats.report_latency m with
+  | None -> Alcotest.fail "merged sink lost histogram"
+  | Some h ->
+      checki "observations add" 2 (Hist.count h));
+  (* null is the identity on both sides *)
+  checki "null left" 7 (Stats.get (Stats.merge Stats.null m) Stats.Reports_emitted);
+  checki "null right" 7 (Stats.get (Stats.merge m Stats.null) Stats.Reports_emitted)
+
+(* ---------------- counter monotonicity ---------------- *)
+
+(* Replay a trace in chunks: every counter is non-decreasing across
+   chunk boundaries (counters only ever bump). *)
+let test_counters_monotonic () =
+  let trace = attack_trace () in
+  let packets = Newton_trace.Gen.packets trace in
+  let e = Engine.create ~switch_id:0 () in
+  ignore (Engine.install e (compile (Catalog.q1 ())));
+  ignore (Engine.install e (compile (Catalog.q4 ())));
+  let prev = Array.make Stats.num_keys 0 in
+  let n = Array.length packets in
+  let chunk = max 1 (n / 7) in
+  let i = ref 0 in
+  while !i < n do
+    let hi = min n (!i + chunk) in
+    for j = !i to hi - 1 do
+      Engine.process_packet e packets.(j)
+    done;
+    i := hi;
+    List.iter
+      (fun k ->
+        let v = Stats.get (Engine.sink e) k in
+        if v < prev.(Stats.index k) then
+          Alcotest.failf "counter %s decreased: %d -> %d" (Stats.name k)
+            prev.(Stats.index k) v;
+        prev.(Stats.index k) <- v)
+      Stats.all
+  done;
+  checki "packets counted" n (Stats.get (Engine.sink e) Stats.Packets_processed)
+
+let test_engine_counters_track_reality () =
+  let trace = attack_trace () in
+  let e = Engine.create ~switch_id:0 () in
+  ignore (Engine.install e (compile (Catalog.q4 ())));
+  Newton_trace.Gen.iter (Engine.process_packet e) trace;
+  let s = Engine.sink e in
+  checki "packets" (Engine.packets_seen e) (Stats.get s Stats.Packets_processed);
+  checki "reports" (Engine.report_count e) (Stats.get s Stats.Reports_emitted);
+  checkb "module hits happened" true (Stats.get s Stats.Module_hits_k > 0)
+
+(* ---------------- parallel merge == sequential ---------------- *)
+
+(* Branch-key sharding + wide banks (the differential setup of the
+   parallel suite): the merged per-domain sinks must total exactly the
+   sequential engine's sink, for every catalog query.  Window_rolls is
+   excluded — each shard rolls its own window clock, so roll counts
+   legitimately differ from the single sequential clock. *)
+let differential_options =
+  { Newton_compiler.Decompose.default_options with registers = 65536 }
+
+let test_parallel_sink_equals_sequential () =
+  List.iter
+    (fun q ->
+      let trace = attack_trace () in
+      let compiled = compile ~options:differential_options q in
+      let seq = Engine.create ~switch_id:0 () in
+      ignore (Engine.install seq compiled);
+      Newton_trace.Gen.iter (Engine.process_packet seq) trace;
+      let par =
+        Parallel_engine.create ~jobs:4 ~shard_key:(Shard.for_compiled compiled)
+          ~switch_id:0 ()
+      in
+      ignore (Parallel_engine.install par compiled);
+      Parallel_engine.process_trace par trace;
+      let ms = Engine.sink seq and mp = Parallel_engine.merged_sink par in
+      List.iter
+        (fun k ->
+          if k <> Stats.Window_rolls then
+            checki
+              (Printf.sprintf "Q%d %s" q.Ast.id (Stats.name k))
+              (Stats.get ms k) (Stats.get mp k))
+        Stats.all)
+    (Catalog.all ())
+
+let test_set_telemetry_toggles_shards () =
+  let par = Parallel_engine.create ~jobs:2 ~switch_id:0 () in
+  Parallel_engine.set_telemetry par false;
+  Array.iter
+    (fun e -> checkb "disabled" false (Stats.enabled (Engine.sink e)))
+    (Parallel_engine.shard_engines par);
+  Parallel_engine.set_telemetry par true;
+  Array.iter
+    (fun e -> checkb "re-enabled" true (Stats.enabled (Engine.sink e)))
+    (Parallel_engine.shard_engines par)
+
+(* ---------------- health gauges ---------------- *)
+
+let test_health_formulas () =
+  Alcotest.(check (float 1e-9)) "utilization" 0.5 (Health.utilization ~used:128 ~capacity:256);
+  Alcotest.(check (float 1e-9)) "utilization clamps" 1.0 (Health.utilization ~used:300 ~capacity:256);
+  Alcotest.(check (float 1e-9)) "bloom fill" 0.25 (Health.bloom_fill ~set_bits:16 ~bits:64);
+  Alcotest.(check (float 1e-9)) "bloom fpr = product" 0.125
+    (Health.bloom_fpr ~fills:[ 0.5; 0.5; 0.5 ]);
+  Alcotest.(check (float 1e-9)) "cm epsilon" (Float.exp 1.0 /. 1024.0)
+    (Health.cm_epsilon ~width:1024);
+  Alcotest.(check (float 1e-9)) "cm delta" (Float.exp (-3.0)) (Health.cm_delta ~depth:3);
+  Alcotest.(check (float 1e-6)) "cm bound = eps * mass"
+    (Health.cm_epsilon ~width:512 *. 1000.0)
+    (Health.cm_error_bound ~width:512 ~mass:1000)
+
+(* Every exported health gauge of a live engine stays in its legal
+   range: fills and fprs in [0,1], epsilon/delta in (0,1], bounds
+   non-negative. *)
+let test_health_gauges_bounded () =
+  let trace = attack_trace () in
+  let e = Engine.create ~switch_id:0 () in
+  List.iter (fun q -> ignore (Engine.install e (compile q))) (Catalog.all ());
+  Newton_trace.Gen.iter (Engine.process_packet e) trace;
+  let snap = Introspect.engine_metrics e in
+  let check_range name lo hi =
+    match Snapshot.find name snap with
+    | None -> ()
+    | Some m ->
+        List.iter
+          (fun (s : Metric.sample) ->
+            match s.Metric.value with
+            | Metric.V f ->
+                if f < lo || f > hi then
+                  Alcotest.failf "%s out of range: %g" name f
+            | Metric.Buckets _ -> ())
+          m.Metric.samples
+  in
+  check_range "newton_bloom_fill_ratio" 0.0 1.0;
+  check_range "newton_bloom_fpr_estimate" 0.0 1.0;
+  check_range "newton_module_cell_utilization" 0.0 1.0;
+  check_range "newton_cm_epsilon" 0.0 1.0;
+  check_range "newton_cm_delta" 0.0 1.0;
+  check_range "newton_cm_error_bound" 0.0 infinity;
+  checkb "bloom gauge present" true
+    (Snapshot.find "newton_bloom_fpr_estimate" snap <> None
+    || Snapshot.find "newton_cm_epsilon" snap <> None)
+
+let test_cell_utilization_tracks_rules () =
+  let e = Engine.create ~switch_id:0 () in
+  ignore (Engine.install e (compile (Catalog.q4 ())));
+  let snap = Introspect.engine_metrics e in
+  let total_cells = Snapshot.total "newton_module_cell_rules" snap in
+  checkb "cells hold the installed rules" true (total_cells > 0.0);
+  Alcotest.(check (float 1e-9))
+    "utilization = rules / capacity"
+    (total_cells
+    /. float_of_int Newton_dataplane.Module_cost.rules_per_module)
+    (Snapshot.total "newton_module_cell_utilization" snap)
+
+(* ---------------- histograms ---------------- *)
+
+let test_hist_merge_equals_concat () =
+  let a = Hist.create Hist.latency_bounds
+  and b = Hist.create Hist.latency_bounds
+  and all = Hist.create Hist.latency_bounds in
+  let xs = [ 0.0001; 0.003; 0.2; 5.0; 100.0 ]
+  and ys = [ 0.0005; 0.05; 1.0 ] in
+  List.iter (Hist.observe a) xs;
+  List.iter (Hist.observe b) ys;
+  List.iter (Hist.observe all) (xs @ ys);
+  let m = Hist.merge a b in
+  checkb "bucket-wise equal" true (Hist.counts m = Hist.counts all);
+  checki "count" (Hist.count all) (Hist.count m);
+  Alcotest.(check (float 1e-9)) "sum" (Hist.sum all) (Hist.sum m)
+
+let test_hist_rejects_mismatched_bounds () =
+  let a = Hist.create Hist.latency_bounds and b = Hist.create Hist.count_bounds in
+  checkb "raises" true
+    (try
+       ignore (Hist.merge a b);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- golden exports ---------------- *)
+
+let golden_snapshot () =
+  let h = Hist.create [| 1.0; 5.0 |] in
+  Hist.observe h 0.5;
+  Hist.observe h 2.0;
+  Hist.observe h 99.0;
+  [
+    Metric.counter ~name:"newton_test_total" ~help:"A test counter"
+      [
+        Metric.vi ~labels:[ ("kind", "K") ] 3;
+        Metric.vi ~labels:[ ("kind", "R") ] 0;
+      ];
+    Metric.gauge ~name:"newton_test_ratio" ~help:"A test gauge"
+      [ Metric.v 0.25 ];
+    Metric.histogram ~name:"newton_test_seconds" ~help:"A test histogram"
+      [ Metric.sample (Hist.to_value h) ];
+  ]
+
+let test_prometheus_golden () =
+  let expected =
+    "# HELP newton_test_total A test counter\n\
+     # TYPE newton_test_total counter\n\
+     newton_test_total{kind=\"K\"} 3\n\
+     newton_test_total{kind=\"R\"} 0\n\
+     # HELP newton_test_ratio A test gauge\n\
+     # TYPE newton_test_ratio gauge\n\
+     newton_test_ratio 0.25\n\
+     # HELP newton_test_seconds A test histogram\n\
+     # TYPE newton_test_seconds histogram\n\
+     newton_test_seconds_bucket{le=\"1\"} 1\n\
+     newton_test_seconds_bucket{le=\"5\"} 2\n\
+     newton_test_seconds_bucket{le=\"+Inf\"} 3\n\
+     newton_test_seconds_sum 101.5\n\
+     newton_test_seconds_count 3\n"
+  in
+  Alcotest.(check string)
+    "prometheus text" expected
+    (Export.to_prometheus (golden_snapshot ()))
+
+let test_json_golden () =
+  let json = Export.to_json_string (golden_snapshot ()) in
+  (* exact-string golden on the counter family; structural checks on
+     the rest (bucket encoding is exercised by its own assertions) *)
+  checkb "counter family" true
+    (let needle =
+       "{\"name\":\"newton_test_total\",\"kind\":\"counter\",\"help\":\"A \
+        test counter\",\"samples\":[{\"labels\":{\"kind\":\"K\"},\"value\":3},{\"labels\":{\"kind\":\"R\"},\"value\":0}]}"
+     in
+     let rec contains i =
+       i + String.length needle <= String.length json
+       && (String.sub json i (String.length needle) = needle
+          || contains (i + 1))
+     in
+     contains 0);
+  (* JSON buckets are non-cumulative (the +Inf bucket holds only its
+     own observation), unlike the cumulative Prometheus rendering *)
+  checkb "inf bucket encoded" true
+    (let needle = "\"le\":\"+Inf\",\"count\":1" in
+     let rec contains i =
+       i + String.length needle <= String.length json
+       && (String.sub json i (String.length needle) = needle
+          || contains (i + 1))
+     in
+     contains 0)
+
+(* Prometheus rendering of a real engine parses as exposition lines:
+   every non-comment line is [name{labels} value]. *)
+let test_prometheus_well_formed () =
+  let e = Engine.create ~switch_id:0 () in
+  ignore (Engine.install e (compile (Catalog.q1 ())));
+  Newton_trace.Gen.iter (Engine.process_packet e) (attack_trace ());
+  let text = Export.to_prometheus (Introspect.engine_metrics e) in
+  List.iter
+    (fun line ->
+      if line <> "" && line.[0] <> '#' then
+        match String.rindex_opt line ' ' with
+        | None -> Alcotest.failf "malformed line: %s" line
+        | Some i -> (
+            let v = String.sub line (i + 1) (String.length line - i - 1) in
+            match float_of_string_opt v with
+            | Some _ -> ()
+            | None -> Alcotest.failf "bad value in line: %s" line))
+    (String.split_on_char '\n' text)
+
+(* ---------------- snapshot algebra ---------------- *)
+
+let test_snapshot_merge_concatenates () =
+  let s1 = Snapshot.of_sink ~labels:[ ("switch", "0") ] (Stats.create ()) in
+  let s2 = Snapshot.of_sink ~labels:[ ("switch", "1") ] (Stats.create ()) in
+  let m = Snapshot.merge s1 s2 in
+  checki "families not duplicated" (List.length s1) (List.length m);
+  match Snapshot.find "newton_packets_processed_total" m with
+  | None -> Alcotest.fail "family missing"
+  | Some f -> checki "samples from both switches" 2 (List.length f.Metric.samples)
+
+let test_snapshot_total_filters () =
+  let s = Stats.create () in
+  Stats.bump s Stats.Module_hits_k 5;
+  Stats.bump s Stats.Module_hits_r 7;
+  let snap = Snapshot.of_sink s in
+  Alcotest.(check (float 1e-9))
+    "total over kinds" 12.0
+    (Snapshot.total "newton_module_hits_total" snap);
+  Alcotest.(check (float 1e-9))
+    "filtered by label" 7.0
+    (Snapshot.total ~where:[ ("kind", "R") ] "newton_module_hits_total" snap)
+
+let suite =
+  [
+    Alcotest.test_case "null sink is inert" `Quick test_null_sink_is_inert;
+    Alcotest.test_case "bump and get" `Quick test_bump_and_get;
+    Alcotest.test_case "merge adds counters and hists" `Quick
+      test_merge_adds_counters_and_hists;
+    Alcotest.test_case "counters monotonic under replay" `Quick
+      test_counters_monotonic;
+    Alcotest.test_case "engine counters track reality" `Quick
+      test_engine_counters_track_reality;
+    Alcotest.test_case "parallel merged sink = sequential (catalog)" `Slow
+      test_parallel_sink_equals_sequential;
+    Alcotest.test_case "set_telemetry toggles shards" `Quick
+      test_set_telemetry_toggles_shards;
+    Alcotest.test_case "health formulas" `Quick test_health_formulas;
+    Alcotest.test_case "health gauges bounded" `Quick test_health_gauges_bounded;
+    Alcotest.test_case "cell utilization tracks rules" `Quick
+      test_cell_utilization_tracks_rules;
+    Alcotest.test_case "hist merge = concat" `Quick test_hist_merge_equals_concat;
+    Alcotest.test_case "hist rejects mismatched bounds" `Quick
+      test_hist_rejects_mismatched_bounds;
+    Alcotest.test_case "prometheus golden" `Quick test_prometheus_golden;
+    Alcotest.test_case "json golden" `Quick test_json_golden;
+    Alcotest.test_case "prometheus well-formed" `Quick
+      test_prometheus_well_formed;
+    Alcotest.test_case "snapshot merge concatenates" `Quick
+      test_snapshot_merge_concatenates;
+    Alcotest.test_case "snapshot total filters" `Quick
+      test_snapshot_total_filters;
+  ]
