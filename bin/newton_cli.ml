@@ -390,7 +390,7 @@ let cmd_stats =
 
 (* ---------------- netrun (network-wide) ---------------- *)
 
-let topo_arg =
+let topo_conv =
   let parse s =
     match String.split_on_char ':' s with
     | [ "linear"; n ] -> (try Ok (Topo.linear (int_of_string n)) with _ -> Error (`Msg "bad linear size"))
@@ -398,13 +398,21 @@ let topo_arg =
         try Ok (Topo.fat_tree (int_of_string k)) with
         | Invalid_argument m -> Error (`Msg m)
         | _ -> Error (`Msg "bad fat-tree arity"))
+    | [ "bypass" ] -> Ok (Topo.bypass ())
+    | [ "bypass"; s'; l ] -> (
+        try Ok (Topo.bypass ~short:(int_of_string s') ~long:(int_of_string l) ()) with
+        | Invalid_argument m -> Error (`Msg m)
+        | _ -> Error (`Msg "bad bypass chain lengths"))
     | [ "isp" ] -> Ok (Topo.isp ())
-    | _ -> Error (`Msg "expected linear:N, fat-tree:K, or isp")
+    | _ -> Error (`Msg "expected linear:N, fat-tree:K, bypass[:S:L], or isp")
   in
   let print fmt t = Format.fprintf fmt "%s" (Topo.name t) in
-  let topo_conv = Arg.conv (parse, print) in
+  Arg.conv (parse, print)
+
+let topo_arg =
   Arg.(value & opt topo_conv (Topo.fat_tree 4)
-       & info [ "topo" ] ~docv:"TOPO" ~doc:"Topology: linear:N, fat-tree:K, or isp.")
+       & info [ "topo" ] ~docv:"TOPO"
+           ~doc:"Topology: linear:N, fat-tree:K, bypass[:S:L], or isp.")
 
 let stages_arg =
   Arg.(value & opt int 12
@@ -447,6 +455,132 @@ let cmd_netrun =
     Term.(
       const run $ queries_arg $ topo_arg $ stages_arg $ profile_arg $ flows_arg
       $ seed_arg $ attacks_arg $ fail_arg)
+
+(* ---------------- chaos (failure-injection differential) ---------------- *)
+
+let cmd_chaos =
+  let run ids topo stages profile flows seed attacks fails repairs strict
+      output =
+    match lookup_queries ids with
+    | Error msg -> prerr_endline msg; exit 1
+    | Ok qs ->
+        let trace = make_trace profile flows seed attacks in
+        let pkts = Trace.packets trace in
+        if Array.length pkts = 0 then begin
+          prerr_endline "chaos: empty trace";
+          exit 1
+        end;
+        let t_last = Packet.ts pkts.(Array.length pkts - 1) in
+        let events =
+          let at frac = frac *. t_last in
+          List.map
+            (fun (s, f) -> { Chaos.at = at f; switch = s; action = `Fail })
+            fails
+          @ List.map
+              (fun (s, f) -> { Chaos.at = at f; switch = s; action = `Repair })
+              repairs
+        in
+        let events =
+          if events <> [] then events
+          else
+            (* Default schedule: fail the lowest-id non-edge switch
+               halfway through the trace. *)
+            let edges = Topo.edge_switches topo in
+            match
+              List.find_opt (fun s -> not (List.mem s edges)) (Topo.switches topo)
+            with
+            | Some s ->
+                Printf.eprintf "chaos: no schedule given; failing switch %d at 50%%\n" s;
+                [ { Chaos.at = t_last /. 2.0; switch = s; action = `Fail } ]
+            | None ->
+                prerr_endline "chaos: no non-edge switch to fail; use --fail";
+                exit 1
+        in
+        let res =
+          Chaos.run ~stages_per_switch:stages ~topo ~queries:qs ~events trace
+        in
+        let unexpl = List.length (Chaos.unexplained res) in
+        Printf.printf
+          "topology: %s\nbaseline reports: %d\nchaos reports: %d\nmatched: %d\n\
+           diffs: %d (%d unexplained)\n"
+          (Topo.name topo) res.Chaos.baseline_reports res.Chaos.chaos_reports
+          res.Chaos.matched
+          (List.length res.Chaos.diffs)
+          unexpl;
+        List.iter
+          (fun (r : Network.Deploy.recovery) ->
+            Printf.printf
+              "%s switch %d: %d slices migrated, %d cells moved, %d software \
+               fallbacks, %d rules installed, %.2f ms\n"
+              (match r.Network.Deploy.r_event with `Fail -> "fail" | `Repair -> "repair")
+              r.Network.Deploy.r_switch r.Network.Deploy.r_slices_migrated
+              r.Network.Deploy.r_cells_moved r.Network.Deploy.r_software_fallbacks
+              r.Network.Deploy.r_rules_installed
+              (r.Network.Deploy.r_latency *. 1e3))
+          res.Chaos.recoveries;
+        (match output with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Chaos.to_json_string res);
+            output_string oc "\n";
+            close_out oc;
+            Printf.eprintf "chaos diff written to %s\n" path
+        | None -> print_endline (Chaos.to_json_string res));
+        if strict && unexpl > 0 then begin
+          Printf.eprintf "chaos: %d unexplained report diffs\n" unexpl;
+          exit 1
+        end
+  in
+  let all_queries_arg =
+    let doc = "Comma-separated query ids (default: the full catalog)." in
+    Arg.(value
+         & opt (list int) (List.map (fun q -> q.Query.id) (Catalog.all ()))
+         & info [ "q"; "queries" ] ~docv:"IDS" ~doc)
+  in
+  let chaos_topo_arg =
+    Arg.(value & opt topo_conv (Topo.bypass ())
+         & info [ "topo" ] ~docv:"TOPO"
+             ~doc:"Topology: linear:N, fat-tree:K, bypass[:S:L], or isp. \
+                   The default bypass topology reroutes deterministically, \
+                   so unexplained diffs indicate real monitoring loss.")
+  in
+  let chaos_stages_arg =
+    Arg.(value & opt int 4
+         & info [ "stages-per-switch" ] ~docv:"N"
+             ~doc:"Stages each switch grants Newton; small values force \
+                   multi-slice placements that exercise state migration.")
+  in
+  let fail_events_arg =
+    Arg.(value & opt_all (pair ~sep:'@' int float) []
+         & info [ "fail" ] ~docv:"SWITCH@FRAC"
+             ~doc:"Fail a switch at a fraction of the trace duration \
+                   (e.g. 2@0.5); repeatable.")
+  in
+  let repair_events_arg =
+    Arg.(value & opt_all (pair ~sep:'@' int float) []
+         & info [ "repair" ] ~docv:"SWITCH@FRAC"
+             ~doc:"Repair a switch at a fraction of the trace duration; \
+                   repeatable.")
+  in
+  let strict_arg =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"Exit non-zero if any report diff is unexplained.")
+  in
+  let output_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write the JSON diff artifact to a file instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Replay a trace with a switch fail/repair schedule and diff the \
+          reports against a failure-free run")
+    Term.(
+      const run $ all_queries_arg $ chaos_topo_arg $ chaos_stages_arg
+      $ profile_arg $ flows_arg $ seed_arg $ attacks_arg $ fail_events_arg
+      $ repair_events_arg $ strict_arg $ output_arg)
 
 (* ---------------- shell (interactive operator console) ---------------- *)
 
@@ -616,5 +750,6 @@ let () =
             cmd_run;
             cmd_stats;
             cmd_netrun;
+            cmd_chaos;
             cmd_shell;
           ]))

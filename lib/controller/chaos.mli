@@ -1,0 +1,51 @@
+(** Chaos harness: replay one trace twice — failure-free and under a
+    switch fail/repair schedule — then diff the reconciled report sets.
+    A diff is {e explained} when its window contains a schedule event;
+    unexplained diffs are the recovery subsystem's failure signal. *)
+
+open Newton_network
+open Newton_query
+
+type action = [ `Fail | `Repair ]
+
+type event = { at : float; switch : int; action : action }
+
+type diff = {
+  d_report : Report.t;
+  d_kind : [ `Missing | `Extra ];  (** relative to the failure-free run *)
+  d_explained : bool;  (** the diff's window contains a schedule event *)
+}
+
+type result = {
+  topo_name : string;
+  query_ids : int list;
+  events : event list;
+  baseline_reports : int;  (** reconciled reports, failure-free run *)
+  chaos_reports : int;     (** reconciled reports, chaos run *)
+  matched : int;           (** identities present in both runs *)
+  diffs : diff list;
+  recoveries : Deploy.recovery list;  (** chaos run's recovery events *)
+}
+
+val unexplained : result -> diff list
+
+(** The facade's stable IP-to-host mapping (hash seed 4242). *)
+val host_of_ip : Topo.t -> int -> int
+
+(** Deploy [queries], replay the trace twice (with and without the
+    event schedule) and diff the reconciled reports by identity. *)
+val run :
+  ?mode:Deploy.mode ->
+  ?stages_per_switch:int ->
+  ?edge_switches:int list ->
+  topo:Topo.t ->
+  queries:Ast.t list ->
+  events:event list ->
+  Newton_trace.Gen.t ->
+  result
+
+(** Machine-readable diff artifact (the CI chaos leg uploads this);
+    ["zero_unexplained_loss"] is the gate [--strict] checks. *)
+val to_json : result -> Newton_util.Json.t
+
+val to_json_string : result -> string

@@ -24,8 +24,21 @@ type deployment = {
   uid : int;
   compiled : Newton_compiler.Compose.t;
   mode : mode;
-  placement : Placement.t option; (* None for `Sole *)
+  mutable placement : Placement.t option; (* None for `Sole; re-placed on failure *)
+  edge_switches : int list option; (* deploy-time S_e, replayed on re-placement *)
+  stages_per_switch : int;
   mutable installed_rules : int;
+}
+
+(** One switch-failure or repair event with its recovery accounting. *)
+type recovery = {
+  r_switch : int;
+  r_event : [ `Fail | `Repair ];
+  r_slices_migrated : int;     (** dataplane-to-dataplane state migrations *)
+  r_cells_moved : int;         (** occupied register cells merged *)
+  r_software_fallbacks : int;  (** slices degraded to the software engine *)
+  r_rules_installed : int;     (** table entries installed by recovery *)
+  r_latency : float;           (** slowest switch's reconfiguration time *)
 }
 
 type t = {
@@ -42,6 +55,8 @@ type t = {
   mutable packets : int;
   mutable software_status_msgs : int;
   enabled : bool array; (** partial deployment: Newton-enabled switches *)
+  c_sink : Newton_telemetry.Stats.sink; (** controller-level counters *)
+  mutable recoveries : recovery list; (* reverse order *)
 }
 
 (* The module layout is loaded once per switch at initialization (§3
@@ -84,6 +99,8 @@ let create ?(fwd_entries = Switch.default_fwd_entries) topo =
     packets = 0;
     software_status_msgs = 0;
     enabled = Array.make n true;
+    c_sink = Newton_telemetry.Stats.create ();
+    recoveries = [];
   }
 
 let topo t = t.topo
@@ -152,7 +169,10 @@ let deploy ?(mode = `Cqe) ?edge_switches ?(stages_per_switch = 12) t compiled =
         end;
         Some p
   in
-  t.deployments <- { uid; compiled; mode; placement; installed_rules = !total_rules } :: t.deployments;
+  t.deployments <-
+    { uid; compiled; mode; placement; edge_switches; stages_per_switch;
+      installed_rules = !total_rules }
+    :: t.deployments;
   let latency = List.fold_left max 0.0 !latencies in
   (uid, latency)
 
@@ -241,9 +261,7 @@ let software_continue t dep ~next_slice ~ctx pkt =
             ignore (Engine.install t.software ~uid ~stage_lo:lo dep.compiled);
             Option.get (Engine.find_instance t.software uid)
       in
-      Engine.maybe_roll_window t.software
-        (Newton_packet.Packet.ts pkt)
-        dep.compiled.Newton_compiler.Compose.query.Newton_query.Ast.window;
+      Engine.maybe_roll_window t.software (Newton_packet.Packet.ts pkt);
       Newton_telemetry.Stats.bump
         (Engine.sink t.software)
         Newton_telemetry.Stats.Software_continuations 1;
@@ -276,8 +294,7 @@ let process_packet t ~src_host ~dst_host pkt =
                   match Engine.find_instance engine (slice_uid dep.uid 1) with
                   | Some inst ->
                       Engine.record_packet_seen engine;
-                      Engine.maybe_roll_window engine (Newton_packet.Packet.ts pkt)
-                        dep.compiled.Newton_compiler.Compose.query.Newton_query.Ast.window;
+                      Engine.maybe_roll_window engine (Newton_packet.Packet.ts pkt);
                       ignore (Engine.process_instance engine inst pkt)
                   | None -> ())
                 path
@@ -303,8 +320,7 @@ let process_packet t ~src_host ~dst_host pkt =
                     (match Engine.find_instance engine (slice_uid dep.uid !d) with
                     | Some inst ->
                         Engine.record_packet_seen engine;
-                        Engine.maybe_roll_window engine (Newton_packet.Packet.ts pkt)
-                          dep.compiled.Newton_compiler.Compose.query.Newton_query.Ast.window;
+                        Engine.maybe_roll_window engine (Newton_packet.Packet.ts pkt);
                         if !d > 1 then begin
                           if hop = !prev_enabled_hop + 1 then begin
                             (* SP header between adjacent Newton hops. *)
@@ -379,7 +395,10 @@ let snapshot t =
   in
   Newton_telemetry.Snapshot.merge_all
     (per_switch
-    @ [ Introspect.engine_metrics ~labels:[ ("switch", "analyzer") ] t.software ])
+    @ [ Introspect.engine_metrics ~labels:[ ("switch", "analyzer") ] t.software;
+        Newton_telemetry.Snapshot.of_sink
+          ~labels:[ ("switch", "controller") ]
+          t.c_sink ])
 
 (* ---------------- failures ---------------- *)
 
@@ -389,3 +408,215 @@ let snapshot t =
 let fail_link t l = Route.fail_link t.route l
 
 let repair_link t l = Route.repair_link t.route l
+
+(* ---------------- switch failure recovery ---------------- *)
+
+let is_switch_failed t s = Route.is_node_failed t.route s
+let failed_switches t = Route.failed_nodes t.route
+let recoveries t = List.rev t.recoveries
+
+(** Network-wide reports after analyzer-style reconciliation:
+    epoch-aligned sort + identity dedup, collapsing the duplicates that
+    sole-switch replication and post-migration re-emission produce. *)
+let reconciled_reports t = Merge.reports [ all_reports t ]
+
+let bump_c t k n = Newton_telemetry.Stats.bump t.c_sink k n
+
+(* Re-run Algorithm 2 for [dep] over the currently usable topology. *)
+let replace_placement t dep =
+  Placement.place ?edge_switches:dep.edge_switches
+    ~enabled:(fun x -> t.enabled.(x))
+    ~usable:(fun x -> not (Route.is_node_failed t.route x))
+    ~stages_per_switch:dep.stages_per_switch ~topo:t.topo dep.compiled
+
+(* Install every slice instance [p] calls for that is not present yet
+   (skipping failed switches).  A switch out of module-table capacity is
+   skipped — the slice keeps its other hosts or degrades to software.
+   Accumulates install latencies and the entry count. *)
+let install_missing t dep (p : Placement.t) ~latencies ~rules_installed =
+  Array.iteri
+    (fun s' ds ->
+      if not (Route.is_node_failed t.route s') then
+        List.iter
+          (fun d ->
+            if Engine.find_instance t.engines.(s') (slice_uid dep.uid d) = None
+            then begin
+              let lo, hi = Placement.stage_range p d in
+              match
+                Engine.install t.engines.(s') ~uid:(slice_uid dep.uid d)
+                  ~stage_lo:lo ~stage_hi:hi dep.compiled
+              with
+              | _, rules ->
+                  rules_installed := !rules_installed + rules;
+                  dep.installed_rules <- dep.installed_rules + rules;
+                  latencies :=
+                    Switch.install_rules t.switches.(s') ~count:rules
+                    :: !latencies
+              | exception Engine.Rules_exhausted _ -> ()
+            end)
+          ds)
+    p.Placement.slices
+
+(* Move one displaced slice's state off the failed switch: merge it into
+   {e every} surviving host of the same slice.  Rerouted flows fan out —
+   each direction/path meets its own depth-d switch — so no single host
+   is "the" replacement; replicating the bank everywhere keeps each
+   key's aggregate on whichever host its flow now traverses.  A key's
+   packets cross exactly one depth-d switch, so only one replica keeps
+   accumulating per key, and the dedup memory (copied along) stops the
+   frozen replicas from re-emitting.  When no dataplane host survives,
+   the state goes to the software engine's continuation instance for the
+   slice, so the analyzer finishes the query with the accumulated state
+   (§5.2 degraded mode). *)
+let migrate_slice t dep d ~src ~migrated ~cells ~fallbacks =
+  let uid_d = slice_uid dep.uid d in
+  let op_of = Merge.array_ops src in
+  let survivors =
+    List.filter_map
+      (fun s' ->
+        if Route.is_node_failed t.route s' then None
+        else Engine.find_instance t.engines.(s') uid_d)
+      (Topo.switches t.topo)
+  in
+  match survivors with
+  | _ :: _ ->
+      incr migrated;
+      List.iter
+        (fun dst ->
+          let _, c = Engine.absorb_state ~op_of ~src ~dst in
+          cells := !cells + c)
+        survivors
+  | [] -> (
+      match dep.placement with
+      | None -> ()
+      | Some p ->
+          let lo, _ = Placement.stage_range p d in
+          let uid_sw = slice_uid dep.uid (500 + d) in
+          let dst =
+            match Engine.find_instance t.software uid_sw with
+            | Some i -> i
+            | None ->
+                ignore (Engine.install t.software ~uid:uid_sw ~stage_lo:lo dep.compiled);
+                Option.get (Engine.find_instance t.software uid_sw)
+          in
+          let _, c = Engine.absorb_state ~op_of:(Merge.array_ops src) ~src ~dst in
+          incr fallbacks;
+          cells := !cells + c)
+
+(** Fail a switch: mark it down (forwarding reroutes around it), re-run
+    Algorithm 2 over the surviving topology, install any slices the
+    re-placement adds, and migrate each displaced slice's register state
+    — into every surviving host of the slice under the slot's ALU merge
+    op, or into the software-continuation engine when no resilient
+    placement exists.  The dedup memory travels with the state, so no
+    host re-emits reports the failed switch already exported.
+    Sole-switch deployments need no migration (every hop holds the full
+    state already; merging would double-count) — the dead instance is
+    dropped.  Returns the recovery record, or [None] if [s] was already
+    down.
+    @raise Invalid_argument if [s] is not a switch. *)
+let fail_switch t s =
+  if not (Topo.is_switch t.topo s) then
+    invalid_arg (Printf.sprintf "Deploy.fail_switch: %d is not a switch" s);
+  if Route.is_node_failed t.route s then None
+  else begin
+    Route.fail_node t.route s;
+    bump_c t Newton_telemetry.Stats.Switch_failures 1;
+    let failed_engine = t.engines.(s) in
+    let latencies = ref [ 0.0 ] in
+    let migrated = ref 0 and cells = ref 0 and fallbacks = ref 0 in
+    let rules_installed = ref 0 in
+    List.iter
+      (fun dep ->
+        match dep.mode with
+        | `Sole -> ignore (Engine.remove failed_engine (slice_uid dep.uid 1))
+        | `Cqe ->
+            let displaced =
+              match dep.placement with
+              | None -> []
+              | Some p -> p.Placement.slices.(s)
+            in
+            let p' = replace_placement t dep in
+            install_missing t dep p' ~latencies ~rules_installed;
+            List.iter
+              (fun d ->
+                match Engine.find_instance failed_engine (slice_uid dep.uid d) with
+                | None -> ()
+                | Some src ->
+                    migrate_slice t dep d ~src ~migrated ~cells ~fallbacks;
+                    ignore (Engine.remove failed_engine (slice_uid dep.uid d)))
+              displaced;
+            dep.placement <- Some p')
+      t.deployments;
+    bump_c t Newton_telemetry.Stats.Slices_migrated !migrated;
+    bump_c t Newton_telemetry.Stats.State_cells_moved !cells;
+    bump_c t Newton_telemetry.Stats.Software_fallbacks !fallbacks;
+    let r =
+      {
+        r_switch = s;
+        r_event = `Fail;
+        r_slices_migrated = !migrated;
+        r_cells_moved = !cells;
+        r_software_fallbacks = !fallbacks;
+        r_rules_installed = !rules_installed;
+        r_latency = List.fold_left max 0.0 !latencies;
+      }
+    in
+    t.recoveries <- r :: t.recoveries;
+    Some r
+  end
+
+(** Repair a switch: mark it up and re-run Algorithm 2 so it regains its
+    slices (sole-switch deployments get their full instance back).  The
+    rejoined switch starts with {e empty} register state — its windows
+    converge from the next boundary; reports stay covered meanwhile by
+    the failure-time placement, whose instances are retained.  Returns
+    the recovery record, or [None] if [s] was not down.
+    @raise Invalid_argument if [s] is not a switch. *)
+let repair_switch t s =
+  if not (Topo.is_switch t.topo s) then
+    invalid_arg (Printf.sprintf "Deploy.repair_switch: %d is not a switch" s);
+  if not (Route.is_node_failed t.route s) then None
+  else begin
+    Route.repair_node t.route s;
+    bump_c t Newton_telemetry.Stats.Switch_repairs 1;
+    let latencies = ref [ 0.0 ] in
+    let rules_installed = ref 0 in
+    List.iter
+      (fun dep ->
+        match dep.mode with
+        | `Sole ->
+            if
+              t.enabled.(s)
+              && Engine.find_instance t.engines.(s) (slice_uid dep.uid 1) = None
+            then begin
+              match
+                Engine.install t.engines.(s) ~uid:(slice_uid dep.uid 1)
+                  dep.compiled
+              with
+              | _, rules ->
+                  rules_installed := !rules_installed + rules;
+                  dep.installed_rules <- dep.installed_rules + rules;
+                  latencies :=
+                    Switch.install_rules t.switches.(s) ~count:rules :: !latencies
+              | exception Engine.Rules_exhausted _ -> ()
+            end
+        | `Cqe ->
+            let p' = replace_placement t dep in
+            install_missing t dep p' ~latencies ~rules_installed;
+            dep.placement <- Some p')
+      t.deployments;
+    let r =
+      {
+        r_switch = s;
+        r_event = `Repair;
+        r_slices_migrated = 0;
+        r_cells_moved = 0;
+        r_software_fallbacks = 0;
+        r_rules_installed = !rules_installed;
+        r_latency = List.fold_left max 0.0 !latencies;
+      }
+    in
+    t.recoveries <- r :: t.recoveries;
+    Some r
+  end

@@ -13,8 +13,23 @@ type deployment = {
   uid : int;
   compiled : Newton_compiler.Compose.t;
   mode : mode;
-  placement : Placement.t option; (** [None] for sole-switch mode *)
+  mutable placement : Placement.t option;
+      (** [None] for sole-switch mode; re-placed on switch failure *)
+  edge_switches : int list option;
+      (** deploy-time S_e, replayed on re-placement *)
+  stages_per_switch : int;
   mutable installed_rules : int;
+}
+
+(** One switch-failure or repair event with its recovery accounting. *)
+type recovery = {
+  r_switch : int;
+  r_event : [ `Fail | `Repair ];
+  r_slices_migrated : int;     (** dataplane-to-dataplane state migrations *)
+  r_cells_moved : int;         (** occupied register cells merged *)
+  r_software_fallbacks : int;  (** slices degraded to the software engine *)
+  r_rules_installed : int;     (** table entries installed by recovery *)
+  r_latency : float;           (** slowest switch's reconfiguration time *)
 }
 
 type t
@@ -88,3 +103,34 @@ val snapshot : t -> Newton_telemetry.Snapshot.t
 val fail_link : t -> Route.link -> unit
 
 val repair_link : t -> Route.link -> unit
+
+(** Fail a switch: mark it down (forwarding reroutes around it), re-run
+    Algorithm 2 over the surviving topology, install any slices the
+    re-placement adds, and migrate each displaced slice's register state
+    under the slot's ALU merge op — into every surviving host of the
+    slice (rerouted flows fan out, and a key's packets cross exactly one
+    of them), or into the software-continuation engine when no resilient
+    placement exists.  Dedup memory travels with the state, so
+    already-exported reports are not re-emitted.  Sole-switch
+    deployments drop the dead instance without migration (every hop
+    already holds the full state).  [None] if [s] was already down.
+    @raise Invalid_argument if [s] is not a switch. *)
+val fail_switch : t -> int -> recovery option
+
+(** Repair a switch: mark it up and re-run Algorithm 2 so it regains its
+    slices.  The rejoined switch starts with empty register state and
+    converges from the next window boundary; failure-time instances are
+    retained to cover the interim.  [None] if [s] was not down.
+    @raise Invalid_argument if [s] is not a switch. *)
+val repair_switch : t -> int -> recovery option
+
+val is_switch_failed : t -> int -> bool
+val failed_switches : t -> int list
+
+(** Failure / repair events in occurrence order. *)
+val recoveries : t -> recovery list
+
+(** Network-wide reports after analyzer-style reconciliation:
+    epoch-aligned sort + identity dedup, collapsing duplicates from
+    sole-switch replication and post-migration re-emission. *)
+val reconciled_reports : t -> Newton_query.Report.t list

@@ -58,19 +58,23 @@ let rules_in_range (compiled : Newton_compiler.Compose.t) (lo, hi) =
     hops (S_e); defaults to all host-attached switches.  [enabled]
     supports partial deployment (§7): disabled (legacy) switches get no
     slices and do not consume a depth level — the DFS passes through
-    them. *)
-let place ?(mode = `Memo) ?edge_switches ?enabled ~stages_per_switch ~topo
-    compiled =
+    them.  [usable] supports failure recovery: an unusable (failed)
+    switch forwards nothing, so the DFS neither assigns to it {e nor}
+    passes through it, and it is dropped from the edge set. *)
+let place ?(mode = `Memo) ?edge_switches ?enabled ?usable ~stages_per_switch
+    ~topo compiled =
   let stages = compiled.Newton_compiler.Compose.stats.Newton_compiler.Compose.stages in
   let ranges = slice_stages ~stages ~stages_per_switch in
   let m = Array.length ranges in
   let slices = Array.make (Topo.num_switches topo) [] in
   let enabled = match enabled with Some f -> f | None -> fun _ -> true in
+  let usable = match usable with Some f -> f | None -> fun _ -> true in
   let assign s d =
     if not (List.mem d slices.(s)) then slices.(s) <- d :: slices.(s)
   in
   let edges =
-    match edge_switches with Some e -> e | None -> Topo.edge_switches topo
+    (match edge_switches with Some e -> e | None -> Topo.edge_switches topo)
+    |> List.filter usable
   in
   (match mode with
   | `Exact ->
@@ -82,7 +86,8 @@ let place ?(mode = `Memo) ?edge_switches ?enabled ~stages_per_switch ~topo
           discovered.(s) <- true;
           List.iter
             (fun s' ->
-              if Topo.is_switch topo s' && not discovered.(s') then topo_dfs s' d')
+              if Topo.is_switch topo s' && usable s' && not discovered.(s')
+              then topo_dfs s' d')
             (Topo.neighbors topo s);
           discovered.(s) <- false
         end
@@ -101,7 +106,8 @@ let place ?(mode = `Memo) ?edge_switches ?enabled ~stages_per_switch ~topo
           let d' = if enabled s then (assign s d; d + 1) else d in
           List.iter
             (fun s' ->
-              if Topo.is_switch topo s' && s' <> from then topo_dfs ~from:s s' d')
+              if Topo.is_switch topo s' && usable s' && s' <> from then
+                topo_dfs ~from:s s' d')
             (Topo.neighbors topo s)
         end
       in

@@ -29,11 +29,13 @@ val slice_stages : stages:int -> stages_per_switch:int -> (int * int) array
     switches; [mode] selects the literal simple-path DFS ([`Exact]) or
     the memoised no-backtracking search ([`Memo], default); [enabled]
     supports partial deployment — disabled switches get no slices and
-    do not consume a depth level. *)
+    do not consume a depth level; [usable] supports failure recovery —
+    an unusable (failed) switch is neither assigned to nor traversed. *)
 val place :
   ?mode:[ `Exact | `Memo ] ->
   ?edge_switches:int list ->
   ?enabled:(int -> bool) ->
+  ?usable:(int -> bool) ->
   stages_per_switch:int ->
   topo:Topo.t ->
   Newton_compiler.Compose.t ->

@@ -34,6 +34,7 @@ module Compile_options = Newton_compiler.Decompose
 module Topo = Newton_network.Topo
 module Route = Newton_network.Route
 module Placement = Newton_controller.Placement
+module Chaos = Newton_controller.Chaos
 module Analyzer = Newton_runtime.Analyzer
 module Shard = Newton_runtime.Shard
 module Parallel_engine = Newton_runtime.Parallel_engine
@@ -219,6 +220,10 @@ module Network = struct
   let sp_overhead_ratio t = Deploy.sp_overhead_ratio t.deploy
   let fail_link t l = Deploy.fail_link t.deploy l
   let repair_link t l = Deploy.repair_link t.deploy l
+  let fail_switch t s = Deploy.fail_switch t.deploy s
+  let repair_switch t s = Deploy.repair_switch t.deploy s
+  let failed_switches t = Deploy.failed_switches t.deploy
+  let reconciled_reports t = Deploy.reconciled_reports t.deploy
 
   (** Partial deployment (§7): mark a switch as legacy before deploying. *)
   let set_enabled t s b = Deploy.set_enabled t.deploy s b

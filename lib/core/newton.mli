@@ -23,6 +23,7 @@ module Compile_options = Newton_compiler.Decompose
 module Topo = Newton_network.Topo
 module Route = Newton_network.Route
 module Placement = Newton_controller.Placement
+module Chaos = Newton_controller.Chaos
 module Analyzer = Newton_runtime.Analyzer
 module Shard = Newton_runtime.Shard
 module Parallel_engine = Newton_runtime.Parallel_engine
@@ -145,6 +146,20 @@ module Network : sig
   val sp_overhead_ratio : t -> float
   val fail_link : t -> Newton_network.Route.link -> unit
   val repair_link : t -> Newton_network.Route.link -> unit
+
+  (** Fail a switch: reroute around it, re-run Algorithm 2, migrate the
+      displaced slices' register state to the surviving hosts (or the
+      software engine).  [None] if already down. *)
+  val fail_switch : t -> int -> Deploy.recovery option
+
+  (** Repair a switch: it regains its slices with empty state and
+      converges from the next window.  [None] if not down. *)
+  val repair_switch : t -> int -> Deploy.recovery option
+
+  val failed_switches : t -> int list
+
+  (** Reports after analyzer-style reconciliation (identity dedup). *)
+  val reconciled_reports : t -> Newton_query.Report.t list
 
   (** Partial deployment (§7): mark a switch as legacy before deploying. *)
   val set_enabled : t -> int -> bool -> unit

@@ -1,7 +1,8 @@
-(** Routing over a {!Topo}, with link failures.
+(** Routing over a {!Topo}, with link and node failures.
 
     Provides shortest-path forwarding (BFS, deterministic ECMP
-    tie-breaking by a flow hash) and failure injection: failed links are
+    tie-breaking by a flow hash) and failure injection: failed links and
+    failed nodes (whole switches, §5.2 switch-failure recovery) are
     excluded and paths recomputed, which models the "forwarding paths are
     mutable and change over time" dynamics of §5.2. *)
 
@@ -15,48 +16,73 @@ module Link_set = Set.Make (struct
   let compare = compare
 end)
 
+module Int_set = Set.Make (Int)
+
 type t = {
   topo : Topo.t;
   mutable failed : Link_set.t;
+  mutable failed_nodes : Int_set.t;
 }
 
-let create topo = { topo; failed = Link_set.empty }
+let create topo = { topo; failed = Link_set.empty; failed_nodes = Int_set.empty }
 
 let topo t = t.topo
 
 let fail_link t l = t.failed <- Link_set.add (norm l) t.failed
 let repair_link t l = t.failed <- Link_set.remove (norm l) t.failed
-let clear_failures t = t.failed <- Link_set.empty
+
+(* A failed node drops off the forwarding graph entirely: every link
+   incident to it is unusable and no path may transit it.  Unlike a
+   legacy (Newton-disabled) switch, which still forwards, a failed
+   switch forwards nothing. *)
+let fail_node t n = t.failed_nodes <- Int_set.add n t.failed_nodes
+let repair_node t n = t.failed_nodes <- Int_set.remove n t.failed_nodes
+let is_node_failed t n = Int_set.mem n t.failed_nodes
+let failed_nodes t = Int_set.elements t.failed_nodes
+
+let clear_failures t =
+  t.failed <- Link_set.empty;
+  t.failed_nodes <- Int_set.empty
+
 let failed_links t = Link_set.elements t.failed
 let is_failed t l = Link_set.mem (norm l) t.failed
 
 let usable_neighbors t n =
-  List.filter (fun m -> not (is_failed t (n, m))) (Topo.neighbors t.topo n)
+  if is_node_failed t n then []
+  else
+    List.filter
+      (fun m -> not (is_failed t (n, m)) && not (is_node_failed t m))
+      (Topo.neighbors t.topo n)
 
-(** BFS distances from [src] over usable links. Unreachable = max_int. *)
+(** BFS distances from [src] over usable links and nodes.
+    Unreachable = max_int. *)
 let distances t src =
   let n = Topo.num_nodes t.topo in
   let dist = Array.make n max_int in
-  dist.(src) <- 0;
-  let q = Queue.create () in
-  Queue.add src q;
-  while not (Queue.is_empty q) do
-    let u = Queue.pop q in
-    List.iter
-      (fun v ->
-        if dist.(v) = max_int then begin
-          dist.(v) <- dist.(u) + 1;
-          Queue.add v q
-        end)
-      (usable_neighbors t u)
-  done;
-  dist
+  if is_node_failed t src then dist
+  else begin
+    dist.(src) <- 0;
+    let q = Queue.create () in
+    Queue.add src q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun v ->
+          if dist.(v) = max_int then begin
+            dist.(v) <- dist.(u) + 1;
+            Queue.add v q
+          end)
+        (usable_neighbors t u)
+    done;
+    dist
+  end
 
 (** One shortest path from [src] to [dst] (node list, inclusive), with
     deterministic ECMP tie-breaking by [flow_hash].  [None] if
     disconnected. *)
 let shortest_path ?(flow_hash = 0) t ~src ~dst =
-  if src = dst then Some [ src ]
+  if is_node_failed t src || is_node_failed t dst then None
+  else if src = dst then Some [ src ]
   else
     let dist = distances t dst in
     if dist.(src) = max_int then None
@@ -106,6 +132,8 @@ let all_shortest_paths t ~src ~dst =
     switches — the "all the possible paths" of Algorithm 2's coverage
     guarantee. *)
 let all_paths_bounded t ~src ~dst ~max_hops =
+  if is_node_failed t src || is_node_failed t dst then []
+  else
   let rec go node visited len =
     if node = dst then [ [ dst ] ]
     else if len >= max_hops then []

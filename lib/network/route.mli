@@ -1,5 +1,6 @@
-(** Routing over a {!Topo} with link failures: BFS shortest paths with
-    deterministic per-flow ECMP, rerouting around failed links. *)
+(** Routing over a {!Topo} with link and node failures: BFS shortest
+    paths with deterministic per-flow ECMP, rerouting around failed
+    links and failed switches. *)
 
 type link = int * int
 
@@ -12,7 +13,19 @@ val topo : t -> Topo.t
 val fail_link : t -> link -> unit
 
 val repair_link : t -> link -> unit
+
+(** Fail a whole node: every incident link becomes unusable and no path
+    may transit it (a failed switch forwards nothing — unlike a legacy
+    switch, which forwards but runs no Newton rules). *)
+val fail_node : t -> int -> unit
+
+val repair_node : t -> int -> unit
+val is_node_failed : t -> int -> bool
+val failed_nodes : t -> int list
+
+(** Repair every failed link and node. *)
 val clear_failures : t -> unit
+
 val failed_links : t -> link list
 val is_failed : t -> link -> bool
 

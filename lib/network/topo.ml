@@ -69,6 +69,30 @@ let linear n =
     (List.init (n - 1) (fun i -> (i, i + 1)))
     [ (0, 0); (1, n - 1) ]
 
+(** Bypass topology: two end switches joined by two disjoint switch
+    chains — a [short]-switch primary path and a [long]-switch backup.
+    One host per end.  Shortest-path routing uses the primary chain
+    exclusively; failing any primary switch deterministically shifts
+    {e all} traffic onto the backup, which makes it the reference
+    topology for switch-failure recovery tests (a single-path reroute
+    with no ECMP spreading). *)
+let bypass ?(short = 1) ?(long = 2) () =
+  if short < 1 || long <= short then
+    invalid_arg "Topo.bypass: need 1 <= short < long";
+  (* Switch ids: 0 and 1 are the ends; 2..1+short the primary chain;
+     2+short..1+short+long the backup chain. *)
+  let num_switches = 2 + short + long in
+  let chain first len =
+    (* 0 - first - first+1 - ... - first+len-1 - 1 *)
+    ((0, first) :: List.init (len - 1) (fun i -> (first + i, first + i + 1)))
+    @ [ (first + len - 1, 1) ]
+  in
+  build
+    ~name:(Printf.sprintf "bypass-%d-%d" short long)
+    ~num_switches ~num_hosts:2
+    (chain 2 short @ chain (2 + short) long)
+    [ (0, 0); (1, 1) ]
+
 (** k-ary fat-tree: k pods, (k/2)^2 core switches, k/2 aggregation and
     k/2 edge switches per pod, k/2 hosts per edge switch (scaled-down
     host count keeps experiments fast while preserving path structure). *)

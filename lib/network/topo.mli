@@ -40,6 +40,14 @@ val build :
     @raise Invalid_argument if [n < 1]. *)
 val linear : int -> t
 
+(** Two end switches (ids 0 and 1, one host each) joined by two
+    disjoint chains: a [short]-switch primary (ids [2..1+short]) and a
+    [long]-switch backup.  Failing any primary switch shifts all
+    traffic onto the backup — a deterministic single-path reroute,
+    the reference topology for switch-failure recovery tests.
+    @raise Invalid_argument unless [1 <= short < long]. *)
+val bypass : ?short:int -> ?long:int -> unit -> t
+
 (** k-ary fat-tree: (k/2)² core, k·k/2 aggregation and edge switches,
     [hosts_per_edge] hosts per edge switch.
     @raise Invalid_argument for odd or non-positive k. *)

@@ -38,10 +38,9 @@ let process_path ?stats engines pkt =
       Engine.record_packet_seen engine;
       Newton_telemetry.Stats.bump (Engine.sink engine)
         Newton_telemetry.Stats.Cqe_hops 1;
+      Engine.maybe_roll_window engine (Packet.ts pkt);
       List.iter
         (fun inst ->
-          Engine.maybe_roll_window engine (Packet.ts pkt)
-            (Engine.instance_query inst).Newton_query.Ast.window;
           let uid = Engine.instance_uid inst in
           let ctx =
             match Hashtbl.find_opt ctxs uid with

@@ -122,8 +122,11 @@ let instance_window i = i.window_index
 let instance_reported_keys i = Hashtbl.length i.reported
 let instance_slots i = i.slots
 
+(* Sorted by (branch, prim, suite) so the listing order is stable
+   across runs and OCaml versions (Hashtbl fold order is not). *)
 let instance_arrays i =
   Hashtbl.fold (fun key arr acc -> (key, arr) :: acc) i.arrays []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let instance_array i key = Hashtbl.find_opt i.arrays key
 
@@ -445,9 +448,56 @@ let roll_instance_window t inst now =
   end
 
 (* Wrapper used by the path executor and the controller: rolls every
-   instance of the engine. *)
-let maybe_roll_window t now _window_size =
+   instance of the engine.  Window lengths are per-instance
+   ([query.window]); there is no per-call override. *)
+let maybe_roll_window t now =
   List.iter (fun inst -> roll_instance_window t inst now) t.instances
+
+(* ---------------- state migration ---------------- *)
+
+(** Merge [src]'s sketch state and report-dedup memory into [dst] —
+    the state-carrying half of switch-failure recovery.  Both must be
+    instances of the same compiled slice (same array keys).
+
+    Window alignment comes first: migrated state only makes sense
+    inside one measurement window.  If [src] is in a later window than
+    [dst] (a freshly installed replacement starts at window 0), [dst]
+    is cleared and adopts [src]'s window; if [src] is in an {e earlier}
+    window its state is stale — the next roll would wipe it anyway —
+    so nothing is merged.  Arrays then combine under [op_of]'s per-bank
+    ALU op, and [src]'s (window, keys) dedup entries are carried over so
+    the replacement does not re-emit reports the failed switch already
+    exported.  Returns (banks merged, occupied cells moved). *)
+let absorb_state ~op_of ~src ~dst =
+  if src.window_index > dst.window_index then begin
+    Hashtbl.iter (fun _ arr -> Register_array.clear arr) dst.arrays;
+    Hashtbl.reset dst.reported;
+    dst.window_index <- src.window_index
+  end;
+  if src.window_index < dst.window_index then (0, 0)
+  else begin
+    let banks = ref 0 and cells = ref 0 in
+    Hashtbl.iter
+      (fun key src_arr ->
+        match Hashtbl.find_opt dst.arrays key with
+        | None -> invalid_arg "Engine.absorb_state: array-key mismatch"
+        | Some dst_arr -> (
+            match op_of key with
+            | None ->
+                let b, p, s = key in
+                invalid_arg
+                  (Printf.sprintf
+                     "Engine.absorb_state: state bank (branch %d, prim %d, \
+                      suite %d) has no merge op in the slot layout"
+                     b p s)
+            | Some op ->
+                incr banks;
+                cells := !cells + Register_array.occupancy src_arr;
+                Register_array.merge_into ~op ~dst:dst_arr ~src:src_arr))
+      src.arrays;
+    Hashtbl.iter (fun k () -> Hashtbl.replace dst.reported k ()) src.reported;
+    (!banks, !cells)
+  end
 
 (* ---------------- packet processing ---------------- *)
 

@@ -94,8 +94,26 @@ val cell_usage :
     sketch state and report dedup). *)
 val roll_instance_window : t -> instance -> float -> unit
 
-(** Roll every instance (used by the path executor / controller). *)
-val maybe_roll_window : t -> float -> float -> unit
+(** Roll every instance whose window boundary [now] crossed (used by
+    the path executor / controller).  Each instance uses its own query's
+    window length — deliberately no per-call window parameter. *)
+val maybe_roll_window : t -> float -> unit
+
+(** Merge [src]'s sketch state and report-dedup memory into [dst] (the
+    state-carrying half of switch-failure recovery).  Windows align
+    first: a [dst] behind [src] is cleared and adopts [src]'s window; a
+    [src] behind [dst] is stale and contributes nothing.  Arrays merge
+    under [op_of]'s per-bank ALU op (see
+    {!Newton_runtime.Merge.slot_merge_op}); [src]'s dedup entries carry
+    over so the replacement does not re-emit already-exported reports.
+    Returns (banks merged, occupied cells moved).
+    @raise Invalid_argument on an array-key mismatch or a bank [op_of]
+    cannot resolve. *)
+val absorb_state :
+  op_of:(array_key -> Newton_sketch.Register_array.merge_op option) ->
+  src:instance ->
+  dst:instance ->
+  int * int
 
 (** Run a packet through one instance, resuming from [ctx] (fresh, or
     SP-restored under CQE); returns the post-slice context. *)
@@ -132,7 +150,7 @@ val instance_reported_keys : instance -> int
 val instance_slots : instance -> Ir.slot list array
 
 (** The register arrays this slice owns, keyed by (branch, prim,
-    suite). *)
+    suite), sorted by key. *)
 val instance_arrays :
   instance -> (array_key * Newton_sketch.Register_array.t) list
 

@@ -27,6 +27,19 @@ let slot_merge_op (s : Ir.slot) =
   | Ir.S_cfg { op = Ir.S_max _; _ } -> Some `Max
   | _ -> None
 
+(** Resolve the merge op of each state-bank key from an instance's slot
+    layout — the [op_of] argument {!Engine.absorb_state} and the
+    cross-shard merge below both need. *)
+let array_ops (inst : Engine.instance) =
+  let ops = Hashtbl.create 8 in
+  Array.iter
+    (List.iter (fun (s : Ir.slot) ->
+         match slot_merge_op s with
+         | Some op -> Hashtbl.replace ops (s.Ir.branch, s.Ir.prim, s.Ir.suite) op
+         | None -> ()))
+    (Engine.instance_slots inst);
+  fun key -> Hashtbl.find_opt ops key
+
 (** Epoch-aligned merge of per-shard report streams: stable sort on
     (window, query) keeps shard-major order within an epoch, then
     first-wins identity dedup. *)
@@ -40,8 +53,12 @@ let reports (per_shard : Report.t list list) =
 
 (** Merge one instance's register arrays across shards.  [instances]
     are the same installed query on every shard engine (same uid, same
-    compiled layout).  Returns the merged array per state-bank key.
-    @raise Invalid_argument if the instance lists are shape-mismatched. *)
+    compiled layout).  Returns the merged array per state-bank key, in
+    the order the engine lists them.
+    @raise Invalid_argument if the instance lists are shape-mismatched,
+    or if a state bank has no merge op in the slot layout — a bank must
+    never fall back to an implicit combine (summing a Bloom filter
+    would silently corrupt membership bits). *)
 let instance_arrays (instances : Engine.instance list) =
   match instances with
   | [] -> []
@@ -55,12 +72,18 @@ let instance_arrays (instances : Engine.instance list) =
                  Hashtbl.replace op_of (s.Ir.branch, s.Ir.prim, s.Ir.suite) op
              | None -> ()))
         (Engine.instance_slots first);
-      List.fold_left
-        (fun acc (key, arr) ->
+      List.map
+        (fun (key, arr) ->
           let op =
             match Hashtbl.find_opt op_of key with
             | Some op -> op
-            | None -> `Add (* pass-through state defaults to summation *)
+            | None ->
+                let b, p, s = key in
+                invalid_arg
+                  (Printf.sprintf
+                     "Merge.instance_arrays: state bank (branch %d, prim \
+                      %d, suite %d) has no merge op in the slot layout"
+                     b p s)
           in
           let merged = Register_array.copy arr in
           List.iter
@@ -70,6 +93,5 @@ let instance_arrays (instances : Engine.instance list) =
               | None ->
                   invalid_arg "Merge.instance_arrays: array-key mismatch")
             rest;
-          (key, merged) :: acc)
-        []
+          (key, merged))
         (Engine.instance_arrays first)

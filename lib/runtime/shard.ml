@@ -115,8 +115,12 @@ let make ~jobs strategy =
 
 let jobs t = t.jobs
 
+(* [land max_int], not [abs]: [abs min_int = min_int] (two's
+   complement has no positive counterpart), so a raw hash of [min_int]
+   would yield a negative shard index.  Masking the sign bit keeps the
+   index in [0, jobs) for every input. *)
 let assign t pkt =
-  if t.jobs = 1 then 0 else abs (t.assign_raw pkt) mod t.jobs
+  if t.jobs = 1 then 0 else (t.assign_raw pkt land max_int) mod t.jobs
 
 (** The locality-preserving strategy for one compiled query. *)
 let for_compiled compiled = Branch_key compiled

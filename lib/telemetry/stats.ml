@@ -24,12 +24,18 @@ type key =
   | Cqe_hops           (** per-hop slice executions on the CQE path *)
   | Sp_header_bytes    (** SP snapshot bytes added on the wire *)
   | Software_continuations  (** packets deferred to the CPU analyzer *)
+  | Switch_failures    (** switches failed by the recovery subsystem *)
+  | Switch_repairs     (** switches repaired and rejoined *)
+  | Slices_migrated    (** slice instances re-placed after a failure *)
+  | State_cells_moved  (** register cells merged during state migration *)
+  | Software_fallbacks (** slices degraded to the software engine *)
 
 let all =
   [ Packets_processed; Module_hits_k; Module_hits_h; Module_hits_s;
     Module_hits_r; Guard_stops; Reports_emitted; Reports_deduped;
     Reports_dropped; Window_rolls; Cqe_hops; Sp_header_bytes;
-    Software_continuations ]
+    Software_continuations; Switch_failures; Switch_repairs;
+    Slices_migrated; State_cells_moved; Software_fallbacks ]
 
 let index = function
   | Packets_processed -> 0
@@ -45,6 +51,11 @@ let index = function
   | Cqe_hops -> 10
   | Sp_header_bytes -> 11
   | Software_continuations -> 12
+  | Switch_failures -> 13
+  | Switch_repairs -> 14
+  | Slices_migrated -> 15
+  | State_cells_moved -> 16
+  | Software_fallbacks -> 17
 
 let num_keys = List.length all
 
@@ -63,6 +74,11 @@ let name = function
   | Cqe_hops -> "newton_cqe_hops_total"
   | Sp_header_bytes -> "newton_sp_header_bytes_total"
   | Software_continuations -> "newton_software_continuations_total"
+  | Switch_failures -> "newton_switch_failures_total"
+  | Switch_repairs -> "newton_switch_repairs_total"
+  | Slices_migrated -> "newton_slices_migrated_total"
+  | State_cells_moved -> "newton_state_cells_moved_total"
+  | Software_fallbacks -> "newton_software_fallbacks_total"
 
 let help = function
   | Packets_processed -> "Packets run through the engine"
@@ -76,6 +92,11 @@ let help = function
   | Cqe_hops -> "Per-hop slice executions on the CQE path"
   | Sp_header_bytes -> "SP snapshot bytes added on the wire"
   | Software_continuations -> "Packets deferred to the CPU analyzer"
+  | Switch_failures -> "Switch failures injected or observed"
+  | Switch_repairs -> "Failed switches repaired and rejoined"
+  | Slices_migrated -> "Slice instances re-placed after a switch failure"
+  | State_cells_moved -> "Occupied register cells merged during state migration"
+  | Software_fallbacks -> "Slices degraded to the software engine on failure"
 
 (** The label set distinguishing samples that share a metric name. *)
 let labels = function

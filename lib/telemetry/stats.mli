@@ -18,6 +18,11 @@ type key =
   | Cqe_hops
   | Sp_header_bytes
   | Software_continuations
+  | Switch_failures
+  | Switch_repairs
+  | Slices_migrated
+  | State_cells_moved
+  | Software_fallbacks
 
 val all : key list
 

@@ -65,17 +65,34 @@ let load path =
       let count = Int32.to_int (Bytes.get_int32_le (read_exactly ic 4) 0) in
       if count < 0 then raise (Format_error "negative packet count");
       let record_bytes = 8 + (Field.count * 4) in
+      let read_record () =
+        let b = read_exactly ic record_bytes in
+        let ts = Int64.float_of_bits (Bytes.get_int64_le b 0) in
+        let p = Packet.create ~ts () in
+        List.iteri
+          (fun i f ->
+            (* Fields are stored as unsigned 32-bit words: mask off the
+               sign extension [Int32.to_int] reintroduces so values with
+               the high bit set (IPs >= 128.0.0.0) round-trip intact. *)
+            Packet.set p f
+              (Int32.to_int (Bytes.get_int32_le b (8 + (i * 4)))
+              land 0xFFFFFFFF))
+          Field.all;
+        p
+      in
+      (* Records are read sequentially into a preallocated array — not
+         inside [Array.init], whose element evaluation order is
+         unspecified and could permute (or interleave) the stream. *)
       let packets =
-        try
-          Array.init count (fun _ ->
-              let b = read_exactly ic record_bytes in
-              let ts = Int64.float_of_bits (Bytes.get_int64_le b 0) in
-              let p = Packet.create ~ts () in
-              List.iteri
-                (fun i f ->
-                  Packet.set p f (Int32.to_int (Bytes.get_int32_le b (8 + (i * 4)))))
-                Field.all;
-              p)
-        with End_of_file -> raise (Format_error "truncated packet data")
+        if count = 0 then [||]
+        else begin
+          let arr = Array.make count (Packet.create ~ts:0.0 ()) in
+          (try
+             for i = 0 to count - 1 do
+               arr.(i) <- read_record ()
+             done
+           with End_of_file -> raise (Format_error "truncated packet data"));
+          arr
+        end
       in
       Gen.of_packets ~name:("loaded:" ^ name) packets)

@@ -33,4 +33,5 @@ let () =
       ("properties", Test_properties.suite);
       ("reactive", Test_reactive.suite);
       ("refine", Test_refine.suite);
+      ("recovery", Test_recovery.suite);
     ]

@@ -94,9 +94,38 @@ let test_rejects_truncated () =
   expect_format_error "truncated data" (fun () -> Trace_io.load path);
   Sys.remove path
 
+(* Field values at or above 2^31 must survive the round-trip: the
+   on-disk format stores 32-bit words, and reassembling them with
+   tagged-int arithmetic must not sign-extend bit 31. *)
+let test_roundtrip_large_field_values () =
+  let big = [ 0x7FFFFFFF; 0x80000000; 0xDEADBEEF; 0xFFFFFFFF ] in
+  let pkts =
+    List.mapi
+      (fun i v ->
+        let p = Packet.create ~ts:(0.001 *. float_of_int i) () in
+        Packet.set p Field.Src_ip v;
+        Packet.set p Field.Dst_ip v;
+        p)
+      big
+  in
+  let trace = Gen.of_packets ~name:"big-values" (Array.of_list pkts) in
+  let path = tmp "bigvals.ntrc" in
+  Trace_io.save trace path;
+  let loaded = Trace_io.load path in
+  checki "packet count" (List.length big) (Gen.length loaded);
+  List.iteri
+    (fun i v ->
+      let q = (Gen.packets loaded).(i) in
+      checki "src_ip" v (Packet.get q Field.Src_ip);
+      checki "dst_ip" v (Packet.get q Field.Dst_ip);
+      checkb "value is non-negative" true (Packet.get q Field.Src_ip >= 0))
+    big;
+  Sys.remove path
+
 let suite =
   [
     ("roundtrip", `Quick, test_roundtrip);
+    ("roundtrip: field values >= 2^31", `Quick, test_roundtrip_large_field_values);
     ("loaded trace replays identically", `Quick, test_loaded_trace_replays_identically);
     ("profile name preserved", `Quick, test_profile_name_preserved);
     ("empty trace", `Quick, test_empty_trace);
