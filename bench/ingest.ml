@@ -1,0 +1,139 @@
+(** Ingestion throughput: pcap export, capture decode, and paced
+    streaming replay through the full catalog engine, against the
+    native in-memory replay of the same trace.
+
+    Stages measured over the standard Zipf-background attack trace
+    (NEWTON_BENCH_FLOWS flows, default 4000):
+    - export  — encode packets to Ethernet frames and write classic pcap
+    - load    — read + decode the capture back into packets
+    - stream  — pull the capture through the bounded-queue driver into
+                an engine with all nine catalog queries installed
+    - native  — the same engine fed directly from memory (baseline)
+
+    Results go to the table and a JSON artifact — out/bench_ingest.json
+    or the path in NEWTON_BENCH_INGEST_JSON — which CI uploads per run
+    so the ingestion perf trajectory is tracked alongside the parallel
+    one. *)
+
+let getenv_int name default =
+  match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+  | Some v when v > 0 -> v
+  | _ -> default
+
+let json_path () =
+  Option.value (Sys.getenv_opt "NEWTON_BENCH_INGEST_JSON")
+    ~default:"out/bench_ingest.json"
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+let fresh_engine () =
+  let e = Newton_runtime.Engine.create ~switch_id:0 () in
+  List.iter
+    (fun q -> ignore (Newton_runtime.Engine.install e (Common.compile q)))
+    (Common.all_queries ());
+  e
+
+let run () =
+  Common.banner "Ingestion throughput (pcap export / decode / streaming replay)";
+  let flows = getenv_int "NEWTON_BENCH_FLOWS" 4000 in
+  let trace = Common.caida_trace ~flows () in
+  let npkts = Newton_trace.Gen.length trace in
+  let path = Filename.temp_file "newton_bench" ".pcap" in
+  Common.note "trace: %d packets, %d flows; 9 catalog queries installed"
+    npkts flows;
+  let t_export, () =
+    time (fun () -> Newton_ingest.Capture.export trace path)
+  in
+  let file_bytes = (Unix.stat path).Unix.st_size in
+  let t_load, loaded =
+    time (fun () -> Newton_ingest.Capture.load path)
+  in
+  assert (Newton_trace.Gen.length loaded = npkts);
+  (* Native replay baseline: memory-resident packets into the engine. *)
+  let native = fresh_engine () in
+  let t_native, () =
+    time (fun () ->
+        Array.iter
+          (Newton_runtime.Engine.process_packet native)
+          (Newton_trace.Gen.packets trace))
+  in
+  let native_reports = List.length (Newton_runtime.Engine.reports native) in
+  (* Streaming replay: decode-on-the-fly through the bounded queue. *)
+  let streamed = fresh_engine () in
+  let stats = Newton_telemetry.Stats.create () in
+  let t_stream, summary =
+    time (fun () ->
+        Newton_ingest.Capture.with_source ~stats path (fun src ->
+            Newton_ingest.Stream.run ~stats src (fun batch ->
+                Array.iter
+                  (Newton_runtime.Engine.process_packet streamed)
+                  batch)))
+  in
+  let stream_reports = List.length (Newton_runtime.Engine.reports streamed) in
+  Sys.remove path;
+  let rate n secs = float_of_int n /. secs in
+  let t =
+    Common.T.create
+      ~aligns:[ Common.T.Left; Common.T.Right; Common.T.Right; Common.T.Right ]
+      [ "stage"; "seconds"; "pkts/s"; "MB/s" ]
+  in
+  let mbps secs = float_of_int file_bytes /. secs /. 1e6 in
+  let row stage secs =
+    Common.T.add_row t
+      [ stage; Printf.sprintf "%.3f" secs;
+        Printf.sprintf "%.0f" (rate npkts secs);
+        Printf.sprintf "%.1f" (mbps secs) ]
+  in
+  row "export" t_export;
+  row "load" t_load;
+  row "stream+engine" t_stream;
+  row "native+engine" t_native;
+  Common.T.print t;
+  Common.note "capture file: %.1f MB; stream/native overhead: %.2fx; reports %d vs %d"
+    (float_of_int file_bytes /. 1e6)
+    (t_stream /. t_native) stream_reports native_reports;
+  Common.maybe_dat t "ingest_throughput";
+  let open Newton_util.Json in
+  let stage secs =
+    Obj
+      [ ("seconds", Float secs); ("packets_per_sec", Float (rate npkts secs));
+        ("mb_per_sec", Float (mbps secs)) ]
+  in
+  let json =
+    Obj
+      [
+        ("bench", String "ingest_throughput");
+        ("trace", Obj [ ("packets", Int npkts); ("flows", Int flows) ]);
+        ("file_bytes", Int file_bytes);
+        ("export", stage t_export);
+        ("load", stage t_load);
+        ("stream_engine", stage t_stream);
+        ("native_engine", stage t_native);
+        ("stream_overhead", Float (t_stream /. t_native));
+        ( "stream",
+          Obj
+            [
+              ("delivered", Int summary.Newton_ingest.Stream.delivered);
+              ("dropped", Int summary.Newton_ingest.Stream.dropped);
+              ("chunks", Int summary.Newton_ingest.Stream.chunks);
+              ( "frames",
+                Int
+                  (Newton_telemetry.Stats.get stats
+                     Newton_telemetry.Stats.Ingest_frames) );
+            ] );
+        ( "reports",
+          Obj [ ("stream", Int stream_reports); ("native", Int native_reports) ]
+        );
+      ]
+  in
+  let out = json_path () in
+  let dir = Filename.dirname out in
+  if dir <> "." && not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out out in
+  output_string oc (to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Common.note "[json written to %s]" out

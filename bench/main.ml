@@ -18,6 +18,7 @@ let experiments =
     ("detection", Detection.run);
     ("refinement", Refinement.run);
     ("parallel", Parallel.run);
+    ("ingest", Ingest.run);
     ("micro", Microbench.run) ]
 
 let () =

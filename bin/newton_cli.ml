@@ -49,11 +49,16 @@ let trace_out_arg =
   Arg.(value & opt (some string) None
        & info [ "trace-out" ] ~docv:"FILE" ~doc:"Save the generated trace to a file.")
 
-let make_trace ?trace_in ?trace_out profile flows seed attacks =
+let make_trace ?pcap_in ?trace_in ?trace_out profile flows seed attacks =
   let trace =
-    match trace_in with
-    | Some path -> Newton_trace.Trace_io.load path
-    | None ->
+    match (pcap_in, trace_in) with
+    | Some path, _ -> (
+        try Ingest.Capture.load path
+        with Ingest.Capture.Format_error m ->
+          Printf.eprintf "pcap: %s: %s\n" path m;
+          exit 1)
+    | None, Some path -> Newton_trace.Trace_io.load path
+    | None, None ->
         Trace.generate
           ~attacks:(if attacks then Newton_trace.Attack.default_suite else [])
           ~seed
@@ -66,6 +71,108 @@ let make_trace ?trace_in ?trace_out profile flows seed attacks =
 " path
   | None -> ());
   trace
+
+(* Positive integer with parse-time validation: a bad --jobs/--batch is
+   a CLI error (usage + nonzero exit), not a late runtime check. *)
+let pos_int ~what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some n -> Error (`Msg (Printf.sprintf "%s must be >= 1, got %d" what n))
+    | None -> Error (`Msg (Printf.sprintf "%s expects an integer, got %S" what s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+(* ---------------- pcap ingestion options ---------------- *)
+
+let pcap_arg =
+  Arg.(value & opt (some file) None
+       & info [ "pcap" ] ~docv:"FILE"
+           ~doc:"Ingest packets from a pcap/pcapng capture instead of a \
+                 synthetic trace.")
+
+(* Streaming-replay knobs, bundled so every replay command takes one
+   term.  Only consulted when --pcap is given. *)
+type ingest_opts = {
+  io_pace : [ `Asap | `Realtime ];
+  io_speedup : float;
+  io_depth : int;
+  io_chunk : int;
+  io_policy : Ingest.Stream.policy;
+}
+
+let ingest_opts_term =
+  let pace_arg =
+    Arg.(value & opt (enum [ ("asap", `Asap); ("realtime", `Realtime) ]) `Asap
+         & info [ "pace" ] ~docv:"MODE"
+             ~doc:"Replay pacing for --pcap: asap (as fast as the engine \
+                   drains) or realtime (follow capture timestamps).")
+  in
+  let speedup_arg =
+    Arg.(value & opt float 1.0
+         & info [ "speedup" ] ~docv:"X"
+             ~doc:"Time-compression factor for --pace realtime (2.0 replays \
+                   twice as fast as captured).")
+  in
+  let depth_arg =
+    Arg.(value
+         & opt (pos_int ~what:"--queue-depth") Ingest.Stream.default_depth
+         & info [ "queue-depth" ] ~docv:"N"
+             ~doc:"Bounded ingest-queue capacity between the capture reader \
+                   and the engine.")
+  in
+  let chunk_arg =
+    Arg.(value & opt (pos_int ~what:"--chunk") Ingest.Stream.default_chunk
+         & info [ "chunk" ] ~docv:"N"
+             ~doc:"Packets handed to the engine per batch.")
+  in
+  let policy_arg =
+    Arg.(value
+         & opt
+             (enum
+                [ ("block", Ingest.Stream.Block); ("drop", Ingest.Stream.Drop) ])
+             Ingest.Stream.Block
+         & info [ "on-full" ] ~docv:"POLICY"
+             ~doc:"Backpressure policy when the ingest queue fills: block \
+                   the reader (lossless) or drop (count-and-discard, live \
+                   capture semantics).")
+  in
+  let mk io_pace io_speedup io_depth io_chunk io_policy =
+    if io_speedup <= 0.0 then begin
+      prerr_endline "--speedup must be positive";
+      exit 1
+    end;
+    { io_pace; io_speedup; io_depth; io_chunk; io_policy }
+  in
+  Term.(const mk $ pace_arg $ speedup_arg $ depth_arg $ chunk_arg $ policy_arg)
+
+(* Stream a capture into [sink_fn] under the chosen pacing/backpressure,
+   accounting every frame in [stats]. *)
+let stream_pcap ~opts ~stats path sink_fn =
+  let pace =
+    match opts.io_pace with
+    | `Asap -> Ingest.Stream.Asap
+    | `Realtime -> Ingest.Stream.Realtime opts.io_speedup
+  in
+  try
+    Ingest.Capture.with_source ~stats path (fun src ->
+        Ingest.Stream.run ~depth:opts.io_depth ~chunk:opts.io_chunk ~pace
+          ~policy:opts.io_policy ~stats src sink_fn)
+  with Ingest.Capture.Format_error m ->
+    Printf.eprintf "pcap: %s: %s\n" path m;
+    exit 1
+
+let print_ingest_summary stats (s : Ingest.Stream.summary) =
+  let get k = Telemetry.Stats.get stats k in
+  Printf.printf
+    "ingest: %d frames, %d decoded, %d skipped (%d non-ip, %d truncated), \
+     %d dropped on backpressure; %d chunks in %.2f s\n"
+    (get Telemetry.Stats.Ingest_frames)
+    (get Telemetry.Stats.Ingest_decoded)
+    (get Telemetry.Stats.Ingest_non_ip + get Telemetry.Stats.Ingest_truncated)
+    (get Telemetry.Stats.Ingest_non_ip)
+    (get Telemetry.Stats.Ingest_truncated)
+    s.Ingest.Stream.dropped s.Ingest.Stream.chunks s.Ingest.Stream.wall_seconds
 
 let lookup_queries ids =
   try Ok (List.map Catalog.by_id ids)
@@ -216,17 +323,6 @@ let cmd_p4 =
 
 (* ---------------- run (device level) ---------------- *)
 
-(* Positive integer with parse-time validation: a bad --jobs/--batch is
-   a CLI error (usage + nonzero exit), not a late runtime check. *)
-let pos_int ~what =
-  let parse s =
-    match int_of_string_opt s with
-    | Some n when n >= 1 -> Ok n
-    | Some n -> Error (`Msg (Printf.sprintf "%s must be >= 1, got %d" what n))
-    | None -> Error (`Msg (Printf.sprintf "%s expects an integer, got %S" what s))
-  in
-  Arg.conv (parse, Format.pp_print_int)
-
 let jobs_arg =
   let doc =
     "Replay shards (OCaml 5 domains). 1 = the sequential engine; N > 1 \
@@ -242,16 +338,28 @@ let batch_arg =
        & opt (pos_int ~what:"--batch") Newton_runtime.Parallel_engine.default_batch
        & info [ "batch" ] ~docv:"B" ~doc)
 
+(* One query: shard on its aggregation key so shard-merged results
+   match the sequential engine; several queries: 5-tuple sharding
+   (divergence documented in docs/PARALLELISM.md). *)
+let shard_key_for qs =
+  match qs with
+  | [ q ] -> Newton_runtime.Shard.for_compiled (Compiler.compile q)
+  | _ ->
+      Printf.printf
+        "note: several queries — 5-tuple sharding; cross-flow aggregates \
+         split across shards (docs/PARALLELISM.md)\n";
+      Newton_runtime.Shard.Flow
+
 let cmd_run =
   let run ids dsl profile flows seed attacks verbose trace_in trace_out jobs
-      batch =
+      batch pcap iopts =
     match gather_queries ids dsl with
     | Error msg -> prerr_endline msg; exit 1
     | Ok qs ->
-        let trace = make_trace ?trace_in ?trace_out profile flows seed attacks in
-        Printf.printf "trace: %d packets (%s)\n" (Trace.length trace)
-          (Trace_profile.to_string (Trace.profile trace));
-        let reports =
+        (* Set up the engine (sequential or sharded) behind a chunk sink
+           so both the synthetic and the pcap-streaming path feed it the
+           same way. *)
+        let sink_fn, finish =
           if jobs = 1 then begin
             let device = Device.create () in
             List.iter
@@ -260,24 +368,11 @@ let cmd_run =
                 Printf.printf "installed Q%d (%s) in %.1f ms\n" q.Query.id
                   q.Query.name (lat *. 1e3))
               qs;
-            Device.process_trace device trace;
-            Device.reports device
+            ( (fun batch -> Array.iter (Device.process_packet device) batch),
+              fun () -> Device.reports device )
           end
           else begin
-            (* One query: shard on its aggregation key so shard-merged
-               results match the sequential engine; several queries:
-               5-tuple sharding (divergence documented in
-               docs/PARALLELISM.md). *)
-            let shard_key =
-              match qs with
-              | [ q ] ->
-                  Newton_runtime.Shard.for_compiled (Compiler.compile q)
-              | _ ->
-                  Printf.printf
-                    "note: several queries — 5-tuple sharding; cross-flow \
-                     aggregates split across shards (docs/PARALLELISM.md)\n";
-                  Newton_runtime.Shard.Flow
-            in
+            let shard_key = shard_key_for qs in
             let pdev = Parallel_device.create ~jobs ~batch ~shard_key () in
             List.iter
               (fun q ->
@@ -285,20 +380,39 @@ let cmd_run =
                 Printf.printf "installed Q%d (%s) on %d shards\n" q.Query.id
                   q.Query.name jobs)
               qs;
-            Parallel_device.process_trace pdev trace;
-            Printf.printf "shard loads: [%s] (%s)\n"
-              (String.concat "; "
-                 (Array.to_list
-                    (Array.map string_of_int (Parallel_device.shard_loads pdev))))
-              (Newton_runtime.Parallel_engine.to_string
-                 (Parallel_device.engine pdev));
-            Parallel_device.reports pdev
+            ( Parallel_device.process_packets pdev,
+              fun () ->
+                Printf.printf "shard loads: [%s] (%s)\n"
+                  (String.concat "; "
+                     (Array.to_list
+                        (Array.map string_of_int
+                           (Parallel_device.shard_loads pdev))))
+                  (Newton_runtime.Parallel_engine.to_string
+                     (Parallel_device.engine pdev));
+                Parallel_device.reports pdev )
           end
         in
+        let n_packets =
+          match pcap with
+          | Some path ->
+              let stats = Telemetry.Stats.create () in
+              let summary = stream_pcap ~opts:iopts ~stats path sink_fn in
+              print_ingest_summary stats summary;
+              summary.Ingest.Stream.delivered
+          | None ->
+              let trace =
+                make_trace ?trace_in ?trace_out profile flows seed attacks
+              in
+              Printf.printf "trace: %d packets (%s)\n" (Trace.length trace)
+                (Trace_profile.to_string (Trace.profile trace));
+              Trace.iter_chunks ~chunk:iopts.io_chunk sink_fn trace;
+              Trace.length trace
+        in
+        let reports = finish () in
         Printf.printf "monitoring messages: %d (%.4f%% of packets)\n"
           (List.length reports)
           (100.0 *. float_of_int (List.length reports)
-          /. float_of_int (Trace.length trace));
+          /. float_of_int (max 1 n_packets));
         if verbose then
           List.iter (fun r -> print_endline ("  " ^ Report.to_string r)) reports
         else begin
@@ -320,26 +434,29 @@ let cmd_run =
         end
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Run queries on a single switch over a synthetic trace")
+    (Cmd.info "run"
+       ~doc:
+         "Run queries on a single switch over a synthetic trace or an \
+          ingested pcap capture")
     Term.(
       const run $ queries_arg $ dsl_arg $ profile_arg $ flows_arg $ seed_arg
       $ attacks_arg $ verbose_arg $ trace_in_arg $ trace_out_arg $ jobs_arg
-      $ batch_arg)
+      $ batch_arg $ pcap_arg $ ingest_opts_term)
 
 (* ---------------- stats (telemetry snapshot) ---------------- *)
 
 let cmd_stats =
-  let run ids dsl profile flows seed attacks trace_in jobs batch format output =
+  let run ids dsl profile flows seed attacks trace_in jobs batch format output
+      pcap iopts =
     match gather_queries ids dsl with
     | Error msg -> prerr_endline msg; exit 1
     | Ok qs ->
-        let trace = make_trace ?trace_in profile flows seed attacks in
-        let snap =
+        let sink_fn, metrics_fn =
           if jobs = 1 then begin
             let device = Device.create () in
             List.iter (fun q -> ignore (Device.add_query device q)) qs;
-            Device.process_trace device trace;
-            Device.metrics device
+            ( (fun batch -> Array.iter (Device.process_packet device) batch),
+              fun () -> Device.metrics device )
           end
           else begin
             let shard_key =
@@ -349,9 +466,26 @@ let cmd_stats =
             in
             let pdev = Parallel_device.create ~jobs ~batch ~shard_key () in
             List.iter (fun q -> ignore (Parallel_device.add_query pdev q)) qs;
-            Parallel_device.process_trace pdev trace;
-            Parallel_device.metrics pdev
+            ( Parallel_device.process_packets pdev,
+              fun () -> Parallel_device.metrics pdev )
           end
+        in
+        let snap =
+          match pcap with
+          | Some path ->
+              (* Ingestion health rides along in the same snapshot,
+                 labelled stage=ingest to keep it apart from the
+                 engine-side counter families. *)
+              let stats = Telemetry.Stats.create () in
+              ignore (stream_pcap ~opts:iopts ~stats path sink_fn);
+              Telemetry.Snapshot.merge (metrics_fn ())
+                (Telemetry.Snapshot.of_sink
+                   ~labels:[ ("stage", "ingest") ]
+                   stats)
+          | None ->
+              let trace = make_trace ?trace_in profile flows seed attacks in
+              Trace.iter_chunks ~chunk:iopts.io_chunk sink_fn trace;
+              metrics_fn ()
         in
         let text =
           match format with
@@ -386,7 +520,7 @@ let cmd_stats =
     Term.(
       const run $ queries_arg $ dsl_arg $ profile_arg $ flows_arg $ seed_arg
       $ attacks_arg $ trace_in_arg $ jobs_arg $ batch_arg $ format_arg
-      $ output_arg)
+      $ output_arg $ pcap_arg $ ingest_opts_term)
 
 (* ---------------- netrun (network-wide) ---------------- *)
 
@@ -425,7 +559,7 @@ let fail_arg =
            ~doc:"Fail the switch link (A,B) halfway through the trace.")
 
 let cmd_netrun =
-  let run ids topo stages profile flows seed attacks fail =
+  let run ids topo stages profile flows seed attacks fail pcap =
     match lookup_queries ids with
     | Error msg -> prerr_endline msg; exit 1
     | Ok qs ->
@@ -437,7 +571,7 @@ let cmd_netrun =
             Printf.printf "deployed Q%d network-wide in %.1f ms\n" q.Query.id
               (lat *. 1e3))
           qs;
-        let trace = make_trace profile flows seed attacks in
+        let trace = make_trace ?pcap_in:pcap profile flows seed attacks in
         Network.process_trace net trace;
         (match fail with
         | None -> ()
@@ -454,17 +588,17 @@ let cmd_netrun =
   Cmd.v (Cmd.info "netrun" ~doc:"Deploy queries network-wide and run a trace")
     Term.(
       const run $ queries_arg $ topo_arg $ stages_arg $ profile_arg $ flows_arg
-      $ seed_arg $ attacks_arg $ fail_arg)
+      $ seed_arg $ attacks_arg $ fail_arg $ pcap_arg)
 
 (* ---------------- chaos (failure-injection differential) ---------------- *)
 
 let cmd_chaos =
   let run ids topo stages profile flows seed attacks fails repairs strict
-      output =
+      output pcap =
     match lookup_queries ids with
     | Error msg -> prerr_endline msg; exit 1
     | Ok qs ->
-        let trace = make_trace profile flows seed attacks in
+        let trace = make_trace ?pcap_in:pcap profile flows seed attacks in
         let pkts = Trace.packets trace in
         if Array.length pkts = 0 then begin
           prerr_endline "chaos: empty trace";
@@ -580,7 +714,101 @@ let cmd_chaos =
     Term.(
       const run $ all_queries_arg $ chaos_topo_arg $ chaos_stages_arg
       $ profile_arg $ flows_arg $ seed_arg $ attacks_arg $ fail_events_arg
-      $ repair_events_arg $ strict_arg $ output_arg)
+      $ repair_events_arg $ strict_arg $ output_arg $ pcap_arg)
+
+(* ---------------- gen (trace generation / export) ---------------- *)
+
+let cmd_gen =
+  let run profile flows seed attacks trace_in output format =
+    let trace = make_trace ?trace_in profile flows seed attacks in
+    let format =
+      match format with
+      | Some f -> f
+      | None -> (
+          (* Infer from the output extension when --format is omitted. *)
+          match Filename.extension output with
+          | ".pcap" | ".pcapng" | ".cap" -> `Pcap
+          | _ -> `Ntrc)
+    in
+    (match format with
+    | `Ntrc -> Newton_trace.Trace_io.save trace output
+    | `Pcap -> (
+        try Ingest.Capture.export trace output
+        with Ingest.Capture.Format_error m ->
+          Printf.eprintf "pcap export: %s\n" m;
+          exit 1));
+    Printf.printf "%d packets written to %s (%s)\n" (Trace.length trace)
+      output
+      (match format with `Ntrc -> "ntrc" | `Pcap -> "pcap")
+  in
+  let output_arg =
+    Arg.(required & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let format_arg =
+    Arg.(value
+         & opt (some (enum [ ("ntrc", `Ntrc); ("pcap", `Pcap) ])) None
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"Output format: ntrc (native binary trace) or pcap \
+                   (standard capture, opens in tcpdump/Wireshark). Default: \
+                   inferred from the output extension, ntrc otherwise.")
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:
+         "Generate a synthetic trace (or convert one given with --trace-in) \
+          and write it as a native trace or a standard pcap file")
+    Term.(
+      const run $ profile_arg $ flows_arg $ seed_arg $ attacks_arg
+      $ trace_in_arg $ output_arg $ format_arg)
+
+(* ---------------- pcap-info ---------------- *)
+
+let cmd_pcap_info =
+  let run path =
+    match Ingest.Capture.info path with
+    | exception Ingest.Capture.Format_error m ->
+        Printf.eprintf "pcap: %s: %s\n" path m;
+        exit 1
+    | i ->
+        let open Ingest.Capture in
+        Printf.printf "file:       %s\n" path;
+        Printf.printf "format:     %s%s\n"
+          (format_to_string i.format)
+          (match (i.big_endian, i.nsec) with
+          | Some be, Some ns ->
+              Printf.sprintf " (%s-endian, %s timestamps)"
+                (if be then "big" else "little")
+                (if ns then "nanosecond" else "microsecond")
+          | _ -> "");
+        if i.format = Pcapng_format then
+          Printf.printf "interfaces: %d\n" i.interfaces
+        else begin
+          Printf.printf "linktype:   %d%s\n" i.linktype
+            (if i.linktype = Ingest.Pcap.linktype_ethernet then " (ethernet)"
+             else "");
+          Printf.printf "snaplen:    %d\n" i.snaplen
+        end;
+        Printf.printf "frames:     %d%s\n" i.frames
+          (if i.clean_end then "" else " (file cut mid-record)");
+        Printf.printf "decoded:    %d\n" i.decoded;
+        Printf.printf "skipped:    %d non-ip, %d truncated\n" i.non_ip
+          i.truncated;
+        (match (i.first_ts, i.last_ts) with
+        | Some a, Some b ->
+            Printf.printf "timespan:   %.6f .. %.6f s (%.6f s)\n" a b (b -. a)
+        | _ -> ())
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"Capture file to inspect.")
+  in
+  Cmd.v
+    (Cmd.info "pcap-info"
+       ~doc:
+         "Inspect a pcap/pcapng capture: format details plus decode \
+          accounting (frames, decoded, skipped)")
+    Term.(const run $ file_arg)
 
 (* ---------------- shell (interactive operator console) ---------------- *)
 
@@ -751,5 +979,7 @@ let () =
             cmd_stats;
             cmd_netrun;
             cmd_chaos;
+            cmd_gen;
+            cmd_pcap_info;
             cmd_shell;
           ]))

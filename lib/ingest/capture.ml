@@ -1,0 +1,215 @@
+(** Facade over the capture formats: sniff pcap vs. pcapng by magic,
+    decode records into packets with counted skips, stream lazily for
+    {!Stream.run}, and export synthetic traces back to pcap.
+
+    Every frame pulled through this module is accounted for in the
+    telemetry sink: [Ingest_frames] per record, then exactly one of
+    [Ingest_decoded] / [Ingest_non_ip] / [Ingest_truncated] (a file
+    cut mid-record also counts as truncated). *)
+
+module Stats = Newton_telemetry.Stats
+module Gen = Newton_trace.Gen
+
+exception Format_error of string
+
+type format = Pcap_format | Pcapng_format
+
+let format_to_string = function
+  | Pcap_format -> "pcap"
+  | Pcapng_format -> "pcapng"
+
+let u32le b = Char.code (Bytes.get b 0)
+              lor (Char.code (Bytes.get b 1) lsl 8)
+              lor (Char.code (Bytes.get b 2) lsl 16)
+              lor (Char.code (Bytes.get b 3) lsl 24)
+
+let u32be b = Char.code (Bytes.get b 3)
+              lor (Char.code (Bytes.get b 2) lsl 8)
+              lor (Char.code (Bytes.get b 1) lsl 16)
+              lor (Char.code (Bytes.get b 0) lsl 24)
+
+(* pcapng's block-type magic is a byte palindrome, so one endianness
+   suffices to recognize it. *)
+let pcapng_magic = 0x0A0D0D0A
+
+let sniff_channel ic =
+  let b = Bytes.create 4 in
+  (try really_input ic b 0 4
+   with End_of_file ->
+     raise (Format_error "capture shorter than a format magic"));
+  seek_in ic 0;
+  let le = u32le b and be = u32be b in
+  if le = pcapng_magic then Pcapng_format
+  else if
+    le = Pcap.magic_usec || be = Pcap.magic_usec || le = Pcap.magic_nsec
+    || be = Pcap.magic_nsec
+  then Pcap_format
+  else raise (Format_error "not a pcap or pcapng capture (bad magic)")
+
+let reraise_format f =
+  try f () with
+  | Pcap.Format_error m | Pcapng.Format_error m -> raise (Format_error m)
+
+let with_file path f =
+  let ic =
+    try open_in_bin path
+    with Sys_error m -> raise (Format_error m)
+  in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+      reraise_format (fun () -> f ic))
+
+(* A format-independent record cursor. *)
+type cursor =
+  | Cpcap of Pcap.header
+  | Cng of Pcapng.reader
+
+let open_cursor ic =
+  match sniff_channel ic with
+  | Pcap_format -> Cpcap (Pcap.read_header ic)
+  | Pcapng_format -> Cng (Pcapng.create_reader ic)
+
+(** Next record as [(ts, data, orig_len, linktype)]. *)
+let cursor_next cursor ic =
+  match cursor with
+  | Cpcap h -> (
+      match Pcap.read_record h ic with
+      | `Record r -> `Record (r.Pcap.ts, r.Pcap.data, r.Pcap.orig_len, h.Pcap.linktype)
+      | (`Truncated | `End) as e -> e)
+  | Cng r -> (
+      match Pcapng.read_record r with
+      | `Record r -> `Record (r.Pcapng.ts, r.Pcapng.data, r.Pcapng.orig_len, r.Pcapng.linktype)
+      | (`Truncated | `End) as e -> e)
+
+(* Decode one record, keeping the books. *)
+let decode_record stats ts data linktype =
+  Stats.bump stats Stats.Ingest_frames 1;
+  match Decode.frame ~linktype ~ts data with
+  | Decode.Decoded p ->
+      Stats.bump stats Stats.Ingest_decoded 1;
+      Some p
+  | Decode.Skipped Decode.Non_ip ->
+      Stats.bump stats Stats.Ingest_non_ip 1;
+      None
+  | Decode.Skipped Decode.Truncated ->
+      Stats.bump stats Stats.Ingest_truncated 1;
+      None
+
+let fold ?(stats = Stats.null) path f init =
+  with_file path (fun ic ->
+      let cursor = open_cursor ic in
+      let rec go acc =
+        match cursor_next cursor ic with
+        | `Record (ts, data, orig_len, linktype) ->
+            ignore orig_len;
+            go
+              (match decode_record stats ts data linktype with
+              | Some p -> f acc p
+              | None -> acc)
+        | `Truncated ->
+            Stats.bump stats Stats.Ingest_frames 1;
+            Stats.bump stats Stats.Ingest_truncated 1;
+            acc
+        | `End -> acc
+      in
+      go init)
+
+let load ?stats path =
+  let rev = fold ?stats path (fun acc p -> p :: acc) [] in
+  Gen.of_packets ~name:(Filename.basename path)
+    (Array.of_list (List.rev rev))
+
+let with_source ?(stats = Stats.null) path f =
+  with_file path (fun ic ->
+      let cursor = open_cursor ic in
+      let finished = ref false in
+      let rec next () =
+        if !finished then None
+        else
+          match reraise_format (fun () -> cursor_next cursor ic) with
+          | `Record (ts, data, _orig, linktype) -> (
+              match decode_record stats ts data linktype with
+              | Some p -> Some p
+              | None -> next ())
+          | `Truncated ->
+              Stats.bump stats Stats.Ingest_frames 1;
+              Stats.bump stats Stats.Ingest_truncated 1;
+              finished := true;
+              None
+          | `End ->
+              finished := true;
+              None
+      in
+      f next)
+
+let export ?nsec trace path =
+  let oc =
+    try open_out_bin path
+    with Sys_error m -> raise (Format_error m)
+  in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+      reraise_format (fun () ->
+          let w = Pcap.create_writer ?nsec oc in
+          Gen.iter
+            (fun p ->
+              Pcap.write_record w ~ts:(Newton_packet.Packet.ts p)
+                (Encode.frame p))
+            trace;
+          Pcap.flush_writer w))
+
+type info = {
+  format : format;
+  frames : int;        (** capture records in the file *)
+  decoded : int;
+  non_ip : int;
+  truncated : int;     (** decoder skips + a file cut mid-record *)
+  clean_end : bool;    (** file ended on a record/block boundary *)
+  interfaces : int;    (** pcapng interface blocks; 1 for classic pcap *)
+  linktype : int;      (** pcap link type; -1 when per-interface (pcapng) *)
+  nsec : bool option;  (** pcap sub-second unit; [None] for pcapng *)
+  big_endian : bool option;  (** pcap byte order; [None] for pcapng *)
+  snaplen : int;       (** pcap snap length; -1 when per-interface *)
+  first_ts : float option;
+  last_ts : float option;
+}
+
+let info path =
+  with_file path (fun ic ->
+      let cursor = open_cursor ic in
+      let stats = Stats.create () in
+      let first_ts = ref None and last_ts = ref None in
+      let rec go () =
+        match cursor_next cursor ic with
+        | `Record (ts, data, _orig, linktype) ->
+            if !first_ts = None then first_ts := Some ts;
+            last_ts := Some ts;
+            ignore (decode_record stats ts data linktype);
+            go ()
+        | `Truncated ->
+            Stats.bump stats Stats.Ingest_frames 1;
+            Stats.bump stats Stats.Ingest_truncated 1;
+            false
+        | `End -> true
+      in
+      let clean_end = go () in
+      let format, interfaces, linktype, nsec, big_endian, snaplen =
+        match cursor with
+        | Cpcap h ->
+            ( Pcap_format, 1, h.Pcap.linktype, Some h.Pcap.nsec,
+              Some h.Pcap.big_endian, h.Pcap.snaplen )
+        | Cng r -> (Pcapng_format, Pcapng.num_interfaces r, -1, None, None, -1)
+      in
+      {
+        format;
+        frames = Stats.get stats Stats.Ingest_frames;
+        decoded = Stats.get stats Stats.Ingest_decoded;
+        non_ip = Stats.get stats Stats.Ingest_non_ip;
+        truncated = Stats.get stats Stats.Ingest_truncated;
+        clean_end;
+        interfaces;
+        linktype;
+        nsec;
+        big_endian;
+        snaplen;
+        first_ts = !first_ts;
+        last_ts = !last_ts;
+      })

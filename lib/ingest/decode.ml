@@ -1,0 +1,126 @@
+(** Raw captured frames → {!Newton_packet.Packet.t}.
+
+    Parses Ethernet (optionally 802.1Q-tagged) → IPv4 → TCP/UDP, plus
+    the DNS header bits the catalog queries consume (QR flag, answer
+    count) on UDP port 53.  Anything else — ARP, IPv6, non-Ethernet
+    link layers, frames cut before the headers end — is a counted skip,
+    never an exception: a backbone capture always contains traffic the
+    pipeline does not model.
+
+    Field mapping (documented in docs/INGEST.md):
+    - [Pkt_len] is the IPv4 total length (header lengths included,
+      link layer excluded), matching the synthetic generator.
+    - [Payload_len] is computed from the IP/L4 {e length fields}, not
+      the captured byte count, so snaplen-truncated captures still
+      yield the on-the-wire payload size.
+    - A 802.1Q VLAN id maps onto [Ingress_port] (masked to the field's
+      9 bits) — the conventional way port-of-capture metadata survives
+      a mirror port; the {!Encode} side writes the same tag back.
+    - Non-first IP fragments carry no L4 header: the IP-level fields
+      decode and the L4 fields stay zero. *)
+
+open Newton_packet
+
+type skip =
+  | Non_ip      (** not Ethernet/IPv4: ARP, IPv6, other link types *)
+  | Truncated   (** capture ends before the headers do, or lengths lie *)
+
+type result = Decoded of Packet.t | Skipped of skip
+
+let ethertype_ipv4 = 0x0800
+let ethertype_vlan = 0x8100
+let ethertype_qinq = 0x88A8
+
+let u16 b off = Bytes.get_uint16_be b off
+
+let u32 b off = Int32.to_int (Bytes.get_int32_be b off) land 0xFFFFFFFF
+
+(** Decode one captured Ethernet frame into a packet stamped [ts]. *)
+let frame ?(linktype = Pcap.linktype_ethernet) ~ts data =
+  let len = Bytes.length data in
+  if linktype <> Pcap.linktype_ethernet then Skipped Non_ip
+  else if len < 14 then Skipped Truncated
+  else begin
+    (* Ethernet, hopping over at most two VLAN tags (QinQ). *)
+    let rec l3_offset off hops =
+      if off + 2 > len then None
+      else
+        let et = u16 data off in
+        if (et = ethertype_vlan || et = ethertype_qinq) && hops < 2 then
+          if off + 6 > len then None
+          else
+            match l3_offset (off + 4) (hops + 1) with
+            | Some (o, et', inner_vid) ->
+                (* the outermost tag wins as capture-port metadata *)
+                let own = u16 data (off + 2) land 0xFFF in
+                Some (o, et', if own <> 0 then own else inner_vid)
+            | None -> None
+        else Some (off + 2, et, 0)
+    in
+    match l3_offset 12 0 with
+    | None -> Skipped Truncated
+    | Some (_, et, _) when et <> ethertype_ipv4 -> Skipped Non_ip
+    | Some (ip_off, _, vid) ->
+        if ip_off + 20 > len then Skipped Truncated
+        else
+          let vihl = Char.code (Bytes.get data ip_off) in
+          if vihl lsr 4 <> 4 then Skipped Non_ip
+          else
+            let ihl = (vihl land 0xF) * 4 in
+            let total_len = u16 data (ip_off + 2) in
+            if ihl < 20 || total_len < ihl then Skipped Truncated
+            else if ip_off + ihl > len then Skipped Truncated
+            else begin
+              let p = Packet.create ~ts () in
+              Packet.set p Field.Src_ip (u32 data (ip_off + 12));
+              Packet.set p Field.Dst_ip (u32 data (ip_off + 16));
+              Packet.set p Field.Pkt_len total_len;
+              Packet.set p Field.Ttl (Char.code (Bytes.get data (ip_off + 8)));
+              let proto = Char.code (Bytes.get data (ip_off + 9)) in
+              Packet.set p Field.Proto proto;
+              if vid <> 0 then Packet.set p Field.Ingress_port vid;
+              let frag = u16 data (ip_off + 6) land 0x1FFF in
+              let l4_off = ip_off + ihl in
+              if frag <> 0 then Decoded p (* no L4 header in later fragments *)
+              else if proto = Field.Protocol.tcp then
+                if l4_off + 20 > len then Skipped Truncated
+                else begin
+                  Packet.set p Field.Src_port (u16 data l4_off);
+                  Packet.set p Field.Dst_port (u16 data (l4_off + 2));
+                  Packet.set p Field.Tcp_seq (u32 data (l4_off + 4));
+                  Packet.set p Field.Tcp_ack (u32 data (l4_off + 8));
+                  let dataofs =
+                    (Char.code (Bytes.get data (l4_off + 12)) lsr 4) * 4
+                  in
+                  Packet.set p Field.Tcp_flags
+                    (Char.code (Bytes.get data (l4_off + 13)));
+                  if dataofs < 20 then Skipped Truncated
+                  else begin
+                    Packet.set p Field.Payload_len
+                      (max 0 (total_len - ihl - dataofs));
+                    Decoded p
+                  end
+                end
+              else if proto = Field.Protocol.udp then
+                if l4_off + 8 > len then Skipped Truncated
+                else begin
+                  let sport = u16 data l4_off and dport = u16 data (l4_off + 2) in
+                  Packet.set p Field.Src_port sport;
+                  Packet.set p Field.Dst_port dport;
+                  let udp_len = u16 data (l4_off + 4) in
+                  Packet.set p Field.Payload_len (max 0 (udp_len - 8));
+                  (* DNS header bits, when the capture includes them. *)
+                  if (sport = 53 || dport = 53) && l4_off + 8 + 12 <= len then begin
+                    let flags = u16 data (l4_off + 8 + 2) in
+                    Packet.set p Field.Dns_qr (flags lsr 15);
+                    Packet.set p Field.Dns_ancount (u16 data (l4_off + 8 + 6))
+                  end;
+                  Decoded p
+                end
+              else Decoded p (* ICMP & friends: IP-level fields only *)
+            end
+  end
+
+let skip_to_string = function
+  | Non_ip -> "non-ip"
+  | Truncated -> "truncated"

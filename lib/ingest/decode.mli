@@ -1,0 +1,22 @@
+(** Raw captured frames → {!Newton_packet.Packet.t}: Ethernet
+    (optionally 802.1Q/QinQ-tagged) → IPv4 → TCP/UDP, plus DNS header
+    bits on UDP port 53.  Unparseable traffic is a counted skip, never
+    an exception.  The field mapping is documented in docs/INGEST.md. *)
+
+open Newton_packet
+
+type skip =
+  | Non_ip      (** not Ethernet/IPv4: ARP, IPv6, other link types *)
+  | Truncated   (** capture ends before the headers do, or lengths lie *)
+
+type result = Decoded of Packet.t | Skipped of skip
+
+val ethertype_ipv4 : int
+val ethertype_vlan : int
+val ethertype_qinq : int
+
+(** Decode one captured frame into a packet stamped [ts].  [linktype]
+    defaults to Ethernet; any other link type skips as [Non_ip]. *)
+val frame : ?linktype:int -> ts:float -> bytes -> result
+
+val skip_to_string : skip -> string

@@ -1,0 +1,134 @@
+(** {!Newton_packet.Packet.t} → Ethernet frame bytes, the inverse of
+    {!Decode} — so synthetic traces export to pcap files that tcpdump /
+    tshark / Wireshark open, and re-ingesting an exported trace
+    reproduces the original field vectors exactly.
+
+    Encoding choices:
+    - MACs are synthesized, locally administered, derived from the IPs
+      (02:00:aa:bb:cc:dd) so Wireshark conversations stay readable.
+    - A non-zero [Ingress_port] becomes an 802.1Q tag whose VLAN id
+      carries the port — the tag {!Decode} maps back.
+    - The TCP data offset is chosen as [(Pkt_len - 20 - Payload_len) / 4]
+      (option bytes are NOP-padded), so the decoder's payload-length
+      arithmetic returns [Payload_len] bit-exactly.  Every packet the
+      generators emit is representable; an inconsistent hand-built
+      packet is normalized to a minimal 20-byte TCP header.
+    - UDP port-53 packets get a real 12-byte DNS header carrying the
+      QR bit and answer count.
+    - IP and TCP/UDP checksums are computed, payload bytes are zero
+      (content is not modeled). *)
+
+open Newton_packet
+
+let min_ip_header = 20
+
+(* RFC 1071 internet checksum over [len] bytes at [off]. *)
+let checksum ?(init = 0) b off len =
+  let sum = ref init in
+  let i = ref off in
+  let stop = off + len in
+  while !i + 1 < stop do
+    sum := !sum + Bytes.get_uint16_be b !i;
+    i := !i + 2
+  done;
+  if !i < stop then sum := !sum + (Char.code (Bytes.get b !i) lsl 8);
+  let s = ref !sum in
+  while !s lsr 16 <> 0 do
+    s := (!s land 0xFFFF) + (!s lsr 16)
+  done;
+  lnot !s land 0xFFFF
+
+let set_u16 b off v = Bytes.set_uint16_be b off (v land 0xFFFF)
+let set_u32 b off v = Bytes.set_int32_be b off (Int32.of_int (v land 0xFFFFFFFF))
+
+let set_mac b off ip first =
+  Bytes.set b off '\x02';
+  Bytes.set b (off + 1) (Char.chr first);
+  set_u32 b (off + 2) ip
+
+(* The L4 segment a packet implies: header length and total L4 bytes
+   (header + payload), normalizing fields a frame cannot represent. *)
+let l4_layout p =
+  let proto = Packet.get p Field.Proto in
+  let payload = Packet.get p Field.Payload_len in
+  if proto = Field.Protocol.tcp then begin
+    let claimed =
+      Packet.get p Field.Pkt_len - min_ip_header - payload
+    in
+    let hdr =
+      if claimed >= 20 && claimed <= 60 && claimed land 3 = 0 then claimed
+      else 20
+    in
+    (hdr, hdr + payload)
+  end
+  else if proto = Field.Protocol.udp then (8, 8 + payload)
+  else (0, 0)
+
+(** Encode one packet as a full (untruncated) Ethernet frame. *)
+let frame p =
+  let proto = Packet.get p Field.Proto in
+  let payload_len = Packet.get p Field.Payload_len in
+  let l4_hdr, l4_bytes = l4_layout p in
+  (* Buffer size never lies about the headers even if the 16-bit total
+     field must clamp a pathological oversized packet. *)
+  let ip_total = max (Packet.get p Field.Pkt_len) (min_ip_header + l4_bytes) in
+  let vlan = Packet.get p Field.Ingress_port <> 0 in
+  let l2 = 14 + (if vlan then 4 else 0) in
+  let b = Bytes.make (l2 + ip_total) '\x00' in
+  (* Ethernet *)
+  set_mac b 0 (Packet.get p Field.Dst_ip) 0;
+  set_mac b 6 (Packet.get p Field.Src_ip) 1;
+  let ip_off =
+    if vlan then begin
+      set_u16 b 12 Decode.ethertype_vlan;
+      set_u16 b 14 (Packet.get p Field.Ingress_port);
+      set_u16 b 16 Decode.ethertype_ipv4;
+      18
+    end
+    else begin
+      set_u16 b 12 Decode.ethertype_ipv4;
+      14
+    end
+  in
+  (* IPv4, no options *)
+  Bytes.set b ip_off '\x45';
+  set_u16 b (ip_off + 2) (min ip_total 0xFFFF);
+  Bytes.set b (ip_off + 8) (Char.chr (Packet.get p Field.Ttl land 0xFF));
+  Bytes.set b (ip_off + 9) (Char.chr (proto land 0xFF));
+  set_u32 b (ip_off + 12) (Packet.get p Field.Src_ip);
+  set_u32 b (ip_off + 16) (Packet.get p Field.Dst_ip);
+  set_u16 b (ip_off + 10) (checksum b ip_off min_ip_header);
+  let l4_off = ip_off + min_ip_header in
+  let pseudo_sum () =
+    (* IP pseudo-header folded in as the checksum's initial value. *)
+    let src = Packet.get p Field.Src_ip and dst = Packet.get p Field.Dst_ip in
+    (src lsr 16) + (src land 0xFFFF) + (dst lsr 16) + (dst land 0xFFFF)
+    + proto + l4_bytes
+  in
+  if proto = Field.Protocol.tcp then begin
+    set_u16 b l4_off (Packet.get p Field.Src_port);
+    set_u16 b (l4_off + 2) (Packet.get p Field.Dst_port);
+    set_u32 b (l4_off + 4) (Packet.get p Field.Tcp_seq);
+    set_u32 b (l4_off + 8) (Packet.get p Field.Tcp_ack);
+    Bytes.set b (l4_off + 12) (Char.chr ((l4_hdr / 4) lsl 4));
+    Bytes.set b (l4_off + 13)
+      (Char.chr (Packet.get p Field.Tcp_flags land 0xFF));
+    set_u16 b (l4_off + 14) 8192 (* window *);
+    Bytes.fill b (l4_off + 20) (l4_hdr - 20) '\x01' (* NOP option padding *);
+    set_u16 b (l4_off + 16) (checksum ~init:(pseudo_sum ()) b l4_off l4_bytes)
+  end
+  else if proto = Field.Protocol.udp then begin
+    set_u16 b l4_off (Packet.get p Field.Src_port);
+    set_u16 b (l4_off + 2) (Packet.get p Field.Dst_port);
+    set_u16 b (l4_off + 4) (8 + payload_len);
+    let sport = Packet.get p Field.Src_port
+    and dport = Packet.get p Field.Dst_port in
+    if (sport = 53 || dport = 53) && payload_len >= 12 then begin
+      (* DNS header: QR flag and answer count are what queries read. *)
+      set_u16 b (l4_off + 8 + 2) (Packet.get p Field.Dns_qr lsl 15);
+      set_u16 b (l4_off + 8 + 4) 1 (* QDCOUNT *);
+      set_u16 b (l4_off + 8 + 6) (Packet.get p Field.Dns_ancount)
+    end;
+    set_u16 b (l4_off + 6) (checksum ~init:(pseudo_sum ()) b l4_off l4_bytes)
+  end;
+  b

@@ -1,0 +1,14 @@
+(** {!Newton_packet.Packet.t} → Ethernet frame bytes — the inverse of
+    {!Decode}, so exported synthetic traces open in tcpdump / Wireshark
+    and re-ingest to the exact original field vectors.  Non-zero
+    [Ingress_port] becomes an 802.1Q VLAN id; UDP port-53 packets get a
+    real DNS header; IP/TCP/UDP checksums are computed; payload bytes
+    are zero.  See docs/INGEST.md for the full mapping. *)
+
+open Newton_packet
+
+(** Encode one packet as a full (untruncated) Ethernet frame. *)
+val frame : Packet.t -> bytes
+
+(** RFC 1071 internet checksum over a byte range (exposed for tests). *)
+val checksum : ?init:int -> bytes -> int -> int -> int

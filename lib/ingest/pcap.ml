@@ -1,0 +1,169 @@
+(** Classic pcap (libpcap "savefile") reader and writer.
+
+    The reader accepts all four magic variants — native or swapped byte
+    order, microsecond or nanosecond timestamp resolution — and streams
+    records without loading the file into memory.  The writer emits the
+    canonical little-endian form; nanosecond resolution by default, so
+    sub-microsecond synthetic timestamps survive the round trip.
+
+    A record's [ts] is seconds as a float ([ts_sec + subsec / resol]).
+    Timestamps below ~2^22 seconds (≈48 days — any trace-relative
+    clock) round-trip bit-exactly through the nanosecond writer; epoch
+    timestamps keep ~0.1 µs of float precision, well inside the 100 ms
+    windows the queries use. *)
+
+exception Format_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Format_error s)) fmt
+
+(* Magic numbers as written by a little-endian producer. *)
+let magic_usec = 0xA1B2C3D4
+let magic_nsec = 0xA1B23C4D
+
+let linktype_ethernet = 1
+
+type header = {
+  big_endian : bool;  (** file byte order is big-endian *)
+  nsec : bool;        (** sub-second field is nanoseconds *)
+  snaplen : int;
+  linktype : int;
+}
+
+type record = {
+  ts : float;      (** capture timestamp, seconds *)
+  data : bytes;    (** captured bytes ([caplen] of them) *)
+  orig_len : int;  (** original frame length on the wire *)
+}
+
+(* ---------------- reading ---------------- *)
+
+let get_u32 ~be b off =
+  let v =
+    if be then Int32.to_int (Bytes.get_int32_be b off)
+    else Int32.to_int (Bytes.get_int32_le b off)
+  in
+  v land 0xFFFFFFFF
+
+let get_u16 ~be b off =
+  if be then Bytes.get_uint16_be b off else Bytes.get_uint16_le b off
+
+(* Read exactly [n] bytes, or None at a clean EOF boundary; a partial
+   read mid-structure is reported to the caller as [`Short]. *)
+let try_read ic n =
+  let b = Bytes.create n in
+  let rec go off =
+    if off = n then `Ok b
+    else
+      match input ic b off (n - off) with
+      | 0 -> if off = 0 then `Eof else `Short
+      | k -> go (off + k)
+  in
+  go 0
+
+let read_header ic =
+  match try_read ic 24 with
+  | `Eof | `Short -> error "truncated pcap global header"
+  | `Ok b ->
+      let raw_le = get_u32 ~be:false b 0 in
+      let raw_be = get_u32 ~be:true b 0 in
+      let big_endian, nsec =
+        if raw_le = magic_usec then (false, false)
+        else if raw_le = magic_nsec then (false, true)
+        else if raw_be = magic_usec then (true, false)
+        else if raw_be = magic_nsec then (true, true)
+        else error "bad pcap magic 0x%08x" raw_le
+      in
+      let be = big_endian in
+      let major = get_u16 ~be b 4 and minor = get_u16 ~be b 6 in
+      if major <> 2 then error "unsupported pcap version %d.%d" major minor;
+      { big_endian; nsec; snaplen = get_u32 ~be b 16; linktype = get_u32 ~be b 20 }
+
+(** Next record, or [None] at end of input.  A file that ends in the
+    middle of a record (a cut-short capture) yields [`Truncated] so the
+    caller can count it as a skip instead of crashing. *)
+let read_record header ic =
+  let be = header.big_endian in
+  match try_read ic 16 with
+  | `Eof -> `End
+  | `Short -> `Truncated
+  | `Ok h -> (
+      let sec = get_u32 ~be h 0 in
+      let sub = get_u32 ~be h 4 in
+      let caplen = get_u32 ~be h 8 in
+      let orig_len = get_u32 ~be h 12 in
+      (* A caplen beyond any sane snapshot means a corrupt length field;
+         reading it as data would chase garbage across the file. *)
+      if caplen > 0x4000000 then `Truncated
+      else
+        match if caplen = 0 then `Ok Bytes.empty else try_read ic caplen with
+        | `Eof | `Short -> `Truncated
+        | `Ok data ->
+            let resol = if header.nsec then 1e9 else 1e6 in
+            `Record
+              { ts = float_of_int sec +. (float_of_int sub /. resol);
+                data; orig_len })
+
+(** Fold over the records of an open channel.  Returns the accumulator
+    and [true] when the file ended cleanly on a record boundary,
+    [false] when the final record was cut short. *)
+let fold_records header ic f init =
+  let rec go acc =
+    match read_record header ic with
+    | `End -> (acc, true)
+    | `Truncated -> (acc, false)
+    | `Record r -> go (f acc r)
+  in
+  go init
+
+(* ---------------- writing ---------------- *)
+
+type writer = {
+  oc : out_channel;
+  w_nsec : bool;
+  buf : Buffer.t;
+}
+
+let add_u32 buf v = Buffer.add_int32_le buf (Int32.of_int (v land 0xFFFFFFFF))
+
+(** Split float seconds into (sec, subsec) at the writer's resolution,
+    carrying rounded-up subseconds into the seconds field. *)
+let split_ts ~nsec ts =
+  let resol = if nsec then 1_000_000_000 else 1_000_000 in
+  let sec = int_of_float (Float.floor ts) in
+  let sub =
+    int_of_float (Float.round ((ts -. Float.floor ts) *. float_of_int resol))
+  in
+  if sub >= resol then (sec + 1, 0) else (sec, sub)
+
+let create_writer ?(nsec = true) ?(snaplen = 0xFFFF) ?(linktype = linktype_ethernet)
+    oc =
+  let buf = Buffer.create 24 in
+  add_u32 buf (if nsec then magic_nsec else magic_usec);
+  Buffer.add_uint16_le buf 2;
+  Buffer.add_uint16_le buf 4;
+  add_u32 buf 0 (* thiszone *);
+  add_u32 buf 0 (* sigfigs *);
+  add_u32 buf snaplen;
+  add_u32 buf linktype;
+  Buffer.output_buffer oc buf;
+  Buffer.clear buf;
+  { oc; w_nsec = nsec; buf }
+
+let write_record w ~ts ?orig_len data =
+  let sec, sub = split_ts ~nsec:w.w_nsec ts in
+  if sec < 0 then error "pcap cannot encode negative timestamp %g" ts;
+  let caplen = Bytes.length data in
+  add_u32 w.buf sec;
+  add_u32 w.buf sub;
+  add_u32 w.buf caplen;
+  add_u32 w.buf (Option.value orig_len ~default:caplen);
+  Buffer.add_bytes w.buf data;
+  if Buffer.length w.buf > 1 lsl 20 then begin
+    Buffer.output_buffer w.oc w.buf;
+    Buffer.clear w.buf
+  end
+
+let flush_writer w =
+  Buffer.output_buffer w.oc w.buf;
+  Buffer.clear w.buf;
+  flush w.oc

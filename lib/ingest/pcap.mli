@@ -1,0 +1,59 @@
+(** Classic pcap (libpcap "savefile") reader and writer.
+
+    The reader accepts all four magic variants (native / byte-swapped,
+    microsecond / nanosecond); the writer emits canonical little-endian
+    files, nanosecond-resolution by default so trace-relative float
+    timestamps (< ~2^22 s) round-trip bit-exactly. *)
+
+exception Format_error of string
+
+val magic_usec : int
+val magic_nsec : int
+
+(** LINKTYPE_ETHERNET (1), the only link layer {!Decode} understands. *)
+val linktype_ethernet : int
+
+type header = {
+  big_endian : bool;  (** file byte order is big-endian *)
+  nsec : bool;        (** sub-second field is nanoseconds *)
+  snaplen : int;
+  linktype : int;
+}
+
+type record = {
+  ts : float;      (** capture timestamp, seconds *)
+  data : bytes;    (** captured bytes *)
+  orig_len : int;  (** original frame length on the wire *)
+}
+
+(** Parse the 24-byte global header.
+    @raise Format_error on bad magic, version, or truncation. *)
+val read_header : in_channel -> header
+
+(** Next record; [`Truncated] when the file ends mid-record (count it,
+    don't crash), [`End] on a clean record boundary. *)
+val read_record :
+  header -> in_channel -> [ `Record of record | `Truncated | `End ]
+
+(** Fold all records; the boolean is [true] iff the file ended cleanly
+    (no cut-short final record). *)
+val fold_records :
+  header -> in_channel -> ('a -> record -> 'a) -> 'a -> 'a * bool
+
+type writer
+
+(** Write a global header and return a buffered writer.  Defaults:
+    nanosecond resolution, snaplen 65535, Ethernet link type. *)
+val create_writer :
+  ?nsec:bool -> ?snaplen:int -> ?linktype:int -> out_channel -> writer
+
+(** Append one record.  [orig_len] defaults to the captured length.
+    @raise Format_error on a negative timestamp. *)
+val write_record : writer -> ts:float -> ?orig_len:int -> bytes -> unit
+
+(** Flush buffered records to the channel (does not close it). *)
+val flush_writer : writer -> unit
+
+(** Split float seconds at the writer resolution (sub-second carry
+    handled); exposed for tests. *)
+val split_ts : nsec:bool -> float -> int * int

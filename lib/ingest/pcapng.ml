@@ -1,0 +1,219 @@
+(** pcapng (pcap next generation) reader.
+
+    Supports what real captures are made of: Section Header Blocks (the
+    byte-order magic sets per-section endianness; multiple sections may
+    follow each other), Interface Description Blocks (several per
+    section, each with its own link type and [if_tsresol]), Enhanced
+    Packet Blocks, and Simple Packet Blocks.  Every other block type is
+    skipped by its declared length.  Writing pcapng is out of scope —
+    the {!Pcap} writer is the export path. *)
+
+exception Format_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Format_error s)) fmt
+
+let shb_type = 0x0A0D0D0A
+let idb_type = 0x00000001
+let spb_type = 0x00000003
+let epb_type = 0x00000006
+let byte_order_magic = 0x1A2B3C4D
+
+type interface = {
+  if_linktype : int;
+  if_snaplen : int;
+  units_per_sec : float;  (** timestamp units per second *)
+}
+
+type record = {
+  ts : float;      (** seconds; 0 for Simple Packet Blocks (no stamp) *)
+  data : bytes;
+  orig_len : int;
+  linktype : int;
+}
+
+type reader = {
+  ic : in_channel;
+  mutable be : bool;                  (** current section's byte order *)
+  mutable interfaces : interface list;  (** reverse IDB order *)
+  mutable n_interfaces : int;
+}
+
+let get_u32 ~be b off =
+  let v =
+    if be then Int32.to_int (Bytes.get_int32_be b off)
+    else Int32.to_int (Bytes.get_int32_le b off)
+  in
+  v land 0xFFFFFFFF
+
+let get_u16 ~be b off =
+  if be then Bytes.get_uint16_be b off else Bytes.get_uint16_le b off
+
+let try_read ic n =
+  let b = Bytes.create n in
+  let rec go off =
+    if off = n then `Ok b
+    else
+      match input ic b off (n - off) with
+      | 0 -> if off = 0 then `Eof else `Short
+      | k -> go (off + k)
+  in
+  go 0
+
+(* [if_tsresol] option value: MSB clear = powers of 10, set = powers
+   of 2; at most 2^63-safe magnitudes matter, so compute in float. *)
+let units_of_tsresol v =
+  if v land 0x80 = 0 then 10.0 ** float_of_int (v land 0x7F)
+  else 2.0 ** float_of_int (v land 0x7F)
+
+let default_interface_units = 1e6 (* if_tsresol defaults to 6 *)
+
+(* Scan IDB options for if_tsresol (code 9). *)
+let tsresol_of_options ~be body off =
+  let len = Bytes.length body in
+  let rec go off =
+    if off + 4 > len then default_interface_units
+    else
+      let code = get_u16 ~be body off and olen = get_u16 ~be body (off + 2) in
+      if code = 0 then default_interface_units
+      else if code = 9 && olen >= 1 && off + 4 < len then
+        units_of_tsresol (Char.code (Bytes.get body (off + 4)))
+      else go (off + 4 + ((olen + 3) land lnot 3))
+  in
+  go off
+
+let parse_shb r body =
+  (* The byte-order magic decides how the rest of the section reads. *)
+  if Bytes.length body < 4 then error "pcapng SHB too short";
+  let bom_le = get_u32 ~be:false body 0 in
+  let bom_be = get_u32 ~be:true body 0 in
+  if bom_le = byte_order_magic then r.be <- false
+  else if bom_be = byte_order_magic then r.be <- true
+  else error "bad pcapng byte-order magic 0x%08x" bom_le;
+  if Bytes.length body >= 8 then begin
+    let major = get_u16 ~be:r.be body 4 in
+    if major <> 1 then error "unsupported pcapng version %d" major
+  end;
+  (* A new section starts a fresh interface table. *)
+  r.interfaces <- [];
+  r.n_interfaces <- 0
+
+let parse_idb r body =
+  if Bytes.length body < 8 then error "pcapng IDB too short";
+  let be = r.be in
+  let iface =
+    {
+      if_linktype = get_u16 ~be body 0;
+      if_snaplen = get_u32 ~be body 4;
+      units_per_sec = tsresol_of_options ~be body 8;
+    }
+  in
+  r.interfaces <- iface :: r.interfaces;
+  r.n_interfaces <- r.n_interfaces + 1
+
+let interface r id =
+  if id < 0 || id >= r.n_interfaces then
+    error "pcapng packet references unknown interface %d" id;
+  List.nth r.interfaces (r.n_interfaces - 1 - id)
+
+let parse_epb r body =
+  if Bytes.length body < 20 then error "pcapng EPB too short";
+  let be = r.be in
+  let iface = interface r (get_u32 ~be body 0) in
+  let hi = get_u32 ~be body 4 and lo = get_u32 ~be body 8 in
+  let caplen = get_u32 ~be body 12 in
+  let orig_len = get_u32 ~be body 16 in
+  if caplen > Bytes.length body - 20 then error "pcapng EPB data overruns block";
+  let ts =
+    ((float_of_int hi *. 4294967296.0) +. float_of_int lo)
+    /. iface.units_per_sec
+  in
+  { ts; data = Bytes.sub body 20 caplen; orig_len; linktype = iface.if_linktype }
+
+let parse_spb r body =
+  if Bytes.length body < 4 then error "pcapng SPB too short";
+  if r.n_interfaces = 0 then error "pcapng SPB before any interface block";
+  let iface = interface r 0 in
+  let orig_len = get_u32 ~be:r.be body 0 in
+  let caplen = min orig_len (min iface.if_snaplen (Bytes.length body - 4)) in
+  { ts = 0.0; data = Bytes.sub body 4 caplen; orig_len;
+    linktype = iface.if_linktype }
+
+let create_reader ic =
+  match try_read ic 4 with
+  | `Eof | `Short -> error "truncated pcapng header"
+  | `Ok b ->
+      if get_u32 ~be:false b 0 <> shb_type then
+        error "not a pcapng file (no section header)";
+      (* Endianness is unknown until the SHB body is parsed; read the
+         block length in both orders and take the plausible one. *)
+      (match try_read ic 4 with
+      | `Eof | `Short -> error "truncated pcapng section header"
+      | `Ok lb ->
+          let r = { ic; be = false; interfaces = []; n_interfaces = 0 } in
+          let len_le = get_u32 ~be:false lb 0 in
+          let len_be = get_u32 ~be:true lb 0 in
+          let total =
+            if len_le >= 28 && len_le land 3 = 0 && len_le <= 0x10000 then len_le
+            else len_be
+          in
+          if total < 28 || total land 3 <> 0 then
+            error "bad pcapng section header length";
+          (match try_read ic (total - 8) with
+          | `Eof | `Short -> error "truncated pcapng section header"
+          | `Ok body -> parse_shb r (Bytes.sub body 0 (total - 12)));
+          r)
+
+(** Next packet record, skipping non-packet blocks; [`Truncated] when
+    the file ends inside a block. *)
+let rec read_record r =
+  match try_read r.ic 8 with
+  | `Eof -> `End
+  | `Short -> `Truncated
+  | `Ok hd -> (
+      (* A following section may flip byte order; the SHB type word is
+         palindromic so it reads the same either way. *)
+      let btype_raw = get_u32 ~be:false hd 0 in
+      if btype_raw = shb_type then begin
+        let len_le = get_u32 ~be:false hd 4 in
+        let len_be = get_u32 ~be:true hd 4 in
+        let total =
+          if len_le >= 28 && len_le land 3 = 0 && len_le <= 0x10000 then len_le
+          else len_be
+        in
+        if total < 28 || total land 3 <> 0 then
+          raise (Format_error "bad pcapng section header length")
+        else
+          match try_read r.ic (total - 8) with
+          | `Eof | `Short -> `Truncated
+          | `Ok body ->
+              parse_shb r (Bytes.sub body 0 (total - 12));
+              read_record r
+      end
+      else
+        let btype = get_u32 ~be:r.be hd 0 in
+        let total = get_u32 ~be:r.be hd 4 in
+        if total < 12 || total land 3 <> 0 then
+          raise (Format_error "bad pcapng block length")
+        else
+          match try_read r.ic (total - 8) with
+          | `Eof | `Short -> `Truncated
+          | `Ok rest ->
+              let body = Bytes.sub rest 0 (total - 12) in
+              if btype = idb_type then begin
+                parse_idb r body;
+                read_record r
+              end
+              else if btype = epb_type then `Record (parse_epb r body)
+              else if btype = spb_type then `Record (parse_spb r body)
+              else read_record r (* statistics, name resolution, ... *))
+
+let fold_records r f init =
+  let rec go acc =
+    match read_record r with
+    | `End -> (acc, true)
+    | `Truncated -> (acc, false)
+    | `Record rec_ -> go (f acc rec_)
+  in
+  go init
+
+let num_interfaces r = r.n_interfaces

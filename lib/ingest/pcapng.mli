@@ -1,0 +1,37 @@
+(** pcapng reader: SHB (per-section byte order, multiple sections), IDB
+    (several per section, per-interface link type and [if_tsresol]),
+    EPB and SPB packet blocks; other block types are skipped.  Export
+    goes through the {!Pcap} writer. *)
+
+exception Format_error of string
+
+type interface = {
+  if_linktype : int;
+  if_snaplen : int;
+  units_per_sec : float;  (** timestamp units per second *)
+}
+
+type record = {
+  ts : float;      (** seconds; 0 for Simple Packet Blocks (no stamp) *)
+  data : bytes;
+  orig_len : int;
+  linktype : int;  (** of the interface that captured the packet *)
+}
+
+type reader
+
+(** Validate the leading Section Header Block.
+    @raise Format_error if the input is not pcapng. *)
+val create_reader : in_channel -> reader
+
+(** Next packet record, skipping interface/statistics/unknown blocks;
+    [`Truncated] when the file ends inside a block.
+    @raise Format_error on structurally bad blocks. *)
+val read_record : reader -> [ `Record of record | `Truncated | `End ]
+
+(** Fold all packet records; the boolean is [true] iff the file ended
+    on a clean block boundary. *)
+val fold_records : reader -> ('a -> record -> 'a) -> 'a -> 'a * bool
+
+(** Interface blocks seen so far in the current section. *)
+val num_interfaces : reader -> int

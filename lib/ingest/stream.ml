@@ -1,0 +1,183 @@
+(** Paced, bounded-queue streaming replay: the driver between a packet
+    source (a decoded capture file, a synthetic trace) and a consumer
+    (engine, sharded engine, network controller).
+
+    The driver alternates {e arrival turns} and {e service turns} over
+    a bounded FIFO that models the ingest ring between capture and
+    processing:
+
+    - an arrival turn pulls the packets the pacing mode says are ready
+      — a fixed burst in [Asap] mode, everything due by the wall clock
+      in [Realtime] mode (capture timestamps scaled by [speedup]) —
+      and enqueues them;
+    - a service turn pops at most [chunk] packets and hands them to
+      the sink as one batch.
+
+    When an arrival finds the queue full, the backpressure policy
+    decides: [Block] pauses the source (a file can wait — lossless),
+    [Drop] models a live capture that cannot ([`count-and-drop`]: the
+    overflow is discarded and counted).  With the default burst no
+    larger than the queue, [Asap]+[Drop] never actually drops; a burst
+    above the queue depth — or a paced microburst bigger than the ring
+    — overruns deterministically, which is what the backpressure tests
+    pin down.
+
+    Telemetry: dropped packets bump [Ingest_dropped]; queue depth is
+    observed after every arrival turn and capture-timestamp gaps for
+    every pulled packet ({!Newton_telemetry.Stats}). *)
+
+open Newton_packet
+module Stats = Newton_telemetry.Stats
+
+type pace =
+  | Asap                (** replay as fast as the consumer allows *)
+  | Realtime of float   (** capture-timestamp pacing, [speedup] x *)
+
+type policy = Block | Drop
+
+type source = unit -> Packet.t option
+
+type summary = {
+  delivered : int;     (** packets handed to the sink *)
+  dropped : int;       (** packets discarded on a full queue *)
+  chunks : int;        (** sink invocations *)
+  wall_seconds : float;
+}
+
+let default_depth = 4096
+let default_chunk = 1024
+
+let of_packets (packets : Packet.t array) : source =
+  let i = ref 0 in
+  fun () ->
+    if !i >= Array.length packets then None
+    else begin
+      let p = packets.(!i) in
+      incr i;
+      Some p
+    end
+
+let of_trace trace = of_packets (Newton_trace.Gen.packets trace)
+
+(* One-slot lookahead so pacing can ask "when is the next packet due"
+   without consuming it. *)
+type 'a peekable = { mutable slot : 'a option; next : unit -> 'a option }
+
+let peek pk =
+  match pk.slot with
+  | Some _ as s -> s
+  | None ->
+      pk.slot <- pk.next ();
+      pk.slot
+
+let pop pk =
+  match peek pk with
+  | None -> None
+  | some ->
+      pk.slot <- None;
+      some
+
+let run ?(depth = default_depth) ?(chunk = default_chunk) ?burst ?(pace = Asap)
+    ?(policy = Block) ?(stats = Stats.null) (source : source)
+    (sink : Packet.t array -> unit) =
+  if depth < 1 then invalid_arg "Stream.run: depth must be positive";
+  if chunk < 1 then invalid_arg "Stream.run: chunk must be positive";
+  let burst = Option.value burst ~default:chunk in
+  if burst < 1 then invalid_arg "Stream.run: burst must be positive";
+  (match pace with
+  | Realtime s when s <= 0.0 ->
+      invalid_arg "Stream.run: speedup must be positive"
+  | _ -> ());
+  let src = { slot = None; next = source } in
+  let q : Packet.t Queue.t = Queue.create () in
+  let t_start = Unix.gettimeofday () in
+  (* Wall-clock origin for Realtime pacing, fixed at the first packet. *)
+  let clock = ref None in
+  let due p =
+    match pace with
+    | Asap -> 0.0
+    | Realtime speedup ->
+        let ts = Packet.ts p in
+        let t0_wall, t0_ts =
+          match !clock with
+          | Some c -> c
+          | None ->
+              let c = (t_start, ts) in
+              clock := Some c;
+              c
+        in
+        t0_wall +. ((ts -. t0_ts) /. speedup)
+  in
+  let prev_ts = ref nan in
+  let dropped = ref 0 in
+  let delivered = ref 0 in
+  let chunks = ref 0 in
+  let pull_one () =
+    match pop src with
+    | None -> ()
+    | Some p ->
+        let ts = Packet.ts p in
+        if Float.is_nan !prev_ts |> not then
+          Stats.observe_interarrival stats (Float.max 0.0 (ts -. !prev_ts));
+        prev_ts := ts;
+        if Queue.length q < depth then Queue.add p q
+        else begin
+          incr dropped;
+          Stats.bump stats Stats.Ingest_dropped 1
+        end
+  in
+  let arrival_turn () =
+    (match pace with
+    | Asap ->
+        (* [Block]: the source pauses at the high-water mark; [Drop]:
+           the full burst arrives regardless and overflow is counted. *)
+        let budget =
+          match policy with
+          | Block -> min burst (depth - Queue.length q)
+          | Drop -> burst
+        in
+        let n = ref 0 in
+        while !n < budget && peek src <> None do
+          pull_one ();
+          incr n
+        done
+    | Realtime _ ->
+        (* Sleep only when idle: queue drained and nothing due yet. *)
+        (match peek src with
+        | Some p when Queue.is_empty q ->
+            let wait = due p -. Unix.gettimeofday () in
+            if wait > 1e-4 then Unix.sleepf wait
+        | _ -> ());
+        let now = Unix.gettimeofday () in
+        let ready p = due p <= now in
+        let continue = ref true in
+        while !continue do
+          match peek src with
+          | Some p when ready p ->
+              if policy = Block && Queue.length q >= depth then continue := false
+              else pull_one ()
+          | _ -> continue := false
+        done);
+    Stats.observe_queue_depth stats (Queue.length q)
+  in
+  let service_turn () =
+    let n = min chunk (Queue.length q) in
+    if n > 0 then begin
+      let batch = Array.init n (fun _ -> Queue.pop q) in
+      sink batch;
+      delivered := !delivered + n;
+      incr chunks
+    end
+  in
+  let rec loop () =
+    arrival_turn ();
+    if Queue.length q >= chunk || peek src = None then service_turn ();
+    if peek src <> None || not (Queue.is_empty q) then loop ()
+  in
+  (match peek src with None -> () | Some _ -> loop ());
+  {
+    delivered = !delivered;
+    dropped = !dropped;
+    chunks = !chunks;
+    wall_seconds = Unix.gettimeofday () -. t_start;
+  }

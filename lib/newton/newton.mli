@@ -14,3 +14,7 @@ end
 (** Runtime internals (engines, analyzer, introspection) for users who
     need more than the facades expose. *)
 module Runtime = Newton_runtime
+
+(** Capture-file ingestion: pcap/pcapng readers, the frame decoder,
+    pcap export, and the paced streaming driver. *)
+module Ingest = Newton_ingest

@@ -24,6 +24,12 @@ let count_bounds =
   [| 1.0; 2.0; 5.0; 10.0; 20.0; 50.0; 100.0; 200.0; 500.0; 1000.0; 2000.0;
      5000.0; 10000.0 |]
 
+(** 1-2-5 decades from 1 µs to 1 s: packet inter-arrival gaps, which sit
+    well below report latencies on a backbone capture. *)
+let interarrival_bounds =
+  [| 1e-6; 2e-6; 5e-6; 1e-5; 2e-5; 5e-5; 1e-4; 2e-4; 5e-4; 1e-3; 2e-3; 5e-3;
+     1e-2; 2e-2; 5e-2; 0.1; 0.2; 0.5; 1.0 |]
+
 let create bounds =
   let n = Array.length bounds in
   for i = 1 to n - 1 do

@@ -10,6 +10,9 @@ val latency_bounds : float array
 (** 1-2-5 decades from 1 to 10k (per-window drop / message counts). *)
 val count_bounds : float array
 
+(** 1-2-5 decades from 1 µs to 1 s (packet inter-arrival gaps). *)
+val interarrival_bounds : float array
+
 (** @raise Invalid_argument unless bounds are strictly ascending. *)
 val create : float array -> t
 

@@ -50,6 +50,12 @@ let of_sink ?(labels = []) sink =
   @ hist "newton_report_drops_per_window"
       "Mirror-budget report drops per closed window"
       (Stats.window_drops sink)
+  @ hist "newton_ingest_queue_depth"
+      "Ingest-queue depth after each arrival turn"
+      (Stats.queue_depth sink)
+  @ hist "newton_ingest_interarrival_seconds"
+      "Capture-timestamp gaps between ingested packets"
+      (Stats.interarrival sink)
 
 (** Merge two snapshots: same-named families concatenate their samples
     (first snapshot's family order wins), new families append. *)

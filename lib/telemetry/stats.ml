@@ -29,13 +29,20 @@ type key =
   | Slices_migrated    (** slice instances re-placed after a failure *)
   | State_cells_moved  (** register cells merged during state migration *)
   | Software_fallbacks (** slices degraded to the software engine *)
+  | Ingest_frames      (** capture frames read from a pcap/pcapng file *)
+  | Ingest_decoded     (** frames decoded into packets *)
+  | Ingest_non_ip      (** frames skipped: not Ethernet/IPv4 *)
+  | Ingest_truncated   (** frames skipped: capture cut before headers *)
+  | Ingest_dropped     (** packets dropped on ingest-queue backpressure *)
 
 let all =
   [ Packets_processed; Module_hits_k; Module_hits_h; Module_hits_s;
     Module_hits_r; Guard_stops; Reports_emitted; Reports_deduped;
     Reports_dropped; Window_rolls; Cqe_hops; Sp_header_bytes;
     Software_continuations; Switch_failures; Switch_repairs;
-    Slices_migrated; State_cells_moved; Software_fallbacks ]
+    Slices_migrated; State_cells_moved; Software_fallbacks;
+    Ingest_frames; Ingest_decoded; Ingest_non_ip; Ingest_truncated;
+    Ingest_dropped ]
 
 let index = function
   | Packets_processed -> 0
@@ -56,6 +63,11 @@ let index = function
   | Slices_migrated -> 15
   | State_cells_moved -> 16
   | Software_fallbacks -> 17
+  | Ingest_frames -> 18
+  | Ingest_decoded -> 19
+  | Ingest_non_ip -> 20
+  | Ingest_truncated -> 21
+  | Ingest_dropped -> 22
 
 let num_keys = List.length all
 
@@ -79,6 +91,11 @@ let name = function
   | Slices_migrated -> "newton_slices_migrated_total"
   | State_cells_moved -> "newton_state_cells_moved_total"
   | Software_fallbacks -> "newton_software_fallbacks_total"
+  | Ingest_frames -> "newton_ingest_frames_total"
+  | Ingest_decoded -> "newton_ingest_decoded_total"
+  | Ingest_non_ip -> "newton_ingest_skipped_total" (* labelled reason=non_ip *)
+  | Ingest_truncated -> "newton_ingest_skipped_total"
+  | Ingest_dropped -> "newton_ingest_dropped_total"
 
 let help = function
   | Packets_processed -> "Packets run through the engine"
@@ -97,6 +114,11 @@ let help = function
   | Slices_migrated -> "Slice instances re-placed after a switch failure"
   | State_cells_moved -> "Occupied register cells merged during state migration"
   | Software_fallbacks -> "Slices degraded to the software engine on failure"
+  | Ingest_frames -> "Capture frames read from a pcap/pcapng file"
+  | Ingest_decoded -> "Capture frames decoded into packets"
+  | Ingest_non_ip | Ingest_truncated ->
+      "Capture frames skipped by reason (non_ip/truncated)"
+  | Ingest_dropped -> "Packets dropped on ingest-queue backpressure"
 
 (** The label set distinguishing samples that share a metric name. *)
 let labels = function
@@ -104,12 +126,16 @@ let labels = function
   | Module_hits_h -> [ ("kind", "H") ]
   | Module_hits_s -> [ ("kind", "S") ]
   | Module_hits_r -> [ ("kind", "R") ]
+  | Ingest_non_ip -> [ ("reason", "non_ip") ]
+  | Ingest_truncated -> [ ("reason", "truncated") ]
   | _ -> []
 
 type active = {
   counts : int array;
   report_latency : Hist.t;  (** seconds from window start to emission *)
   window_drops : Hist.t;    (** budget drops per closed window *)
+  queue_depth : Hist.t;     (** ingest-queue depth after each arrival turn *)
+  interarrival : Hist.t;    (** capture-timestamp gaps between packets *)
 }
 
 (** [Null] is the zero-cost-when-disabled case: every instrumentation
@@ -124,6 +150,8 @@ let create () =
       counts = Array.make num_keys 0;
       report_latency = Hist.create Hist.latency_bounds;
       window_drops = Hist.create Hist.count_bounds;
+      queue_depth = Hist.create Hist.count_bounds;
+      interarrival = Hist.create Hist.interarrival_bounds;
     }
 
 let enabled = function Null -> false | Active _ -> true
@@ -146,11 +174,21 @@ let observe_window_drops sink n =
   | Null -> ()
   | Active a -> Hist.observe a.window_drops (float_of_int n)
 
+let observe_queue_depth sink n =
+  match sink with
+  | Null -> ()
+  | Active a -> Hist.observe a.queue_depth (float_of_int n)
+
+let observe_interarrival sink secs =
+  match sink with Null -> () | Active a -> Hist.observe a.interarrival secs
+
 let report_latency = function
   | Null -> None
   | Active a -> Some a.report_latency
 
 let window_drops = function Null -> None | Active a -> Some a.window_drops
+let queue_depth = function Null -> None | Active a -> Some a.queue_depth
+let interarrival = function Null -> None | Active a -> Some a.interarrival
 
 let counters sink = List.map (fun k -> (k, get sink k)) all
 
@@ -159,7 +197,9 @@ let clear = function
   | Active a ->
       Array.fill a.counts 0 num_keys 0;
       Hist.clear a.report_latency;
-      Hist.clear a.window_drops
+      Hist.clear a.window_drops;
+      Hist.clear a.queue_depth;
+      Hist.clear a.interarrival
 
 (** Sum of two sinks ([Null] is the identity): counters add, histograms
     merge bucket-wise.  Associative and commutative, like the ALU merge
@@ -173,6 +213,8 @@ let merge a b =
           counts = Array.init num_keys (fun i -> x.counts.(i) + y.counts.(i));
           report_latency = Hist.merge x.report_latency y.report_latency;
           window_drops = Hist.merge x.window_drops y.window_drops;
+          queue_depth = Hist.merge x.queue_depth y.queue_depth;
+          interarrival = Hist.merge x.interarrival y.interarrival;
         }
 
 let merge_all sinks = List.fold_left merge Null sinks

@@ -23,6 +23,11 @@ type key =
   | Slices_migrated
   | State_cells_moved
   | Software_fallbacks
+  | Ingest_frames
+  | Ingest_decoded
+  | Ingest_non_ip
+  | Ingest_truncated
+  | Ingest_dropped
 
 val all : key list
 
@@ -62,8 +67,16 @@ val observe_report_latency : sink -> float -> unit
 (** Mirror-budget drops in a closed window. *)
 val observe_window_drops : sink -> int -> unit
 
+(** Ingest-queue depth after an arrival turn ({!Newton_ingest}). *)
+val observe_queue_depth : sink -> int -> unit
+
+(** Capture-timestamp gap between consecutive ingested packets. *)
+val observe_interarrival : sink -> float -> unit
+
 val report_latency : sink -> Hist.t option
 val window_drops : sink -> Hist.t option
+val queue_depth : sink -> Hist.t option
+val interarrival : sink -> Hist.t option
 
 val clear : sink -> unit
 

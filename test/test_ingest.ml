@@ -1,0 +1,567 @@
+(** Tests for the capture-ingestion subsystem: pcap/pcapng readers, the
+    pcap writer, frame decode/encode round-trips, malformed-input
+    handling, the streaming driver's backpressure and pacing, and the
+    export → re-ingest differential against native replay. *)
+
+open Newton_packet
+open Newton_ingest
+module Stats = Newton_telemetry.Stats
+module Gen = Newton_trace.Gen
+module Profile = Newton_trace.Profile
+module Attack = Newton_trace.Attack
+module N = Newton_core.Newton
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) ("newton_" ^ name)
+
+let write_file path b =
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let b = Bytes.create n in
+  really_input ic b 0 n;
+  close_in ic;
+  b
+
+let with_in path f =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> f ic)
+
+let sample_trace ?(seed = 11) ?(flows = 400) () =
+  Gen.generate ~attacks:Attack.default_suite ~seed
+    (Profile.with_flows Profile.caida_like flows)
+
+(* ---------------- pcap writer → reader ---------------- *)
+
+let test_pcap_roundtrip_bits () =
+  let path = tmp "rt.pcap" in
+  (* Timestamps that are exact in both binary floating point and
+     nanosecond integers, so equality can be bitwise. *)
+  let stamps = [ 0.0; 0.25; 1.5; 3.375; 1024.0; 4194303.5 ] in
+  let datas =
+    List.mapi
+      (fun i ts -> (ts, Bytes.make (20 + i) (Char.chr (0x40 + i))))
+      stamps
+  in
+  let oc = open_out_bin path in
+  let w = Pcap.create_writer ~snaplen:2222 oc in
+  List.iter (fun (ts, d) -> Pcap.write_record w ~ts d) datas;
+  Pcap.flush_writer w;
+  close_out oc;
+  with_in path (fun ic ->
+      let h = Pcap.read_header ic in
+      checkb "little-endian" false h.Pcap.big_endian;
+      checkb "nanosecond" true h.Pcap.nsec;
+      checki "snaplen" 2222 h.Pcap.snaplen;
+      checki "linktype" Pcap.linktype_ethernet h.Pcap.linktype;
+      let recs, clean =
+        Pcap.fold_records h ic (fun acc r -> r :: acc) []
+      in
+      checkb "clean end" true clean;
+      let recs = List.rev recs in
+      checki "record count" (List.length datas) (List.length recs);
+      List.iter2
+        (fun (ts, d) (r : Pcap.record) ->
+          checkb (Printf.sprintf "ts %g bit-identical" ts) true
+            (Int64.equal (Int64.bits_of_float ts)
+               (Int64.bits_of_float r.Pcap.ts));
+          checkb "data identical" true (Bytes.equal d r.Pcap.data);
+          checki "orig_len" (Bytes.length d) r.Pcap.orig_len)
+        datas recs);
+  (* Idempotence: writing the read-back records reproduces the file
+     byte for byte. *)
+  let path2 = tmp "rt2.pcap" in
+  with_in path (fun ic ->
+      let h = Pcap.read_header ic in
+      let oc = open_out_bin path2 in
+      let w = Pcap.create_writer ~snaplen:h.Pcap.snaplen oc in
+      let (), _ =
+        Pcap.fold_records h ic
+          (fun () (r : Pcap.record) ->
+            Pcap.write_record w ~ts:r.Pcap.ts ~orig_len:r.Pcap.orig_len
+              r.Pcap.data)
+          ()
+      in
+      Pcap.flush_writer w;
+      close_out oc);
+  checkb "write∘read idempotent" true
+    (Bytes.equal (read_file path) (read_file path2));
+  Sys.remove path;
+  Sys.remove path2
+
+let test_split_ts () =
+  let check what exp got =
+    Alcotest.(check (pair int int)) what exp got
+  in
+  check "nsec 2.5" (2, 500_000_000) (Pcap.split_ts ~nsec:true 2.5);
+  check "usec 1.25" (1, 250_000) (Pcap.split_ts ~nsec:false 1.25);
+  check "nsec integer" (7, 0) (Pcap.split_ts ~nsec:true 7.0);
+  (* Sub-second rounding that lands on the next second must carry. *)
+  check "nsec carry" (3, 0) (Pcap.split_ts ~nsec:true 2.999_999_999_9);
+  check "usec carry" (1, 0) (Pcap.split_ts ~nsec:false 0.999_999_9)
+
+(* Classic pcap is read in all four magic variants; exercise the
+   big-endian microsecond one the writer never produces. *)
+let test_pcap_big_endian_usec () =
+  let buf = Buffer.create 64 in
+  let u32 v = Buffer.add_int32_be buf (Int32.of_int v) in
+  let u16 v = Buffer.add_uint16_be buf v in
+  u32 Pcap.magic_usec;
+  u16 2; u16 4;
+  u32 0; u32 0;
+  u32 65535;
+  u32 Pcap.linktype_ethernet;
+  (* one record at t = 1.25 s *)
+  u32 1; u32 250_000;
+  u32 6; u32 60;
+  Buffer.add_string buf "abcdef";
+  let path = tmp "be.pcap" in
+  write_file path (Buffer.to_bytes buf);
+  with_in path (fun ic ->
+      let h = Pcap.read_header ic in
+      checkb "big-endian" true h.Pcap.big_endian;
+      checkb "usec" false h.Pcap.nsec;
+      match Pcap.read_record h ic with
+      | `Record r ->
+          checkb "ts 1.25" true (r.Pcap.ts = 1.25);
+          checki "orig_len" 60 r.Pcap.orig_len;
+          checkb "data" true (Bytes.equal r.Pcap.data (Bytes.of_string "abcdef"));
+          checkb "then end" true (Pcap.read_record h ic = `End)
+      | _ -> Alcotest.fail "expected a record");
+  Sys.remove path
+
+(* ---------------- decode ∘ encode ---------------- *)
+
+let fields_equal p q =
+  List.for_all (fun f -> Packet.get p f = Packet.get q f) Field.all
+
+let test_decode_encode_generated () =
+  let trace = sample_trace () in
+  Array.iter
+    (fun p ->
+      match Decode.frame ~ts:(Packet.ts p) (Encode.frame p) with
+      | Decode.Decoded q ->
+          if not (fields_equal p q) then
+            Alcotest.failf "field mismatch: %s vs %s" (Packet.to_string p)
+              (Packet.to_string q)
+      | Decode.Skipped s ->
+          Alcotest.failf "generated packet skipped (%s): %s"
+            (Decode.skip_to_string s) (Packet.to_string p))
+    (Gen.packets trace)
+
+let test_decode_encode_handmade () =
+  let cases =
+    [
+      (* VLAN-tagged TCP with seq/ack and options-padded header *)
+      Packet.make ~ts:0.5 ~src_ip:0x0A000001 ~dst_ip:0xC0A80102
+        ~proto:Field.Protocol.tcp ~src_port:443 ~dst_port:51515
+        ~tcp_flags:Field.Tcp_flag.(syn lor ack) ~tcp_seq:0xDEADBEEF
+        ~tcp_ack:0x12345678 ~pkt_len:1500 ~payload_len:1440
+        ~ingress_port:37 ();
+      (* max 9-bit ingress port *)
+      Packet.make ~proto:Field.Protocol.tcp ~pkt_len:52 ~payload_len:0
+        ~ingress_port:511 ();
+      (* DNS response over UDP *)
+      Packet.make ~proto:Field.Protocol.udp ~src_port:53 ~dst_port:3333
+        ~pkt_len:120 ~payload_len:92 ~dns_qr:1 ~dns_ancount:5 ();
+      (* DNS query, client side *)
+      Packet.make ~proto:Field.Protocol.udp ~src_port:3333 ~dst_port:53
+        ~pkt_len:68 ~payload_len:40 ~dns_qr:0 ();
+      (* ICMP: IP-level fields only *)
+      Packet.make ~proto:Field.Protocol.icmp ~src_ip:1 ~dst_ip:2 ~pkt_len:84
+        ~ttl:3 ();
+    ]
+  in
+  List.iter
+    (fun p ->
+      match Decode.frame ~ts:(Packet.ts p) (Encode.frame p) with
+      | Decode.Decoded q ->
+          List.iter
+            (fun f ->
+              checki (Field.to_string f) (Packet.get p f) (Packet.get q f))
+            Field.all
+      | Decode.Skipped s ->
+          Alcotest.failf "skipped (%s)" (Decode.skip_to_string s))
+    cases
+
+let test_decode_skips () =
+  let skip = function
+    | Decode.Skipped s -> Decode.skip_to_string s
+    | Decode.Decoded _ -> "decoded"
+  in
+  let eth ethertype rest =
+    let b = Bytes.make (14 + Bytes.length rest) '\x00' in
+    Bytes.set_uint16_be b 12 ethertype;
+    Bytes.blit rest 0 b 14 (Bytes.length rest);
+    b
+  in
+  Alcotest.(check string) "arp" "non-ip"
+    (skip (Decode.frame ~ts:0.0 (eth 0x0806 (Bytes.make 28 '\x00'))));
+  Alcotest.(check string) "ipv6" "non-ip"
+    (skip (Decode.frame ~ts:0.0 (eth 0x86DD (Bytes.make 40 '\x00'))));
+  Alcotest.(check string) "runt frame" "truncated"
+    (skip (Decode.frame ~ts:0.0 (Bytes.make 10 '\x00')));
+  Alcotest.(check string) "cut before ip header ends" "truncated"
+    (skip (Decode.frame ~ts:0.0 (eth 0x0800 (Bytes.make 12 '\x45'))));
+  Alcotest.(check string) "non-ethernet linktype" "non-ip"
+    (skip (Decode.frame ~linktype:101 ~ts:0.0 (Bytes.make 60 '\x00')));
+  (* A later IP fragment decodes IP-level fields with L4 left zero. *)
+  let frag =
+    let p =
+      Packet.make ~proto:Field.Protocol.tcp ~src_port:80 ~dst_port:8080
+        ~pkt_len:400 ~payload_len:340 ()
+    in
+    let b = Encode.frame p in
+    Bytes.set_uint16_be b (14 + 6) 0x00B9 (* fragment offset 185 *);
+    b
+  in
+  match Decode.frame ~ts:0.0 frag with
+  | Decode.Decoded q ->
+      checki "fragment proto" Field.Protocol.tcp (Packet.get q Field.Proto);
+      checki "fragment src port zero" 0 (Packet.get q Field.Src_port);
+      checki "fragment pkt_len" 400 (Packet.get q Field.Pkt_len)
+  | Decode.Skipped s ->
+      Alcotest.failf "fragment skipped (%s)" (Decode.skip_to_string s)
+
+(* ---------------- export → re-ingest differential ---------------- *)
+
+let report_strings reports =
+  reports |> List.map Newton_query.Report.to_string |> List.sort compare
+
+let run_device trace =
+  let d = N.Device.create () in
+  List.iter (fun q -> ignore (N.Device.add_query d q)) (Newton_query.Catalog.all ());
+  N.Device.process_trace d trace;
+  report_strings (N.Device.reports d)
+
+let test_export_reingest_differential () =
+  let trace = sample_trace ~seed:21 () in
+  let path = tmp "diff.pcap" in
+  Capture.export trace path;
+  let stats = Stats.create () in
+  let loaded = Capture.load ~stats path in
+  checki "every frame decoded" (Gen.length trace)
+    (Stats.get stats Stats.Ingest_decoded);
+  checki "no skips"
+    0
+    (Stats.get stats Stats.Ingest_non_ip + Stats.get stats Stats.Ingest_truncated);
+  Alcotest.(check (list string))
+    "identical reports for the full catalog (sequential)" (run_device trace)
+    (run_device loaded);
+  (* Sharded replay must agree too (per-query-key sharding). *)
+  List.iter
+    (fun qid ->
+      let run_parallel t =
+        let q = Newton_query.Catalog.by_id qid in
+        let shard_key =
+          Newton_runtime.Shard.for_compiled (Newton_compiler.Compose.compile q)
+        in
+        let pdev = N.Parallel_device.create ~jobs:2 ~shard_key () in
+        ignore (N.Parallel_device.add_query pdev q);
+        N.Parallel_device.process_trace pdev t;
+        report_strings (N.Parallel_device.reports pdev)
+      in
+      Alcotest.(check (list string))
+        (Printf.sprintf "identical reports under --jobs 2 (Q%d)" qid)
+        (run_parallel trace) (run_parallel loaded))
+    [ 1; 4 ];
+  Sys.remove path
+
+(* ---------------- malformed input ---------------- *)
+
+let expect_format_error what f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Capture.Format_error" what
+  | exception Capture.Format_error _ -> ()
+
+let test_malformed_errors () =
+  let path = tmp "bad.pcap" in
+  (* zero-length capture *)
+  write_file path Bytes.empty;
+  expect_format_error "empty file" (fun () -> Capture.load path);
+  expect_format_error "empty file info" (fun () -> Capture.info path);
+  (* bad magic *)
+  write_file path (Bytes.of_string "this is not a capture, sorry");
+  expect_format_error "bad magic" (fun () -> Capture.load path);
+  (* truncated global header: valid magic, then nothing *)
+  let b = Bytes.create 10 in
+  Bytes.set_int32_le b 0 (Int32.of_int Pcap.magic_nsec);
+  write_file path (Bytes.sub b 0 10);
+  expect_format_error "truncated global header" (fun () -> Capture.load path);
+  (* pcapng: SHB magic but cut before the body *)
+  let b = Bytes.create 8 in
+  Bytes.set_int32_le b 0 (Int32.of_int 0x0A0D0D0A);
+  Bytes.set_int32_le b 4 28l;
+  write_file path b;
+  expect_format_error "truncated pcapng SHB" (fun () -> Capture.info path);
+  Sys.remove path
+
+let test_truncated_frame_body () =
+  let trace = sample_trace ~seed:5 ~flows:60 () in
+  let path = tmp "cut.pcap" in
+  Capture.export trace path;
+  let whole = read_file path in
+  (* Cut the final record's body short. *)
+  write_file path (Bytes.sub whole 0 (Bytes.length whole - 7));
+  let stats = Stats.create () in
+  let loaded = Capture.load ~stats path in
+  let n = Gen.length trace in
+  checki "one packet lost" (n - 1) (Gen.length loaded);
+  checki "frames counted" n (Stats.get stats Stats.Ingest_frames);
+  checki "truncation counted" 1 (Stats.get stats Stats.Ingest_truncated);
+  let i = Capture.info path in
+  checkb "info reports unclean end" false i.Capture.clean_end;
+  checki "info truncated" 1 i.Capture.truncated;
+  (* Cutting inside a record *header* is also a counted skip. *)
+  write_file path (Bytes.sub whole 0 (24 + 5));
+  let stats2 = Stats.create () in
+  let loaded2 = Capture.load ~stats:stats2 path in
+  checki "no packets" 0 (Gen.length loaded2);
+  checki "header cut counted" 1 (Stats.get stats2 Stats.Ingest_truncated);
+  Sys.remove path
+
+(* ---------------- pcapng ---------------- *)
+
+(* Build a pcapng file: one little-endian section with two interfaces
+   (usec and nsec resolution) and an unknown block, then a big-endian
+   section, checking section reset and per-interface timestamps. *)
+let build_pcapng frame_a frame_b frame_c =
+  let buf = Buffer.create 512 in
+  let block ~be btype body =
+    let u32 v =
+      if be then Buffer.add_int32_be buf (Int32.of_int v)
+      else Buffer.add_int32_le buf (Int32.of_int v)
+    in
+    let pad = (4 - Bytes.length body land 3) land 3 in
+    let total = 12 + Bytes.length body + pad in
+    u32 btype;
+    u32 total;
+    Buffer.add_bytes buf body;
+    Buffer.add_string buf (String.make pad '\x00');
+    u32 total
+  in
+  let body ~be k =
+    let b = Buffer.create 64 in
+    let u16 v =
+      if be then Buffer.add_uint16_be b v else Buffer.add_uint16_le b v
+    in
+    let u32 v =
+      if be then Buffer.add_int32_be b (Int32.of_int v)
+      else Buffer.add_int32_le b (Int32.of_int v)
+    in
+    k ~u16 ~u32 b;
+    Buffer.to_bytes b
+  in
+  let shb ~be =
+    block ~be 0x0A0D0D0A
+      (body ~be (fun ~u16 ~u32 _ ->
+           u32 0x1A2B3C4D;
+           u16 1; u16 0;
+           u32 0xFFFFFFFF; u32 0xFFFFFFFF (* section length unknown *)))
+  in
+  let idb ~be ~tsresol =
+    block ~be 0x00000001
+      (body ~be (fun ~u16 ~u32 b ->
+           u16 Pcap.linktype_ethernet;
+           u16 0;
+           u32 65535;
+           match tsresol with
+           | None -> ()
+           | Some v ->
+               u16 9; u16 1;
+               Buffer.add_char b (Char.chr v);
+               Buffer.add_string b "\x00\x00\x00";
+               u16 0; u16 0 (* opt_endofopt *)))
+  in
+  let epb ~be ~iface ~hi ~lo frame =
+    block ~be 0x00000006
+      (body ~be (fun ~u16:_ ~u32 b ->
+           u32 iface;
+           u32 hi; u32 lo;
+           u32 (Bytes.length frame);
+           u32 (Bytes.length frame);
+           Buffer.add_bytes b frame))
+  in
+  (* section 1: little-endian *)
+  shb ~be:false;
+  idb ~be:false ~tsresol:None (* default usec *);
+  idb ~be:false ~tsresol:(Some 9) (* nanoseconds *);
+  (* unknown block type: must be skipped by length *)
+  block ~be:false 0x0BAD
+    (body ~be:false (fun ~u16:_ ~u32 _ -> u32 0x12345678));
+  epb ~be:false ~iface:0 ~hi:0 ~lo:2_500_000 frame_a (* 2.5 s in usec *);
+  epb ~be:false ~iface:1 ~hi:0 ~lo:750_000_000 frame_b (* 0.75 s in ns *);
+  (* section 2: big-endian, fresh interface table *)
+  shb ~be:true;
+  idb ~be:true ~tsresol:None;
+  epb ~be:true ~iface:0 ~hi:0 ~lo:125_000 frame_c (* 0.125 s in usec *);
+  Buffer.to_bytes buf
+
+let test_pcapng_multi_interface () =
+  let mk ts src =
+    Packet.make ~ts ~src_ip:src ~dst_ip:99 ~proto:Field.Protocol.udp
+      ~src_port:1000 ~dst_port:2000 ~pkt_len:64 ~payload_len:36 ()
+  in
+  let pa = mk 2.5 1 and pb = mk 0.75 2 and pc = mk 0.125 3 in
+  let path = tmp "multi.pcapng" in
+  write_file path
+    (build_pcapng (Encode.frame pa) (Encode.frame pb) (Encode.frame pc));
+  let stats = Stats.create () in
+  let loaded = Capture.load ~stats path in
+  checki "three frames" 3 (Stats.get stats Stats.Ingest_frames);
+  checki "three decoded" 3 (Stats.get stats Stats.Ingest_decoded);
+  let pkts = Gen.packets loaded in
+  List.iteri
+    (fun i p ->
+      let q = pkts.(i) in
+      checkb (Printf.sprintf "pkt %d ts" i) true (Packet.ts p = Packet.ts q);
+      checkb (Printf.sprintf "pkt %d fields" i) true (fields_equal p q))
+    [ pa; pb; pc ];
+  let i = Capture.info path in
+  checkb "pcapng format" true (i.Capture.format = Capture.Pcapng_format);
+  checkb "clean end" true i.Capture.clean_end;
+  checki "interfaces in final section" 1 i.Capture.interfaces;
+  Sys.remove path
+
+(* ---------------- streaming driver ---------------- *)
+
+let seq_packets n =
+  Array.init n (fun i ->
+      Packet.make ~ts:(float_of_int i *. 0.002) ~src_ip:i ~dst_ip:1
+        ~proto:Field.Protocol.udp ~pkt_len:64 ~payload_len:20 ())
+
+(* Drop policy: a burst larger than the queue overruns it
+   deterministically — arrivals of 50 against a 10-deep queue keep 10
+   and shed 40, twice over a 100-packet source. *)
+let test_stream_drop () =
+  let stats = Stats.create () in
+  let delivered = ref [] in
+  let s =
+    Stream.run ~depth:10 ~chunk:10 ~burst:50 ~policy:Stream.Drop ~stats
+      (Stream.of_packets (seq_packets 100))
+      (fun batch -> Array.iter (fun p -> delivered := p :: !delivered) batch)
+  in
+  checki "delivered" 20 s.Stream.delivered;
+  checki "dropped" 80 s.Stream.dropped;
+  checki "conservation" 100 (s.Stream.delivered + s.Stream.dropped);
+  checki "dropped counter" 80 (Stats.get stats Stats.Ingest_dropped);
+  (* Survivors arrive in source order. *)
+  let ids =
+    List.rev_map (fun p -> Packet.get p Field.Src_ip) !delivered
+  in
+  checkb "in order" true (List.sort compare ids = ids)
+
+let test_stream_block () =
+  let stats = Stats.create () in
+  let count = ref 0 in
+  let s =
+    Stream.run ~depth:10 ~chunk:10 ~burst:50 ~policy:Stream.Block ~stats
+      (Stream.of_packets (seq_packets 100))
+      (fun batch -> count := !count + Array.length batch)
+  in
+  checki "all delivered" 100 s.Stream.delivered;
+  checki "sink saw all" 100 !count;
+  checki "nothing dropped" 0 s.Stream.dropped;
+  checki "ten full chunks" 10 s.Stream.chunks;
+  (* Queue depth was observed; inter-arrival gaps were recorded. *)
+  (match Stats.queue_depth stats with
+  | Some h -> checkb "queue depth observed" true (Newton_telemetry.Hist.count h > 0)
+  | None -> Alcotest.fail "no queue-depth histogram");
+  match Stats.interarrival stats with
+  | Some h -> checki "interarrival gaps" 99 (Newton_telemetry.Hist.count h)
+  | None -> Alcotest.fail "no interarrival histogram"
+
+let test_stream_realtime_pacing () =
+  let pkts = seq_packets 60 in
+  (* 118 ms of capture at 4x → at least ~30 ms of wall clock. *)
+  let s =
+    Stream.run ~pace:(Stream.Realtime 4.0)
+      (Stream.of_packets pkts)
+      (fun _ -> ())
+  in
+  checki "all delivered" 60 s.Stream.delivered;
+  checki "none dropped" 0 s.Stream.dropped;
+  checkb "paced slower than asap" true (s.Stream.wall_seconds >= 0.02);
+  checkb "speedup respected" true (s.Stream.wall_seconds < 2.0)
+
+let test_stream_invalid_args () =
+  let src = Stream.of_packets (seq_packets 1) in
+  let expect what f =
+    match f () with
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" what
+    | exception Invalid_argument _ -> ()
+  in
+  expect "depth 0" (fun () -> Stream.run ~depth:0 src (fun _ -> ()));
+  expect "chunk 0" (fun () -> Stream.run ~chunk:0 src (fun _ -> ()));
+  expect "burst 0" (fun () -> Stream.run ~burst:0 src (fun _ -> ()));
+  expect "speedup 0" (fun () ->
+      Stream.run ~pace:(Stream.Realtime 0.0) src (fun _ -> ()))
+
+(* Streaming a capture file delivers the same packets as loading it. *)
+let test_stream_from_capture_file () =
+  let trace = sample_trace ~seed:3 ~flows:80 () in
+  let path = tmp "stream.pcap" in
+  Capture.export trace path;
+  let got = ref [] in
+  let s =
+    Capture.with_source path (fun src ->
+        Stream.run ~depth:64 ~chunk:16 src (fun batch ->
+            Array.iter (fun p -> got := p :: !got) batch))
+  in
+  checki "delivered everything" (Gen.length trace) s.Stream.delivered;
+  let got = Array.of_list (List.rev !got) in
+  (* Streaming must equal loading the same file (timestamps included —
+     both went through the same nanosecond quantization). *)
+  Array.iteri
+    (fun i p ->
+      if not (fields_equal p got.(i) && Packet.ts p = Packet.ts got.(i)) then
+        Alcotest.failf "packet %d differs between stream and load" i)
+    (Gen.packets (Capture.load path));
+  (* And stay within the writer's half-nanosecond of the original. *)
+  Array.iteri
+    (fun i p ->
+      checkb
+        (Printf.sprintf "packet %d ts within 0.5 ns" i)
+        true
+        (Float.abs (Packet.ts p -. Packet.ts got.(i)) <= 0.5e-9);
+      if not (fields_equal p got.(i)) then
+        Alcotest.failf "packet %d fields differ after streaming" i)
+    (Gen.packets trace);
+  Sys.remove path
+
+let suite =
+  [
+    Alcotest.test_case "pcap writer/reader bit round-trip" `Quick
+      test_pcap_roundtrip_bits;
+    Alcotest.test_case "split_ts resolution and carry" `Quick test_split_ts;
+    Alcotest.test_case "big-endian usec pcap reads" `Quick
+      test_pcap_big_endian_usec;
+    Alcotest.test_case "decode∘encode: generated traces" `Quick
+      test_decode_encode_generated;
+    Alcotest.test_case "decode∘encode: VLAN/DNS/ICMP shapes" `Quick
+      test_decode_encode_handmade;
+    Alcotest.test_case "decoder skips are counted, never raised" `Quick
+      test_decode_skips;
+    Alcotest.test_case "export→re-ingest report differential" `Slow
+      test_export_reingest_differential;
+    Alcotest.test_case "malformed captures raise clean errors" `Quick
+      test_malformed_errors;
+    Alcotest.test_case "truncated frame body is a counted skip" `Quick
+      test_truncated_frame_body;
+    Alcotest.test_case "pcapng multi-interface + sections" `Quick
+      test_pcapng_multi_interface;
+    Alcotest.test_case "stream backpressure: drop" `Quick test_stream_drop;
+    Alcotest.test_case "stream backpressure: block" `Quick test_stream_block;
+    Alcotest.test_case "stream realtime pacing" `Slow
+      test_stream_realtime_pacing;
+    Alcotest.test_case "stream argument validation" `Quick
+      test_stream_invalid_args;
+    Alcotest.test_case "stream from capture file" `Quick
+      test_stream_from_capture_file;
+  ]

@@ -34,4 +34,5 @@ let () =
       ("reactive", Test_reactive.suite);
       ("refine", Test_refine.suite);
       ("recovery", Test_recovery.suite);
+      ("ingest", Test_ingest.suite);
     ]
