@@ -353,6 +353,12 @@ let shard_key_for qs =
 let cmd_run =
   let run ids dsl profile flows seed attacks verbose trace_in trace_out jobs
       batch pcap iopts =
+    (* The pcap path never consults the synthetic-trace files; accepting
+       them silently would e.g. leave a --trace-out target unwritten. *)
+    if pcap <> None && (trace_in <> None || trace_out <> None) then begin
+      prerr_endline "newton: --pcap cannot be combined with --trace-in/--trace-out";
+      exit 1
+    end;
     match gather_queries ids dsl with
     | Error msg -> prerr_endline msg; exit 1
     | Ok qs ->
@@ -448,6 +454,10 @@ let cmd_run =
 let cmd_stats =
   let run ids dsl profile flows seed attacks trace_in jobs batch format output
       pcap iopts =
+    if pcap <> None && trace_in <> None then begin
+      prerr_endline "newton: --pcap cannot be combined with --trace-in";
+      exit 1
+    end;
     match gather_queries ids dsl with
     | Error msg -> prerr_endline msg; exit 1
     | Ok qs ->

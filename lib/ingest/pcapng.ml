@@ -18,6 +18,11 @@ let spb_type = 0x00000003
 let epb_type = 0x00000006
 let byte_order_magic = 0x1A2B3C4D
 
+(* A block total beyond any sane capture means a corrupt length field;
+   allocating it would turn a malformed file into a multi-gigabyte
+   Bytes.create.  Same cap as the classic-pcap reader's caplen guard. *)
+let max_block_len = 0x4000000
+
 type interface = {
   if_linktype : int;
   if_snaplen : int;
@@ -134,7 +139,9 @@ let parse_spb r body =
   if r.n_interfaces = 0 then error "pcapng SPB before any interface block";
   let iface = interface r 0 in
   let orig_len = get_u32 ~be:r.be body 0 in
-  let caplen = min orig_len (min iface.if_snaplen (Bytes.length body - 4)) in
+  (* if_snaplen 0 means "no limit" per the pcapng spec, not zero bytes. *)
+  let limit = if iface.if_snaplen = 0 then max_int else iface.if_snaplen in
+  let caplen = min orig_len (min limit (Bytes.length body - 4)) in
   { ts = 0.0; data = Bytes.sub body 4 caplen; orig_len;
     linktype = iface.if_linktype }
 
@@ -156,7 +163,7 @@ let create_reader ic =
             if len_le >= 28 && len_le land 3 = 0 && len_le <= 0x10000 then len_le
             else len_be
           in
-          if total < 28 || total land 3 <> 0 then
+          if total < 28 || total land 3 <> 0 || total > max_block_len then
             error "bad pcapng section header length";
           (match try_read ic (total - 8) with
           | `Eof | `Short -> error "truncated pcapng section header"
@@ -180,7 +187,7 @@ let rec read_record r =
           if len_le >= 28 && len_le land 3 = 0 && len_le <= 0x10000 then len_le
           else len_be
         in
-        if total < 28 || total land 3 <> 0 then
+        if total < 28 || total land 3 <> 0 || total > max_block_len then
           raise (Format_error "bad pcapng section header length")
         else
           match try_read r.ic (total - 8) with
@@ -192,7 +199,7 @@ let rec read_record r =
       else
         let btype = get_u32 ~be:r.be hd 0 in
         let total = get_u32 ~be:r.be hd 4 in
-        if total < 12 || total land 3 <> 0 then
+        if total < 12 || total land 3 <> 0 || total > max_block_len then
           raise (Format_error "bad pcapng block length")
         else
           match try_read r.ic (total - 8) with

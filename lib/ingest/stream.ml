@@ -11,7 +11,12 @@
       in [Realtime] mode (capture timestamps scaled by [speedup]) —
       and enqueues them;
     - a service turn pops at most [chunk] packets and hands them to
-      the sink as one batch.
+      the sink as one batch.  Service fires when the queue reaches the
+      lesser of [chunk] and [depth] (a queue shallower than the batch
+      still drains), when the source is exhausted, and — on paced
+      replays — whenever an arrival turn pulled nothing, so queued
+      packets are delivered promptly instead of waiting for a full
+      batch to become due.
 
     When an arrival finds the queue full, the backpressure policy
     decides: [Block] pauses the source (a file can wait — lossless),
@@ -126,7 +131,10 @@ let run ?(depth = default_depth) ?(chunk = default_chunk) ?burst ?(pace = Asap)
           Stats.bump stats Stats.Ingest_dropped 1
         end
   in
+  (* Returns how many packets the turn consumed from the source, so the
+     loop can tell a paused/idle turn from a productive one. *)
   let arrival_turn () =
+    let pulled = ref 0 in
     (match pace with
     | Asap ->
         (* [Block]: the source pauses at the high-water mark; [Drop]:
@@ -136,10 +144,9 @@ let run ?(depth = default_depth) ?(chunk = default_chunk) ?burst ?(pace = Asap)
           | Block -> min burst (depth - Queue.length q)
           | Drop -> burst
         in
-        let n = ref 0 in
-        while !n < budget && peek src <> None do
+        while !pulled < budget && peek src <> None do
           pull_one ();
-          incr n
+          incr pulled
         done
     | Realtime _ ->
         (* Sleep only when idle: queue drained and nothing due yet. *)
@@ -155,10 +162,14 @@ let run ?(depth = default_depth) ?(chunk = default_chunk) ?burst ?(pace = Asap)
           match peek src with
           | Some p when ready p ->
               if policy = Block && Queue.length q >= depth then continue := false
-              else pull_one ()
+              else begin
+                pull_one ();
+                incr pulled
+              end
           | _ -> continue := false
         done);
-    Stats.observe_queue_depth stats (Queue.length q)
+    Stats.observe_queue_depth stats (Queue.length q);
+    !pulled
   in
   let service_turn () =
     let n = min chunk (Queue.length q) in
@@ -169,9 +180,22 @@ let run ?(depth = default_depth) ?(chunk = default_chunk) ?burst ?(pace = Asap)
       incr chunks
     end
   in
+  (* A queue shallower than [chunk] can never hold a full batch, so
+     service at the high-water mark — otherwise [Block] would pause the
+     source forever with the service condition unreachable. *)
+  let service_at = min chunk depth in
+  let paced = match pace with Realtime _ -> true | Asap -> false in
   let rec loop () =
-    arrival_turn ();
-    if Queue.length q >= chunk || peek src = None then service_turn ();
+    let pulled = arrival_turn () in
+    (* Paced replays also deliver a partial batch whenever an arrival
+       turn produced nothing: the queued packets would otherwise sit
+       undelivered (and the loop would spin) until enough of the
+       capture became due to fill a whole chunk. *)
+    if
+      Queue.length q >= service_at
+      || peek src = None
+      || (paced && pulled = 0)
+    then service_turn ();
     if peek src <> None || not (Queue.is_empty q) then loop ()
   in
   (match peek src with None -> () | Some _ -> loop ());

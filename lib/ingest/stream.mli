@@ -37,11 +37,12 @@ val of_trace : Newton_trace.Gen.t -> source
     overflowing the queue are discarded rather than delivered).
 
     [depth] bounds the queue (default {!default_depth}); [chunk] is
-    the service batch (default {!default_chunk}); [burst] is the
-    {!Asap} arrival batch (default [chunk] — keep it at or below
-    [depth] unless deliberately overrunning); [stats] receives
-    [Ingest_dropped] bumps, queue-depth and inter-arrival
-    observations.
+    the service batch (default {!default_chunk}) — when [depth] is
+    smaller than [chunk], batches are capped at [depth] and the queue
+    is serviced whenever it fills; [burst] is the {!Asap} arrival
+    batch (default [chunk] — keep it at or below [depth] unless
+    deliberately overrunning); [stats] receives [Ingest_dropped]
+    bumps, queue-depth and inter-arrival observations.
 
     @raise Invalid_argument on a non-positive [depth], [chunk],
     [burst] or speedup. *)

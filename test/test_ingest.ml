@@ -429,6 +429,58 @@ let test_pcapng_multi_interface () =
   checki "interfaces in final section" 1 i.Capture.interfaces;
   Sys.remove path
 
+(* Corrupt/giant pcapng block lengths must be rejected before any
+   allocation, in both the section-header and the generic block path —
+   the classic-pcap reader already caps caplen the same way. *)
+let test_pcapng_oversized_block () =
+  let path = tmp "huge.pcapng" in
+  (* A ~268 MB section header right at the start of the file. *)
+  let buf = Buffer.create 16 in
+  Buffer.add_int32_le buf (Int32.of_int 0x0A0D0D0A);
+  Buffer.add_int32_be buf (Int32.of_int 0x0FFFFFF0);
+  write_file path (Buffer.to_bytes buf);
+  expect_format_error "giant SHB" (fun () -> Capture.load path);
+  (* A ~268 MB unknown block after a valid section header. *)
+  let buf = Buffer.create 64 in
+  let u32 v = Buffer.add_int32_le buf (Int32.of_int v) in
+  u32 0x0A0D0D0A; u32 28;
+  u32 0x1A2B3C4D;
+  Buffer.add_uint16_le buf 1; Buffer.add_uint16_le buf 0;
+  u32 0xFFFFFFFF; u32 0xFFFFFFFF;
+  u32 28;
+  u32 0x0BAD;
+  u32 0x0FFFFFF0;
+  write_file path (Buffer.to_bytes buf);
+  expect_format_error "giant block" (fun () -> Capture.load path);
+  Sys.remove path
+
+(* An IDB snaplen of 0 means "no limit" per the spec; Simple Packet
+   Blocks under such an interface must keep their full data. *)
+let test_pcapng_spb_snaplen_zero () =
+  let buf = Buffer.create 128 in
+  let u32 v = Buffer.add_int32_le buf (Int32.of_int v) in
+  let u16 v = Buffer.add_uint16_le buf v in
+  (* SHB *)
+  u32 0x0A0D0D0A; u32 28; u32 0x1A2B3C4D; u16 1; u16 0;
+  u32 0xFFFFFFFF; u32 0xFFFFFFFF; u32 28;
+  (* IDB declaring snaplen 0 (unlimited) *)
+  u32 0x00000001; u32 20; u16 Pcap.linktype_ethernet; u16 0; u32 0; u32 20;
+  (* SPB carrying a 60-byte frame *)
+  u32 0x00000003; u32 76; u32 60;
+  Buffer.add_string buf (String.make 60 'x');
+  u32 76;
+  let path = tmp "spb.pcapng" in
+  write_file path (Buffer.to_bytes buf);
+  with_in path (fun ic ->
+      let r = Pcapng.create_reader ic in
+      match Pcapng.read_record r with
+      | `Record rec_ ->
+          checki "full frame captured" 60 (Bytes.length rec_.Pcapng.data);
+          checki "orig_len" 60 rec_.Pcapng.orig_len;
+          checkb "then end" true (Pcapng.read_record r = `End)
+      | _ -> Alcotest.fail "expected a record");
+  Sys.remove path
+
 (* ---------------- streaming driver ---------------- *)
 
 let seq_packets n =
@@ -476,6 +528,33 @@ let test_stream_block () =
   match Stats.interarrival stats with
   | Some h -> checki "interarrival gaps" 99 (Newton_telemetry.Hist.count h)
   | None -> Alcotest.fail "no interarrival histogram"
+
+(* Regression: [Block] with a queue shallower than the chunk used to
+   livelock — the arrival budget hit 0 at a full queue while the
+   service condition (a whole chunk queued) stayed unreachable.  The
+   queue now drains at its high-water mark instead. *)
+let test_stream_block_shallow_queue () =
+  let count = ref 0 in
+  let s =
+    Stream.run ~depth:4 ~chunk:16 ~policy:Stream.Block
+      (Stream.of_packets (seq_packets 50))
+      (fun batch ->
+        checkb "batch capped by depth" true (Array.length batch <= 4);
+        count := !count + Array.length batch)
+  in
+  checki "all delivered" 50 s.Stream.delivered;
+  checki "sink saw all" 50 !count;
+  checki "nothing dropped" 0 s.Stream.dropped;
+  checki "depth-sized chunks" 13 s.Stream.chunks;
+  (* The paced path must drain a shallow queue too. *)
+  let s =
+    Stream.run ~depth:4 ~chunk:16 ~policy:Stream.Block
+      ~pace:(Stream.Realtime 1000.0)
+      (Stream.of_packets (seq_packets 20))
+      (fun _ -> ())
+  in
+  checki "paced: all delivered" 20 s.Stream.delivered;
+  checki "paced: nothing dropped" 0 s.Stream.dropped
 
 let test_stream_realtime_pacing () =
   let pkts = seq_packets 60 in
@@ -556,8 +635,14 @@ let suite =
       test_truncated_frame_body;
     Alcotest.test_case "pcapng multi-interface + sections" `Quick
       test_pcapng_multi_interface;
+    Alcotest.test_case "pcapng oversized block lengths rejected" `Quick
+      test_pcapng_oversized_block;
+    Alcotest.test_case "pcapng SPB under snaplen-0 interface" `Quick
+      test_pcapng_spb_snaplen_zero;
     Alcotest.test_case "stream backpressure: drop" `Quick test_stream_drop;
     Alcotest.test_case "stream backpressure: block" `Quick test_stream_block;
+    Alcotest.test_case "stream block with shallow queue (depth < chunk)" `Quick
+      test_stream_block_shallow_queue;
     Alcotest.test_case "stream realtime pacing" `Slow
       test_stream_realtime_pacing;
     Alcotest.test_case "stream argument validation" `Quick
