@@ -1,6 +1,6 @@
 # Conventional entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench examples doc clean data ci
+.PHONY: all build test bench examples doc clean data ci check
 
 # Maximum shard count the parallel replay bench measures (powers of two
 # up to this value); see EXPERIMENTS.md.
@@ -32,8 +32,15 @@ examples:
 doc:
 	dune build @doc
 
+# Static analysis over the catalog and a representative DSL intent;
+# --strict turns any warning into a failure (docs/ANALYSIS.md).
+check:
+	dune exec bin/newton_cli.exe -- check --all --strict \
+	  --query 'filter(proto == udp) | map(dip) | reduce(dip, count) | filter(count > 100) | map(dip)'
+
 # Exactly what .github/workflows/ci.yml runs: artifact-hygiene guard,
-# .mli interface guard, build, tests, example smoke-runs.
+# .mli interface guard, build, tests, static analysis, example
+# smoke-runs.
 ci:
 	@test -z "$$(git ls-files _build)" || \
 	  { echo "error: _build artifacts are tracked in git"; exit 1; }
@@ -45,6 +52,7 @@ ci:
 	done; exit $$missing
 	$(MAKE) build
 	$(MAKE) test
+	$(MAKE) check
 	$(MAKE) examples
 
 clean:

@@ -1,0 +1,129 @@
+(** Static-analysis latency: what `newton check` and the deployment
+    admission gate cost.
+
+    The gate runs on every [Deploy.deploy], so its latency rides the
+    paper's headline query-deployment numbers (Fig. 10); this bench
+    pins down three shapes:
+
+    - single  — [Check.check_query] per catalog query, all passes
+    - set     — [Check.check_queries] over the full catalog + extras
+                (peers and co-residents make conflict/capacity
+                quadratic in the deployment size)
+    - gate    — [Check.admission] of one compiled query against an
+                already-deployed catalog, the exact deploy-time path
+
+    Results go to the table and a JSON artifact —
+    out/bench_analysis.json or the path in NEWTON_BENCH_ANALYSIS_JSON —
+    which tracks the analysis perf trajectory alongside the other
+    benches. *)
+
+let getenv_int name default =
+  match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+  | Some v when v > 0 -> v
+  | _ -> default
+
+let json_path () =
+  Option.value (Sys.getenv_opt "NEWTON_BENCH_ANALYSIS_JSON")
+    ~default:"out/bench_analysis.json"
+
+(* Mean seconds per call over [iters] runs of [f]. *)
+let time_mean iters f =
+  ignore (f ());
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    ignore (f ())
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int iters
+
+let run () =
+  Common.banner "Static-analysis latency (newton check / admission gate)";
+  let iters = getenv_int "NEWTON_BENCH_ANALYSIS_ITERS" 200 in
+  let queries = Newton_query.Catalog.all () @ Newton_query.Catalog.extras () in
+  let compiled = List.map (fun q -> (q, Common.compile q)) queries in
+  Common.note "%d queries, %d iterations per shape" (List.length queries) iters;
+  let t =
+    Common.T.create
+      ~aligns:[ Common.T.Left; Common.T.Right; Common.T.Right ]
+      [ "shape"; "mean us"; "diags" ]
+  in
+  (* single: every catalog query through every pass, averaged. *)
+  let single_means =
+    List.map
+      (fun q ->
+        let s =
+          time_mean iters (fun () -> Newton_analysis.Check.check_query q)
+        in
+        (q.Newton_query.Ast.name, s))
+      queries
+  in
+  let single_mean =
+    List.fold_left (fun acc (_, s) -> acc +. s) 0.0 single_means
+    /. float_of_int (List.length single_means)
+  in
+  Common.T.add_row t
+    [ "single (catalog mean)"; Printf.sprintf "%.1f" (single_mean *. 1e6); "0" ];
+  (* set: the full catalog analysed together (peers + co-residents). *)
+  let set_mean =
+    time_mean iters (fun () -> Newton_analysis.Check.check_queries queries)
+  in
+  let set_diags = Newton_analysis.Check.check_queries queries in
+  Common.T.add_row t
+    [
+      "set (catalog together)";
+      Printf.sprintf "%.1f" (set_mean *. 1e6);
+      string_of_int (List.length set_diags);
+    ];
+  (* gate: admit one more compiled query against a deployed catalog —
+     the exact code path [Deploy.deploy] runs before installing. *)
+  let incoming = Common.compile (Newton_query.Catalog.q4 ~th:99 ()) in
+  let gate_mean =
+    time_mean iters (fun () ->
+        Newton_analysis.Check.admission ~deployed:compiled incoming)
+  in
+  let gate_diags = Newton_analysis.Check.admission ~deployed:compiled incoming in
+  Common.T.add_row t
+    [
+      "gate (admission vs catalog)";
+      Printf.sprintf "%.1f" (gate_mean *. 1e6);
+      string_of_int (List.length gate_diags);
+    ];
+  Common.T.print t;
+  Common.note "per-query detail: slowest %s"
+    (fst
+       (List.fold_left
+          (fun (bn, bs) (n, s) -> if s > bs then (n, s) else (bn, bs))
+          ("", 0.0) single_means));
+  Common.maybe_dat t "analysis_latency";
+  let open Newton_util.Json in
+  let json =
+    Obj
+      [
+        ("bench", String "analysis_latency");
+        ("queries", Int (List.length queries));
+        ("iterations", Int iters);
+        ( "single",
+          Obj
+            (("mean_us", Float (single_mean *. 1e6))
+            :: List.map (fun (n, s) -> (n, Float (s *. 1e6))) single_means) );
+        ( "set",
+          Obj
+            [
+              ("mean_us", Float (set_mean *. 1e6));
+              ("diagnostics", Int (List.length set_diags));
+            ] );
+        ( "gate",
+          Obj
+            [
+              ("mean_us", Float (gate_mean *. 1e6));
+              ("diagnostics", Int (List.length gate_diags));
+            ] );
+      ]
+  in
+  let out = json_path () in
+  let dir = Filename.dirname out in
+  if dir <> "." && not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out out in
+  output_string oc (to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Common.note "[json written to %s]" out

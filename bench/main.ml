@@ -19,6 +19,7 @@ let experiments =
     ("refinement", Refinement.run);
     ("parallel", Parallel.run);
     ("ingest", Ingest.run);
+    ("analysis", Analysis.run);
     ("micro", Microbench.run) ]
 
 let () =

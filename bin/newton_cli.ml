@@ -176,7 +176,10 @@ let print_ingest_summary stats (s : Ingest.Stream.summary) =
 
 let lookup_queries ids =
   try Ok (List.map Catalog.by_id ids)
-  with Invalid_argument msg -> Error msg
+  with Catalog.Unknown_id { id; min; max } ->
+    Error
+      (Printf.sprintf "newton: no catalog query Q%d; valid ids are %d-%d" id
+         min max)
 
 let dsl_arg =
   let doc =
@@ -206,6 +209,23 @@ let gather_queries ids dsl =
       | Ok all -> Ok all
       | Error m -> Error m)
 
+(* Static-analysis gate for the execution commands: error-severity
+   intents are rejected with diagnostics (exit 2), never a backtrace
+   from deeper in the pipeline. *)
+let reject_invalid qs =
+  let diags = Analysis.Check.check_queries qs in
+  if Analysis.Diag.has_errors diags then begin
+    prerr_endline
+      (Analysis.Check.explain
+         (List.filter
+            (fun d -> d.Analysis.Diag.severity = Analysis.Diag.Error)
+            diags));
+    prerr_endline
+      "newton: rejected by static analysis (run `newton check` for the full \
+       report)";
+    exit 2
+  end
+
 (* ---------------- queries ---------------- *)
 
 let cmd_queries =
@@ -223,7 +243,7 @@ let cmd_queries =
 let cmd_compile =
   let run ids show_slots =
     match lookup_queries ids with
-    | Error msg -> prerr_endline msg; exit 1
+    | Error msg -> prerr_endline msg; exit 2
     | Ok qs ->
         List.iter
           (fun q ->
@@ -265,7 +285,7 @@ let cmd_p4 =
        let layout = { Newton_p4gen.Emit.default_layout with Newton_p4gen.Emit.stages } in
        print_string (Newton_p4gen.Emit.program ~layout ()));
     match lookup_queries ids with
-    | Error msg -> prerr_endline msg; exit 1
+    | Error msg -> prerr_endline msg; exit 2
     | Ok qs ->
         List.iteri
           (fun i q ->
@@ -360,8 +380,9 @@ let cmd_run =
       exit 1
     end;
     match gather_queries ids dsl with
-    | Error msg -> prerr_endline msg; exit 1
+    | Error msg -> prerr_endline msg; exit 2
     | Ok qs ->
+        reject_invalid qs;
         (* Set up the engine (sequential or sharded) behind a chunk sink
            so both the synthetic and the pcap-streaming path feed it the
            same way. *)
@@ -459,8 +480,9 @@ let cmd_stats =
       exit 1
     end;
     match gather_queries ids dsl with
-    | Error msg -> prerr_endline msg; exit 1
+    | Error msg -> prerr_endline msg; exit 2
     | Ok qs ->
+        reject_invalid qs;
         let sink_fn, metrics_fn =
           if jobs = 1 then begin
             let device = Device.create () in
@@ -568,19 +590,151 @@ let fail_arg =
        & info [ "fail-link" ] ~docv:"A,B"
            ~doc:"Fail the switch link (A,B) halfway through the trace.")
 
+(* ---------------- check (static analysis) ---------------- *)
+
+let cmd_check =
+  let run ids dsl all json strict output topo stages registers expected_keys =
+    (* No explicit selection means "check everything", like --all. *)
+    let whole_catalog = all || (ids = [] && dsl = []) in
+    let queries =
+      match gather_queries (if whole_catalog then [] else ids) dsl with
+      | Error msg ->
+          prerr_endline msg;
+          exit 2
+      | Ok qs ->
+          if whole_catalog then Catalog.all () @ Catalog.extras () @ qs else qs
+    in
+    let cfg =
+      {
+        Analysis.Pass.default_config with
+        Analysis.Pass.options =
+          { Compile_options.default_options with Compile_options.registers };
+        expected_keys;
+      }
+    in
+    (* Mirrors [Analysis.Check.check_queries] — each query sees the
+       others as peers/co-residents — but adds a per-query placement
+       target when --topo is given, so slice-boundary and switch
+       commitment checks run against the actual deployment shape. *)
+    let compiled =
+      List.map
+        (fun q ->
+          ( q,
+            match Compiler.compile ~options:cfg.Analysis.Pass.options q with
+            | c -> Some c
+            | exception _ -> None ))
+        queries
+    in
+    let diags =
+      List.concat_map
+        (fun (q, c) ->
+          let peers = List.filter (fun (p, _) -> p != q) compiled in
+          let co_resident = List.filter_map snd peers in
+          let target =
+            match (topo, c) with
+            | Some topo, Some c -> (
+                try
+                  Some
+                    (Newton_controller.Deploy.target_of_placement
+                       (Newton_controller.Placement.place
+                          ~stages_per_switch:stages ~topo c))
+                with _ -> None)
+            | _ -> None
+          in
+          Analysis.Check.check_query ~cfg ?target ~peers ~co_resident q)
+        compiled
+    in
+    let diags = List.sort Analysis.Diag.compare diags in
+    let e, w, i = Analysis.Check.severity_counts diags in
+    let text =
+      if json then
+        Newton_util.Json.to_string (Analysis.Check.report_to_json diags) ^ "\n"
+      else
+        (if diags = [] then "" else Analysis.Check.explain diags ^ "\n")
+        ^ Printf.sprintf "checked %d queries: %d errors, %d warnings, %d infos\n"
+            (List.length queries) e w i
+    in
+    (match output with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc;
+        Printf.eprintf "check report written to %s\n" path
+    | None -> print_string text);
+    exit (Analysis.Check.exit_code ~strict diags)
+  in
+  let check_queries_arg =
+    Arg.(value & opt (list int) []
+         & info [ "q"; "queries" ] ~docv:"IDS"
+             ~doc:"Comma-separated catalog query ids to check (default: the \
+                   whole catalog).")
+  in
+  let all_arg =
+    Arg.(value & flag
+         & info [ "all" ]
+             ~doc:"Check the full catalog (Q1-Q9) plus the extension queries.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let strict_arg =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"Treat warnings as errors: any warning makes the exit code 2.")
+  in
+  let output_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write the report to a file instead of stdout.")
+  in
+  let check_topo_arg =
+    Arg.(value & opt (some topo_conv) None
+         & info [ "topo" ] ~docv:"TOPO"
+             ~doc:"Also verify placement against a topology (linear:N, \
+                   fat-tree:K, bypass[:S:L], or isp); off by default.")
+  in
+  let registers_arg =
+    Arg.(value
+         & opt int Compile_options.default_options.Compile_options.registers
+         & info [ "registers" ] ~docv:"N"
+             ~doc:"Registers per state-bank array assumed by the sketch-health \
+                   pass.")
+  in
+  let keys_arg =
+    Arg.(value & opt int Analysis.Pass.default_config.Analysis.Pass.expected_keys
+         & info [ "expected-keys" ] ~docv:"N"
+             ~doc:"Expected distinct keys per window, used for sketch \
+                   false-positive estimates.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Statically verify queries (structure, field widths, predicates, \
+          dataflow, thresholds, sketch health, capacity, conflicts, cross-cut \
+          ordering) and report structured diagnostics")
+    Term.(
+      const run $ check_queries_arg $ dsl_arg $ all_arg $ json_arg $ strict_arg
+      $ output_arg $ check_topo_arg $ stages_arg $ registers_arg $ keys_arg)
+
 let cmd_netrun =
   let run ids topo stages profile flows seed attacks fail pcap =
     match lookup_queries ids with
-    | Error msg -> prerr_endline msg; exit 1
+    | Error msg -> prerr_endline msg; exit 2
     | Ok qs ->
+        reject_invalid qs;
         let net = Network.create topo in
         Printf.printf "topology: %s\n" (Topo.to_string topo);
-        List.iter
-          (fun q ->
-            let _, lat = Network.add_query net ~stages_per_switch:stages q in
-            Printf.printf "deployed Q%d network-wide in %.1f ms\n" q.Query.id
-              (lat *. 1e3))
-          qs;
+        (try
+           List.iter
+             (fun q ->
+               let _, lat = Network.add_query net ~stages_per_switch:stages q in
+               Printf.printf "deployed Q%d network-wide in %.1f ms\n" q.Query.id
+                 (lat *. 1e3))
+             qs
+         with Newton_controller.Deploy.Rejected diags ->
+           prerr_endline (Analysis.Check.explain diags);
+           prerr_endline "newton: deployment rejected by static analysis";
+           exit 2);
         let trace = make_trace ?pcap_in:pcap profile flows seed attacks in
         Network.process_trace net trace;
         (match fail with
@@ -606,7 +760,7 @@ let cmd_chaos =
   let run ids topo stages profile flows seed attacks fails repairs strict
       output pcap =
     match lookup_queries ids with
-    | Error msg -> prerr_endline msg; exit 1
+    | Error msg -> prerr_endline msg; exit 2
     | Ok qs ->
         let trace = make_trace ?pcap_in:pcap profile flows seed attacks in
         let pkts = Trace.packets trace in
@@ -983,6 +1137,7 @@ let () =
        (Cmd.group info
           [
             cmd_queries;
+            cmd_check;
             cmd_compile;
             cmd_p4;
             cmd_run;

@@ -1,0 +1,51 @@
+(** The analysis driver: runs every registered pass over a query (or a
+    query set) and renders reports.  Never raises on user input —
+    escaped pass exceptions become NA099 diagnostics and compilation
+    failures NA045. *)
+
+open Newton_query
+open Newton_compiler
+
+(** Registered passes, in severity-of-subject order. *)
+val passes : (module Pass.S) list
+
+(** Build the per-query context (compiles the query once; a compile
+    failure is recorded, not raised). *)
+val make_ctx :
+  ?cfg:Pass.config -> ?target:Pass.target ->
+  ?peers:(Ast.t * Compose.t option) list -> ?co_resident:Compose.t list ->
+  Ast.t -> Pass.ctx
+
+(** Run every pass over a prepared context; sorted, deterministic. *)
+val check_ctx : Pass.ctx -> Diag.t list
+
+(** Analyse one query. *)
+val check_query :
+  ?cfg:Pass.config -> ?target:Pass.target ->
+  ?peers:(Ast.t * Compose.t option) list -> ?co_resident:Compose.t list ->
+  Ast.t -> Diag.t list
+
+(** Analyse a set together: each query sees the others as peers and
+    co-residents, so conflicts and stacked capacity surface. *)
+val check_queries :
+  ?cfg:Pass.config -> ?target:Pass.target -> Ast.t list -> Diag.t list
+
+(** The deployment gate: analyse an already-compiled query (with its
+    actual compile options) against the deployed set — conflicts see
+    the peers; capacity judges the query alone. *)
+val admission :
+  ?cfg:Pass.config -> ?target:Pass.target ->
+  deployed:(Ast.t * Compose.t) list -> Compose.t -> Diag.t list
+
+(** Human rendering of a report (one diagnostic per line, hints
+    indented). *)
+val explain : Diag.t list -> string
+
+(** (errors, warnings, infos). *)
+val severity_counts : Diag.t list -> int * int * int
+
+(** Stable JSON report: a summary object plus the diagnostics array. *)
+val report_to_json : Diag.t list -> Newton_util.Json.t
+
+(** Report exit code; [strict] promotes warnings (1) to errors (2). *)
+val exit_code : ?strict:bool -> Diag.t list -> int

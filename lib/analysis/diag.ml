@@ -1,0 +1,104 @@
+(** Structured diagnostics.
+
+    Every analysis pass reports findings as {!t} values: a stable code
+    (NAxxx), a severity, the query it concerns, a span locating the
+    finding inside the query, a human message and an optional fix hint.
+    Codes are append-only — front-ends and golden tests key on them. *)
+
+open Newton_util
+
+type severity = Info | Warning | Error
+
+let severity_to_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+
+(** Where in the query (or its compiled/placed form) a finding sits. *)
+type span =
+  | Query                                  (** the query as a whole *)
+  | Branch of int
+  | Prim of { branch : int; prim : int }
+  | Combine
+  | Stage of int                           (** a pipeline stage cell *)
+  | Switch of int                          (** a placement switch *)
+  | Cut of int                             (** a CQE slice (1-based) *)
+
+let span_to_string = function
+  | Query -> "query"
+  | Branch b -> Printf.sprintf "b%d" b
+  | Prim { branch; prim } -> Printf.sprintf "b%d.p%d" branch prim
+  | Combine -> "combine"
+  | Stage s -> Printf.sprintf "stage%d" s
+  | Switch s -> Printf.sprintf "sw%d" s
+  | Cut d -> Printf.sprintf "cut%d" d
+
+type t = {
+  code : string;          (** stable, e.g. "NA020" *)
+  severity : severity;
+  query_id : int;
+  query_name : string;
+  span : span;
+  message : string;
+  hint : string option;
+}
+
+let make ~code ~severity ?(span = Query) ?hint ~(query : Newton_query.Ast.t)
+    message =
+  {
+    code;
+    severity;
+    query_id = query.Newton_query.Ast.id;
+    query_name = query.Newton_query.Ast.name;
+    span;
+    message;
+    hint;
+  }
+
+let to_string d =
+  let hint =
+    match d.hint with None -> "" | Some h -> Printf.sprintf "\n    hint: %s" h
+  in
+  Printf.sprintf "%s[%s] %s(Q%d) %s: %s%s"
+    (severity_to_string d.severity)
+    d.code d.query_name d.query_id (span_to_string d.span) d.message hint
+
+let to_json d =
+  Json.Obj
+    [
+      ("code", Json.String d.code);
+      ("severity", Json.String (severity_to_string d.severity));
+      ("query_id", Json.Int d.query_id);
+      ("query_name", Json.String d.query_name);
+      ("span", Json.String (span_to_string d.span));
+      ("message", Json.String d.message);
+      ("hint", match d.hint with None -> Json.Null | Some h -> Json.String h);
+    ]
+
+(** Severity-major order (errors first), then query, code and span, so
+    reports and JSON artifacts are deterministic. *)
+let compare a b =
+  let c = Stdlib.compare (severity_rank b.severity) (severity_rank a.severity) in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare a.query_id b.query_id in
+    if c <> 0 then c
+    else
+      let c = Stdlib.compare a.code b.code in
+      if c <> 0 then c
+      else
+        let c = Stdlib.compare (span_to_string a.span) (span_to_string b.span) in
+        if c <> 0 then c else Stdlib.compare a.message b.message
+
+let max_severity diags =
+  List.fold_left
+    (fun acc d -> if severity_rank d.severity > severity_rank acc then d.severity else acc)
+    Info diags
+
+let has_errors diags = List.exists (fun d -> d.severity = Error) diags
+
+(** Process exit code of a report: 0 clean/info, 1 warnings, 2 errors. *)
+let exit_code diags =
+  match diags with [] -> 0 | _ -> severity_rank (max_severity diags)

@@ -1,0 +1,53 @@
+(** Structured diagnostics: what every analysis pass emits.  Codes are
+    stable (NAxxx, append-only); golden tests and front-ends key on
+    them.  See docs/ANALYSIS.md for the full code table. *)
+
+type severity = Info | Warning | Error
+
+val severity_to_string : severity -> string
+
+(** info 0, warning 1, error 2. *)
+val severity_rank : severity -> int
+
+(** Where in the query (or its compiled/placed form) a finding sits. *)
+type span =
+  | Query                                  (** the query as a whole *)
+  | Branch of int
+  | Prim of { branch : int; prim : int }
+  | Combine
+  | Stage of int                           (** a pipeline stage cell *)
+  | Switch of int                          (** a placement switch *)
+  | Cut of int                             (** a CQE slice (1-based) *)
+
+val span_to_string : span -> string
+
+type t = {
+  code : string;          (** stable, e.g. "NA020" *)
+  severity : severity;
+  query_id : int;
+  query_name : string;
+  span : span;
+  message : string;
+  hint : string option;
+}
+
+val make :
+  code:string -> severity:severity -> ?span:span -> ?hint:string ->
+  query:Newton_query.Ast.t -> string -> t
+
+val to_string : t -> string
+
+(** Stable member order: code, severity, query_id, query_name, span,
+    message, hint. *)
+val to_json : t -> Newton_util.Json.t
+
+(** Severity-major order (errors first) for deterministic reports. *)
+val compare : t -> t -> int
+
+(** [Info] for an empty list. *)
+val max_severity : t list -> severity
+
+val has_errors : t list -> bool
+
+(** Process exit code of a report: 0 clean/info, 1 warnings, 2 errors. *)
+val exit_code : t list -> int

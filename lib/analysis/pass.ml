@@ -1,0 +1,75 @@
+(** The common surface every analysis pass implements, plus the shared
+    analysis context the driver ({!Check}) builds once per query.
+
+    Passes are pure: they look at the query AST, the compiled slot IR
+    (when compilation succeeded), the optional placement facts and the
+    other queries sharing the deployment, and return {!Diag.t} lists.
+    They never raise on user input — the driver additionally wraps each
+    run so an escaped exception becomes an NA099 diagnostic rather than
+    a crash. *)
+
+open Newton_query
+open Newton_compiler
+
+(** Tunables the resource passes check against.  Defaults mirror the
+    modelled switch: 256-entry rule cells, the register file of a
+    Tofino-like stage, and the sketch-accuracy targets the paper's
+    evaluation uses. *)
+type config = {
+  options : Decompose.options;  (** compile options analysis assumes *)
+  rule_capacity : int;          (** entries per (stage, kind, set) cell *)
+  register_budget : int;        (** registers one query may allocate *)
+  expected_keys : int;          (** assumed distinct keys per window *)
+  fpr_bound : float;            (** tolerated Bloom false-positive rate *)
+  cm_epsilon : float;           (** tolerated CM relative error (of mass) *)
+  cm_delta : float;             (** tolerated CM error probability *)
+}
+
+let default_config =
+  {
+    options = Decompose.default_options;
+    rule_capacity = 256;
+    register_budget = 1 lsl 20;
+    expected_keys = 1000;
+    fpr_bound = 0.05;
+    cm_epsilon = 0.01;
+    cm_delta = 0.2;
+  }
+
+(** Placement facts, decoupled from the controller's [Placement.t] so
+    the analysis library stays below the controller in the dependency
+    order.  Build one with {!target} or from a computed placement. *)
+type target = {
+  stages_per_switch : int;
+  num_switches : int;
+  switch_slices : int list array;   (** per switch: 1-based slice ids *)
+  slice_ranges : (int * int) array; (** per slice: stage lo/hi (0-based) *)
+  max_path_depth : int;             (** deepest slice id actually placed *)
+}
+
+let target ~stages_per_switch ~num_switches ~switch_slices ~slice_ranges
+    ~max_path_depth =
+  { stages_per_switch; num_switches; switch_slices; slice_ranges; max_path_depth }
+
+(** Everything a pass may look at. *)
+type ctx = {
+  query : Ast.t;
+  cfg : config;
+  compiled : Compose.t option;        (** None when compilation failed *)
+  compile_error : string option;      (** why, when it failed *)
+  peers : (Ast.t * Compose.t option) list;
+      (** other queries of the deployment (conflict detection) *)
+  co_resident : Compose.t list;
+      (** compiled queries sharing the pipeline (capacity stacking) *)
+  target : target option;             (** placement facts, when known *)
+}
+
+module type S = sig
+  val name : string
+  val doc : string
+
+  (** Codes this pass can emit (documentation + golden-test guard). *)
+  val codes : string list
+
+  val run : ctx -> Diag.t list
+end

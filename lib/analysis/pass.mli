@@ -1,0 +1,56 @@
+(** The common surface every analysis pass implements, plus the shared
+    analysis context the driver ({!Check}) builds once per query. *)
+
+open Newton_query
+open Newton_compiler
+
+(** Tunables the resource passes check against. *)
+type config = {
+  options : Decompose.options;  (** compile options analysis assumes *)
+  rule_capacity : int;          (** entries per (stage, kind, set) cell *)
+  register_budget : int;        (** registers one query may allocate *)
+  expected_keys : int;          (** assumed distinct keys per window *)
+  fpr_bound : float;            (** tolerated Bloom false-positive rate *)
+  cm_epsilon : float;           (** tolerated CM relative error (of mass) *)
+  cm_delta : float;             (** tolerated CM error probability *)
+}
+
+val default_config : config
+
+(** Placement facts, decoupled from the controller's [Placement.t] so
+    the analysis library stays below the controller in the dependency
+    order. *)
+type target = {
+  stages_per_switch : int;
+  num_switches : int;
+  switch_slices : int list array;   (** per switch: 1-based slice ids *)
+  slice_ranges : (int * int) array; (** per slice: stage lo/hi (0-based) *)
+  max_path_depth : int;             (** deepest slice id actually placed *)
+}
+
+val target :
+  stages_per_switch:int -> num_switches:int -> switch_slices:int list array ->
+  slice_ranges:(int * int) array -> max_path_depth:int -> target
+
+(** Everything a pass may look at. *)
+type ctx = {
+  query : Ast.t;
+  cfg : config;
+  compiled : Compose.t option;        (** None when compilation failed *)
+  compile_error : string option;      (** why, when it failed *)
+  peers : (Ast.t * Compose.t option) list;
+      (** other queries of the deployment (conflict detection) *)
+  co_resident : Compose.t list;
+      (** compiled queries sharing the pipeline (capacity stacking) *)
+  target : target option;             (** placement facts, when known *)
+}
+
+module type S = sig
+  val name : string
+  val doc : string
+
+  (** Codes this pass can emit (documentation + golden-test guard). *)
+  val codes : string list
+
+  val run : ctx -> Diag.t list
+end

@@ -1,0 +1,145 @@
+(** Static capacity (NA050–NA053): what the compiled query asks of the
+    pipeline, before any rule is installed.
+
+    Rules: each active slot is one table entry in its
+    (stage, kind, metadata-set) cell and every init entry is one
+    classifier rule; co-resident queries ({!Pass.ctx.co_resident})
+    stack into the same cells.  Registers: the total the query's state
+    arrays allocate.  With placement facts ({!Pass.ctx.target}), the
+    pass additionally checks each switch's stage commitment and whether
+    the chain's tail falls beyond the deepest reachable switch. *)
+
+open Newton_compiler
+open Ir
+
+let name = "capacity"
+let doc = "rule-cell occupancy, register budget, stage/path fit"
+let codes = [ "NA050"; "NA051"; "NA052"; "NA053" ]
+
+let kind_name = Newton_dataplane.Module_cost.kind_to_string
+
+(* (stage, kind, meta) -> rule count of one compiled query. *)
+let add_cells tbl (c : Compose.t) =
+  Array.iter
+    (List.iter (fun s ->
+         if Ir.is_active s then
+           let key = (s.stage, s.kind, s.meta) in
+           Hashtbl.replace tbl key
+             (1 + Option.value (Hashtbl.find_opt tbl key) ~default:0)))
+    c.Compose.branches
+
+let registers_of (c : Compose.t) =
+  Array.fold_left
+    (fun acc slots ->
+      List.fold_left
+        (fun acc s ->
+          match s.cfg with
+          | S_cfg { registers; _ } when Ir.is_active s -> acc + registers
+          | _ -> acc)
+        acc slots)
+    0 c.Compose.branches
+
+let run (ctx : Pass.ctx) =
+  let query = ctx.Pass.query in
+  let cfg = ctx.Pass.cfg in
+  match ctx.Pass.compiled with
+  | None -> []
+  | Some c ->
+      let cells = Hashtbl.create 64 in
+      add_cells cells c;
+      List.iter (add_cells cells) ctx.Pass.co_resident;
+      let init_rules =
+        Array.length c.Compose.init_entries
+        + List.fold_left
+            (fun acc p -> acc + Array.length p.Compose.init_entries)
+            0 ctx.Pass.co_resident
+      in
+      let over_cells =
+        Hashtbl.fold
+          (fun (stage, kind, meta) n acc ->
+            if n > cfg.Pass.rule_capacity then
+              Diag.make ~code:"NA050" ~severity:Diag.Error
+                ~span:(Diag.Stage stage) ~query
+                ~hint:"cells hold 256 entries; deploy fewer queries per cell"
+                (Printf.sprintf
+                   "%s cell (metadata set %d) needs %d rules, capacity is %d"
+                   (kind_name kind) meta n cfg.Pass.rule_capacity)
+              :: acc
+            else acc)
+          cells []
+      in
+      let over_init =
+        if init_rules > cfg.Pass.rule_capacity then
+          [
+            Diag.make ~code:"NA050" ~severity:Diag.Error ~span:(Diag.Stage 0)
+              ~query
+              (Printf.sprintf
+                 "newton_init needs %d classifier rules, capacity is %d"
+                 init_rules cfg.Pass.rule_capacity);
+          ]
+        else []
+      in
+      let regs = registers_of c in
+      let over_regs =
+        if regs > cfg.Pass.register_budget then
+          [
+            Diag.make ~code:"NA052" ~severity:Diag.Error ~query
+              ~hint:"shrink the per-array registers or the sketch depths"
+              (Printf.sprintf
+                 "query allocates %d state registers, budget is %d" regs
+                 cfg.Pass.register_budget);
+          ]
+        else []
+      in
+      let placement =
+        match ctx.Pass.target with
+        | None -> []
+        | Some t ->
+            let n = t.Pass.stages_per_switch in
+            let stages = c.Compose.stats.Compose.stages in
+            let slices_needed =
+              if n <= 0 then 0 else max 1 ((stages + n - 1) / n)
+            in
+            let tail =
+              if slices_needed > t.Pass.max_path_depth then
+                [
+                  Diag.make ~code:"NA053" ~severity:Diag.Warning
+                    ~span:(Diag.Cut t.Pass.max_path_depth) ~query
+                    ~hint:
+                      "paths shorter than the slice count leave the tail \
+                       uninstalled; reports from it never fire"
+                    (Printf.sprintf
+                       "query needs %d slices but the deepest reachable \
+                        switch sits at depth %d"
+                       slices_needed t.Pass.max_path_depth);
+                ]
+              else []
+            in
+            let spans =
+              Array.to_list
+                (Array.mapi
+                   (fun sw slice_ids ->
+                     let committed =
+                       List.fold_left
+                         (fun acc d ->
+                           if d - 1 < Array.length t.Pass.slice_ranges then
+                             let lo, hi = t.Pass.slice_ranges.(d - 1) in
+                             acc + (hi - lo + 1)
+                           else acc)
+                         0 slice_ids
+                     in
+                     if committed > n then
+                       [
+                         Diag.make ~code:"NA051" ~severity:Diag.Warning
+                           ~span:(Diag.Switch sw) ~query
+                           (Printf.sprintf
+                              "switch commits %d stages to this query's \
+                               slices, pipeline has %d"
+                              committed n);
+                       ]
+                     else [])
+                   t.Pass.switch_slices)
+            in
+            tail @ List.concat spans
+      in
+      over_cells @ over_init @ over_regs @ placement

@@ -1,0 +1,8 @@
+(** Static capacity (NA050–NA053): rule-cell occupancy, register
+    budget, and (with placement facts) stage commitment and path-depth
+    fit. *)
+
+val name : string
+val doc : string
+val codes : string list
+val run : Pass.ctx -> Diag.t list

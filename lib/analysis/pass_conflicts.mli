@@ -1,0 +1,7 @@
+(** Cross-query conflicts (NA060–NA061): exact duplicates and
+    threshold-divergent twins among co-deployed queries. *)
+
+val name : string
+val doc : string
+val codes : string list
+val run : Pass.ctx -> Diag.t list

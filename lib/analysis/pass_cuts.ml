@@ -1,0 +1,80 @@
+(** Cross-query-element (CQE) slice cuts (NA070–NA071).
+
+    Slicing cuts the composed chain every [stages_per_switch] stages;
+    each slice lands on a different switch along the forwarding path.
+    A combine branch's read-back ([S_read]) fetches the sibling
+    branch's register array — legal only when reader and producer share
+    a slice:
+
+    - reader in an {e earlier} slice than the producer: the array lives
+      on a downstream switch the packet has not reached; the read is
+      physically impossible (NA070, error);
+    - reader in a {e later} slice: the engine resolves a remote array
+      to an all-zero bank, so the combine silently subtracts/minimises
+      against zero (NA071, warning). *)
+
+open Newton_compiler
+open Ir
+
+let name = "cuts"
+let doc = "S_read across CQE slice boundaries"
+let codes = [ "NA070"; "NA071" ]
+
+let run (ctx : Pass.ctx) =
+  let query = ctx.Pass.query in
+  match (ctx.Pass.compiled, ctx.Pass.target) with
+  | None, _ | _, None -> []
+  | Some c, Some t ->
+      let n = t.Pass.stages_per_switch in
+      if n <= 0 then []
+      else
+        let slice_of stage = (stage / n) + 1 (* 1-based, like placement *) in
+        let producer_stage ar =
+          let found = ref None in
+          Array.iter
+            (List.iter (fun s ->
+                 if
+                   Ir.is_active s && s.kind = Newton_dataplane.Module_cost.S
+                   && s.branch = ar.ar_branch && s.prim = ar.ar_prim
+                   && s.suite = ar.ar_suite
+                 then found := Some s.stage))
+            c.Compose.branches;
+          !found
+        in
+        let diags = ref [] in
+        Array.iter
+          (List.iter (fun s ->
+               match s.cfg with
+               | S_cfg { op = S_read ar; _ } when Ir.is_active s -> (
+                   match producer_stage ar with
+                   | None -> ()
+                   | Some pstage ->
+                       let rs = slice_of s.stage and ps = slice_of pstage in
+                       if rs < ps then
+                         diags :=
+                           Diag.make ~code:"NA070" ~severity:Diag.Error
+                             ~span:(Diag.Cut rs) ~query
+                             ~hint:
+                               "widen stages_per_switch so the read-back and \
+                                the sibling's arrays share a slice"
+                             (Printf.sprintf
+                                "read-back in slice %d reads branch %d's \
+                                 array produced in slice %d — the state is \
+                                 downstream of the reader"
+                                rs ar.ar_branch ps)
+                           :: !diags
+                       else if rs > ps then
+                         diags :=
+                           Diag.make ~code:"NA071" ~severity:Diag.Warning
+                             ~span:(Diag.Cut rs) ~query
+                             ~hint:
+                               "remote arrays read as zero; the combine sees \
+                                an empty sibling"
+                             (Printf.sprintf
+                                "read-back in slice %d reads branch %d's \
+                                 array from slice %d on an upstream switch"
+                                rs ar.ar_branch ps)
+                           :: !diags)
+               | _ -> ()))
+          c.Compose.branches;
+        List.rev !diags

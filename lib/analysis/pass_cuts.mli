@@ -1,0 +1,7 @@
+(** CQE slice-cut validation (NA070–NA071): combine read-backs that
+    cross slice boundaries. *)
+
+val name : string
+val doc : string
+val codes : string list
+val run : Pass.ctx -> Diag.t list

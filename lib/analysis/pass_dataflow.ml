@@ -1,0 +1,71 @@
+(** Map-projection liveness (NA025–NA026).
+
+    A [map] narrows the tuple to its keys; the fields that matter
+    downstream are the ones the {e next} keyed primitive ([map] /
+    [distinct] / [reduce]) actually keys on — header fields themselves
+    remain readable by filters regardless.  Keys projected by a [map]
+    but absent from the next keyed primitive do nothing: warn on a
+    partial waste (NA025), and louder when the whole projection is
+    ignored (NA026).  A [map] with no later keyed primitive is the
+    query's final report projection and is never flagged. *)
+
+open Newton_query
+
+let name = "dataflow"
+let doc = "dead map projections"
+let codes = [ "NA025"; "NA026" ]
+
+let fields_of keys =
+  List.sort_uniq compare (List.map (fun k -> k.Ast.field) keys)
+
+let rec next_keyed = function
+  | [] -> None
+  | Ast.Map ks :: _ | Ast.Distinct ks :: _ -> Some ks
+  | Ast.Reduce { keys; _ } :: _ -> Some keys
+  | Ast.Filter _ :: rest -> next_keyed rest
+
+let run (ctx : Pass.ctx) =
+  let query = ctx.Pass.query in
+  List.concat
+    (List.mapi
+       (fun b prims ->
+         let rec walk p = function
+           | [] -> []
+           | Ast.Map keys :: rest -> (
+               match next_keyed rest with
+               | None -> walk (p + 1) rest (* final projection *)
+               | Some used ->
+                   let span = Diag.Prim { branch = b; prim = p } in
+                   let mine = fields_of keys in
+                   let theirs = fields_of used in
+                   let dead =
+                     List.filter (fun f -> not (List.mem f theirs)) mine
+                   in
+                   let here =
+                     if dead = [] then []
+                     else if List.length dead = List.length mine then
+                       [
+                         Diag.make ~code:"NA026" ~severity:Diag.Warning ~span
+                           ~query
+                           ~hint:"remove the map, or key the next primitive \
+                                  on its fields"
+                           "no field of this map is used by the next keyed \
+                            primitive — the whole projection is dead";
+                       ]
+                     else
+                       [
+                         Diag.make ~code:"NA025" ~severity:Diag.Warning ~span
+                           ~query ~hint:"project only the fields that are keyed on"
+                           (Printf.sprintf
+                              "map field%s %s unused by the next keyed \
+                               primitive"
+                              (if List.length dead = 1 then "" else "s")
+                              (String.concat ", "
+                                 (List.map Newton_packet.Field.to_string dead)));
+                       ]
+                   in
+                   here @ walk (p + 1) rest)
+           | _ :: rest -> walk (p + 1) rest
+         in
+         walk 0 prims)
+       query.Ast.branches)

@@ -1,0 +1,7 @@
+(** Map-projection liveness (NA025–NA026): map keys unused by the next
+    keyed primitive. *)
+
+val name : string
+val doc : string
+val codes : string list
+val run : Pass.ctx -> Diag.t list

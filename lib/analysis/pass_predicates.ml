@@ -1,0 +1,146 @@
+(** Predicate satisfiability (NA020–NA022): interval analysis over the
+    field predicates of a branch.
+
+    Packet header fields are immutable along a chain, so knowledge
+    accumulates across filters: for every (field, mask) pair the pass
+    keeps the feasible interval [lo, hi] plus the values excluded by
+    [!=] predicates.  Each [Cmp] predicate is judged against
+
+    - the {e fresh} domain of its (field, mask): unchanged means the
+      predicate always holds — a tautology (NA021);
+    - the accumulated environment: unchanged means an earlier predicate
+      (possibly one absorbed into newton_init) already implies it
+      (NA022);
+    - emptiness after application: the conjunction can never match and
+      the branch is dead (NA020).
+
+    [Result_cmp] thresholds are owned by {!Pass_threshold}; predicates
+    over different masks of one field are tracked independently (a
+    sound under-approximation). *)
+
+open Newton_query
+open Newton_packet
+
+let name = "predicates"
+let doc = "unsatisfiable, tautological and shadowed filter predicates"
+let codes = [ "NA020"; "NA021"; "NA022" ]
+
+(* Feasible set for one (field, mask): interval plus != exclusions. *)
+type interval = { lo : int; hi : int; excl : int list }
+
+let fresh mask = { lo = 0; hi = mask; excl = [] }
+
+(* Count exclusions inside [lo, hi] (exclusions are few; intervals can
+   be huge, so emptiness is decided arithmetically). *)
+let is_empty iv =
+  iv.lo > iv.hi
+  ||
+  let inside = List.filter (fun v -> v >= iv.lo && v <= iv.hi) iv.excl in
+  let span = iv.hi - iv.lo + 1 in
+  span <= List.length (List.sort_uniq compare inside)
+
+let normalize iv =
+  { iv with excl = List.sort_uniq compare (List.filter (fun v -> v >= iv.lo && v <= iv.hi) iv.excl) }
+
+let equal a b =
+  let a = normalize a and b = normalize b in
+  a.lo = b.lo && a.hi = b.hi && a.excl = b.excl
+
+(* Apply [op value] to an interval.  [value] is already masked. *)
+let apply iv op value =
+  match op with
+  | Ast.Eq ->
+      { lo = max iv.lo value; hi = min iv.hi value; excl = iv.excl }
+  | Ast.Neq -> { iv with excl = value :: iv.excl }
+  | Ast.Gt -> { iv with lo = max iv.lo (value + 1) }
+  | Ast.Ge -> { iv with lo = max iv.lo value }
+  | Ast.Lt -> { iv with hi = min iv.hi (value - 1) }
+  | Ast.Le -> { iv with hi = min iv.hi value }
+
+let run (ctx : Pass.ctx) =
+  let query = ctx.Pass.query in
+  let absorbed b =
+    match ctx.Pass.compiled with
+    | None -> false
+    | Some c ->
+        b < Array.length c.Newton_compiler.Compose.init_entries
+        && c.Newton_compiler.Compose.init_entries.(b).Newton_compiler.Ir.ie_matches
+           <> []
+  in
+  List.concat
+    (List.mapi
+       (fun b prims ->
+         let env : (Field.t * int, interval) Hashtbl.t = Hashtbl.create 8 in
+         let diags = ref [] in
+         List.iteri
+           (fun p prim ->
+             match prim with
+             | Ast.Filter preds ->
+                 let span = Diag.Prim { branch = b; prim = p } in
+                 List.iter
+                   (function
+                     | Ast.Result_cmp _ -> ()
+                     | Ast.Cmp { field; mask; op; value } ->
+                         (* Malformed masks/values are NA010-NA013
+                            territory; skip them here. *)
+                         let fm = Field.full_mask field in
+                         if mask <> 0 && mask land lnot fm = 0
+                            && value land lnot fm = 0
+                         then begin
+                           let v = value land mask in
+                           let known =
+                             match Hashtbl.find_opt env (field, mask) with
+                             | Some iv -> iv
+                             | None -> fresh mask
+                           in
+                           let pretty =
+                             Ast.pred_to_string
+                               (Ast.Cmp { field; mask; op; value })
+                           in
+                           if equal (apply (fresh mask) op v) (fresh mask) then
+                             diags :=
+                               Diag.make ~code:"NA021" ~severity:Diag.Warning
+                                 ~span ~query
+                                 ~hint:"the predicate matches every packet; drop it"
+                                 (Printf.sprintf "predicate %s always holds"
+                                    pretty)
+                               :: !diags
+                           else
+                             let next = apply known op v in
+                             if equal next known then
+                               let where =
+                                 if p > 0 && absorbed b then
+                                   " (the front filter is absorbed into \
+                                    newton_init)"
+                                 else ""
+                               in
+                               diags :=
+                                 Diag.make ~code:"NA022" ~severity:Diag.Warning
+                                   ~span ~query
+                                   ~hint:"drop the shadowed predicate"
+                                   (Printf.sprintf
+                                      "predicate %s is already implied by \
+                                       earlier predicates%s"
+                                      pretty where)
+                                 :: !diags
+                             else begin
+                               Hashtbl.replace env (field, mask) next;
+                               if is_empty next then
+                                 diags :=
+                                   Diag.make ~code:"NA020" ~severity:Diag.Error
+                                     ~span ~query
+                                     ~hint:
+                                       "the conjunction over this field is \
+                                        unsatisfiable; the branch never fires"
+                                     (Printf.sprintf
+                                        "predicate %s contradicts earlier \
+                                         predicates — no packet can match"
+                                        pretty)
+                                   :: !diags
+                             end
+                         end)
+                   preds
+             | Ast.Map _ | Ast.Distinct _ | Ast.Reduce _ -> ())
+           prims;
+         List.rev !diags)
+       query.Ast.branches)

@@ -1,0 +1,8 @@
+(** Predicate satisfiability (NA020–NA022): interval analysis over a
+    branch's field predicates — contradictions (error), tautologies and
+    shadowed predicates (warnings). *)
+
+val name : string
+val doc : string
+val codes : string list
+val run : Pass.ctx -> Diag.t list

@@ -1,0 +1,119 @@
+(** Sketch sizing (NA040–NA042).
+
+    Static accuracy bounds for the sketches a query compiles to, at the
+    configured register width and depths:
+
+    - [distinct] → Bloom filter of [distinct_depth] rows × [registers]
+      bits.  With [n] expected keys, each row fills to
+      [1 - exp(-n/w)] and the false-positive rate is [fill^rows]; above
+      {!Pass.config.fpr_bound} the first-occurrence semantics degrade
+      (NA040).
+    - [reduce] → Count-Min of [reduce_depth] rows × [registers]
+      counters, guaranteeing error ≤ (e/w)·mass with probability
+      1 − exp(−rows); worse than ({!Pass.config.cm_epsilon},
+      {!Pass.config.cm_delta}) warns (NA041).
+    - Non-positive widths or depths cannot host a sketch at all
+      (NA042). *)
+
+open Newton_query
+open Newton_packet
+
+let name = "sketch"
+let doc = "Bloom false-positive rate and Count-Min (epsilon, delta) bounds"
+let codes = [ "NA040"; "NA041"; "NA042" ]
+
+(* Expected distinct keys: the configured guess, capped by the key
+   space — a 1-bit key cannot produce 1000 distinct values. *)
+let expected_keys cfg keys =
+  let bits =
+    List.fold_left
+      (fun acc k ->
+        let m = k.Ast.mask land Field.full_mask k.Ast.field in
+        let rec width n v = if v = 0 then n else width (n + 1) (v lsr 1) in
+        acc + width 0 m)
+      0 keys
+  in
+  if bits >= 30 then cfg.Pass.expected_keys
+  else min cfg.Pass.expected_keys (1 lsl bits)
+
+let run (ctx : Pass.ctx) =
+  let query = ctx.Pass.query in
+  let cfg = ctx.Pass.cfg in
+  let o = cfg.Pass.options in
+  let w = o.Newton_compiler.Decompose.registers in
+  List.concat
+    (List.mapi
+       (fun b prims ->
+         List.concat
+           (List.mapi
+              (fun p prim ->
+                let span = Diag.Prim { branch = b; prim = p } in
+                match prim with
+                | Ast.Distinct keys ->
+                    let rows = o.Newton_compiler.Decompose.distinct_depth in
+                    if w <= 0 || rows <= 0 then
+                      [
+                        Diag.make ~code:"NA042" ~severity:Diag.Error ~span
+                          ~query
+                          (Printf.sprintf
+                             "Bloom filter with %d rows of %d registers \
+                              cannot exist"
+                             rows w);
+                      ]
+                    else
+                      let n = float_of_int (expected_keys cfg keys) in
+                      let fill = 1.0 -. exp (-.n /. float_of_int w) in
+                      let fpr = fill ** float_of_int rows in
+                      if fpr > cfg.Pass.fpr_bound then
+                        [
+                          Diag.make ~code:"NA040" ~severity:Diag.Warning ~span
+                            ~query
+                            ~hint:
+                              (Printf.sprintf
+                                 "raise the per-array registers (now %d) or \
+                                  add rows"
+                                 w)
+                            (Printf.sprintf
+                               "Bloom false-positive rate %.3f exceeds %.3f \
+                                at %d expected keys — distinct will drop \
+                                first occurrences"
+                               fpr cfg.Pass.fpr_bound (int_of_float n));
+                        ]
+                      else []
+                | Ast.Reduce _ ->
+                    let rows = o.Newton_compiler.Decompose.reduce_depth in
+                    if w <= 0 || rows <= 0 then
+                      [
+                        Diag.make ~code:"NA042" ~severity:Diag.Error ~span
+                          ~query
+                          (Printf.sprintf
+                             "Count-Min sketch with %d rows of %d registers \
+                              cannot exist"
+                             rows w);
+                      ]
+                    else
+                      let eps = 2.718281828 /. float_of_int w in
+                      let delta = exp (-.float_of_int rows) in
+                      if eps > cfg.Pass.cm_epsilon || delta > cfg.Pass.cm_delta
+                      then
+                        [
+                          Diag.make ~code:"NA041" ~severity:Diag.Warning ~span
+                            ~query
+                            ~hint:
+                              (Printf.sprintf
+                                 "epsilon needs width >= %d, delta needs \
+                                  depth >= %d"
+                                 (int_of_float
+                                    (ceil (2.718281828 /. cfg.Pass.cm_epsilon)))
+                                 (int_of_float
+                                    (ceil (-.log cfg.Pass.cm_delta))))
+                            (Printf.sprintf
+                               "Count-Min bound (epsilon=%.4f, delta=%.3f) \
+                                misses the (%.4f, %.3f) target — counts \
+                                overestimate"
+                               eps delta cfg.Pass.cm_epsilon cfg.Pass.cm_delta);
+                        ]
+                      else []
+                | Ast.Filter _ | Ast.Map _ -> [])
+              prims))
+       query.Ast.branches)

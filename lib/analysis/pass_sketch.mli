@@ -1,0 +1,7 @@
+(** Sketch sizing (NA040–NA042): Bloom false-positive rate, Count-Min
+    (epsilon, delta), impossible sketch dimensions. *)
+
+val name : string
+val doc : string
+val codes : string list
+val run : Pass.ctx -> Diag.t list

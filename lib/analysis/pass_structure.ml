@@ -1,0 +1,81 @@
+(** Structural validity (NA001–NA009): the {!Ast.validate} errors plus
+    the combine-shape constraints the compiler enforces ad hoc
+    ([Decompose] raises [Unsupported] for them), surfaced here as
+    first-class diagnostics so a bad intent fails with codes instead of
+    exceptions. *)
+
+open Newton_query
+
+let name = "structure"
+let doc = "query shape: branches, keys, combine arity and thresholds"
+
+let codes =
+  [ "NA001"; "NA002"; "NA003"; "NA004"; "NA005"; "NA006"; "NA007"; "NA008"; "NA009" ]
+
+let of_error ~query = function
+  | Ast.Empty_query ->
+      Diag.make ~code:"NA001" ~severity:Diag.Error ~query
+        ~hint:"a query needs at least one branch of primitives"
+        "query has no branches"
+  | Ast.Empty_branch i ->
+      Diag.make ~code:"NA002" ~severity:Diag.Error ~span:(Diag.Branch i) ~query
+        "branch is empty"
+  | Ast.Missing_combine ->
+      Diag.make ~code:"NA003" ~severity:Diag.Error ~span:Diag.Combine ~query
+        ~hint:"add combine(op, threshold) to merge the branches"
+        "multi-branch query lacks a combine step"
+  | Ast.Combine_without_branches ->
+      Diag.make ~code:"NA004" ~severity:Diag.Error ~span:Diag.Combine ~query
+        "combine given but the query has fewer than two branches"
+  | Ast.Reduce_after_nothing i ->
+      Diag.make ~code:"NA005" ~severity:Diag.Error ~span:(Diag.Branch i) ~query
+        ~hint:"place a distinct/reduce before the threshold filter"
+        "threshold filter (count cmp) before any distinct/reduce"
+  | Ast.Empty_keys i ->
+      Diag.make ~code:"NA006" ~severity:Diag.Error ~span:(Diag.Branch i) ~query
+        "primitive with an empty key list"
+  | Ast.Combine_branch_without_reduce i ->
+      Diag.make ~code:"NA007" ~severity:Diag.Error ~span:(Diag.Branch i) ~query
+        ~hint:"each combined branch must aggregate before merging"
+        "combine branch has no reduce primitive"
+  | Ast.Combine_field_threshold ->
+      Diag.make ~code:"NA008" ~severity:Diag.Error ~span:Diag.Combine ~query
+        ~hint:"use a count comparison (Result_cmp) as the combine threshold"
+        "combine threshold tests a header field, not the combined count"
+  | Ast.Combine_arity n ->
+      Diag.make ~code:"NA009" ~severity:Diag.Error ~span:Diag.Combine ~query
+        (Printf.sprintf "combine requires exactly two branches, query has %d" n)
+  | Ast.Internal msg ->
+      Diag.make ~code:"NA099" ~severity:Diag.Error ~query
+        ("internal invariant violated: " ^ msg)
+
+let run (ctx : Pass.ctx) =
+  let query = ctx.Pass.query in
+  let base = List.map (of_error ~query) (Ast.validate query) in
+  let extra =
+    match query.Ast.combine with
+    | None -> []
+    | Some combine ->
+        let arity =
+          let n = List.length query.Ast.branches in
+          if n > 2 then [ of_error ~query (Ast.Combine_arity n) ] else []
+        in
+        let threshold =
+          match combine.Ast.threshold with
+          | Ast.Cmp _ -> [ of_error ~query Ast.Combine_field_threshold ]
+          | Ast.Result_cmp _ -> []
+        in
+        let no_reduce =
+          List.concat
+            (List.mapi
+               (fun i prims ->
+                 let has_reduce =
+                   List.exists (function Ast.Reduce _ -> true | _ -> false) prims
+                 in
+                 if has_reduce || prims = [] then []
+                 else [ of_error ~query (Ast.Combine_branch_without_reduce i) ])
+               query.Ast.branches)
+        in
+        arity @ threshold @ no_reduce
+  in
+  base @ extra

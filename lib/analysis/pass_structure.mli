@@ -1,0 +1,7 @@
+(** Structural validity (NA001–NA009): the {!Newton_query.Ast.validate}
+    errors plus combine-shape constraints, as diagnostics. *)
+
+val name : string
+val doc : string
+val codes : string list
+val run : Pass.ctx -> Diag.t list

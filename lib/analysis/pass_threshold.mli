@@ -1,0 +1,7 @@
+(** Threshold reachability (NA030–NA031): aggregate-range analysis of
+    [Result_cmp] filters and the combine threshold. *)
+
+val name : string
+val doc : string
+val codes : string list
+val run : Pass.ctx -> Diag.t list

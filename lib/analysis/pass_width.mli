@@ -1,0 +1,8 @@
+(** Field-width and mask validity (NA010–NA014): oversized/zero masks,
+    out-of-width comparison values, equality values outside their mask,
+    lossy 30-bit packed multi-field filters. *)
+
+val name : string
+val doc : string
+val codes : string list
+val run : Pass.ctx -> Diag.t list

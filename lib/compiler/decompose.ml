@@ -248,9 +248,10 @@ let ensure_report ~branch ~nprims slots =
 
 (** Decompose a validated query into per-branch module-slot chains. *)
 let decompose ?(options = default_options) (query : Ast.t) =
-  if not (Ast.is_valid query) then
-    invalid_arg
-      (Printf.sprintf "Decompose.decompose: invalid query %s" query.Ast.name);
+  (match Ast.validate query with
+  | [] -> ()
+  | errors ->
+      raise (Ast.invalid ~id:query.Ast.id ~name:query.Ast.name errors));
   let nbranches = List.length query.Ast.branches in
   let base =
     Array.of_list

@@ -37,7 +37,7 @@ exception Unsupported of string
 val pack_values : int list -> int
 
 (** Decompose a validated query.
-    @raise Invalid_argument for an invalid query.
+    @raise Ast.Invalid for a query failing {!Ast.validate}.
     @raise Unsupported for unhostable primitive shapes. *)
 val decompose : ?options:options -> Ast.t -> t
 

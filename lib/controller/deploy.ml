@@ -123,10 +123,72 @@ let is_enabled t s = t.enabled.(s)
    uid*1000+d so the path executor threads one context across hops. *)
 let slice_uid uid d = (uid * 1000) + d
 
+(** Raised by {!deploy} when the static-analysis gate finds
+    error-severity diagnostics; nothing is installed. *)
+exception Rejected of Newton_analysis.Diag.t list
+
+let () =
+  Printexc.register_printer (function
+    | Rejected diags ->
+        Some
+          (Printf.sprintf "deployment rejected by static analysis:\n%s"
+             (Newton_analysis.Check.explain diags))
+    | _ -> None)
+
+(* Placement facts for the analysis passes, decoupled from
+   [Placement.t] so the analysis library needs no controller types. *)
+let target_of_placement (p : Placement.t) =
+  let max_depth =
+    Array.fold_left
+      (fun acc ds -> List.fold_left max acc ds)
+      0 p.Placement.slices
+  in
+  Newton_analysis.Pass.target
+    ~stages_per_switch:p.Placement.stages_per_switch
+    ~num_switches:(Array.length p.Placement.slices)
+    ~switch_slices:p.Placement.slices
+    ~slice_ranges:p.Placement.slice_stage_ranges ~max_path_depth:max_depth
+
+(* The mandatory admission gate: every deployment passes static
+   analysis first.  Errors refuse the deployment before any rule is
+   installed; warnings are admitted but counted on the controller sink
+   (stage="analysis" in the snapshot).  Capacity is judged for the new
+   query alone — saturation by many co-resident queries still surfaces
+   at install time, where the rollback wrapper handles it. *)
+let admit t ?target compiled =
+  let deployed =
+    List.map
+      (fun d -> (d.compiled.Newton_compiler.Compose.query, d.compiled))
+      t.deployments
+  in
+  let diags = Newton_analysis.Check.admission ?target ~deployed compiled in
+  if Newton_analysis.Diag.has_errors diags then begin
+    Newton_telemetry.Stats.bump t.c_sink
+      Newton_telemetry.Stats.Analysis_rejections 1;
+    raise (Rejected diags)
+  end;
+  let _, warnings, _ = Newton_analysis.Check.severity_counts diags in
+  if warnings > 0 then
+    Newton_telemetry.Stats.bump t.c_sink
+      Newton_telemetry.Stats.Analysis_warnings warnings;
+  diags
+
 (** Deploy a compiled query network-wide.  Returns (uid, latency in
     seconds) — the latency is the slowest switch's rule-install time
-    (switch drivers work in parallel). *)
+    (switch drivers work in parallel).
+    @raise Rejected when static analysis finds errors (admission gate);
+    no rule is installed in that case. *)
 let deploy ?(mode = `Cqe) ?edge_switches ?(stages_per_switch = 12) t compiled =
+  let gate_placement =
+    match mode with
+    | `Sole -> None
+    | `Cqe ->
+        Some
+          (Placement.place ?edge_switches
+             ~enabled:(fun s -> t.enabled.(s))
+             ~stages_per_switch ~topo:t.topo compiled)
+  in
+  ignore (admit t ?target:(Option.map target_of_placement gate_placement) compiled);
   let uid = t.next_uid in
   t.next_uid <- uid + 1;
   let latencies = ref [] in
@@ -144,11 +206,7 @@ let deploy ?(mode = `Cqe) ?edge_switches ?(stages_per_switch = 12) t compiled =
           t.engines;
         None
     | `Cqe ->
-        let p =
-          Placement.place ?edge_switches
-            ~enabled:(fun s -> t.enabled.(s))
-            ~stages_per_switch ~topo:t.topo compiled
-        in
+        let p = Option.get gate_placement in
         Array.iteri
           (fun s ds ->
             List.iter

@@ -50,8 +50,22 @@ val set_enabled : t -> int -> bool -> unit
 
 val is_enabled : t -> int -> bool
 
+(** Raised by {!deploy} when the static-analysis admission gate finds
+    error-severity diagnostics; nothing was installed. *)
+exception Rejected of Newton_analysis.Diag.t list
+
+(** Placement facts for the analysis passes
+    ({!Newton_analysis.Pass.target}) derived from a computed
+    placement. *)
+val target_of_placement : Placement.t -> Newton_analysis.Pass.target
+
 (** Deploy a compiled query network-wide; returns (uid, slowest
-    switch's install latency in seconds). *)
+    switch's install latency in seconds).  Every deployment first
+    passes the static-analysis admission gate: error diagnostics raise
+    {!Rejected} before any rule is installed; warnings are admitted and
+    counted on the controller sink ([newton_analysis_warnings_total],
+    labelled [stage="analysis"]).
+    @raise Rejected when static analysis refuses the query. *)
 val deploy :
   ?mode:mode -> ?edge_switches:int list -> ?stages_per_switch:int -> t ->
   Newton_compiler.Compose.t -> int * float

@@ -15,3 +15,8 @@ module Runtime = Newton_runtime
 (** Capture-file ingestion: pcap/pcapng readers, the frame decoder,
     pcap export, and the paced streaming driver. *)
 module Ingest = Newton_ingest
+
+(** Static query/IR/placement analysis: diagnostics ([Diag]), the pass
+    registry and driver ([Check]) behind [newton check] and the
+    deployment admission gate. *)
+module Analysis = Newton_analysis

@@ -98,6 +98,10 @@ type error =
   | Combine_without_branches
   | Reduce_after_nothing of int  (** Result_cmp with no upstream stateful primitive *)
   | Empty_keys of int
+  | Combine_branch_without_reduce of int
+  | Combine_field_threshold
+  | Combine_arity of int
+  | Internal of string
 
 let error_to_string = function
   | Empty_query -> "query has no branches"
@@ -107,6 +111,30 @@ let error_to_string = function
   | Reduce_after_nothing i ->
       Printf.sprintf "branch %d: Result_cmp before any distinct/reduce" i
   | Empty_keys i -> Printf.sprintf "branch %d: primitive with empty key list" i
+  | Combine_branch_without_reduce i ->
+      Printf.sprintf "branch %d: combine requires the branch to end in a reduce" i
+  | Combine_field_threshold -> "combine threshold must test the count, not a field"
+  | Combine_arity n ->
+      Printf.sprintf "combine requires exactly two branches, query has %d" n
+  | Internal msg -> "internal invariant violated: " ^ msg
+
+exception Invalid of { query_id : int; query_name : string; errors : error list }
+
+let invalid ?(id = 0) ?(name = "?") errors =
+  Invalid { query_id = id; query_name = name; errors }
+
+let errors_to_string errors =
+  String.concat "; " (List.map error_to_string errors)
+
+(* Printf-able rendering so an escaped exception still reads as a
+   diagnostic, not a constructor dump. *)
+let () =
+  Printexc.register_printer (function
+    | Invalid { query_id; query_name; errors } ->
+        Some
+          (Printf.sprintf "invalid query %s (Q%d): %s" query_name query_id
+             (errors_to_string errors))
+    | _ -> None)
 
 (** Structural validation; returns all problems found. *)
 let validate t =

@@ -79,8 +79,25 @@ type error =
   | Combine_without_branches
   | Reduce_after_nothing of int
   | Empty_keys of int
+  | Combine_branch_without_reduce of int
+  | Combine_field_threshold
+  | Combine_arity of int
+  | Internal of string  (** an invariant the front-end should have upheld *)
 
 val error_to_string : error -> string
+
+(** Semicolon-joined rendering of an error list. *)
+val errors_to_string : error list -> string
+
+(** The typed rejection every user-reachable front-end path raises for
+    a structurally invalid query (instead of [Invalid_argument]); the
+    analyzer converts it into diagnostics.  A printer is registered, so
+    an escaped exception renders as the error list. *)
+exception Invalid of { query_id : int; query_name : string; errors : error list }
+
+(** [invalid ?id ?name errors] builds {!Invalid} (defaults: id 0,
+    name ["?"]). *)
+val invalid : ?id:int -> ?name:string -> error list -> exn
 
 (** All structural problems found (empty = valid). *)
 val validate : t -> error list

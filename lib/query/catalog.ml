@@ -196,11 +196,31 @@ let q9 ?(th = 1) () =
 let all () =
   [ q1 (); q2 (); q3 (); q4 (); q5 (); q6 (); q7 (); q8 (); q9 () ]
 
-let by_id id =
+(** First and last catalog id {!by_id} accepts. *)
+let min_id = 1
+let max_id = 9
+
+exception Unknown_id of { id : int; min : int; max : int }
+
+let () =
+  Printexc.register_printer (function
+    | Unknown_id { id; min; max } ->
+        Some
+          (Printf.sprintf "Catalog.by_id: no query Q%d (valid ids: %d-%d)" id
+             min max)
+    | _ -> None)
+
+let find id =
   match id with
-  | 1 -> q1 () | 2 -> q2 () | 3 -> q3 () | 4 -> q4 () | 5 -> q5 ()
-  | 6 -> q6 () | 7 -> q7 () | 8 -> q8 () | 9 -> q9 ()
-  | _ -> invalid_arg (Printf.sprintf "Catalog.by_id: no query Q%d" id)
+  | 1 -> Some (q1 ()) | 2 -> Some (q2 ()) | 3 -> Some (q3 ()) | 4 -> Some (q4 ())
+  | 5 -> Some (q5 ()) | 6 -> Some (q6 ()) | 7 -> Some (q7 ()) | 8 -> Some (q8 ())
+  | 9 -> Some (q9 ())
+  | _ -> None
+
+let by_id id =
+  match find id with
+  | Some q -> q
+  | None -> raise (Unknown_id { id; min = min_id; max = max_id })
 
 (* ------------------------------------------------------------------ *)
 (* Extension queries — beyond the paper's Table 2, exercising the byte

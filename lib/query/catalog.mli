@@ -34,7 +34,18 @@ val q9 : ?th:int -> unit -> Ast.t
 (** The paper's nine queries, in order. *)
 val all : unit -> Ast.t list
 
-(** @raise Invalid_argument outside 1–9. *)
+(** Bounds of the id range {!by_id} accepts. *)
+val min_id : int
+val max_id : int
+
+(** The typed rejection for an id outside the catalog; carries the
+    valid range so front-ends can print it.  A printer is registered. *)
+exception Unknown_id of { id : int; min : int; max : int }
+
+(** Total lookup: [None] outside {!min_id}–{!max_id}. *)
+val find : int -> Ast.t option
+
+(** @raise Unknown_id outside {!min_id}–{!max_id}. *)
 val by_id : int -> Ast.t
 
 (** Q10 — byte heavy hitters (sum aggregation). *)

@@ -46,7 +46,7 @@ let combine_to_dsl (c : Ast.combine) =
   match c.Ast.threshold with
   | Ast.Result_cmp { op = cmp; value } ->
       Printf.sprintf "%s(count %s %d)" op (cmp_to_dsl cmp) value
-  | Ast.Cmp _ -> invalid_arg "Printer.combine_to_dsl: field threshold"
+  | Ast.Cmp _ -> raise (Ast.invalid [ Ast.Combine_field_threshold ])
 
 (** Render a query in the textual DSL.  For any valid query,
     [Parser.parse (to_dsl q)] reconstructs the same branches and
@@ -56,4 +56,7 @@ let to_dsl (q : Ast.t) =
   let branches = String.concat " || " (List.map branch_to_dsl q.Ast.branches) in
   match q.Ast.combine with
   | None -> branches
+  | Some { Ast.threshold = Ast.Cmp _; _ } ->
+      raise
+        (Ast.invalid ~id:q.Ast.id ~name:q.Ast.name [ Ast.Combine_field_threshold ])
   | Some c -> branches ^ " => " ^ combine_to_dsl c

@@ -8,7 +8,8 @@ val pred_to_dsl : Ast.pred -> string
 val agg_to_dsl : Ast.agg -> string
 val primitive_to_dsl : Ast.primitive -> string
 
-(** @raise Invalid_argument for a combine with a field threshold. *)
+(** @raise Ast.Invalid for a combine with a field threshold. *)
 val combine_to_dsl : Ast.combine -> string
 
+(** @raise Ast.Invalid for a combine with a field threshold. *)
 val to_dsl : Ast.t -> string

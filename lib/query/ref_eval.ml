@@ -49,10 +49,10 @@ type t = {
 }
 
 let create query =
-  if not (Ast.is_valid query) then
-    invalid_arg
-      (Printf.sprintf "Ref_eval.create: invalid query %s: %s" query.Ast.name
-         (String.concat "; " (List.map Ast.error_to_string (Ast.validate query))));
+  (match Ast.validate query with
+  | [] -> ()
+  | errors ->
+      raise (Ast.invalid ~id:query.Ast.id ~name:query.Ast.name errors));
   {
     query;
     states = List.map fresh_branch_state query.Ast.branches;
@@ -70,7 +70,7 @@ let run_branch state branch pkt =
   let counters = ref state.counters in
   let next l =
     match !l with
-    | [] -> invalid_arg "Ref_eval: state list exhausted (validation bug)"
+    | [] -> raise (Ast.invalid [ Ast.Internal "Ref_eval: state list exhausted" ])
     | x :: rest ->
         l := rest;
         x
@@ -126,12 +126,15 @@ let combine_value op a b =
 let flush_combine t =
   match (t.query.Ast.combine, t.states) with
   | Some { op; threshold }, [ sa; sb ] ->
-      let counter_of s =
+      let counter_of i s =
         match List.rev s.counters with
         | last :: _ -> last
-        | [] -> invalid_arg "Ref_eval: combine branch lacks a reduce"
+        | [] ->
+            raise
+              (Ast.invalid ~id:t.query.Ast.id ~name:t.query.Ast.name
+                 [ Ast.Combine_branch_without_reduce i ])
       in
-      let ca = counter_of sa and cb = counter_of sb in
+      let ca = counter_of 0 sa and cb = counter_of 1 sb in
       Exact.Counter.fold
         (fun k a () ->
           let b = Exact.Counter.count cb k in
@@ -148,7 +151,10 @@ let flush_combine t =
                 ~value2 ()
               :: t.reports)
         ca ()
-  | Some _, _ -> invalid_arg "Ref_eval: combine requires exactly two branches"
+  | Some _, states ->
+      raise
+        (Ast.invalid ~id:t.query.Ast.id ~name:t.query.Ast.name
+           [ Ast.Combine_arity (List.length states) ])
   | None, _ -> ()
 
 let advance_window t new_window =

@@ -10,7 +10,7 @@ open Newton_packet
 
 type t
 
-(** @raise Invalid_argument for a query failing {!Ast.validate}. *)
+(** @raise Ast.Invalid for a query failing {!Ast.validate}. *)
 val create : Ast.t -> t
 
 (** Feed one packet; timestamps must be non-decreasing. *)

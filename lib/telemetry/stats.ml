@@ -34,6 +34,8 @@ type key =
   | Ingest_non_ip      (** frames skipped: not Ethernet/IPv4 *)
   | Ingest_truncated   (** frames skipped: capture cut before headers *)
   | Ingest_dropped     (** packets dropped on ingest-queue backpressure *)
+  | Analysis_warnings  (** static-analysis warnings on admitted queries *)
+  | Analysis_rejections (** deployments refused by the analysis gate *)
 
 let all =
   [ Packets_processed; Module_hits_k; Module_hits_h; Module_hits_s;
@@ -42,7 +44,7 @@ let all =
     Software_continuations; Switch_failures; Switch_repairs;
     Slices_migrated; State_cells_moved; Software_fallbacks;
     Ingest_frames; Ingest_decoded; Ingest_non_ip; Ingest_truncated;
-    Ingest_dropped ]
+    Ingest_dropped; Analysis_warnings; Analysis_rejections ]
 
 let index = function
   | Packets_processed -> 0
@@ -68,6 +70,8 @@ let index = function
   | Ingest_non_ip -> 20
   | Ingest_truncated -> 21
   | Ingest_dropped -> 22
+  | Analysis_warnings -> 23
+  | Analysis_rejections -> 24
 
 let num_keys = List.length all
 
@@ -96,6 +100,8 @@ let name = function
   | Ingest_non_ip -> "newton_ingest_skipped_total" (* labelled reason=non_ip *)
   | Ingest_truncated -> "newton_ingest_skipped_total"
   | Ingest_dropped -> "newton_ingest_dropped_total"
+  | Analysis_warnings -> "newton_analysis_warnings_total"
+  | Analysis_rejections -> "newton_analysis_rejections_total"
 
 let help = function
   | Packets_processed -> "Packets run through the engine"
@@ -119,6 +125,8 @@ let help = function
   | Ingest_non_ip | Ingest_truncated ->
       "Capture frames skipped by reason (non_ip/truncated)"
   | Ingest_dropped -> "Packets dropped on ingest-queue backpressure"
+  | Analysis_warnings -> "Static-analysis warnings carried by admitted queries"
+  | Analysis_rejections -> "Deployments refused by the static-analysis gate"
 
 (** The label set distinguishing samples that share a metric name. *)
 let labels = function
@@ -128,6 +136,7 @@ let labels = function
   | Module_hits_r -> [ ("kind", "R") ]
   | Ingest_non_ip -> [ ("reason", "non_ip") ]
   | Ingest_truncated -> [ ("reason", "truncated") ]
+  | Analysis_warnings | Analysis_rejections -> [ ("stage", "analysis") ]
   | _ -> []
 
 type active = {

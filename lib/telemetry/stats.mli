@@ -28,6 +28,8 @@ type key =
   | Ingest_non_ip
   | Ingest_truncated
   | Ingest_dropped
+  | Analysis_warnings
+  | Analysis_rejections
 
 val all : key list
 

@@ -35,4 +35,5 @@ let () =
       ("refine", Test_refine.suite);
       ("recovery", Test_recovery.suite);
       ("ingest", Test_ingest.suite);
+      ("analysis", Test_analysis.suite);
     ]

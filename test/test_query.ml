@@ -95,7 +95,11 @@ let test_catalog_by_id () =
     checki "by_id consistent" i (Catalog.by_id i).id
   done;
   checkb "by_id rejects" true
-    (try ignore (Catalog.by_id 10); false with Invalid_argument _ -> true)
+    (try ignore (Catalog.by_id 10); false
+     with Catalog.Unknown_id { id = 10; min = 1; max = 9 } -> true);
+  checkb "find is total" true (Catalog.find 10 = None);
+  checkb "find hits" true
+    (match Catalog.find 3 with Some q -> q.id = 3 | None -> false)
 
 let test_catalog_thresholds_configurable () =
   let q = Catalog.q1 ~th:99 () in
@@ -236,7 +240,8 @@ let test_ref_eval_pair_combine_reports_both () =
 let test_ref_eval_rejects_invalid () =
   let bad = make ~id:0 ~name:"bad" ~description:"" [] in
   checkb "create rejects invalid" true
-    (try ignore (Ref_eval.create bad); false with Invalid_argument _ -> true)
+    (try ignore (Ref_eval.create bad); false
+     with Ast.Invalid { errors; _ } -> List.mem Ast.Empty_query errors)
 
 let test_ref_eval_finish_idempotent () =
   let t = Ref_eval.create (Catalog.q6 ()) in
