@@ -1,6 +1,6 @@
 # Conventional entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench examples doc clean data ci check
+.PHONY: all build test bench bench-check examples doc clean data ci check
 
 # Maximum shard count the parallel replay bench measures (powers of two
 # up to this value); see EXPERIMENTS.md.
@@ -17,6 +17,15 @@ test:
 # Regenerate every paper table/figure (plus ablations & derived benches)
 bench:
 	NEWTON_BENCH_JOBS=$(NEWTON_BENCH_JOBS) dune exec bench/main.exe
+
+# Perf-regression gate: run the parallel replay bench, then diff
+# out/bench_parallel.json against the committed baseline
+# (bench/baselines/parallel.json) with bench/compare.exe.  Fails when
+# the jobs=4 speedup drops more than 20% below the baseline
+# (docs/PARALLELISM.md, "Reading the CI perf gate").
+bench-check:
+	NEWTON_BENCH_JOBS=$(NEWTON_BENCH_JOBS) dune exec bench/main.exe -- parallel
+	dune exec bench/compare.exe
 
 # Also write gnuplot-ready .dat files under out/
 data:

@@ -1,0 +1,159 @@
+(** CI perf-regression gate for the parallel replay bench.
+
+    Diffs a fresh out/bench_parallel.json against the committed
+    baseline (bench/baselines/parallel.json by default) and fails —
+    exit 1 — when the gate-jobs speedup regresses below
+    [baseline * (1 - tolerance)].  Speedup is a ratio of two
+    measurements taken in the same process on the same machine, so it
+    transfers across hosts far better than absolute seconds do; the
+    gate therefore compares speedups only, and prints the stage
+    timings (arena build / replay / merge) as context for diagnosing a
+    failure rather than gating on them.
+
+        compare.exe [--baseline PATH] [--current PATH]
+                    [--tolerance FRACTION] [--jobs N]
+
+    Defaults: baseline bench/baselines/parallel.json, current
+    out/bench_parallel.json, tolerance 0.20 (±20%), jobs 4.  Exit 0 on
+    pass, 1 on a speedup regression, 2 on unreadable or mismatched
+    inputs. *)
+
+module Json = Newton_util.Json
+
+let usage () =
+  prerr_endline
+    "usage: compare.exe [--baseline PATH] [--current PATH] \
+     [--tolerance FRACTION] [--jobs N]";
+  exit 2
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("error: " ^ s); exit 2) fmt
+
+let parse_args () =
+  let baseline = ref "bench/baselines/parallel.json" in
+  let current = ref "out/bench_parallel.json" in
+  let tolerance = ref 0.20 in
+  let jobs = ref 4 in
+  let rec go = function
+    | [] -> ()
+    | "--baseline" :: v :: rest -> baseline := v; go rest
+    | "--current" :: v :: rest -> current := v; go rest
+    | "--tolerance" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some f when f >= 0.0 && f < 1.0 -> tolerance := f; go rest
+        | _ -> fail "--tolerance wants a fraction in [0, 1), got %s" v)
+    | "--jobs" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 -> jobs := n; go rest
+        | _ -> fail "--jobs wants a positive int, got %s" v)
+    | [ ("--baseline" | "--current" | "--tolerance" | "--jobs") ] | "--help" :: _
+      ->
+        usage ()
+    | arg :: _ -> prerr_endline ("unknown argument: " ^ arg); usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!baseline, !current, !tolerance, !jobs)
+
+let read_json path =
+  if not (Sys.file_exists path) then fail "%s does not exist" path;
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Json.of_string s with
+  | j -> j
+  | exception Json.Parse_error { pos; msg } ->
+      fail "%s: JSON parse error at %d: %s" path pos msg
+
+let number = function
+  | Json.Int i -> Some (float_of_int i)
+  | Json.Float f -> Some f
+  | _ -> None
+
+let get_number path json keys =
+  let rec walk json = function
+    | [] -> number json
+    | k :: rest -> Option.bind (Json.member k json) (fun j -> walk j rest)
+  in
+  match walk json keys with
+  | Some v -> v
+  | None -> fail "%s: missing numeric field %s" path (String.concat "." keys)
+
+(* The "sharded" list, as (jobs, entry) pairs. *)
+let sharded path json =
+  match Option.bind (Json.member "sharded" json) Json.to_list with
+  | None -> fail "%s: missing \"sharded\" list" path
+  | Some entries ->
+      List.map
+        (fun e ->
+          match Option.bind (Json.member "jobs" e) Json.to_int_opt with
+          | Some j -> (j, e)
+          | None -> fail "%s: sharded entry without \"jobs\"" path)
+        entries
+
+let entry_number path e field =
+  match Option.bind (Json.member field e) number with
+  | Some v -> v
+  | None -> fail "%s: sharded entry missing %s" path field
+
+(* Stage seconds are informational; older artifacts may lack them. *)
+let entry_number_opt e field = Option.bind (Json.member field e) number
+
+let () =
+  let baseline_path, current_path, tolerance, gate_jobs = parse_args () in
+  let baseline = read_json baseline_path in
+  let current = read_json current_path in
+  let b_sharded = sharded baseline_path baseline in
+  let c_sharded = sharded current_path current in
+  let b_pkts = get_number baseline_path baseline [ "trace"; "packets" ] in
+  let c_pkts = get_number current_path current [ "trace"; "packets" ] in
+  if b_pkts <> c_pkts then
+    Printf.printf
+      "note: trace size differs (baseline %.0f vs current %.0f packets) — \
+       speedups are still comparable, seconds are not\n"
+      b_pkts c_pkts;
+  Printf.printf "%-6s %18s %18s %8s\n" "jobs" "baseline speedup" "current speedup"
+    "delta";
+  List.iter
+    (fun (j, ce) ->
+      match List.assoc_opt j b_sharded with
+      | None -> Printf.printf "%-6d %18s %18.2fx %8s\n" j "-" (entry_number current_path ce "speedup") "new"
+      | Some be ->
+          let bs = entry_number baseline_path be "speedup" in
+          let cs = entry_number current_path ce "speedup" in
+          Printf.printf "%-6d %17.2fx %17.2fx %+7.1f%%\n" j bs cs
+            (100.0 *. ((cs -. bs) /. bs)))
+    c_sharded;
+  (match (List.assoc_opt gate_jobs c_sharded, List.assoc_opt gate_jobs b_sharded)
+   with
+  | None, _ -> fail "%s has no jobs=%d entry to gate on" current_path gate_jobs
+  | _, None -> fail "%s has no jobs=%d entry to gate on" baseline_path gate_jobs
+  | Some ce, Some be ->
+      let bs = entry_number baseline_path be "speedup" in
+      let cs = entry_number current_path ce "speedup" in
+      let floor = bs *. (1.0 -. tolerance) in
+      let stages e path =
+        match
+          ( entry_number_opt e "arena_build_seconds",
+            entry_number_opt e "replay_seconds",
+            entry_number_opt e "merge_seconds" )
+        with
+        | Some b, Some r, Some m ->
+            Printf.printf
+              "  %s stages at jobs=%d: arena build %.3fs, replay %.3fs, merge \
+               %.3fs\n"
+              path gate_jobs b r m
+        | _ -> ()
+      in
+      Printf.printf
+        "gate: jobs=%d speedup %.2fx vs baseline %.2fx (floor %.2fx = \
+         baseline - %.0f%%)\n"
+        gate_jobs cs bs floor (100.0 *. tolerance);
+      stages be baseline_path;
+      stages ce current_path;
+      if cs < floor then begin
+        Printf.printf
+          "FAIL: jobs=%d speedup regressed below the floor — see the stage \
+           timings above for where the time went\n"
+          gate_jobs;
+        exit 1
+      end
+      else Printf.printf "PASS\n")

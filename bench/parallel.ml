@@ -1,15 +1,26 @@
-(** Parallel replay speedup: the sequential engine vs the domain-pool
-    sharded engine at increasing shard counts, over the synthetic
+(** Parallel replay speedup: the sequential per-packet engine vs the
+    arena-sharded engine at increasing shard counts, over the synthetic
     Zipf-background trace with the default attack suite and all nine
     catalog queries installed.
 
+    The sharded replay is measured per stage — arena build (pre-shard
+    the stream into contiguous per-domain {!Newton_packet.Flat} arenas),
+    replay (each arena through its shard engine's compiled program), and
+    merge (epoch-aligned fold of the per-shard report streams) — so a
+    regression is attributable to the stage that caused it.  Speedup is
+    t_seq / (arena_build + replay): the merge runs once per observation,
+    not per packet, and the sequential baseline's report extraction is
+    likewise excluded.
+
     Shard counts come from NEWTON_BENCH_JOBS (the maximum; powers of
-    two up to it are measured, default 4).  Besides the table, results
-    are written as a JSON artifact — out/bench_parallel.json, or the
-    path in NEWTON_BENCH_JSON — which CI uploads per run.  Speedup is
-    wall-clock and therefore needs as many cores as shards; on a
-    single-core host (or an OCaml 4 build, where the domain pool
-    degrades to sequential execution) expect ~1x. *)
+    two up to it are measured, default 8).  The trace defaults to
+    ~2.2M packets (NEWTON_BENCH_FLOWS = 100000 flows at ~22 packets per
+    flow); CI and the perf gate run this default.  Results are written
+    as a JSON artifact — out/bench_parallel.json, or the path in
+    NEWTON_BENCH_JSON — which bench/compare.ml diffs against
+    bench/baselines/parallel.json.  On a single-core host the speedup
+    is the compiled-arena path's per-packet win over the interpreter;
+    with real cores the domain fan-out adds on top of it. *)
 
 let getenv_int name default =
   match Option.bind (Sys.getenv_opt name) int_of_string_opt with
@@ -21,7 +32,7 @@ let json_path () =
     ~default:"out/bench_parallel.json"
 
 let jobs_to_measure () =
-  let max_jobs = getenv_int "NEWTON_BENCH_JOBS" 4 in
+  let max_jobs = getenv_int "NEWTON_BENCH_JOBS" 8 in
   let rec powers j acc = if j >= max_jobs then acc else powers (2 * j) (j :: acc) in
   List.rev (max_jobs :: powers 1 [])
 
@@ -38,35 +49,56 @@ let install_all_parallel engine =
 
 let time f =
   let t0 = Unix.gettimeofday () in
-  f ();
-  Unix.gettimeofday () -. t0
+  let v = f () in
+  (Unix.gettimeofday () -. t0, v)
+
+type staged = {
+  sg_jobs : int;
+  sg_build : float;
+  sg_replay : float;
+  sg_merge : float;
+  sg_speedup : float;
+  sg_reports : int;
+}
 
 let run () =
-  Common.banner "Parallel replay speedup (sharded engine, Zipf trace)";
-  let flows = getenv_int "NEWTON_BENCH_FLOWS" 4000 in
-  let trace = Common.caida_trace ~flows () in
+  Common.banner "Parallel replay speedup (arena-sharded engine, Zipf trace)";
+  let flows = getenv_int "NEWTON_BENCH_FLOWS" 150_000 in
+  let t_gen, trace = time (fun () -> Common.caida_trace ~flows ()) in
   let packets = Newton_trace.Gen.packets trace in
   let npkts = Array.length packets in
-  Common.note "trace: %d packets, %d flows; 9 catalog queries installed" npkts
-    flows;
+  Common.note
+    "trace: %d packets, %d flows (generated in %.1fs); 9 catalog queries \
+     installed"
+    npkts flows t_gen;
   if not Newton_runtime.Domain_pool.parallel then
     Common.note
-      "NOTE: OCaml 4 build — domain pool runs shards sequentially, speedup ~1x";
-  (* Sequential baseline: the plain per-switch engine. *)
+      "NOTE: OCaml 4 build — domain pool runs shards sequentially";
+  (* Warm-up: one untimed arena build, so the first timed build does
+     not pay the process's cold-page cost for the arena buffers (malloc
+     recycles them across configurations once the full_major below has
+     collected the previous set). *)
+  ignore (Sys.opaque_identity (Newton_runtime.Arena.build1 packets));
+  (* Sequential baseline: the plain per-switch engine, per-packet
+     interpreter path. *)
   let seq = Newton_runtime.Engine.create ~switch_id:0 () in
   install_all seq;
-  let t_seq =
+  Gc.full_major ();
+  let t_seq, () =
     time (fun () -> Array.iter (Newton_runtime.Engine.process_packet seq) packets)
   in
   let seq_reports = List.length (Newton_runtime.Engine.reports seq) in
   let t =
     Common.T.create
-      ~aligns:[ Common.T.Right; Common.T.Right; Common.T.Right; Common.T.Right; Common.T.Right ]
-      [ "jobs"; "seconds"; "speedup"; "pkts/s"; "reports" ]
+      ~aligns:
+        [ Common.T.Right; Common.T.Right; Common.T.Right; Common.T.Right;
+          Common.T.Right; Common.T.Right; Common.T.Right; Common.T.Right ]
+      [ "jobs"; "build"; "replay"; "merge"; "total"; "speedup"; "pkts/s";
+        "reports" ]
   in
   Common.T.add_row t
-    [ "seq"; Printf.sprintf "%.3f" t_seq; "1.00x";
-      Printf.sprintf "%.0f" (float_of_int npkts /. t_seq);
+    [ "seq"; "-"; Printf.sprintf "%.3f" t_seq; "-"; Printf.sprintf "%.3f" t_seq;
+      "1.00x"; Printf.sprintf "%.0f" (float_of_int npkts /. t_seq);
       string_of_int seq_reports ];
   let last_par = ref None in
   let results =
@@ -77,18 +109,30 @@ let run () =
         in
         install_all_parallel par;
         last_par := Some (jobs, par);
-        let t_par =
-          time (fun () ->
-              Newton_runtime.Parallel_engine.process_packets par packets)
+        (* Collect the previous configuration's arenas outside the
+           timed region; the timed build then reuses their memory
+           instead of paying page faults and GC pacing for them. *)
+        Gc.full_major ();
+        let t_build, arenas =
+          time (fun () -> Newton_runtime.Parallel_engine.build_arenas par packets)
         in
-        let reports = List.length (Newton_runtime.Parallel_engine.reports par) in
-        let speedup = t_seq /. t_par in
+        let t_replay, () =
+          time (fun () -> Newton_runtime.Parallel_engine.replay_arenas par arenas)
+        in
+        let t_merge, reports =
+          time (fun () -> Newton_runtime.Parallel_engine.reports par)
+        in
+        let reports = List.length reports in
+        let total = t_build +. t_replay in
+        let speedup = t_seq /. total in
         Common.T.add_row t
-          [ string_of_int jobs; Printf.sprintf "%.3f" t_par;
-            Printf.sprintf "%.2fx" speedup;
-            Printf.sprintf "%.0f" (float_of_int npkts /. t_par);
+          [ string_of_int jobs; Printf.sprintf "%.3f" t_build;
+            Printf.sprintf "%.3f" t_replay; Printf.sprintf "%.3f" t_merge;
+            Printf.sprintf "%.3f" total; Printf.sprintf "%.2fx" speedup;
+            Printf.sprintf "%.0f" (float_of_int npkts /. total);
             string_of_int reports ];
-        (jobs, t_par, speedup, reports))
+        { sg_jobs = jobs; sg_build = t_build; sg_replay = t_replay;
+          sg_merge = t_merge; sg_speedup = speedup; sg_reports = reports })
       (jobs_to_measure ())
   in
   Common.T.print t;
@@ -97,7 +141,8 @@ let run () =
      multi-query report count drops vs seq (docs/PARALLELISM.md); per-query \
      equivalence uses branch-key sharding (test suite 'parallel')";
   Common.maybe_dat t "parallel_speedup";
-  (* BENCH json artifact *)
+  (* BENCH json artifact — schema documented in docs/PARALLELISM.md and
+     consumed by bench/compare.ml (the CI perf gate). *)
   let open Newton_util.Json in
   let json =
     Obj
@@ -111,13 +156,16 @@ let run () =
         ( "sharded",
           List
             (List.map
-               (fun (jobs, secs, speedup, reports) ->
+               (fun r ->
                  Obj
                    [
-                     ("jobs", Int jobs);
-                     ("seconds", Float secs);
-                     ("speedup", Float speedup);
-                     ("reports", Int reports);
+                     ("jobs", Int r.sg_jobs);
+                     ("seconds", Float (r.sg_build +. r.sg_replay));
+                     ("arena_build_seconds", Float r.sg_build);
+                     ("replay_seconds", Float r.sg_replay);
+                     ("merge_seconds", Float r.sg_merge);
+                     ("speedup", Float r.sg_speedup);
+                     ("reports", Int r.sg_reports);
                    ])
                results) );
       ]

@@ -23,6 +23,24 @@ let with_ts t ts = { t with ts }
 
 let copy t = { ts = t.ts; fields = Array.copy t.fields }
 
+(* Flat-arena boundary: bulk moves between the record representation
+   and a packet-major word buffer (see {!Flat}).  The buffer is a
+   Bigarray so arena contents live outside the scanned OCaml heap —
+   a multi-million-packet arena adds nothing to major-GC mark work. *)
+type words = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let blit_fields t (dst : words) off =
+  for j = 0 to num_fields - 1 do
+    Bigarray.Array1.unsafe_set dst (off + j) (Array.unsafe_get t.fields j)
+  done
+
+let of_fields ~ts (src : words) off =
+  let fields = Array.make num_fields 0 in
+  for j = 0 to num_fields - 1 do
+    Array.unsafe_set fields j (Bigarray.Array1.unsafe_get src (off + j))
+  done;
+  { ts; fields }
+
 (** Construct a packet from common header values. Unset fields default
     to zero (as a parser would leave invalid headers). *)
 let make ?(ts = 0.0) ?(src_ip = 0) ?(dst_ip = 0) ?(proto = 0) ?(src_port = 0)

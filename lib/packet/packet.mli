@@ -22,6 +22,22 @@ val with_ts : t -> float -> t
 
 val copy : t -> t
 
+(** A packet-major field-word buffer (the {!Flat} arena backing store).
+    A Bigarray, not an [int array]: arena contents live outside the
+    scanned OCaml heap, so multi-million-packet arenas add nothing to
+    major-GC mark work. *)
+type words = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(** [blit_fields p dst off] copies the packet's [num_fields] field words
+    into [dst] starting at [off] — the record→arena half of the {!Flat}
+    conversion boundary.  No bounds checks; the caller guarantees
+    [off + num_fields <= dim dst]. *)
+val blit_fields : t -> words -> int -> unit
+
+(** [of_fields ~ts src off] rebuilds a packet from [num_fields] words of
+    [src] at [off] — the arena→record half.  No bounds checks. *)
+val of_fields : ts:float -> words -> int -> t
+
 (** Construct a packet from common header values; unset fields default
     to zero (length 64, TTL 64). *)
 val make :

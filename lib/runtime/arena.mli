@@ -1,0 +1,19 @@
+(** Pre-sharded replay arenas: partition a packet stream into one
+    contiguous {!Newton_packet.Flat} arena per shard before replay, so
+    the hot loop never dispatches per packet.  Guarantees: stream order
+    within each shard, and an exact partition of the input (each packet
+    in exactly one arena — no duplicates, no drops). *)
+
+open Newton_packet
+
+(** [build sharder packets] — one arena per shard, [Shard.jobs sharder]
+    of them.  The shard function runs once per packet at build time. *)
+val build : Shard.t -> Packet.t array -> Flat.t array
+
+(** Single-shard arena: the whole stream in stream order. *)
+val build1 : Packet.t array -> Flat.t
+
+(** Packets per shard of a built arena set. *)
+val loads : Flat.t array -> int array
+
+val total_packets : Flat.t array -> int

@@ -34,6 +34,64 @@ type instance = {
   mutable window_index : int;      (** this instance's current window *)
 }
 
+(* ---------------- compiled flat-arena program ----------------
+
+   The per-packet interpreter above ([process_packet]) pattern-matches
+   IR slots, allocates a context and key projections per packet, and
+   resolves register arrays through a Hashtbl on every S execution.
+   For arena replay ([process_flat]) each installed instance is
+   compiled once into a flat program: key fields become dense indices
+   with reusable scratch buffers, register arrays become direct
+   references, constant ALUs are prebuilt, and branch classifiers
+   become (index, value, mask) triples over the arena's word buffer.
+   The program is a pure acceleration of the interpreter — observable
+   state (reports, arrays, counters) evolves identically, which the
+   differential tests assert. *)
+
+type cslot =
+  | C_key of {
+      ck_meta : int;
+      ck_fidx : int array;   (* dense field indices *)
+      ck_masks : int array;
+      ck_buf : int array;    (* reused projection buffer *)
+    }
+  | C_hash_direct of { chd_meta : int }
+  | C_hash of { ch_meta : int; ch_seed : int; ch_range : int }
+  | C_s_pass of { csp_meta : int }
+  | C_s_alu of {
+      csa_meta : int;
+      csa_arr : Register_array.t;
+      csa_alu : Alu.t;       (* prebuilt: Or 1 (Bloom), Add/Max const *)
+    }
+  | C_s_add_field of { caf_meta : int; caf_arr : Register_array.t; caf_fidx : int }
+  | C_s_max_field of { cmf_meta : int; cmf_arr : Register_array.t; cmf_fidx : int }
+  | C_s_read of { csr_meta : int; csr_arr : Register_array.t option }
+  | C_r of {
+      cr_meta : int;
+      cr_merge : (Ir.acc * Ir.merge_op) option;
+      cr_combine : Ir.merge_op option;
+      cr_guard : (Ir.guard_target * Ast.cmp_op * int) option;
+      cr_report : bool;
+    }
+
+type cbranch = {
+  (* newton_init entry as parallel arrays (no per-check pointer chase) *)
+  cbm_fidx : int array;
+  cbm_value : int array;
+  cbm_mask : int array;
+  cb_slots : cslot array;
+}
+
+type cinst = {
+  ci : instance;
+  ci_window_len : float;
+  ci_query_id : int;
+  ci_pair : bool;            (* combine op is Pair: reports carry g2 *)
+  ci_branches : cbranch array;
+  ci_ctx : Ctx.t;            (* branch-0 scratch context *)
+  ci_bctx : Ctx.t;           (* scratch for branches > 0 *)
+}
+
 type t = {
   switch_id : int;
   (* Mirror-session budget: reports are exported by cloning packets to
@@ -61,6 +119,8 @@ type t = {
   mutable report_count : int;
   mutable packets_seen : int;
   mutable next_uid : int;
+  (* Compiled arena program, rebuilt lazily after install/remove. *)
+  mutable cprog : cinst array option;
 }
 
 (** Raised when a module table cannot accept another query's rule; the
@@ -85,6 +145,7 @@ let create ?(sink = Stats.create ()) ~switch_id () =
     report_count = 0;
     packets_seen = 0;
     next_uid = 1;
+    cprog = None;
   }
 
 let switch_id t = t.switch_id
@@ -292,6 +353,7 @@ let install t ?uid ?(stage_lo = 0) ?(stage_hi = max_int) compiled =
     }
   in
   t.instances <- t.instances @ [ inst ];
+  t.cprog <- None;
   (uid, nrules)
 
 (** Remove an instance; returns how many table entries were freed, or
@@ -301,6 +363,7 @@ let remove t uid =
   | None -> None
   | Some inst ->
       t.instances <- List.filter (fun i -> i.uid <> uid) t.instances;
+      t.cprog <- None;
       (* release the module-cell rules and the newton_init entries *)
       Array.iter
         (List.iter (fun s ->
@@ -598,6 +661,309 @@ let process_packet t pkt =
         ignore (process_instance t inst pkt)
       end)
     t.instances
+
+(* ---------------- flat-arena execution ---------------- *)
+
+let compile_slot inst (s : Ir.slot) =
+  let m = s.Ir.meta in
+  let own_array () = Hashtbl.find inst.arrays (s.Ir.branch, s.Ir.prim, s.Ir.suite) in
+  match s.Ir.cfg with
+  | Ir.K_cfg keys ->
+      let fidx =
+        Array.of_list (List.map (fun (k : Ast.key) -> Field.index k.Ast.field) keys)
+      in
+      let masks = Array.of_list (List.map (fun (k : Ast.key) -> k.Ast.mask) keys) in
+      C_key
+        { ck_meta = m; ck_fidx = fidx; ck_masks = masks;
+          ck_buf = Array.make (Array.length fidx) 0 }
+  | Ir.H_cfg { mode = `Direct; _ } -> C_hash_direct { chd_meta = m }
+  | Ir.H_cfg { mode = `Hash seed; range } ->
+      C_hash { ch_meta = m; ch_seed = seed; ch_range = range }
+  | Ir.S_cfg { op; _ } -> (
+      match op with
+      | Ir.S_pass -> C_s_pass { csp_meta = m }
+      | Ir.S_bf ->
+          C_s_alu { csa_meta = m; csa_arr = own_array (); csa_alu = Alu.Or 1 }
+      | Ir.S_cm (Ir.Const k) ->
+          C_s_alu { csa_meta = m; csa_arr = own_array (); csa_alu = Alu.Add k }
+      | Ir.S_cm (Ir.Field_val f) ->
+          C_s_add_field
+            { caf_meta = m; caf_arr = own_array (); caf_fidx = Field.index f }
+      | Ir.S_max (Ir.Const k) ->
+          C_s_alu { csa_meta = m; csa_arr = own_array (); csa_alu = Alu.Max k }
+      | Ir.S_max (Ir.Field_val f) ->
+          C_s_max_field
+            { cmf_meta = m; cmf_arr = own_array (); cmf_fidx = Field.index f }
+      | Ir.S_read { ar_branch; ar_prim; ar_suite } ->
+          C_s_read
+            { csr_meta = m;
+              csr_arr = Hashtbl.find_opt inst.arrays (ar_branch, ar_prim, ar_suite) })
+  | Ir.R_cfg { merge; guard; report; combine } ->
+      C_r
+        { cr_meta = m; cr_merge = merge; cr_combine = combine; cr_guard = guard;
+          cr_report = report }
+
+let compile_instance inst =
+  let q = inst.compiled.Compose.query in
+  let branches =
+    Array.mapi
+      (fun b slots ->
+        let entry = inst.compiled.Compose.init_entries.(b) in
+        let ms = Array.of_list entry.Ir.ie_matches in
+        {
+          cbm_fidx = Array.map (fun (f, _, _) -> Field.index f) ms;
+          cbm_value = Array.map (fun (_, v, _) -> v) ms;
+          cbm_mask = Array.map (fun (_, _, m) -> m) ms;
+          cb_slots = Array.of_list (List.map (compile_slot inst) slots);
+        })
+      inst.slots
+  in
+  {
+    ci = inst;
+    ci_window_len = q.Ast.window;
+    ci_query_id = q.Ast.id;
+    ci_pair =
+      (match q.Ast.combine with Some { op = Ast.Pair; _ } -> true | _ -> false);
+    ci_branches = branches;
+    ci_ctx = Ctx.create ();
+    ci_bctx = Ctx.create ();
+  }
+
+let compiled_prog t =
+  match t.cprog with
+  | Some prog -> prog
+  | None ->
+      (* Non-first CQE slices install no newton_init entries, so the
+         classifier never dispatches to them on the device-level path;
+         the compiled program skips them the same way. *)
+      let prog =
+        Array.of_list
+          (List.map compile_instance
+             (List.filter (fun i -> i.stage_lo = 0) t.instances))
+      in
+      t.cprog <- Some prog;
+      prog
+
+let empty_keys : int array = [||]
+
+(* A fresh-context reset without the allocation: exactly the state
+   [Ctx.create] starts a packet with. *)
+let reset_scratch_ctx (c : Ctx.t) =
+  c.Ctx.op_keys.(0) <- empty_keys;
+  c.Ctx.op_keys.(1) <- empty_keys;
+  c.Ctx.hash.(0) <- 0;
+  c.Ctx.hash.(1) <- 0;
+  c.Ctx.state.(0) <- 0;
+  c.Ctx.state.(1) <- 0;
+  c.Ctx.g1 <- 0;
+  c.Ctx.g2 <- 0;
+  c.Ctx.stopped <- false
+
+(** Replay a flat arena through every installed instance.  Semantics are
+    exactly {!process_packet} over [Flat.to_packet] of each slot — same
+    reports, same register state, same counter totals — but execution
+    runs the compiled program over the arena's raw buffers, and counter
+    telemetry is accumulated locally and folded into the sink once at
+    the end of the call (batch-amortised instrumentation). *)
+let process_flat t flat =
+  let n = Flat.length flat in
+  if n > 0 then begin
+    let prog = compiled_prog t in
+    let words = Flat.field_words flat in
+    let tss = Flat.timestamps flat in
+    let stride = Flat.stride flat in
+    let ninst = Array.length prog in
+    (* Batch-amortised counters, flushed after the loop. *)
+    let k_hits = ref 0 and h_hits = ref 0 and s_hits = ref 0 and r_hits = ref 0 in
+    let guard_stops = ref 0 and emitted = ref 0 in
+    let deduped = ref 0 and dropped = ref 0 and rolls = ref 0 in
+    for i = 0 to n - 1 do
+      let base = i * stride in
+      let ts = tss.(i) in
+      for ii = 0 to ninst - 1 do
+        let cinst = Array.unsafe_get prog ii in
+        let inst = cinst.ci in
+        let nb = Array.length cinst.ci_branches in
+        (* -1 until the first matching branch rolls the window. *)
+        let window = ref (-1) in
+        let stopped0 = ref false in
+        let b = ref 0 in
+        while !b < nb && not !stopped0 do
+          let cb = cinst.ci_branches.(!b) in
+          (* newton_init entry check over the raw words *)
+          let matches =
+            let nm = Array.length cb.cbm_fidx in
+            let ok = ref true in
+            let j = ref 0 in
+            while !ok && !j < nm do
+              if
+                Bigarray.Array1.unsafe_get words
+                  (base + Array.unsafe_get cb.cbm_fidx !j)
+                land Array.unsafe_get cb.cbm_mask !j
+                <> Array.unsafe_get cb.cbm_value !j
+              then ok := false;
+              incr j
+            done;
+            !ok
+          in
+          if matches then begin
+            if !window < 0 then begin
+              (* First matching branch: roll this instance's window, as
+                 the classifier match does on the per-packet path. *)
+              let w = int_of_float (ts /. cinst.ci_window_len) in
+              window := w;
+              if w <> inst.window_index then begin
+                inst.window_index <- w;
+                Hashtbl.iter (fun _ arr -> Register_array.clear arr) inst.arrays;
+                Hashtbl.reset inst.reported;
+                incr rolls
+              end
+            end;
+            let nslots = Array.length cb.cb_slots in
+            if nslots > 0 then begin
+              let c = if !b = 0 then cinst.ci_ctx else cinst.ci_bctx in
+              reset_scratch_ctx c;
+              let stopped = ref false in
+              let si = ref 0 in
+              while (not !stopped) && !si < nslots do
+                (match Array.unsafe_get cb.cb_slots !si with
+                | C_key { ck_meta; ck_fidx; ck_masks; ck_buf } ->
+                    incr k_hits;
+                    for j = 0 to Array.length ck_fidx - 1 do
+                      Array.unsafe_set ck_buf j
+                        (Bigarray.Array1.unsafe_get words
+                           (base + Array.unsafe_get ck_fidx j)
+                        land Array.unsafe_get ck_masks j)
+                    done;
+                    c.Ctx.op_keys.(ck_meta) <- ck_buf
+                | C_hash_direct { chd_meta } ->
+                    incr h_hits;
+                    c.Ctx.hash.(chd_meta) <- direct_value c.Ctx.op_keys.(chd_meta)
+                | C_hash { ch_meta; ch_seed; ch_range } ->
+                    incr h_hits;
+                    c.Ctx.hash.(ch_meta) <-
+                      Hash.hash_vector ~seed:ch_seed c.Ctx.op_keys.(ch_meta)
+                      mod ch_range
+                | C_s_pass { csp_meta } ->
+                    incr s_hits;
+                    c.Ctx.state.(csp_meta) <- c.Ctx.hash.(csp_meta)
+                | C_s_alu { csa_meta; csa_arr; csa_alu } ->
+                    incr s_hits;
+                    c.Ctx.state.(csa_meta) <-
+                      Register_array.exec csa_arr csa_alu c.Ctx.hash.(csa_meta)
+                | C_s_add_field { caf_meta; caf_arr; caf_fidx } ->
+                    incr s_hits;
+                    c.Ctx.state.(caf_meta) <-
+                      Register_array.exec caf_arr
+                        (Alu.Add (Bigarray.Array1.unsafe_get words (base + caf_fidx)))
+                        c.Ctx.hash.(caf_meta)
+                | C_s_max_field { cmf_meta; cmf_arr; cmf_fidx } ->
+                    incr s_hits;
+                    c.Ctx.state.(cmf_meta) <-
+                      Register_array.exec cmf_arr
+                        (Alu.Max (Bigarray.Array1.unsafe_get words (base + cmf_fidx)))
+                        c.Ctx.hash.(cmf_meta)
+                | C_s_read { csr_meta; csr_arr } ->
+                    incr s_hits;
+                    c.Ctx.state.(csr_meta) <-
+                      (match csr_arr with
+                      | Some arr -> Register_array.get arr c.Ctx.hash.(csr_meta)
+                      | None -> 0)
+                | C_r { cr_meta; cr_merge; cr_combine; cr_guard; cr_report } -> (
+                    incr r_hits;
+                    (match cr_merge with
+                    | Some (acc, op) -> (
+                        let v = c.Ctx.state.(cr_meta) in
+                        match acc with
+                        | Ir.G1 -> c.Ctx.g1 <- merge_value op c.Ctx.g1 v
+                        | Ir.G2 -> c.Ctx.g2 <- merge_value op c.Ctx.g2 v)
+                    | None -> ());
+                    (match cr_combine with
+                    | Some op -> c.Ctx.g1 <- merge_value op c.Ctx.g1 c.Ctx.g2
+                    | None -> ());
+                    let passes =
+                      match cr_guard with
+                      | None -> true
+                      | Some (target, op, value) ->
+                          let v =
+                            match target with
+                            | Ir.On_state -> c.Ctx.state.(cr_meta)
+                            | Ir.On_g1 -> c.Ctx.g1
+                            | Ir.On_g2 -> c.Ctx.g2
+                          in
+                          Ast.cmp_holds op v value
+                    in
+                    if not passes then begin
+                      stopped := true;
+                      incr guard_stops
+                    end
+                    else if cr_report then begin
+                      let w = !window in
+                      let keys = c.Ctx.op_keys.(cr_meta) in
+                      if Hashtbl.mem inst.reported (w, keys) then incr deduped
+                      else begin
+                        (* The projection buffer is reused across
+                           packets; the stored dedup key and report must
+                           own their keys. *)
+                        let keys = Array.copy keys in
+                        Hashtbl.add inst.reported (w, keys) ();
+                        let over_budget =
+                          match t.report_budget with
+                          | Some budget ->
+                              if w <> t.budget_window then begin
+                                if t.budget_window >= 0 then
+                                  Stats.observe_window_drops t.sink
+                                    t.window_drops;
+                                t.budget_window <- w;
+                                t.window_reports <- 0;
+                                t.window_drops <- 0
+                              end;
+                              t.window_reports >= budget
+                          | None -> false
+                        in
+                        if over_budget then begin
+                          t.dropped_reports <- t.dropped_reports + 1;
+                          t.window_drops <- t.window_drops + 1;
+                          incr dropped
+                        end
+                        else begin
+                          t.window_reports <- t.window_reports + 1;
+                          let value2 =
+                            if cinst.ci_pair then Some c.Ctx.g2 else None
+                          in
+                          t.reports <-
+                            Report.make ~query_id:cinst.ci_query_id ~window:w
+                              ~keys ~value:c.Ctx.g1 ~value2 ()
+                            :: t.reports;
+                          t.report_count <- t.report_count + 1;
+                          incr emitted;
+                          Stats.observe_report_latency t.sink
+                            (ts -. (float_of_int w *. cinst.ci_window_len))
+                        end
+                      end
+                    end));
+                incr si
+              done;
+              if !b = 0 then stopped0 := !stopped
+            end
+          end;
+          incr b
+        done
+      done
+    done;
+    t.packets_seen <- t.packets_seen + n;
+    let sink = t.sink in
+    Stats.bump sink Stats.Packets_processed n;
+    if !k_hits > 0 then Stats.bump sink Stats.Module_hits_k !k_hits;
+    if !h_hits > 0 then Stats.bump sink Stats.Module_hits_h !h_hits;
+    if !s_hits > 0 then Stats.bump sink Stats.Module_hits_s !s_hits;
+    if !r_hits > 0 then Stats.bump sink Stats.Module_hits_r !r_hits;
+    if !guard_stops > 0 then Stats.bump sink Stats.Guard_stops !guard_stops;
+    if !emitted > 0 then Stats.bump sink Stats.Reports_emitted !emitted;
+    if !deduped > 0 then Stats.bump sink Stats.Reports_deduped !deduped;
+    if !dropped > 0 then Stats.bump sink Stats.Reports_dropped !dropped;
+    if !rolls > 0 then Stats.bump sink Stats.Window_rolls !rolls
+  end
 
 (** Drain collected reports (e.g. per measurement interval). *)
 let drain_reports t =

@@ -123,6 +123,16 @@ val process_instance : t -> instance -> ?ctx:Ctx.t -> Packet.t -> Ctx.t
     windows, run every matching instance. *)
 val process_packet : t -> Packet.t -> unit
 
+(** Replay a whole {!Flat} arena through the compiled per-instance
+    program — observationally identical to {!process_packet} over every
+    packet of the arena in order (same reports, same register state,
+    same counter totals), but with key projections, register-array
+    resolution and branch classification pre-compiled, and counter
+    telemetry folded into the sink once per call instead of per
+    packet.  The program is compiled lazily and cached; {!install} and
+    {!remove} invalidate it. *)
+val process_flat : t -> Flat.t -> unit
+
 (** Return and clear the collected reports. *)
 val drain_reports : t -> Report.t list
 

@@ -100,51 +100,59 @@ let set_report_budget t n =
 
 (* ---------------- replay ---------------- *)
 
-(* One shard's replay loop: its packet slice in batches of [t.batch].
-   Batches amortise the per-packet dispatch in a real pipeline; here
-   they also bound the work a domain does between scheduler touchpoints. *)
-let replay_shard t engine (packets : Packet.t array) () =
-  let n = Array.length packets in
-  let i = ref 0 in
-  while !i < n do
-    let hi = min n (!i + t.batch) in
-    for j = !i to hi - 1 do
-      Engine.process_packet engine packets.(j)
-    done;
-    i := hi
-  done
+(** Stage 1 of a large replay: pre-shard the stream into contiguous
+    per-domain {!Flat} arenas (see {!Arena}).  The shard function runs
+    once per packet here — the replay loop never dispatches again. *)
+let build_arenas t packets = Arena.build t.sharder packets
 
-(** Replay a packet array: partition by shard key (order preserved per
-    shard), then run every shard's stream on its own domain. *)
-let process_packets t packets =
-  if t.jobs = 1 then begin
-    Array.iter (Engine.process_packet t.shards.(0)) packets;
-    t.shard_packets.(0) <- t.shard_packets.(0) + Array.length packets
-  end
-  else begin
-    let n = Array.length packets in
-    let owner = Array.make n 0 in
-    let counts = Array.make t.jobs 0 in
-    for i = 0 to n - 1 do
-      let s = Shard.assign t.sharder packets.(i) in
-      owner.(i) <- s;
-      counts.(s) <- counts.(s) + 1
-    done;
-    let parts =
-      (* dummy-init then fill in stream order, keeping per-shard order *)
-      Array.init t.jobs (fun s -> Array.make counts.(s) packets.(0))
-    in
-    let fill = Array.make t.jobs 0 in
-    for i = 0 to n - 1 do
-      let s = owner.(i) in
-      parts.(s).(fill.(s)) <- packets.(i);
-      fill.(s) <- fill.(s) + 1
-    done;
+(** Stage 2: replay every shard's arena through its engine's compiled
+    program, one domain per shard (inline when [jobs = 1]).  ALU state
+    and reports stay shard-local throughout; they fold together only at
+    observation points ({!reports}, {!merged_arrays}, {!merged_sink}).
+    @raise Invalid_argument when the arena count differs from [jobs]. *)
+let replay_arenas t arenas =
+  if Array.length arenas <> t.jobs then
+    invalid_arg
+      (Printf.sprintf "Parallel_engine.replay_arenas: %d arenas for %d shards"
+         (Array.length arenas) t.jobs);
+  if t.jobs = 1 then Engine.process_flat t.shards.(0) arenas.(0)
+  else
+    (* Cap concurrent domains at the machine's core count: shards are
+       CPU-bound, and oversubscribing cores only adds cross-domain GC
+       synchronisation.  Arenas are independent, so waves preserve
+       semantics exactly. *)
     ignore
       (Domain_pool.run
-         (Array.init t.jobs (fun s -> replay_shard t t.shards.(s) parts.(s))));
-    Array.iteri (fun s c -> t.shard_packets.(s) <- t.shard_packets.(s) + c) counts
+         ~max_domains:(max 1 (Domain_pool.recommended_jobs ()))
+         (Array.init t.jobs (fun s () ->
+              Engine.process_flat t.shards.(s) arenas.(s))));
+  Array.iteri
+    (fun s a -> t.shard_packets.(s) <- t.shard_packets.(s) + Flat.length a)
+    arenas
+
+(** Replay a packet array.
+    A call of at most [batch] packets is not worth shard setup: it is
+    dispatched inline on the calling domain, per packet, with the same
+    shard routing — state placement is identical to the arena path, so
+    small and large calls can be freely mixed on one engine (the
+    chunked ingest driver does exactly that for its tail chunk).
+    Larger calls pre-shard into contiguous arenas once, then replay
+    each arena on its own domain through the compiled engine program. *)
+let process_packets t packets =
+  let n = Array.length packets in
+  if n = 0 then ()
+  else if t.jobs = 1 then begin
+    if n <= t.batch then Array.iter (Engine.process_packet t.shards.(0)) packets
+    else Engine.process_flat t.shards.(0) (Arena.build1 packets);
+    t.shard_packets.(0) <- t.shard_packets.(0) + n
   end
+  else if n <= t.batch then
+    for i = 0 to n - 1 do
+      let s = Shard.assign t.sharder packets.(i) in
+      Engine.process_packet t.shards.(s) packets.(i);
+      t.shard_packets.(s) <- t.shard_packets.(s) + 1
+    done
+  else replay_arenas t (build_arenas t packets)
 
 let process_trace t trace =
   if Newton_trace.Gen.length trace > 0 then

@@ -53,7 +53,20 @@ val remove : t -> int -> int option
 (** Mirror budget, applied per shard. *)
 val set_report_budget : t -> int option -> unit
 
-(** Replay a packet array: partition, then one domain per shard. *)
+(** Stage 1 of a large replay: pre-shard the stream into contiguous
+    per-domain {!Newton_packet.Flat} arenas ({!Arena.build}); the shard
+    function runs once per packet here and never again. *)
+val build_arenas : t -> Packet.t array -> Flat.t array
+
+(** Stage 2: replay each shard's arena on its own domain through the
+    engine's compiled program ({!Engine.process_flat}); state merges
+    only at observation points.
+    @raise Invalid_argument when the arena count differs from [jobs]. *)
+val replay_arenas : t -> Flat.t array -> unit
+
+(** Replay a packet array: calls of at most [batch] packets dispatch
+    inline on the calling domain (same shard routing, no shard setup);
+    larger calls run {!build_arenas} then {!replay_arenas}. *)
 val process_packets : t -> Packet.t array -> unit
 
 val process_trace : t -> Newton_trace.Gen.t -> unit

@@ -30,14 +30,29 @@ let hash_int ~seed v =
   in
   Int64.to_int (Int64.shift_right_logical h 2)
 
+let chain_init seed = Int64.mul (Int64.of_int (seed + 1)) 0x9E3779B97F4A7C15L
+
+let chain_step acc k =
+  mix64 (Int64.add (Int64.logxor acc (Int64.of_int k)) 0x632BE59BD9B4E019L)
+
+let chain_fin acc = Int64.to_int (Int64.shift_right_logical (mix64 acc) 2)
+
 (** Hash a key vector (e.g. masked operation keys) by chaining. *)
 let hash_vector ~seed keys =
-  let acc = ref (Int64.mul (Int64.of_int (seed + 1)) 0x9E3779B97F4A7C15L) in
-  Array.iter
-    (fun k ->
-      acc := mix64 (Int64.add (Int64.logxor !acc (Int64.of_int k)) 0x632BE59BD9B4E019L))
-    keys;
-  Int64.to_int (Int64.shift_right_logical (mix64 !acc) 2)
+  let acc = ref (chain_init seed) in
+  Array.iter (fun k -> acc := chain_step !acc k) keys;
+  chain_fin !acc
+
+(** [hash5 ~seed a b c d e = hash_vector ~seed [|a; b; c; d; e|]],
+    without materialising the vector — the per-packet shard-assignment
+    path hashes the 5-tuple once per packet at arena-build time, and
+    the intermediate array is the only allocation on that path. *)
+let hash5 ~seed a b c d e =
+  chain_fin
+    (chain_step
+       (chain_step (chain_step (chain_step (chain_step (chain_init seed) a) b) c)
+          d)
+       e)
 
 let apply t keys = hash_vector ~seed:t.seed keys mod t.range
 let apply_int t v = hash_int ~seed:t.seed v mod t.range

@@ -16,6 +16,10 @@ val hash_int : seed:int -> int -> int
 (** Hash a key vector by chained mixing; order-sensitive. *)
 val hash_vector : seed:int -> int array -> int
 
+(** [hash5 ~seed a b c d e] = [hash_vector ~seed [|a; b; c; d; e|]]
+    without materialising the vector (the flow 5-tuple fast path). *)
+val hash5 : seed:int -> int -> int -> int -> int -> int -> int
+
 (** Apply to a key vector, reduced into [0, range). *)
 val apply : t -> int array -> int
 

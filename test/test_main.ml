@@ -22,6 +22,7 @@ let () =
       ("fib", Test_fib.suite);
       ("runtime", Test_runtime.suite);
       ("parallel", Test_parallel.suite);
+      ("arena", Test_arena.suite);
       ("telemetry", Test_telemetry.suite);
       ("controller", Test_controller.suite);
       ("partial_deploy", Test_partial_deploy.suite);
