@@ -20,6 +20,7 @@ let experiments =
     ("parallel", Parallel.run);
     ("ingest", Ingest.run);
     ("analysis", Analysis.run);
+    ("serve", Serve.run);
     ("micro", Microbench.run) ]
 
 let () =

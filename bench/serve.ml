@@ -1,0 +1,190 @@
+(** Rule-churn bench for the controller daemon: intents submitted and
+    withdrawn while a trace replays through the deployment.
+
+    A survivor set (Q1 + Q4) is installed up front, then the trace
+    replays in budget-bounded steps with an ephemeral intent submitted
+    and withdrawn between steps — the daemon's actual interleaving.
+    Measured:
+
+    - churn throughput (submit+withdraw cycles per second of wall time)
+    - submit latency percentiles (analysis gate + placement + install)
+    - withdraw latency percentiles
+    - zero report loss: the survivors' reconciled reports against a
+      static deploy-first run over the same trace — every report the
+      static run emits must appear in the churned run
+
+    Results go to the table and a JSON artifact — out/bench_serve.json
+    or the path in NEWTON_BENCH_SERVE_JSON. *)
+
+let getenv_int name default =
+  match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+  | Some v when v > 0 -> v
+  | _ -> default
+
+let json_path () =
+  Option.value (Sys.getenv_opt "NEWTON_BENCH_SERVE_JSON")
+    ~default:"out/bench_serve.json"
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+let report_key r =
+  let open Newton_query.Report in
+  (r.query_id, r.window, Array.to_list r.keys, r.value, r.value2)
+
+let survivor_ids = [ 1; 4 ]
+
+let survivor_reports deploy =
+  List.filter_map
+    (fun r ->
+      if List.mem r.Newton_query.Report.query_id survivor_ids then
+        Some (report_key r)
+      else None)
+    (Newton_controller.Deploy.reconciled_reports deploy)
+  |> List.sort compare
+
+let run () =
+  Common.banner "Intent churn under live replay (newton serve)";
+  let flows = getenv_int "NEWTON_BENCH_SERVE_FLOWS" 2000 in
+  let cycles = getenv_int "NEWTON_BENCH_SERVE_CYCLES" 40 in
+  let topo () = Newton_network.Topo.linear 4 in
+  let trace =
+    Newton_trace.Gen.generate ~attacks:Newton_trace.Attack.default_suite
+      ~seed:42
+      (Newton_trace.Profile.with_flows Newton_trace.Profile.caida_like flows)
+  in
+  let n = Newton_trace.Gen.length trace in
+  Common.note "%d packets, %d churn cycles, survivors Q1+Q4" n cycles;
+
+  (* -------- churned run: survivors first, then cycle ephemerals -------- *)
+  let replay =
+    Newton_service.Replay.of_trace ~topo:(topo ()) ~desc:"bench" trace
+  in
+  let daemon = Newton_service.Daemon.create ~replay (topo ()) in
+  let submit spec =
+    match
+      Newton_service.Daemon.handle daemon
+        (Newton_service.Api.Submit { spec; name = None })
+    with
+    | Newton_service.Api.Accepted info -> info.Newton_service.Intent.i_id
+    | other ->
+        prerr_endline (Newton_service.Api.response_summary other);
+        failwith "bench_serve: submit refused"
+  in
+  let withdraw id =
+    match Newton_service.Daemon.handle daemon (Newton_service.Api.Withdraw id) with
+    | Newton_service.Api.Withdrawn_ok _ -> ()
+    | other ->
+        prerr_endline (Newton_service.Api.response_summary other);
+        failwith "bench_serve: withdraw failed"
+  in
+  List.iter (fun q -> ignore (submit (Newton_service.Api.Catalog q))) survivor_ids;
+  (* Ephemeral shapes cycled through the run; all pass admission next
+     to the survivors. *)
+  let ephemerals = [| 2; 3; 5; 6 |] in
+  let budget = max 1 (n / cycles) in
+  let submit_lat = Array.make cycles 0. in
+  let withdraw_lat = Array.make cycles 0. in
+  let deploy = Newton_service.Daemon.deploy daemon in
+  let t0 = Unix.gettimeofday () in
+  for c = 0 to cycles - 1 do
+    ignore
+      (Newton_service.Replay.step replay ~now:infinity ~budget deploy);
+    let q = ephemerals.(c mod Array.length ephemerals) in
+    let s0 = Unix.gettimeofday () in
+    let id = submit (Newton_service.Api.Catalog q) in
+    let s1 = Unix.gettimeofday () in
+    withdraw id;
+    let s2 = Unix.gettimeofday () in
+    submit_lat.(c) <- s1 -. s0;
+    withdraw_lat.(c) <- s2 -. s1
+  done;
+  ignore (Newton_service.Replay.run_to_end replay deploy);
+  let wall = Unix.gettimeofday () -. t0 in
+  let churned = survivor_reports deploy in
+
+  (* -------- static run: survivors only, deployed before replay -------- *)
+  let static_deploy = Newton_controller.Deploy.create (topo ()) in
+  List.iter
+    (fun q ->
+      match
+        Newton_controller.Deploy.deploy_checked static_deploy
+          (Common.compile (Newton_query.Catalog.by_id q))
+      with
+      | Ok _ -> ()
+      | Error _ -> failwith "bench_serve: static deploy refused")
+    survivor_ids;
+  let static_replay =
+    Newton_service.Replay.of_trace ~topo:(topo ()) ~desc:"static" trace
+  in
+  ignore (Newton_service.Replay.run_to_end static_replay static_deploy);
+  let static = survivor_reports static_deploy in
+  let lost = List.filter (fun k -> not (List.mem k churned)) static in
+  let extra = List.filter (fun k -> not (List.mem k static)) churned in
+
+  Array.sort compare submit_lat;
+  Array.sort compare withdraw_lat;
+  let pct_us a p = percentile a p *. 1e6 in
+  let ops_per_s = float_of_int (2 * cycles) /. wall in
+  let t =
+    Common.T.create
+      ~aligns:[ Common.T.Left; Common.T.Right; Common.T.Right; Common.T.Right ]
+      [ "operation"; "p50 us"; "p90 us"; "p99 us" ]
+  in
+  Common.T.add_row t
+    [ "submit (gate+place+install)";
+      Printf.sprintf "%.0f" (pct_us submit_lat 0.50);
+      Printf.sprintf "%.0f" (pct_us submit_lat 0.90);
+      Printf.sprintf "%.0f" (pct_us submit_lat 0.99) ];
+  Common.T.add_row t
+    [ "withdraw";
+      Printf.sprintf "%.0f" (pct_us withdraw_lat 0.50);
+      Printf.sprintf "%.0f" (pct_us withdraw_lat 0.90);
+      Printf.sprintf "%.0f" (pct_us withdraw_lat 0.99) ];
+  Common.T.print t;
+  Common.note "churn rate: %.0f intent ops/s against %d replaying packets"
+    ops_per_s n;
+  Common.note "report loss: %d lost, %d extra (static %d, churned %d)"
+    (List.length lost) (List.length extra) (List.length static)
+    (List.length churned);
+  if lost <> [] then failwith "bench_serve: report loss under churn";
+
+  let open Newton_util.Json in
+  let json =
+    Obj
+      [
+        ("bench", String "serve_churn");
+        ("packets", Int n);
+        ("flows", Int flows);
+        ("churn_cycles", Int cycles);
+        ("ops_per_second", Float ops_per_s);
+        ( "submit_us",
+          Obj
+            [
+              ("p50", Float (pct_us submit_lat 0.50));
+              ("p90", Float (pct_us submit_lat 0.90));
+              ("p99", Float (pct_us submit_lat 0.99));
+            ] );
+        ( "withdraw_us",
+          Obj
+            [
+              ("p50", Float (pct_us withdraw_lat 0.50));
+              ("p90", Float (pct_us withdraw_lat 0.90));
+              ("p99", Float (pct_us withdraw_lat 0.99));
+            ] );
+        ("static_reports", Int (List.length static));
+        ("churned_reports", Int (List.length churned));
+        ("lost_reports", Int (List.length lost));
+        ("extra_reports", Int (List.length extra));
+      ]
+  in
+  let out = json_path () in
+  let dir = Filename.dirname out in
+  if dir <> "." && not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out out in
+  output_string oc (to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Common.note "[json written to %s]" out

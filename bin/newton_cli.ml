@@ -8,223 +8,7 @@
 
 open Cmdliner
 open Newton
-
-(* ---------------- shared argument parsing ---------------- *)
-
-let queries_arg =
-  let doc = "Comma-separated query ids (1-9) from the catalog." in
-  Arg.(value & opt (list int) [ 1 ] & info [ "q"; "queries" ] ~docv:"IDS" ~doc)
-
-let profile_arg =
-  let doc = "Trace profile: caida or mawi." in
-  Arg.(value & opt (enum [ ("caida", `Caida); ("mawi", `Mawi) ]) `Caida
-       & info [ "profile" ] ~docv:"PROFILE" ~doc)
-
-let flows_arg =
-  let doc = "Number of background flows in the synthetic trace." in
-  Arg.(value & opt int 4000 & info [ "flows" ] ~docv:"N" ~doc)
-
-let seed_arg =
-  let doc = "PRNG seed for trace generation." in
-  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
-
-let attacks_arg =
-  let doc = "Inject the default attack suite into the trace." in
-  Arg.(value & flag & info [ "attacks" ] ~doc)
-
-let verbose_arg =
-  let doc = "Print every report instead of a summary." in
-  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
-
-let profile_of = function
-  | `Caida -> Trace_profile.caida_like
-  | `Mawi -> Trace_profile.mawi_like
-
-let trace_in_arg =
-  Arg.(value & opt (some file) None
-       & info [ "trace-in" ] ~docv:"FILE"
-           ~doc:"Replay a trace saved with --trace-out instead of generating one.")
-
-let trace_out_arg =
-  Arg.(value & opt (some string) None
-       & info [ "trace-out" ] ~docv:"FILE" ~doc:"Save the generated trace to a file.")
-
-let make_trace ?pcap_in ?trace_in ?trace_out profile flows seed attacks =
-  let trace =
-    match (pcap_in, trace_in) with
-    | Some path, _ -> (
-        try Ingest.Capture.load path
-        with Ingest.Capture.Format_error m ->
-          Printf.eprintf "pcap: %s: %s\n" path m;
-          exit 1)
-    | None, Some path -> Newton_trace.Trace_io.load path
-    | None, None ->
-        Trace.generate
-          ~attacks:(if attacks then Newton_trace.Attack.default_suite else [])
-          ~seed
-          (Trace_profile.with_flows (profile_of profile) flows)
-  in
-  (match trace_out with
-  | Some path ->
-      Newton_trace.Trace_io.save trace path;
-      Printf.printf "trace saved to %s
-" path
-  | None -> ());
-  trace
-
-(* Positive integer with parse-time validation: a bad --jobs/--batch is
-   a CLI error (usage + nonzero exit), not a late runtime check. *)
-let pos_int ~what =
-  let parse s =
-    match int_of_string_opt s with
-    | Some n when n >= 1 -> Ok n
-    | Some n -> Error (`Msg (Printf.sprintf "%s must be >= 1, got %d" what n))
-    | None -> Error (`Msg (Printf.sprintf "%s expects an integer, got %S" what s))
-  in
-  Arg.conv (parse, Format.pp_print_int)
-
-(* ---------------- pcap ingestion options ---------------- *)
-
-let pcap_arg =
-  Arg.(value & opt (some file) None
-       & info [ "pcap" ] ~docv:"FILE"
-           ~doc:"Ingest packets from a pcap/pcapng capture instead of a \
-                 synthetic trace.")
-
-(* Streaming-replay knobs, bundled so every replay command takes one
-   term.  Only consulted when --pcap is given. *)
-type ingest_opts = {
-  io_pace : [ `Asap | `Realtime ];
-  io_speedup : float;
-  io_depth : int;
-  io_chunk : int;
-  io_policy : Ingest.Stream.policy;
-}
-
-let ingest_opts_term =
-  let pace_arg =
-    Arg.(value & opt (enum [ ("asap", `Asap); ("realtime", `Realtime) ]) `Asap
-         & info [ "pace" ] ~docv:"MODE"
-             ~doc:"Replay pacing for --pcap: asap (as fast as the engine \
-                   drains) or realtime (follow capture timestamps).")
-  in
-  let speedup_arg =
-    Arg.(value & opt float 1.0
-         & info [ "speedup" ] ~docv:"X"
-             ~doc:"Time-compression factor for --pace realtime (2.0 replays \
-                   twice as fast as captured).")
-  in
-  let depth_arg =
-    Arg.(value
-         & opt (pos_int ~what:"--queue-depth") Ingest.Stream.default_depth
-         & info [ "queue-depth" ] ~docv:"N"
-             ~doc:"Bounded ingest-queue capacity between the capture reader \
-                   and the engine.")
-  in
-  let chunk_arg =
-    Arg.(value & opt (pos_int ~what:"--chunk") Ingest.Stream.default_chunk
-         & info [ "chunk" ] ~docv:"N"
-             ~doc:"Packets handed to the engine per batch.")
-  in
-  let policy_arg =
-    Arg.(value
-         & opt
-             (enum
-                [ ("block", Ingest.Stream.Block); ("drop", Ingest.Stream.Drop) ])
-             Ingest.Stream.Block
-         & info [ "on-full" ] ~docv:"POLICY"
-             ~doc:"Backpressure policy when the ingest queue fills: block \
-                   the reader (lossless) or drop (count-and-discard, live \
-                   capture semantics).")
-  in
-  let mk io_pace io_speedup io_depth io_chunk io_policy =
-    if io_speedup <= 0.0 then begin
-      prerr_endline "--speedup must be positive";
-      exit 1
-    end;
-    { io_pace; io_speedup; io_depth; io_chunk; io_policy }
-  in
-  Term.(const mk $ pace_arg $ speedup_arg $ depth_arg $ chunk_arg $ policy_arg)
-
-(* Stream a capture into [sink_fn] under the chosen pacing/backpressure,
-   accounting every frame in [stats]. *)
-let stream_pcap ~opts ~stats path sink_fn =
-  let pace =
-    match opts.io_pace with
-    | `Asap -> Ingest.Stream.Asap
-    | `Realtime -> Ingest.Stream.Realtime opts.io_speedup
-  in
-  try
-    Ingest.Capture.with_source ~stats path (fun src ->
-        Ingest.Stream.run ~depth:opts.io_depth ~chunk:opts.io_chunk ~pace
-          ~policy:opts.io_policy ~stats src sink_fn)
-  with Ingest.Capture.Format_error m ->
-    Printf.eprintf "pcap: %s: %s\n" path m;
-    exit 1
-
-let print_ingest_summary stats (s : Ingest.Stream.summary) =
-  let get k = Telemetry.Stats.get stats k in
-  Printf.printf
-    "ingest: %d frames, %d decoded, %d skipped (%d non-ip, %d truncated), \
-     %d dropped on backpressure; %d chunks in %.2f s\n"
-    (get Telemetry.Stats.Ingest_frames)
-    (get Telemetry.Stats.Ingest_decoded)
-    (get Telemetry.Stats.Ingest_non_ip + get Telemetry.Stats.Ingest_truncated)
-    (get Telemetry.Stats.Ingest_non_ip)
-    (get Telemetry.Stats.Ingest_truncated)
-    s.Ingest.Stream.dropped s.Ingest.Stream.chunks s.Ingest.Stream.wall_seconds
-
-let lookup_queries ids =
-  try Ok (List.map Catalog.by_id ids)
-  with Catalog.Unknown_id { id; min; max } ->
-    Error
-      (Printf.sprintf "newton: no catalog query Q%d; valid ids are %d-%d" id
-         min max)
-
-let dsl_arg =
-  let doc =
-    "Ad-hoc queries in the textual DSL (repeatable), e.g. \
-     'filter(proto == udp) | map(dip) | reduce(dip, count) | filter(count > \
-     100) | map(dip)'."
-  in
-  Arg.(value & opt_all string [] & info [ "query" ] ~docv:"DSL" ~doc)
-
-(* Combine catalog ids and ad-hoc DSL queries; ad-hoc queries get ids
-   from 100 upward. *)
-let gather_queries ids dsl =
-  match lookup_queries ids with
-  | Error msg -> Error msg
-  | Ok qs -> (
-      let rec go i acc = function
-        | [] -> Ok (qs @ List.rev acc)
-        | text :: rest -> (
-            match
-              Newton_query.Parser.parse_result ~id:i
-                ~name:(Printf.sprintf "adhoc%d" (i - 100)) text
-            with
-            | Ok q -> go (i + 1) (q :: acc) rest
-            | Error m -> Error m)
-      in
-      match go 100 [] dsl with
-      | Ok all -> Ok all
-      | Error m -> Error m)
-
-(* Static-analysis gate for the execution commands: error-severity
-   intents are rejected with diagnostics (exit 2), never a backtrace
-   from deeper in the pipeline. *)
-let reject_invalid qs =
-  let diags = Analysis.Check.check_queries qs in
-  if Analysis.Diag.has_errors diags then begin
-    prerr_endline
-      (Analysis.Check.explain
-         (List.filter
-            (fun d -> d.Analysis.Diag.severity = Analysis.Diag.Error)
-            diags));
-    prerr_endline
-      "newton: rejected by static analysis (run `newton check` for the full \
-       report)";
-    exit 2
-  end
+open Cli_terms
 
 (* ---------------- queries ---------------- *)
 
@@ -342,21 +126,6 @@ let cmd_p4 =
     Term.(const run $ queries_arg $ program_arg $ rules_out_arg $ stages_arg $ lint_arg)
 
 (* ---------------- run (device level) ---------------- *)
-
-let jobs_arg =
-  let doc =
-    "Replay shards (OCaml 5 domains). 1 = the sequential engine; N > 1 \
-     shards the packet stream (per-query key when one query is installed, \
-     5-tuple otherwise) and merges the per-shard results."
-  in
-  Arg.(value & opt (pos_int ~what:"--jobs") 1
-       & info [ "j"; "jobs" ] ~docv:"N" ~doc)
-
-let batch_arg =
-  let doc = "Packets processed per shard batch (sharded replay only)." in
-  Arg.(value
-       & opt (pos_int ~what:"--batch") Newton_runtime.Parallel_engine.default_batch
-       & info [ "batch" ] ~docv:"B" ~doc)
 
 (* One query: shard on its aggregation key so shard-merged results
    match the sequential engine; several queries: 5-tuple sharding
@@ -555,35 +324,6 @@ let cmd_stats =
       $ output_arg $ pcap_arg $ ingest_opts_term)
 
 (* ---------------- netrun (network-wide) ---------------- *)
-
-let topo_conv =
-  let parse s =
-    match String.split_on_char ':' s with
-    | [ "linear"; n ] -> (try Ok (Topo.linear (int_of_string n)) with _ -> Error (`Msg "bad linear size"))
-    | [ "fat-tree"; k ] -> (
-        try Ok (Topo.fat_tree (int_of_string k)) with
-        | Invalid_argument m -> Error (`Msg m)
-        | _ -> Error (`Msg "bad fat-tree arity"))
-    | [ "bypass" ] -> Ok (Topo.bypass ())
-    | [ "bypass"; s'; l ] -> (
-        try Ok (Topo.bypass ~short:(int_of_string s') ~long:(int_of_string l) ()) with
-        | Invalid_argument m -> Error (`Msg m)
-        | _ -> Error (`Msg "bad bypass chain lengths"))
-    | [ "isp" ] -> Ok (Topo.isp ())
-    | _ -> Error (`Msg "expected linear:N, fat-tree:K, bypass[:S:L], or isp")
-  in
-  let print fmt t = Format.fprintf fmt "%s" (Topo.name t) in
-  Arg.conv (parse, print)
-
-let topo_arg =
-  Arg.(value & opt topo_conv (Topo.fat_tree 4)
-       & info [ "topo" ] ~docv:"TOPO"
-           ~doc:"Topology: linear:N, fat-tree:K, bypass[:S:L], or isp.")
-
-let stages_arg =
-  Arg.(value & opt int 12
-       & info [ "stages-per-switch" ] ~docv:"N"
-           ~doc:"Pipeline stages each switch grants Newton (CQE slices the query).")
 
 let fail_arg =
   Arg.(value & opt (some (pair int int)) None
@@ -1004,116 +744,121 @@ let cmd_shell =
       Printf.printf "installed #%d (%s) in %.1f ms\n%!" id q.Query.name (lat *. 1e3)
     in
     let handle_line line =
-      match String.split_on_char ' ' (String.trim line) with
-      | [ "" ] -> true
-      | [ "quit" ] | [ "exit" ] -> false
-      | [ "help" ] -> help (); true
-      | "install" :: rest -> (
-          let arg = String.concat " " rest in
-          (if String.length arg > 1 && arg.[0] = 'q'
-              && String.for_all (fun c -> c >= '0' && c <= '9')
-                   (String.sub arg 1 (String.length arg - 1))
-           then
-             match int_of_string (String.sub arg 1 (String.length arg - 1)) with
-             | n when n >= 1 && n <= 9 -> install (Catalog.by_id n)
-             | 10 -> install (Catalog.q10 ())
-             | 11 -> install (Catalog.q11 ())
-             | 12 -> install (Catalog.q12 ())
-             | 13 -> install (Catalog.q13 ())
-             | 14 -> install (Catalog.q14 ())
-             | n -> Printf.printf "no catalog query q%d\n%!" n
-           else
-             match Newton_query.Parser.parse_result ~id:(90 + !next_id) arg with
-             | Ok q -> install q
-             | Error m -> Printf.printf "parse error: %s\n%!" m);
-          true)
-      | [ "remove"; id ] -> (
-          (match int_of_string_opt id with
-          | Some id -> (
-              match Hashtbl.find_opt handles id with
-              | Some h -> (
-                  match Device.remove_query device h with
-                  | Some lat ->
-                      Hashtbl.remove handles id;
-                      Printf.printf "removed #%d in %.1f ms\n%!" id (lat *. 1e3)
-                  | None -> print_endline "remove failed")
-              | None -> Printf.printf "no query #%d\n%!" id)
-          | None -> print_endline "usage: remove <id>");
-          true)
-      | [ "list" ] ->
-          Hashtbl.iter
-            (fun id (h : handle) ->
-              Printf.printf "  #%d %s: %s\n" id h.query.Query.name
-                h.query.Query.description)
-            handles;
-          print_string "";
+      match Service.Command.tokenize line with
+      | Error m ->
+          Printf.printf "parse error: %s\n%!" m;
           true
-      | [ "stats" ] ->
-          List.iter
-            (fun s ->
-              print_endline ("  " ^ Newton_runtime.Engine.stats_to_string s))
-            (Newton_runtime.Engine.stats (Device.engine device));
-          let snap = Device.metrics device in
-          let show name =
-            match Telemetry.Snapshot.find name snap with
-            | None -> ()
-            | Some m ->
-                List.iter
-                  (fun (s : Telemetry.Metric.sample) ->
-                    match s.Telemetry.Metric.value with
-                    | Telemetry.Metric.V f ->
-                        Printf.printf "  %s%s %s\n" name
-                          (Telemetry.Metric.labels_to_string
-                             s.Telemetry.Metric.labels)
-                          (Telemetry.Metric.string_of_value f)
-                    | Telemetry.Metric.Buckets _ -> ())
-                  m.Telemetry.Metric.samples
-          in
-          List.iter show
-            [
-              "newton_packets_processed_total";
-              "newton_module_hits_total";
-              "newton_reports_emitted_total";
-              "newton_reports_deduped_total";
-              "newton_reports_dropped_total";
-              "newton_monitor_rules";
-              "newton_module_cell_utilization";
-              "newton_bloom_fill_ratio";
-              "newton_bloom_fpr_estimate";
-              "newton_cm_error_bound";
-            ];
-          true
-      | [ "stats"; "json" ] ->
-          print_endline (Telemetry.Export.to_json_string (Device.metrics device));
-          true
-      | [ "stats"; "prom" ] ->
-          print_string (Telemetry.Export.to_prometheus (Device.metrics device));
-          true
-      | "gen" :: rest -> (
-          let flows =
-            match rest with f :: _ -> Option.value (int_of_string_opt f) ~default:2000 | [] -> 2000
-          in
-          let seed =
-            match rest with _ :: s :: _ -> Option.value (int_of_string_opt s) ~default:42 | _ -> 42
-          in
-          let trace =
-            Trace.generate ~attacks:Newton_trace.Attack.default_suite ~seed
-              (Trace_profile.with_flows Trace_profile.caida_like flows)
-          in
-          Device.process_trace device trace;
-          Printf.printf "ran %d packets; %d total reports\n%!" (Trace.length trace)
-            (Device.message_count device);
-          true)
-      | [ "reports" ] ->
-          let all = Device.reports device in
-          let fresh = List.filteri (fun i _ -> i >= !shown_reports) all in
-          shown_reports := List.length all;
-          List.iter (fun r -> print_endline ("  " ^ Report.to_string r)) fresh;
-          Printf.printf "(%d new)\n%!" (List.length fresh);
-          true
-      | _ ->
-          print_endline "unknown command (try help)";
-          true
+      | Ok tokens -> (
+          match tokens with
+          | [] -> true
+        | [ "quit" ] | [ "exit" ] -> false
+        | [ "help" ] -> help (); true
+        | "install" :: rest -> (
+            let arg = String.concat " " rest in
+            (if String.length arg > 1 && arg.[0] = 'q'
+                && String.for_all (fun c -> c >= '0' && c <= '9')
+                     (String.sub arg 1 (String.length arg - 1))
+             then
+               match int_of_string (String.sub arg 1 (String.length arg - 1)) with
+               | n when n >= 1 && n <= 9 -> install (Catalog.by_id n)
+               | 10 -> install (Catalog.q10 ())
+               | 11 -> install (Catalog.q11 ())
+               | 12 -> install (Catalog.q12 ())
+               | 13 -> install (Catalog.q13 ())
+               | 14 -> install (Catalog.q14 ())
+               | n -> Printf.printf "no catalog query q%d\n%!" n
+             else
+               match Newton_query.Parser.parse_result ~id:(90 + !next_id) arg with
+               | Ok q -> install q
+               | Error m -> Printf.printf "parse error: %s\n%!" m);
+            true)
+        | [ "remove"; id ] -> (
+            (match int_of_string_opt id with
+            | Some id -> (
+                match Hashtbl.find_opt handles id with
+                | Some h -> (
+                    match Device.remove_query device h with
+                    | Some lat ->
+                        Hashtbl.remove handles id;
+                        Printf.printf "removed #%d in %.1f ms\n%!" id (lat *. 1e3)
+                    | None -> print_endline "remove failed")
+                | None -> Printf.printf "no query #%d\n%!" id)
+            | None -> print_endline "usage: remove <id>");
+            true)
+        | [ "list" ] ->
+            Hashtbl.iter
+              (fun id (h : handle) ->
+                Printf.printf "  #%d %s: %s\n" id h.query.Query.name
+                  h.query.Query.description)
+              handles;
+            print_string "";
+            true
+        | [ "stats" ] ->
+            List.iter
+              (fun s ->
+                print_endline ("  " ^ Newton_runtime.Engine.stats_to_string s))
+              (Newton_runtime.Engine.stats (Device.engine device));
+            let snap = Device.metrics device in
+            let show name =
+              match Telemetry.Snapshot.find name snap with
+              | None -> ()
+              | Some m ->
+                  List.iter
+                    (fun (s : Telemetry.Metric.sample) ->
+                      match s.Telemetry.Metric.value with
+                      | Telemetry.Metric.V f ->
+                          Printf.printf "  %s%s %s\n" name
+                            (Telemetry.Metric.labels_to_string
+                               s.Telemetry.Metric.labels)
+                            (Telemetry.Metric.string_of_value f)
+                      | Telemetry.Metric.Buckets _ -> ())
+                    m.Telemetry.Metric.samples
+            in
+            List.iter show
+              [
+                "newton_packets_processed_total";
+                "newton_module_hits_total";
+                "newton_reports_emitted_total";
+                "newton_reports_deduped_total";
+                "newton_reports_dropped_total";
+                "newton_monitor_rules";
+                "newton_module_cell_utilization";
+                "newton_bloom_fill_ratio";
+                "newton_bloom_fpr_estimate";
+                "newton_cm_error_bound";
+              ];
+            true
+        | [ "stats"; "json" ] ->
+            print_endline (Telemetry.Export.to_json_string (Device.metrics device));
+            true
+        | [ "stats"; "prom" ] ->
+            print_string (Telemetry.Export.to_prometheus (Device.metrics device));
+            true
+        | "gen" :: rest -> (
+            let flows =
+              match rest with f :: _ -> Option.value (int_of_string_opt f) ~default:2000 | [] -> 2000
+            in
+            let seed =
+              match rest with _ :: s :: _ -> Option.value (int_of_string_opt s) ~default:42 | _ -> 42
+            in
+            let trace =
+              Trace.generate ~attacks:Newton_trace.Attack.default_suite ~seed
+                (Trace_profile.with_flows Trace_profile.caida_like flows)
+            in
+            Device.process_trace device trace;
+            Printf.printf "ran %d packets; %d total reports\n%!" (Trace.length trace)
+              (Device.message_count device);
+            true)
+        | [ "reports" ] ->
+            let all = Device.reports device in
+            let fresh = List.filteri (fun i _ -> i >= !shown_reports) all in
+            shown_reports := List.length all;
+            List.iter (fun r -> print_endline ("  " ^ Report.to_string r)) fresh;
+            Printf.printf "(%d new)\n%!" (List.length fresh);
+            true
+        | _ ->
+            print_endline "unknown command (try help)";
+            true)
     in
     print_endline "newton shell — 'help' for commands";
     let rec loop () =
@@ -1126,6 +871,167 @@ let cmd_shell =
   in
   Cmd.v (Cmd.info "shell" ~doc:"Interactive operator console on one switch")
     Term.(const run $ const ())
+
+(* ---------------- serve / intent (controller daemon) ---------------- *)
+
+let socket_arg =
+  Arg.(value & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket path (default newton.sock unless --port \
+                 is given).")
+
+let port_arg =
+  Arg.(value & opt (some int) None
+       & info [ "port" ] ~docv:"PORT"
+           ~doc:"Use 127.0.0.1:PORT instead of a Unix socket.")
+
+let listen_of socket port =
+  match (socket, port) with
+  | Some _, Some _ ->
+      prerr_endline "newton: --socket and --port are mutually exclusive";
+      exit 1
+  | None, Some p -> Service.Daemon.Tcp p
+  | Some path, None -> Service.Daemon.Unix_socket path
+  | None, None -> Service.Daemon.Unix_socket "newton.sock"
+
+let cmd_serve =
+  let run socket port topo stages preload dsl pcap trace_in gen_trace profile
+      flows seed attacks iopts =
+    let pace =
+      match iopts.io_pace with
+      | `Asap -> Service.Replay.Asap
+      | `Realtime -> Service.Replay.Realtime iopts.io_speedup
+    in
+    let replay =
+      match (pcap, trace_in) with
+      | Some _, Some _ ->
+          prerr_endline "newton: --pcap cannot be combined with --trace-in";
+          exit 1
+      | Some path, None | None, Some path -> (
+          try Some (Service.Replay.load ~pace ~topo path)
+          with Ingest.Capture.Format_error m ->
+            Printf.eprintf "pcap: %s: %s\n" path m;
+            exit 1)
+      | None, None ->
+          if not gen_trace then None
+          else begin
+            let trace =
+              Trace.generate
+                ~attacks:(if attacks then Newton_trace.Attack.default_suite else [])
+                ~seed
+                (Trace_profile.with_flows (profile_of profile) flows)
+            in
+            Some
+              (Service.Replay.of_trace ~pace ~topo
+                 ~desc:(Printf.sprintf "synthetic(flows=%d,seed=%d)" flows seed)
+                 trace)
+          end
+    in
+    let daemon =
+      Service.Daemon.create ~stages_per_switch:stages
+        ~replay_budget:iopts.io_chunk ?replay topo
+    in
+    Printf.printf "topology: %s\n%!" (Topo.to_string topo);
+    (match replay with
+    | Some r ->
+        Printf.printf "replay: %s (%d packets)\n%!" (Service.Replay.source r)
+          (Service.Replay.length r)
+    | None -> ());
+    (* Intents named on the command line are submitted before the loop
+       starts, so the daemon comes up monitoring. *)
+    List.iter
+      (fun spec ->
+        let resp =
+          Service.Daemon.handle daemon
+            (Service.Api.Submit { spec; name = None })
+        in
+        print_endline (Service.Api.response_summary resp);
+        if not (Service.Api.response_is_ok resp) then exit 2)
+      (List.map (fun n -> Service.Api.Catalog n) preload
+      @ List.map (fun text -> Service.Api.Dsl text) dsl);
+    Service.Daemon.serve ~log:print_endline daemon (listen_of socket port)
+  in
+  let preload_arg =
+    Arg.(value & opt (list int) []
+         & info [ "q"; "queries" ] ~docv:"IDS"
+             ~doc:"Catalog query ids submitted as intents at startup.")
+  in
+  let gen_trace_arg =
+    Arg.(value & flag
+         & info [ "gen-trace" ]
+             ~doc:"Replay a synthetic trace (--profile/--flows/--seed/\
+                   --attacks) when no --pcap/--trace-in is given.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the long-running controller daemon: newline-delimited JSON \
+          (or plain operator text) over a Unix/TCP socket, with intents \
+          installing and withdrawing while a background trace or pcap \
+          replays through the deployment")
+    Term.(
+      const run $ socket_arg $ port_arg $ topo_arg $ stages_arg $ preload_arg
+      $ dsl_arg $ pcap_arg $ trace_in_arg $ gen_trace_arg $ profile_arg
+      $ flows_arg $ seed_arg $ attacks_arg $ ingest_opts_term)
+
+let cmd_intent =
+  let run socket port json words =
+    match Service.Api.request_of_tokens words with
+    | Error m ->
+        Printf.eprintf
+          "newton intent: %s\nusage: newton intent submit q4 | submit <dsl> \
+           [as <name>] | withdraw <id> | status <id> | list | stats \
+           [json|prom] | fail-switch <s> | repair-switch <s> | shutdown\n"
+          m;
+        exit 2
+    | Ok request -> (
+        let domain, addr =
+          match listen_of socket port with
+          | Service.Daemon.Unix_socket path ->
+              (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+          | Service.Daemon.Tcp p ->
+              (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_loopback, p))
+        in
+        let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+        (try Unix.connect fd addr
+         with Unix.Unix_error (e, _, _) ->
+           Printf.eprintf "newton intent: cannot reach daemon: %s\n"
+             (Unix.error_message e);
+           exit 1);
+        let oc = Unix.out_channel_of_descr fd in
+        let ic = Unix.in_channel_of_descr fd in
+        output_string oc (Service.Api.request_to_line request ^ "\n");
+        flush oc;
+        match input_line ic with
+        | exception End_of_file ->
+            prerr_endline "newton intent: daemon closed the connection";
+            exit 1
+        | line -> (
+            if json then print_endline line;
+            match Service.Api.response_of_line line with
+            | Error m ->
+                Printf.eprintf "newton intent: bad response: %s\n" m;
+                exit 1
+            | Ok resp ->
+                if not json then print_endline (Service.Api.response_summary resp);
+                exit (if Service.Api.response_is_ok resp then 0 else 1)))
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Print the raw JSON response line.")
+  in
+  let words_arg =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"COMMAND"
+             ~doc:"Operator command, e.g. submit q4 | withdraw 1 | list | \
+                   stats prom | shutdown.")
+  in
+  Cmd.v
+    (Cmd.info "intent"
+       ~doc:
+         "Drive a running newton serve daemon: submit/withdraw intents, \
+          inspect their lifecycle, scrape stats, inject switch failures")
+    Term.(const run $ socket_arg $ port_arg $ json_arg $ words_arg)
 
 let () =
   let info =
@@ -1147,4 +1053,6 @@ let () =
             cmd_gen;
             cmd_pcap_info;
             cmd_shell;
+            cmd_serve;
+            cmd_intent;
           ]))

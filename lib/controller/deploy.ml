@@ -149,46 +149,61 @@ let target_of_placement (p : Placement.t) =
     ~switch_slices:p.Placement.slices
     ~slice_ranges:p.Placement.slice_stage_ranges ~max_path_depth:max_depth
 
-(* The mandatory admission gate: every deployment passes static
-   analysis first.  Errors refuse the deployment before any rule is
-   installed; warnings are admitted but counted on the controller sink
-   (stage="analysis" in the snapshot).  Capacity is judged for the new
-   query alone — saturation by many co-resident queries still surfaces
-   at install time, where the rollback wrapper handles it. *)
-let admit t ?target compiled =
+(* The mandatory admission gate as a value: every deployment passes
+   static analysis first.  [Ok diags] admits (warnings counted on the
+   controller sink, stage="analysis" in the snapshot); [Error diags]
+   refuses before any rule is installed (rejection counted).  Capacity
+   is judged for the new query alone — saturation by many co-resident
+   queries still surfaces at install time, where the rollback path
+   handles it.  [exclude] drops one deployment uid from the peer set
+   (the query an update is about to replace). *)
+let admit_result t ?exclude ?target compiled =
   let deployed =
-    List.map
-      (fun d -> (d.compiled.Newton_compiler.Compose.query, d.compiled))
+    List.filter_map
+      (fun d ->
+        match exclude with
+        | Some uid when uid = d.uid -> None
+        | _ -> Some (d.compiled.Newton_compiler.Compose.query, d.compiled))
       t.deployments
   in
   let diags = Newton_analysis.Check.admission ?target ~deployed compiled in
   if Newton_analysis.Diag.has_errors diags then begin
     Newton_telemetry.Stats.bump t.c_sink
       Newton_telemetry.Stats.Analysis_rejections 1;
-    raise (Rejected diags)
-  end;
-  let _, warnings, _ = Newton_analysis.Check.severity_counts diags in
-  if warnings > 0 then
-    Newton_telemetry.Stats.bump t.c_sink
-      Newton_telemetry.Stats.Analysis_warnings warnings;
-  diags
+    Error diags
+  end
+  else begin
+    let _, warnings, _ = Newton_analysis.Check.severity_counts diags in
+    if warnings > 0 then
+      Newton_telemetry.Stats.bump t.c_sink
+        Newton_telemetry.Stats.Analysis_warnings warnings;
+    Ok diags
+  end
 
-(** Deploy a compiled query network-wide.  Returns (uid, latency in
-    seconds) — the latency is the slowest switch's rule-install time
-    (switch drivers work in parallel).
-    @raise Rejected when static analysis finds errors (admission gate);
-    no rule is installed in that case. *)
-let deploy ?(mode = `Cqe) ?edge_switches ?(stages_per_switch = 12) t compiled =
-  let gate_placement =
-    match mode with
-    | `Sole -> None
-    | `Cqe ->
-        Some
-          (Placement.place ?edge_switches
-             ~enabled:(fun s -> t.enabled.(s))
-             ~stages_per_switch ~topo:t.topo compiled)
-  in
-  ignore (admit t ?target:(Option.map target_of_placement gate_placement) compiled);
+(* Install-time capacity overflow rendered as a diagnostic, so the
+   result-typed entry points report it as a value.  The code rides the
+   NA05x capacity family (docs/ANALYSIS.md): unlike NA050-NA053 it is
+   not predicted by a pass but observed against the live module tables,
+   where co-resident deployments already hold cells. *)
+let exhausted_diag compiled ~stage ~kind =
+  Newton_analysis.Diag.make ~code:"NA054" ~severity:Newton_analysis.Diag.Error
+    ~span:(Newton_analysis.Diag.Stage stage)
+    ~hint:
+      "remove or narrow a co-resident deployment, or grant more \
+       stages/registers"
+    ~query:compiled.Newton_compiler.Compose.query
+    (Printf.sprintf
+       "install-time capacity: %s module cell exhausted at stage %d; partial \
+        installs rolled back" kind stage)
+
+(* Install a gated deployment (placement already computed by the
+   caller).  Returns (uid, latency in seconds) — the latency is the
+   slowest switch's rule-install time (switch drivers work in
+   parallel).
+   @raise Engine.Rules_exhausted when a module cell overflows
+   mid-rollout (the caller rolls back). *)
+let install_deployment ~mode ~edge_switches ~stages_per_switch ~gate_placement
+    t compiled =
   let uid = t.next_uid in
   t.next_uid <- uid + 1;
   let latencies = ref [] in
@@ -234,21 +249,67 @@ let deploy ?(mode = `Cqe) ?edge_switches ?(stages_per_switch = 12) t compiled =
   let latency = List.fold_left max 0.0 !latencies in
   (uid, latency)
 
-(* Wrap [deploy] so a switch running out of module-table capacity
-   mid-rollout undoes the partial installs and re-raises. *)
+(* Undo the partial installs of a rollout that died mid-way. *)
+let rollback_partial t uid =
+  Array.iter
+    (fun engine ->
+      List.iter
+        (fun (inst : Engine.instance) ->
+          if Engine.instance_uid inst / 1000 = uid then
+            ignore (Engine.remove engine (Engine.instance_uid inst)))
+        (Engine.instances engine))
+    t.engines;
+  t.deployments <- List.filter (fun d -> d.uid <> uid) t.deployments
+
+(* Gate + install, with failures as values the two public entry points
+   render their own way: [`Refused] keeps the original diagnostics,
+   [`Exhausted] keeps both the engine exception (for the raising
+   wrapper) and its NA054 rendering (for the checked one). *)
+let deploy_impl ?(mode = `Cqe) ?edge_switches ?(stages_per_switch = 12) t
+    compiled =
+  let gate_placement =
+    match mode with
+    | `Sole -> None
+    | `Cqe ->
+        Some
+          (Placement.place ?edge_switches
+             ~enabled:(fun s -> t.enabled.(s))
+             ~stages_per_switch ~topo:t.topo compiled)
+  in
+  match
+    admit_result t ?target:(Option.map target_of_placement gate_placement)
+      compiled
+  with
+  | Error diags -> Error (`Refused diags)
+  | Ok _warnings -> (
+      match
+        install_deployment ~mode ~edge_switches ~stages_per_switch
+          ~gate_placement t compiled
+      with
+      | r -> Ok r
+      | exception (Engine.Rules_exhausted { stage; kind } as e) ->
+          rollback_partial t (t.next_uid - 1);
+          Error (`Exhausted (e, exhausted_diag compiled ~stage ~kind)))
+
+(** Deploy a compiled query network-wide, admission failures as values:
+    [Error diags] when the static-analysis gate refuses the query or a
+    module cell overflows mid-rollout (NA054; partial installs rolled
+    back).  Never raises on admission or capacity. *)
+let deploy_checked ?mode ?edge_switches ?stages_per_switch t compiled =
+  match deploy_impl ?mode ?edge_switches ?stages_per_switch t compiled with
+  | Ok r -> Ok r
+  | Error (`Refused diags) -> Error diags
+  | Error (`Exhausted (_, diag)) -> Error [ diag ]
+
+(** Exception form — a thin wrapper over the checked path.
+    @raise Rejected when static analysis refuses the query.
+    @raise Engine.Rules_exhausted on install-time capacity overflow
+    (after rollback). *)
 let deploy ?mode ?edge_switches ?stages_per_switch t compiled =
-  try deploy ?mode ?edge_switches ?stages_per_switch t compiled
-  with Engine.Rules_exhausted _ as e ->
-    let uid = t.next_uid - 1 in
-    Array.iter
-      (fun engine ->
-        List.iter
-          (fun (inst : Engine.instance) ->
-            if Engine.instance_uid inst / 1000 = uid then
-              ignore (Engine.remove engine (Engine.instance_uid inst)))
-          (Engine.instances engine))
-      t.engines;
-    raise e
+  match deploy_impl ?mode ?edge_switches ?stages_per_switch t compiled with
+  | Ok r -> r
+  | Error (`Refused diags) -> raise (Rejected diags)
+  | Error (`Exhausted (e, _)) -> raise e
 
 (** Remove a deployment everywhere; returns the slowest switch's rule
     removal latency. *)
@@ -291,14 +352,43 @@ let deploy_plan ?(mode = `Cqe) ?edge_switches ?(stages_per_switch = 12)
     plan.Scheduler.admitted
 
 (** Update = atomic remove + install of a recompiled query (the paper's
-    query-update operation); forwarding is never interrupted. *)
+    query-update operation); forwarding is never interrupted.  The
+    replacement is admitted {e before} anything is removed — against
+    the deployed set minus the query being replaced — so a refused
+    update leaves the old deployment running untouched.  [Ok None] for
+    an unknown uid. *)
+let update_checked t uid compiled =
+  match find_deployment t uid with
+  | None -> Ok None
+  | Some _ -> (
+      let target =
+        match
+          Placement.place
+            ~enabled:(fun s -> t.enabled.(s))
+            ~stages_per_switch:12 ~topo:t.topo compiled
+        with
+        | p -> Some (target_of_placement p)
+        | exception _ -> None
+      in
+      match admit_result t ~exclude:uid ?target compiled with
+      | Error diags -> Error diags
+      | Ok _ -> (
+          let lat_rm = Option.value (undeploy t uid) ~default:0.0 in
+          match deploy_checked t compiled with
+          | Ok (uid', lat_in) -> Ok (Some (uid', lat_rm +. lat_in))
+          | Error diags ->
+              (* Only install-time exhaustion can land here (admission
+                 passed just above); the old deployment is gone, as
+                 with any failed rollout. *)
+              Error diags))
+
+(** Exception form of {!update_checked}.
+    @raise Rejected when the replacement fails admission (the old
+    deployment keeps running). *)
 let update t uid compiled =
-  match undeploy t uid with
-  | None -> None
-  | Some lat_rm ->
-      let mode = `Cqe in
-      let uid', lat_in = deploy ~mode t compiled in
-      Some (uid', lat_rm +. lat_in)
+  match update_checked t uid compiled with
+  | Ok r -> r
+  | Error diags -> raise (Rejected diags)
 
 (* ---------------- software continuation ---------------- *)
 

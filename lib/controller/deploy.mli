@@ -59,13 +59,25 @@ exception Rejected of Newton_analysis.Diag.t list
     placement. *)
 val target_of_placement : Placement.t -> Newton_analysis.Pass.target
 
-(** Deploy a compiled query network-wide; returns (uid, slowest
-    switch's install latency in seconds).  Every deployment first
-    passes the static-analysis admission gate: error diagnostics raise
-    {!Rejected} before any rule is installed; warnings are admitted and
-    counted on the controller sink ([newton_analysis_warnings_total],
-    labelled [stage="analysis"]).
-    @raise Rejected when static analysis refuses the query. *)
+(** Deploy a compiled query network-wide with admission failures as
+    values; returns [Ok (uid, slowest switch's install latency in
+    seconds)].  Every deployment first passes the static-analysis
+    admission gate: error diagnostics return [Error diags] before any
+    rule is installed; warnings are admitted and counted on the
+    controller sink ([newton_analysis_warnings_total], labelled
+    [stage="analysis"]).  A module cell overflowing mid-rollout rolls
+    the partial installs back and returns [Error] with a single NA054
+    diagnostic.  Never raises on admission or capacity — the entry
+    point for callers (the service loop) that treat refusals as data. *)
+val deploy_checked :
+  ?mode:mode -> ?edge_switches:int list -> ?stages_per_switch:int -> t ->
+  Newton_compiler.Compose.t ->
+  (int * float, Newton_analysis.Diag.t list) result
+
+(** Exception form of {!deploy_checked} — a thin wrapper.
+    @raise Rejected when static analysis refuses the query.
+    @raise Newton_runtime.Engine.Rules_exhausted on install-time
+    capacity overflow (after rollback). *)
 val deploy :
   ?mode:mode -> ?edge_switches:int list -> ?stages_per_switch:int -> t ->
   Newton_compiler.Compose.t -> int * float
@@ -81,7 +93,17 @@ val deploy_plan :
   ?options:Newton_compiler.Decompose.options -> t -> Scheduler.plan ->
   int list
 
-(** Atomic remove + redeploy of a recompiled query. *)
+(** Atomic remove + redeploy of a recompiled query, refusals as
+    values.  The replacement is admitted against the deployed set minus
+    the query being replaced {e before} anything is removed, so a
+    refused update leaves the old deployment running.  [Ok None] for an
+    unknown uid. *)
+val update_checked :
+  t -> int -> Newton_compiler.Compose.t ->
+  ((int * float) option, Newton_analysis.Diag.t list) result
+
+(** Exception form of {!update_checked}.
+    @raise Rejected when the replacement fails admission. *)
 val update : t -> int -> Newton_compiler.Compose.t -> (int * float) option
 
 (** Process one packet along the forwarding path between two hosts:

@@ -23,3 +23,7 @@ module Ingest = Newton_ingest
     registry and driver ([Check]) behind [newton check] and the
     deployment admission gate. *)
 module Analysis = Newton_analysis
+
+(** The controller service: intent lifecycle, the typed daemon API and
+    the [newton serve] socket loop. *)
+module Service = Newton_service

@@ -1,0 +1,83 @@
+(** The typed request/response surface of the service daemon.
+
+    One variant per command and per reply, each with a stable JSON
+    codec (one object per line on the wire).  The daemon, the
+    [newton intent] client and the tests all go through this module so
+    the protocol cannot drift from the types.  Times and latencies
+    travel as integer microseconds ([*_us] members). *)
+
+(** How the operator names a query: a catalog id ([q4]) or DSL text. *)
+type query_spec = Catalog of int | Dsl of string
+
+type stats_format = Json_format | Prometheus_format
+
+type request =
+  | Submit of { spec : query_spec; name : string option }
+  | Withdraw of int       (** intent id *)
+  | List_intents
+  | Status of int         (** intent id *)
+  | Stats of stats_format
+  | Fail_switch of int
+  | Repair_switch of int
+  | Shutdown
+
+val spec_to_string : query_spec -> string
+
+(** ["q<digits>"] reads as {!Catalog}, anything else as {!Dsl}. *)
+val spec_of_string : string -> query_spec
+
+val stats_format_to_string : stats_format -> string
+val stats_format_of_string : string -> stats_format option
+
+val request_to_json : request -> Newton_util.Json.t
+val request_of_json : Newton_util.Json.t -> (request, string) result
+
+(** Operator-text form (tokens from {!Command.tokenize}), shared by the
+    daemon's plain-text protocol and the [newton intent] CLI:
+    {v
+      submit q4 | submit <dsl...> [as <name>]
+      withdraw <id> | status <id> | list
+      stats [json|prom] | fail-switch <s> | repair-switch <s> | shutdown
+    v} *)
+val request_of_tokens : string list -> (request, string) result
+
+(** Result of a fail/repair event the recovery engine handled. *)
+type recovery_info = {
+  rc_switch : int;
+  rc_event : [ `Fail | `Repair ];
+  rc_slices_migrated : int;
+  rc_cells_moved : int;
+  rc_software_fallbacks : int;
+  rc_rules_installed : int;
+  rc_latency : float;
+}
+
+type response =
+  | Accepted of Intent.info
+      (** submit succeeded; the intent is [Active] *)
+  | Refused of { id : int; diags : Newton_analysis.Diag.t list }
+      (** submit refused; the intent is [Failed] with these diagnostics *)
+  | Withdrawn_ok of { id : int; latency : float }
+  | Intent_list of Intent.info list
+  | Intent_status of Intent.info
+  | Stats_payload of { format : stats_format; body : string }
+  | Recovery_done of recovery_info option
+      (** [None] when the switch was already in the requested state *)
+  | Stopping
+  | Error_resp of { code : string; message : string }
+
+val response_to_json : response -> Newton_util.Json.t
+val response_of_json : Newton_util.Json.t -> (response, string) result
+
+(** Line framing: parse/render one newline-delimited JSON message. *)
+val request_of_line : string -> (request, string) result
+
+val response_of_line : string -> (response, string) result
+val request_to_line : request -> string
+val response_to_line : response -> string
+
+(** Human rendering for the [newton intent] client. *)
+val response_summary : response -> string
+
+(** [false] exactly for [Refused] and [Error_resp] (client exit code). *)
+val response_is_ok : response -> bool

@@ -1,0 +1,73 @@
+(** The operator-command tokenizer shared by every text surface that
+    parses commands — [newton shell], the service daemon's plain-text
+    protocol and the [newton intent] client.  One implementation means
+    quoting and error behavior cannot drift between them.
+
+    Rules: tokens are separated by runs of spaces/tabs; single quotes
+    take everything up to the closing quote literally; double quotes
+    additionally honor backslash escapes for quote, backslash, [n] and
+    [t]; quotes may be embedded mid-token.  An unterminated quote or a
+    trailing backslash is an error, never a silent guess. *)
+
+let tokenize line =
+  let n = String.length line in
+  let buf = Buffer.create 16 in
+  let toks = ref [] in
+  let in_token = ref false in
+  let flush () =
+    if !in_token then begin
+      toks := Buffer.contents buf :: !toks;
+      Buffer.clear buf;
+      in_token := false
+    end
+  in
+  let rec go i =
+    if i >= n then Ok ()
+    else
+      match line.[i] with
+      | ' ' | '\t' ->
+          flush ();
+          go (i + 1)
+      | '\'' -> (
+          in_token := true;
+          match String.index_from_opt line (i + 1) '\'' with
+          | None -> Error "unterminated single quote"
+          | Some j ->
+              Buffer.add_substring buf line (i + 1) (j - i - 1);
+              go (j + 1))
+      | '"' ->
+          in_token := true;
+          let rec dq i =
+            if i >= n then Error "unterminated double quote"
+            else
+              match line.[i] with
+              | '"' -> Ok (i + 1)
+              | '\\' ->
+                  if i + 1 >= n then Error "unterminated escape in double quote"
+                  else begin
+                    (match line.[i + 1] with
+                    | '"' -> Buffer.add_char buf '"'
+                    | '\\' -> Buffer.add_char buf '\\'
+                    | 'n' -> Buffer.add_char buf '\n'
+                    | 't' -> Buffer.add_char buf '\t'
+                    | c ->
+                        (* unknown escape: keep both characters *)
+                        Buffer.add_char buf '\\';
+                        Buffer.add_char buf c);
+                    dq (i + 2)
+                  end
+              | c ->
+                  Buffer.add_char buf c;
+                  dq (i + 1)
+          in
+          Result.bind (dq (i + 1)) go
+      | c ->
+          in_token := true;
+          Buffer.add_char buf c;
+          go (i + 1)
+  in
+  match go 0 with
+  | Error _ as e -> e
+  | Ok () ->
+      flush ();
+      Ok (List.rev !toks)

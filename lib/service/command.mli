@@ -1,0 +1,9 @@
+(** Operator-command tokenizer shared by [newton shell], the service
+    daemon's plain-text protocol and the [newton intent] client, so
+    quoting and error behavior cannot drift between surfaces. *)
+
+(** Split a command line into tokens.  Spaces/tabs separate; single
+    quotes are literal; double quotes honor backslash escapes for
+    quote, backslash, [n] and [t]; quotes may be embedded mid-token.
+    [Error msg] on an unterminated quote or escape. *)
+val tokenize : string -> (string list, string) result

@@ -36,6 +36,9 @@ type key =
   | Ingest_dropped     (** packets dropped on ingest-queue backpressure *)
   | Analysis_warnings  (** static-analysis warnings on admitted queries *)
   | Analysis_rejections (** deployments refused by the analysis gate *)
+  | Intents_submitted  (** intents submitted to the service daemon *)
+  | Intents_withdrawn  (** active intents withdrawn at runtime *)
+  | Intents_failed     (** intents that ended in the [Failed] state *)
 
 let all =
   [ Packets_processed; Module_hits_k; Module_hits_h; Module_hits_s;
@@ -44,7 +47,8 @@ let all =
     Software_continuations; Switch_failures; Switch_repairs;
     Slices_migrated; State_cells_moved; Software_fallbacks;
     Ingest_frames; Ingest_decoded; Ingest_non_ip; Ingest_truncated;
-    Ingest_dropped; Analysis_warnings; Analysis_rejections ]
+    Ingest_dropped; Analysis_warnings; Analysis_rejections;
+    Intents_submitted; Intents_withdrawn; Intents_failed ]
 
 let index = function
   | Packets_processed -> 0
@@ -72,6 +76,9 @@ let index = function
   | Ingest_dropped -> 22
   | Analysis_warnings -> 23
   | Analysis_rejections -> 24
+  | Intents_submitted -> 25
+  | Intents_withdrawn -> 26
+  | Intents_failed -> 27
 
 let num_keys = List.length all
 
@@ -102,6 +109,9 @@ let name = function
   | Ingest_dropped -> "newton_ingest_dropped_total"
   | Analysis_warnings -> "newton_analysis_warnings_total"
   | Analysis_rejections -> "newton_analysis_rejections_total"
+  | Intents_submitted -> "newton_intents_submitted_total"
+  | Intents_withdrawn -> "newton_intents_withdrawn_total"
+  | Intents_failed -> "newton_intents_failed_total"
 
 let help = function
   | Packets_processed -> "Packets run through the engine"
@@ -127,6 +137,9 @@ let help = function
   | Ingest_dropped -> "Packets dropped on ingest-queue backpressure"
   | Analysis_warnings -> "Static-analysis warnings carried by admitted queries"
   | Analysis_rejections -> "Deployments refused by the static-analysis gate"
+  | Intents_submitted -> "Intents submitted to the service daemon"
+  | Intents_withdrawn -> "Active intents withdrawn at runtime"
+  | Intents_failed -> "Intents that ended in the Failed lifecycle state"
 
 (** The label set distinguishing samples that share a metric name. *)
 let labels = function
@@ -137,6 +150,8 @@ let labels = function
   | Ingest_non_ip -> [ ("reason", "non_ip") ]
   | Ingest_truncated -> [ ("reason", "truncated") ]
   | Analysis_warnings | Analysis_rejections -> [ ("stage", "analysis") ]
+  | Intents_submitted | Intents_withdrawn | Intents_failed ->
+      [ ("stage", "service") ]
   | _ -> []
 
 type active = {

@@ -30,6 +30,9 @@ type key =
   | Ingest_dropped
   | Analysis_warnings
   | Analysis_rejections
+  | Intents_submitted
+  | Intents_withdrawn
+  | Intents_failed
 
 val all : key list
 

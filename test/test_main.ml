@@ -37,4 +37,5 @@ let () =
       ("recovery", Test_recovery.suite);
       ("ingest", Test_ingest.suite);
       ("analysis", Test_analysis.suite);
+      ("service", Test_service.suite);
     ]
