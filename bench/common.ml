@@ -13,6 +13,13 @@ let mawi_trace ?(flows = 4000) ?(seed = 43) () =
   Newton_trace.Gen.generate ~attacks:Newton_trace.Attack.default_suite ~seed
     (Newton_trace.Profile.with_flows Newton_trace.Profile.mawi_like flows)
 
+(** Mixed v4/v6/tunnel trace: the extended attack corpus layered on the
+    same Zipf background, exercising the IPv6, ICMPv6 and VXLAN/GRE
+    decode paths alongside plain IPv4. *)
+let mixed_trace ?(flows = 4000) ?(seed = 44) () =
+  Newton_trace.Gen.generate ~attacks:Newton_trace.Attack.extended_suite ~seed
+    (Newton_trace.Profile.with_flows Newton_trace.Profile.caida_like flows)
+
 let all_queries () = Newton_query.Catalog.all ()
 
 let compile = Newton_compiler.Compose.compile

@@ -2,12 +2,18 @@
     streaming replay through the full catalog engine, against the
     native in-memory replay of the same trace.
 
-    Stages measured over the standard Zipf-background attack trace
-    (NEWTON_BENCH_FLOWS flows, default 4000):
+    Two trace configurations run back to back:
+    - v4        — the standard Zipf-background attack trace (pure IPv4)
+    - mixed     — the extended corpus layered on the same background:
+                  IPv6/ICMPv6 scan traffic plus VXLAN-tunneled flows,
+                  exercising the extension-header walk and decap paths
+
+    Stages measured per configuration (NEWTON_BENCH_FLOWS flows each,
+    default 4000):
     - export  — encode packets to Ethernet frames and write classic pcap
     - load    — read + decode the capture back into packets
     - stream  — pull the capture through the bounded-queue driver into
-                an engine with all nine catalog queries installed
+                an engine with the catalog installed
     - native  — the same engine fed directly from memory (baseline)
 
     Results go to the table and a JSON artifact — out/bench_ingest.json
@@ -29,21 +35,21 @@ let time f =
   let r = f () in
   (Unix.gettimeofday () -. t0, r)
 
-let fresh_engine () =
+let fresh_engine queries =
   let e = Newton_runtime.Engine.create ~switch_id:0 () in
   List.iter
     (fun q -> ignore (Newton_runtime.Engine.install e (Common.compile q)))
-    (Common.all_queries ());
+    queries;
   e
 
-let run () =
-  Common.banner "Ingestion throughput (pcap export / decode / streaming replay)";
-  let flows = getenv_int "NEWTON_BENCH_FLOWS" 4000 in
-  let trace = Common.caida_trace ~flows () in
+(* Run the full export / load / stream / native cycle for one trace
+   configuration, add its rows to the shared table, and return the JSON
+   section describing it. *)
+let measure ~label ~queries ~table ~flows trace =
   let npkts = Newton_trace.Gen.length trace in
   let path = Filename.temp_file "newton_bench" ".pcap" in
-  Common.note "trace: %d packets, %d flows; 9 catalog queries installed"
-    npkts flows;
+  Common.note "%s: %d packets, %d flows; %d queries installed" label npkts
+    flows (List.length queries);
   let t_export, () =
     time (fun () -> Newton_ingest.Capture.export trace path)
   in
@@ -53,7 +59,7 @@ let run () =
   in
   assert (Newton_trace.Gen.length loaded = npkts);
   (* Native replay baseline: memory-resident packets into the engine. *)
-  let native = fresh_engine () in
+  let native = fresh_engine queries in
   let t_native, () =
     time (fun () ->
         Array.iter
@@ -62,7 +68,7 @@ let run () =
   in
   let native_reports = List.length (Newton_runtime.Engine.reports native) in
   (* Streaming replay: decode-on-the-fly through the bounded queue. *)
-  let streamed = fresh_engine () in
+  let streamed = fresh_engine queries in
   let stats = Newton_telemetry.Stats.create () in
   let t_stream, summary =
     time (fun () ->
@@ -75,15 +81,10 @@ let run () =
   let stream_reports = List.length (Newton_runtime.Engine.reports streamed) in
   Sys.remove path;
   let rate n secs = float_of_int n /. secs in
-  let t =
-    Common.T.create
-      ~aligns:[ Common.T.Left; Common.T.Right; Common.T.Right; Common.T.Right ]
-      [ "stage"; "seconds"; "pkts/s"; "MB/s" ]
-  in
   let mbps secs = float_of_int file_bytes /. secs /. 1e6 in
   let row stage secs =
-    Common.T.add_row t
-      [ stage; Printf.sprintf "%.3f" secs;
+    Common.T.add_row table
+      [ label ^ "/" ^ stage; Printf.sprintf "%.3f" secs;
         Printf.sprintf "%.0f" (rate npkts secs);
         Printf.sprintf "%.1f" (mbps secs) ]
   in
@@ -91,42 +92,70 @@ let run () =
   row "load" t_load;
   row "stream+engine" t_stream;
   row "native+engine" t_native;
-  Common.T.print t;
-  Common.note "capture file: %.1f MB; stream/native overhead: %.2fx; reports %d vs %d"
+  Common.note
+    "%s: capture file %.1f MB; stream/native overhead %.2fx; reports %d vs %d"
+    label
     (float_of_int file_bytes /. 1e6)
     (t_stream /. t_native) stream_reports native_reports;
-  Common.maybe_dat t "ingest_throughput";
   let open Newton_util.Json in
   let stage secs =
     Obj
       [ ("seconds", Float secs); ("packets_per_sec", Float (rate npkts secs));
         ("mb_per_sec", Float (mbps secs)) ]
   in
+  Obj
+    [
+      ("name", String label);
+      ("trace", Obj [ ("packets", Int npkts); ("flows", Int flows) ]);
+      ("queries", Int (List.length queries));
+      ("file_bytes", Int file_bytes);
+      ("export", stage t_export);
+      ("load", stage t_load);
+      ("stream_engine", stage t_stream);
+      ("native_engine", stage t_native);
+      ("stream_overhead", Float (t_stream /. t_native));
+      ( "stream",
+        Obj
+          [
+            ("delivered", Int summary.Newton_ingest.Stream.delivered);
+            ("dropped", Int summary.Newton_ingest.Stream.dropped);
+            ("chunks", Int summary.Newton_ingest.Stream.chunks);
+            ( "frames",
+              Int
+                (Newton_telemetry.Stats.get stats
+                   Newton_telemetry.Stats.Ingest_frames) );
+          ] );
+      ( "reports",
+        Obj [ ("stream", Int stream_reports); ("native", Int native_reports) ]
+      );
+    ]
+
+let run () =
+  Common.banner "Ingestion throughput (pcap export / decode / streaming replay)";
+  let flows = getenv_int "NEWTON_BENCH_FLOWS" 4000 in
+  let table =
+    Common.T.create
+      ~aligns:[ Common.T.Left; Common.T.Right; Common.T.Right; Common.T.Right ]
+      [ "config/stage"; "seconds"; "pkts/s"; "MB/s" ]
+  in
+  let catalog = Common.all_queries () in
+  let extended = catalog @ Newton_query.Catalog.extras () in
+  let v4 =
+    measure ~label:"v4" ~queries:catalog ~table ~flows
+      (Common.caida_trace ~flows ())
+  in
+  let mixed =
+    measure ~label:"mixed" ~queries:extended ~table ~flows
+      (Common.mixed_trace ~flows ())
+  in
+  Common.T.print table;
+  Common.maybe_dat table "ingest_throughput";
+  let open Newton_util.Json in
   let json =
     Obj
       [
         ("bench", String "ingest_throughput");
-        ("trace", Obj [ ("packets", Int npkts); ("flows", Int flows) ]);
-        ("file_bytes", Int file_bytes);
-        ("export", stage t_export);
-        ("load", stage t_load);
-        ("stream_engine", stage t_stream);
-        ("native_engine", stage t_native);
-        ("stream_overhead", Float (t_stream /. t_native));
-        ( "stream",
-          Obj
-            [
-              ("delivered", Int summary.Newton_ingest.Stream.delivered);
-              ("dropped", Int summary.Newton_ingest.Stream.dropped);
-              ("chunks", Int summary.Newton_ingest.Stream.chunks);
-              ( "frames",
-                Int
-                  (Newton_telemetry.Stats.get stats
-                     Newton_telemetry.Stats.Ingest_frames) );
-            ] );
-        ( "reports",
-          Obj [ ("stream", Int stream_reports); ("native", Int native_reports) ]
-        );
+        ("configs", List [ v4; mixed ]);
       ]
   in
   let out = json_path () in

@@ -11,7 +11,9 @@ open Newton
 (* ---------------- query selection ---------------- *)
 
 let queries_arg =
-  let doc = "Comma-separated query ids (1-9) from the catalog." in
+  let doc =
+    "Comma-separated query ids (1-9 paper, 10-17 extensions) from the catalog."
+  in
   Arg.(value & opt (list int) [ 1 ] & info [ "q"; "queries" ] ~docv:"IDS" ~doc)
 
 let dsl_arg =
@@ -82,8 +84,24 @@ let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
 let attacks_arg =
-  let doc = "Inject the default attack suite into the trace." in
-  Arg.(value & flag & info [ "attacks" ] ~doc)
+  let default =
+    Arg.info [ "attacks" ]
+      ~doc:"Inject the default attack suite into the trace."
+  in
+  let extended =
+    Arg.info [ "extended-attacks" ]
+      ~doc:
+        "Inject the extended attack suite: the default suite plus the \
+         IPv6/ICMPv6/tunnel scenarios (NTP and SSDP amplification, ICMPv6 \
+         scan, tunneled exfiltration) behind catalog queries Q15-Q17."
+  in
+  Arg.(
+    value
+    & vflag []
+        [
+          (Newton_trace.Attack.default_suite, default);
+          (Newton_trace.Attack.extended_suite, extended);
+        ])
 
 let verbose_arg =
   let doc = "Print every report instead of a summary." in
@@ -112,9 +130,7 @@ let make_trace ?pcap_in ?trace_in ?trace_out profile flows seed attacks =
           exit 1)
     | None, Some path -> Newton_trace.Trace_io.load path
     | None, None ->
-        Trace.generate
-          ~attacks:(if attacks then Newton_trace.Attack.default_suite else [])
-          ~seed
+        Trace.generate ~attacks ~seed
           (Trace_profile.with_flows (profile_of profile) flows)
   in
   (match trace_out with
@@ -219,13 +235,19 @@ let stream_pcap ~opts ~stats path sink_fn =
 let print_ingest_summary stats (s : Ingest.Stream.summary) =
   let get k = Telemetry.Stats.get stats k in
   Printf.printf
-    "ingest: %d frames, %d decoded, %d skipped (%d non-ip, %d truncated), \
-     %d dropped on backpressure; %d chunks in %.2f s\n"
+    "ingest: %d frames, %d decoded, %d skipped (%d non-ip, %d truncated, \
+     %d fragment, %d malformed), %d dropped on backpressure; %d chunks in \
+     %.2f s\n"
     (get Telemetry.Stats.Ingest_frames)
     (get Telemetry.Stats.Ingest_decoded)
-    (get Telemetry.Stats.Ingest_non_ip + get Telemetry.Stats.Ingest_truncated)
+    (get Telemetry.Stats.Ingest_non_ip
+    + get Telemetry.Stats.Ingest_truncated
+    + get Telemetry.Stats.Ingest_fragment
+    + get Telemetry.Stats.Ingest_malformed)
     (get Telemetry.Stats.Ingest_non_ip)
     (get Telemetry.Stats.Ingest_truncated)
+    (get Telemetry.Stats.Ingest_fragment)
+    (get Telemetry.Stats.Ingest_malformed)
     s.Ingest.Stream.dropped s.Ingest.Stream.chunks s.Ingest.Stream.wall_seconds
 
 (* ---------------- topology / deployment shape ---------------- *)

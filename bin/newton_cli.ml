@@ -696,8 +696,9 @@ let cmd_pcap_info =
         Printf.printf "frames:     %d%s\n" i.frames
           (if i.clean_end then "" else " (file cut mid-record)");
         Printf.printf "decoded:    %d\n" i.decoded;
-        Printf.printf "skipped:    %d non-ip, %d truncated\n" i.non_ip
-          i.truncated;
+        Printf.printf
+          "skipped:    %d non-ip, %d truncated, %d fragment, %d malformed\n"
+          i.non_ip i.truncated i.fragment i.malformed;
         (match (i.first_ts, i.last_ts) with
         | Some a, Some b ->
             Printf.printf "timespan:   %.6f .. %.6f s (%.6f s)\n" a b (b -. a)
@@ -725,7 +726,7 @@ let cmd_shell =
     let help () =
       print_string
         "commands:\n\
-        \  install q<N>         install catalog query N (1-9, 10-12)\n\
+        \  install q<N>         install catalog query N (1-9 paper, 10-17 extensions)\n\
         \  install <dsl>        install an ad-hoc DSL query\n\
         \  remove <id>          remove an installed query\n\
         \  list                 installed queries\n\
@@ -759,14 +760,14 @@ let cmd_shell =
                 && String.for_all (fun c -> c >= '0' && c <= '9')
                      (String.sub arg 1 (String.length arg - 1))
              then
-               match int_of_string (String.sub arg 1 (String.length arg - 1)) with
-               | n when n >= 1 && n <= 9 -> install (Catalog.by_id n)
-               | 10 -> install (Catalog.q10 ())
-               | 11 -> install (Catalog.q11 ())
-               | 12 -> install (Catalog.q12 ())
-               | 13 -> install (Catalog.q13 ())
-               | 14 -> install (Catalog.q14 ())
-               | n -> Printf.printf "no catalog query q%d\n%!" n
+               match
+                 Catalog.find
+                   (int_of_string (String.sub arg 1 (String.length arg - 1)))
+               with
+               | Some q -> install q
+               | None ->
+                   Printf.printf "no catalog query %s (valid: q%d-q%d)\n%!" arg
+                     Catalog.min_id Catalog.max_id
              else
                match Newton_query.Parser.parse_result ~id:(90 + !next_id) arg with
                | Ok q -> install q
@@ -916,9 +917,7 @@ let cmd_serve =
           if not gen_trace then None
           else begin
             let trace =
-              Trace.generate
-                ~attacks:(if attacks then Newton_trace.Attack.default_suite else [])
-                ~seed
+              Trace.generate ~attacks ~seed
                 (Trace_profile.with_flows (profile_of profile) flows)
             in
             Some

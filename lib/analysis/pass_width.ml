@@ -1,17 +1,22 @@
-(** Field-width and mask validity (NA010–NA014).
+(** Field-width and mask validity (NA010–NA015).
 
     Every key and field predicate carries a mask; the data plane
     silently truncates values to the field width and packs multi-field
     equality filters into a 30-bit word ({!Decompose.pack_values}).
-    This pass rejects masks/values that cannot mean what was written
-    and warns when the packed comparison loses bits. *)
+    This pass rejects masks/values that cannot mean what was written,
+    warns when the packed comparison loses bits, and warns when a
+    protocol-dependent field (ICMP type/code) is used without pinning
+    the protocol — the decoder leaves such fields zero on other
+    traffic, so the match silently includes non-ICMP packets. *)
 
 open Newton_query
 open Newton_packet
 
 let name = "width"
-let doc = "field widths, masks, comparison values, packed-filter width"
-let codes = [ "NA010"; "NA011"; "NA012"; "NA013"; "NA014" ]
+let doc =
+  "field widths, masks, comparison values, packed-filter width, \
+   protocol-dependent fields"
+let codes = [ "NA010"; "NA011"; "NA012"; "NA013"; "NA014"; "NA015" ]
 
 (* Bits needed to represent [mask] (position of its highest set bit + 1). *)
 let mask_bits mask =
@@ -97,9 +102,73 @@ let check_packed ~query ~span preds =
     ]
   else []
 
+(* NA015: ICMP type/code is only populated when the packet is ICMP or
+   ICMPv6; a branch using those fields without an equality predicate
+   pinning [Proto] to one of the ICMP protocols silently matches the
+   zero type/code the decoder leaves on every other packet. *)
+let icmp_protos = [ Field.Protocol.icmp; Field.Protocol.icmpv6 ]
+
+let branch_pins_icmp prims =
+  List.exists
+    (function
+      | Ast.Filter preds ->
+          List.exists
+            (function
+              | Ast.Cmp { field = Field.Proto; op = Ast.Eq; mask; value } ->
+                  List.mem (value land mask) icmp_protos
+              | _ -> false)
+            preds
+      | _ -> false)
+    prims
+
+let check_icmp_fields ~query b prims =
+  if branch_pins_icmp prims then []
+  else
+    List.concat
+      (List.mapi
+         (fun p prim ->
+           let span = Diag.Prim { branch = b; prim = p } in
+           let used_fields =
+             match prim with
+             | Ast.Filter preds ->
+                 List.filter_map
+                   (function
+                     | Ast.Cmp { field; _ } -> Some field
+                     | Ast.Result_cmp _ -> None)
+                   preds
+             | Ast.Map keys | Ast.Distinct keys ->
+                 List.map (fun { Ast.field; _ } -> field) keys
+             | Ast.Reduce { keys; _ } ->
+                 List.map (fun { Ast.field; _ } -> field) keys
+           in
+           List.filter_map
+             (function
+               | (Field.Icmp_type | Field.Icmp_code) as f ->
+                   Some
+                     (Diag.make ~code:"NA015" ~severity:Diag.Warning ~span
+                        ~query
+                        ~hint:
+                          (Printf.sprintf
+                             "add a filter like pkt.proto == %d (icmp) or \
+                              pkt.proto == %d (icmpv6)"
+                             Field.Protocol.icmp Field.Protocol.icmpv6)
+                        (Printf.sprintf
+                           "%s used without restricting pkt.proto to \
+                            ICMP/ICMPv6 — the field is zero on other traffic"
+                           (Field.to_string f)))
+               | _ -> None)
+             used_fields)
+         prims)
+
 let run (ctx : Pass.ctx) =
   let query = ctx.Pass.query in
-  List.concat
+  let icmp_diags =
+    List.concat
+      (List.mapi (fun b prims -> check_icmp_fields ~query b prims)
+         query.Ast.branches)
+  in
+  icmp_diags
+  @ List.concat
     (List.mapi
        (fun b prims ->
          List.concat

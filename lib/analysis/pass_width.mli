@@ -1,6 +1,7 @@
-(** Field-width and mask validity (NA010–NA014): oversized/zero masks,
+(** Field-width and mask validity (NA010–NA015): oversized/zero masks,
     out-of-width comparison values, equality values outside their mask,
-    lossy 30-bit packed multi-field filters. *)
+    lossy 30-bit packed multi-field filters, and protocol-dependent
+    fields (ICMP type/code) used without pinning the protocol. *)
 
 val name : string
 val doc : string

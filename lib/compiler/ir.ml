@@ -88,7 +88,11 @@ type init_entry = {
 (** Match-all entry for a branch whose front filter was not absorbed. *)
 let init_match_all branch = { ie_branch = branch; ie_matches = [] }
 
-(** Fields newton_init can match on (5-tuple + TCP control flags). *)
+(** Fields newton_init can match on: the 5-tuple, TCP control flags,
+    and the headers added by the IPv6/ICMP/tunnel decode extension —
+    all parsed header fields the classifier sees before any module
+    chain runs. *)
 let init_fields =
   [ Field.Src_ip; Field.Dst_ip; Field.Proto; Field.Src_port; Field.Dst_port;
-    Field.Tcp_flags ]
+    Field.Tcp_flags; Field.Ip_ver; Field.Icmp_type; Field.Icmp_code;
+    Field.Tun_id ]

@@ -4,8 +4,9 @@
 
     Every frame pulled through this module is accounted for in the
     telemetry sink: [Ingest_frames] per record, then exactly one of
-    [Ingest_decoded] / [Ingest_non_ip] / [Ingest_truncated] (a file
-    cut mid-record also counts as truncated). *)
+    [Ingest_decoded] / [Ingest_non_ip] / [Ingest_truncated] /
+    [Ingest_fragment] / [Ingest_malformed] (a file cut mid-record also
+    counts as truncated). *)
 
 module Stats = Newton_telemetry.Stats
 module Gen = Newton_trace.Gen
@@ -93,6 +94,12 @@ let decode_record stats ts data linktype =
   | Decode.Skipped Decode.Truncated ->
       Stats.bump stats Stats.Ingest_truncated 1;
       None
+  | Decode.Skipped Decode.Fragment ->
+      Stats.bump stats Stats.Ingest_fragment 1;
+      None
+  | Decode.Skipped Decode.Malformed ->
+      Stats.bump stats Stats.Ingest_malformed 1;
+      None
 
 let fold ?(stats = Stats.null) path f init =
   with_file path (fun ic ->
@@ -162,6 +169,8 @@ type info = {
   decoded : int;
   non_ip : int;
   truncated : int;     (** decoder skips + a file cut mid-record *)
+  fragment : int;      (** non-first IP fragments *)
+  malformed : int;     (** internally inconsistent headers *)
   clean_end : bool;    (** file ended on a record/block boundary *)
   interfaces : int;    (** pcapng interface blocks; 1 for classic pcap *)
   linktype : int;      (** pcap link type; -1 when per-interface (pcapng) *)
@@ -204,6 +213,8 @@ let info path =
         decoded = Stats.get stats Stats.Ingest_decoded;
         non_ip = Stats.get stats Stats.Ingest_non_ip;
         truncated = Stats.get stats Stats.Ingest_truncated;
+        fragment = Stats.get stats Stats.Ingest_fragment;
+        malformed = Stats.get stats Stats.Ingest_malformed;
         clean_end;
         interfaces;
         linktype;

@@ -2,7 +2,8 @@
     loading and lazy streaming of pcap/pcapng files, and pcap export of
     synthetic traces.  All counted in the telemetry sink: one
     [Ingest_frames] bump per record, then exactly one of
-    [Ingest_decoded] / [Ingest_non_ip] / [Ingest_truncated]. *)
+    [Ingest_decoded] / [Ingest_non_ip] / [Ingest_truncated] /
+    [Ingest_fragment] / [Ingest_malformed]. *)
 
 (** Raised for any structural problem with a capture file — bad magic,
     bad version, malformed block, unreadable path.  Frame-level damage
@@ -51,6 +52,8 @@ type info = {
   decoded : int;
   non_ip : int;
   truncated : int;     (** decoder skips + a file cut mid-record *)
+  fragment : int;      (** non-first IP fragments *)
+  malformed : int;     (** internally inconsistent headers *)
   clean_end : bool;    (** file ended on a record/block boundary *)
   interfaces : int;    (** pcapng interface blocks; 1 for classic pcap *)
   linktype : int;      (** pcap link type; -1 when per-interface (pcapng) *)

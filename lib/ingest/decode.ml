@@ -1,126 +1,254 @@
 (** Raw captured frames → {!Newton_packet.Packet.t}.
 
-    Parses Ethernet (optionally 802.1Q-tagged) → IPv4 → TCP/UDP, plus
-    the DNS header bits the catalog queries consume (QR flag, answer
-    count) on UDP port 53.  Anything else — ARP, IPv6, non-Ethernet
-    link layers, frames cut before the headers end — is a counted skip,
-    never an exception: a backbone capture always contains traffic the
-    pipeline does not model.
+    Parses Ethernet (optionally 802.1Q/QinQ-tagged) → IPv4 or IPv6 →
+    TCP/UDP/ICMP/ICMPv6, plus the DNS header bits the catalog queries
+    consume (QR flag, answer count) on UDP port 53, plus one level of
+    GRE or VXLAN decapsulation.  Anything else — ARP, non-Ethernet link
+    layers, frames cut before the headers end, headers whose lengths
+    lie — is a counted skip, never an exception: a backbone capture
+    always contains traffic the pipeline does not model.
+
+    Skip taxonomy:
+    - [Non_ip]: traffic the pipeline does not model at all (ARP, other
+      link types, a third VLAN tag, unknown EtherTypes).
+    - [Truncated]: the capture ends before the headers the packet
+      claims to carry (snaplen cuts, torn final records).
+    - [Fragment]: a non-first IP fragment.  It carries no L4 header, so
+      decoding it would conflate every fragmented flow into one phantom
+      port-0 5-tuple; fragments are skipped and counted instead.
+    - [Malformed]: internally inconsistent headers — TCP data offset
+      below 20, IHL below 20, total length below the header length, UDP
+      length below 8, reserved GRE/VXLAN flag bits set, extension
+      headers overrunning the IPv6 payload length.
 
     Field mapping (documented in docs/INGEST.md):
-    - [Pkt_len] is the IPv4 total length (header lengths included,
-      link layer excluded), matching the synthetic generator.
+    - [Pkt_len] is the total IP length in bytes including the IP header
+      (for IPv6: 40 + payload length), link layer excluded.
     - [Payload_len] is computed from the IP/L4 {e length fields}, not
       the captured byte count, so snaplen-truncated captures still
       yield the on-the-wire payload size.
+    - IPv6 addresses are XOR-folded into the 32-bit [Src_ip]/[Dst_ip]
+      words (the four 32-bit address words combined); [Ip_ver]
+      distinguishes the address families.
     - A 802.1Q VLAN id maps onto [Ingress_port] (masked to the field's
-      9 bits) — the conventional way port-of-capture metadata survives
-      a mirror port; the {!Encode} side writes the same tag back.
-    - Non-first IP fragments carry no L4 header: the IP-level fields
-      decode and the L4 fields stay zero. *)
+      9 bits); for QinQ stacks the {e innermost} (customer) VID wins.
+    - GRE (with inner IPv4/IPv6) and VXLAN are decapsulated one level:
+      the 5-tuple, lengths and TTL describe the {e inner} packet, so
+      intents monitor the tunneled flow; [Tun_id] carries the VXLAN VNI
+      or GRE key (0 = not tunneled). *)
 
 open Newton_packet
 
 type skip =
-  | Non_ip      (** not Ethernet/IPv4: ARP, IPv6, other link types *)
-  | Truncated   (** capture ends before the headers do, or lengths lie *)
+  | Non_ip      (** not Ethernet/IP: ARP, other link types, >2 VLAN tags *)
+  | Truncated   (** capture ends before the headers do *)
+  | Fragment    (** non-first IP fragment: no L4 header to decode *)
+  | Malformed   (** internally inconsistent headers (lengths/flags lie) *)
 
 type result = Decoded of Packet.t | Skipped of skip
 
 let ethertype_ipv4 = 0x0800
+let ethertype_ipv6 = 0x86DD
 let ethertype_vlan = 0x8100
 let ethertype_qinq = 0x88A8
 
-let u16 b off = Bytes.get_uint16_be b off
+let vxlan_port = 4789
 
+let u8 b off = Char.code (Bytes.get b off)
+let u16 b off = Bytes.get_uint16_be b off
 let u32 b off = Int32.to_int (Bytes.get_int32_be b off) land 0xFFFFFFFF
+
+(* A 128-bit IPv6 address XOR-folded into the 32-bit address word the
+   PHV carries.  The fold keeps full entropy for distinct-count and
+   per-host queries; Encode writes addresses of the form ::a.b.c.d,
+   whose fold is the word itself, so decode∘encode is the identity. *)
+let fold_ip6 b off =
+  u32 b off lxor u32 b (off + 4) lxor u32 b (off + 8) lxor u32 b (off + 12)
+
+(* Internal control flow: parsing raises, [frame] catches.  Never
+   escapes this module. *)
+exception Skip of skip
+
+let skipf s = raise (Skip s)
+
+(* IPv6 extension headers we walk through (hop-by-hop, routing,
+   destination options share the (next, hdr_ext_len) layout). *)
+let is_opt_ext = function 0 | 43 | 60 -> true | _ -> false
+
+let ext_fragment = 44
+let ext_no_next = 59
+let max_ext_hops = 8
 
 (** Decode one captured Ethernet frame into a packet stamped [ts]. *)
 let frame ?(linktype = Pcap.linktype_ethernet) ~ts data =
   let len = Bytes.length data in
+  let need off n = if off + n > len then skipf Truncated in
+  (* Ethernet type walk from an ethertype position, hopping over at
+     most two VLAN tags (QinQ).  Returns (l3 offset, ethertype,
+     innermost nonzero VID): for stacked 802.1ad/802.1Q tags the
+     innermost customer tag is the one that identifies the port. *)
+  let rec eth_walk off hops =
+    need off 2;
+    let et = u16 data off in
+    if (et = ethertype_vlan || et = ethertype_qinq) && hops < 2 then begin
+      need off 6;
+      let o, et', inner_vid = eth_walk (off + 4) (hops + 1) in
+      let own = u16 data (off + 2) land 0xFFF in
+      (o, et', if inner_vid <> 0 then inner_vid else own)
+    end
+    else (off + 2, et, 0)
+  in
+  (* Mutually recursive over one level of decapsulation: [depth] is 0
+     for the outer packet, 1 inside a tunnel (no further decap). *)
+  let rec parse_l3 p ~et ~off ~depth =
+    if et = ethertype_ipv4 then parse_ipv4 p ~off ~depth
+    else if et = ethertype_ipv6 then parse_ipv6 p ~off ~depth
+    else skipf Non_ip
+  and parse_ipv4 p ~off ~depth =
+    need off 20;
+    let vihl = u8 data off in
+    if vihl lsr 4 <> 4 then skipf Malformed;
+    let ihl = (vihl land 0xF) * 4 in
+    let total_len = u16 data (off + 2) in
+    if ihl < 20 || total_len < ihl then skipf Malformed;
+    need off ihl;
+    Packet.set p Field.Ip_ver 4;
+    Packet.set p Field.Src_ip (u32 data (off + 12));
+    Packet.set p Field.Dst_ip (u32 data (off + 16));
+    Packet.set p Field.Pkt_len total_len;
+    Packet.set p Field.Ttl (u8 data (off + 8));
+    let proto = u8 data (off + 9) in
+    Packet.set p Field.Proto proto;
+    let frag = u16 data (off + 6) land 0x1FFF in
+    if frag <> 0 then skipf Fragment;
+    parse_l4 p ~proto ~l4_off:(off + ihl) ~l4_len:(total_len - ihl) ~depth
+  and parse_ipv6 p ~off ~depth =
+    need off 40;
+    if u8 data off lsr 4 <> 6 then skipf Malformed;
+    let payload_len = u16 data (off + 4) in
+    Packet.set p Field.Ip_ver 6;
+    Packet.set p Field.Src_ip (fold_ip6 data (off + 8));
+    Packet.set p Field.Dst_ip (fold_ip6 data (off + 24));
+    Packet.set p Field.Pkt_len (min (40 + payload_len) 0xFFFF);
+    Packet.set p Field.Ttl (u8 data (off + 7));
+    (* Bounded extension-header walk: [budget] is the IPv6 payload
+       remaining per the length field; overrunning it is Malformed,
+       running off the capture is Truncated. *)
+    let rec walk next ext_off budget hops =
+      if is_opt_ext next then begin
+        if hops >= max_ext_hops then skipf Malformed;
+        need ext_off 2;
+        let nh = u8 data ext_off in
+        let size = (u8 data (ext_off + 1) + 1) * 8 in
+        if size > budget then skipf Malformed;
+        need ext_off size;
+        walk nh (ext_off + size) (budget - size) (hops + 1)
+      end
+      else if next = ext_fragment then begin
+        if 8 > budget then skipf Malformed;
+        need ext_off 8;
+        if u16 data (ext_off + 2) lsr 3 <> 0 then skipf Fragment;
+        walk (u8 data ext_off) (ext_off + 8) (budget - 8) (hops + 1)
+      end
+      else begin
+        Packet.set p Field.Proto next;
+        if next <> ext_no_next then
+          parse_l4 p ~proto:next ~l4_off:ext_off ~l4_len:budget ~depth
+      end
+    in
+    walk (u8 data (off + 6)) (off + 40) payload_len 0
+  and parse_l4 p ~proto ~l4_off ~l4_len ~depth =
+    if proto = Field.Protocol.tcp then begin
+      need l4_off 20;
+      Packet.set p Field.Src_port (u16 data l4_off);
+      Packet.set p Field.Dst_port (u16 data (l4_off + 2));
+      Packet.set p Field.Tcp_seq (u32 data (l4_off + 4));
+      Packet.set p Field.Tcp_ack (u32 data (l4_off + 8));
+      Packet.set p Field.Tcp_flags (u8 data (l4_off + 13));
+      let dataofs = (u8 data (l4_off + 12) lsr 4) * 4 in
+      if dataofs < 20 || dataofs > l4_len then skipf Malformed;
+      need l4_off dataofs;
+      Packet.set p Field.Payload_len (l4_len - dataofs)
+    end
+    else if proto = Field.Protocol.udp then begin
+      need l4_off 8;
+      let sport = u16 data l4_off and dport = u16 data (l4_off + 2) in
+      Packet.set p Field.Src_port sport;
+      Packet.set p Field.Dst_port dport;
+      let udp_len = u16 data (l4_off + 4) in
+      if udp_len < 8 then skipf Malformed;
+      Packet.set p Field.Payload_len (udp_len - 8);
+      (* DNS header bits, when the capture includes them. *)
+      if (sport = 53 || dport = 53) && l4_off + 8 + 12 <= len then begin
+        let flags = u16 data (l4_off + 8 + 2) in
+        Packet.set p Field.Dns_qr (flags lsr 15);
+        Packet.set p Field.Dns_ancount (u16 data (l4_off + 8 + 6))
+      end;
+      if depth = 0 && dport = vxlan_port && udp_len - 8 >= 8 then
+        parse_vxlan p ~off:(l4_off + 8)
+    end
+    else if proto = Field.Protocol.icmp || proto = Field.Protocol.icmpv6
+    then begin
+      need l4_off 4;
+      Packet.set p Field.Icmp_type (u8 data l4_off);
+      Packet.set p Field.Icmp_code (u8 data (l4_off + 1));
+      Packet.set p Field.Payload_len (max 0 (l4_len - 8))
+    end
+    else if proto = Field.Protocol.gre && depth = 0 then
+      parse_gre p ~l4_off ~l4_len
+    (* other protocols: IP-level fields only *)
+  and parse_gre p ~l4_off ~l4_len =
+    need l4_off 4;
+    let fl = u16 data l4_off in
+    (* RFC 2784/2890: only C/K/S flags, version 0; anything else is a
+       header we would misparse. *)
+    if fl land lnot 0xB000 <> 0 then skipf Malformed;
+    let opt mask = if fl land mask <> 0 then 4 else 0 in
+    let hdr = 4 + opt 0x8000 + opt 0x2000 + opt 0x1000 in
+    if hdr > l4_len then skipf Malformed;
+    need l4_off hdr;
+    if fl land 0x2000 <> 0 then
+      Packet.set p Field.Tun_id (u32 data (l4_off + 4 + opt 0x8000));
+    let et = u16 data (l4_off + 2) in
+    if et = ethertype_ipv4 || et = ethertype_ipv6 then
+      parse_l3 p ~et ~off:(l4_off + hdr) ~depth:1
+    (* a payload type we don't model: keep the outer IP fields *)
+  and parse_vxlan p ~off =
+    need off 8;
+    (* RFC 7348: the flags octet of a VXLAN header is exactly 0x08 (VNI
+       valid, reserved bits zero).  Anything else on port 4789 is plain
+       UDP traffic, not a tunnel — leave it un-decapsulated. *)
+    if u8 data off <> 0x08 then ()
+    else begin
+    Packet.set p Field.Tun_id (u32 data (off + 4) lsr 8);
+    (* The outer UDP header must not leak into the inner flow. *)
+    List.iter
+      (fun f -> Packet.set p f 0)
+      Field.
+        [ Src_port; Dst_port; Tcp_flags; Tcp_seq; Tcp_ack; Dns_qr;
+          Dns_ancount; Payload_len ];
+    (* Inner Ethernet frame. *)
+    need (off + 8) 14;
+    let ip_off, et, vid = eth_walk (off + 8 + 12) 0 in
+    if vid <> 0 then Packet.set p Field.Ingress_port vid;
+    parse_l3 p ~et ~off:ip_off ~depth:1
+    end
+  in
   if linktype <> Pcap.linktype_ethernet then Skipped Non_ip
   else if len < 14 then Skipped Truncated
-  else begin
-    (* Ethernet, hopping over at most two VLAN tags (QinQ). *)
-    let rec l3_offset off hops =
-      if off + 2 > len then None
-      else
-        let et = u16 data off in
-        if (et = ethertype_vlan || et = ethertype_qinq) && hops < 2 then
-          if off + 6 > len then None
-          else
-            match l3_offset (off + 4) (hops + 1) with
-            | Some (o, et', inner_vid) ->
-                (* the outermost tag wins as capture-port metadata *)
-                let own = u16 data (off + 2) land 0xFFF in
-                Some (o, et', if own <> 0 then own else inner_vid)
-            | None -> None
-        else Some (off + 2, et, 0)
-    in
-    match l3_offset 12 0 with
-    | None -> Skipped Truncated
-    | Some (_, et, _) when et <> ethertype_ipv4 -> Skipped Non_ip
-    | Some (ip_off, _, vid) ->
-        if ip_off + 20 > len then Skipped Truncated
-        else
-          let vihl = Char.code (Bytes.get data ip_off) in
-          if vihl lsr 4 <> 4 then Skipped Non_ip
-          else
-            let ihl = (vihl land 0xF) * 4 in
-            let total_len = u16 data (ip_off + 2) in
-            if ihl < 20 || total_len < ihl then Skipped Truncated
-            else if ip_off + ihl > len then Skipped Truncated
-            else begin
-              let p = Packet.create ~ts () in
-              Packet.set p Field.Src_ip (u32 data (ip_off + 12));
-              Packet.set p Field.Dst_ip (u32 data (ip_off + 16));
-              Packet.set p Field.Pkt_len total_len;
-              Packet.set p Field.Ttl (Char.code (Bytes.get data (ip_off + 8)));
-              let proto = Char.code (Bytes.get data (ip_off + 9)) in
-              Packet.set p Field.Proto proto;
-              if vid <> 0 then Packet.set p Field.Ingress_port vid;
-              let frag = u16 data (ip_off + 6) land 0x1FFF in
-              let l4_off = ip_off + ihl in
-              if frag <> 0 then Decoded p (* no L4 header in later fragments *)
-              else if proto = Field.Protocol.tcp then
-                if l4_off + 20 > len then Skipped Truncated
-                else begin
-                  Packet.set p Field.Src_port (u16 data l4_off);
-                  Packet.set p Field.Dst_port (u16 data (l4_off + 2));
-                  Packet.set p Field.Tcp_seq (u32 data (l4_off + 4));
-                  Packet.set p Field.Tcp_ack (u32 data (l4_off + 8));
-                  let dataofs =
-                    (Char.code (Bytes.get data (l4_off + 12)) lsr 4) * 4
-                  in
-                  Packet.set p Field.Tcp_flags
-                    (Char.code (Bytes.get data (l4_off + 13)));
-                  if dataofs < 20 then Skipped Truncated
-                  else begin
-                    Packet.set p Field.Payload_len
-                      (max 0 (total_len - ihl - dataofs));
-                    Decoded p
-                  end
-                end
-              else if proto = Field.Protocol.udp then
-                if l4_off + 8 > len then Skipped Truncated
-                else begin
-                  let sport = u16 data l4_off and dport = u16 data (l4_off + 2) in
-                  Packet.set p Field.Src_port sport;
-                  Packet.set p Field.Dst_port dport;
-                  let udp_len = u16 data (l4_off + 4) in
-                  Packet.set p Field.Payload_len (max 0 (udp_len - 8));
-                  (* DNS header bits, when the capture includes them. *)
-                  if (sport = 53 || dport = 53) && l4_off + 8 + 12 <= len then begin
-                    let flags = u16 data (l4_off + 8 + 2) in
-                    Packet.set p Field.Dns_qr (flags lsr 15);
-                    Packet.set p Field.Dns_ancount (u16 data (l4_off + 8 + 6))
-                  end;
-                  Decoded p
-                end
-              else Decoded p (* ICMP & friends: IP-level fields only *)
-            end
-  end
+  else
+    match
+      let ip_off, et, vid = eth_walk 12 0 in
+      let p = Packet.create ~ts () in
+      if vid <> 0 then Packet.set p Field.Ingress_port vid;
+      parse_l3 p ~et ~off:ip_off ~depth:0;
+      p
+    with
+    | p -> Decoded p
+    | exception Skip s -> Skipped s
 
 let skip_to_string = function
   | Non_ip -> "non-ip"
   | Truncated -> "truncated"
+  | Fragment -> "fragment"
+  | Malformed -> "malformed"

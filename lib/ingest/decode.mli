@@ -1,19 +1,31 @@
 (** Raw captured frames → {!Newton_packet.Packet.t}: Ethernet
-    (optionally 802.1Q/QinQ-tagged) → IPv4 → TCP/UDP, plus DNS header
-    bits on UDP port 53.  Unparseable traffic is a counted skip, never
-    an exception.  The field mapping is documented in docs/INGEST.md. *)
+    (optionally 802.1Q/QinQ-tagged) → IPv4/IPv6 → TCP/UDP/ICMP/ICMPv6,
+    DNS header bits on UDP port 53, and one level of GRE/VXLAN
+    decapsulation (intents see the {e inner} 5-tuple; [Tun_id] carries
+    the VNI/key).  Unparseable traffic is a counted skip, never an
+    exception.  The field mapping is documented in docs/INGEST.md. *)
 
 open Newton_packet
 
 type skip =
-  | Non_ip      (** not Ethernet/IPv4: ARP, IPv6, other link types *)
-  | Truncated   (** capture ends before the headers do, or lengths lie *)
+  | Non_ip      (** not Ethernet/IP: ARP, other link types, >2 VLAN tags *)
+  | Truncated   (** capture ends before the headers do *)
+  | Fragment    (** non-first IP fragment: no L4 header to decode *)
+  | Malformed   (** internally inconsistent headers (lengths/flags lie) *)
 
 type result = Decoded of Packet.t | Skipped of skip
 
 val ethertype_ipv4 : int
+val ethertype_ipv6 : int
 val ethertype_vlan : int
 val ethertype_qinq : int
+
+(** The IANA VXLAN UDP destination port (4789). *)
+val vxlan_port : int
+
+(** XOR-fold of a 128-bit IPv6 address at [off] into the 32-bit word
+    the PHV carries (exposed for tests). *)
+val fold_ip6 : bytes -> int -> int
 
 (** Decode one captured frame into a packet stamped [ts].  [linktype]
     defaults to Ethernet; any other link type skips as [Non_ip]. *)

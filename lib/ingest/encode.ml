@@ -6,21 +6,35 @@
     Encoding choices:
     - MACs are synthesized, locally administered, derived from the IPs
       (02:00:aa:bb:cc:dd) so Wireshark conversations stay readable.
-    - A non-zero [Ingress_port] becomes an 802.1Q tag whose VLAN id
-      carries the port — the tag {!Decode} maps back.
-    - The TCP data offset is chosen as [(Pkt_len - 20 - Payload_len) / 4]
+    - A non-zero [Ingress_port] becomes an 802.1Q tag on the outermost
+      Ethernet header whose VLAN id carries the port — the tag
+      {!Decode} maps back.
+    - [Ip_ver] = 6 emits an IPv6 frame whose addresses are [::a.b.c.d]
+      (the 32-bit address word in the low quad, upper 96 bits zero):
+      the decoder's XOR-fold of such an address is the word itself, so
+      the round trip is exact.
+    - The TCP data offset is chosen as [(Pkt_len - hdr - Payload_len) / 4]
       (option bytes are NOP-padded), so the decoder's payload-length
       arithmetic returns [Payload_len] bit-exactly.  Every packet the
       generators emit is representable; an inconsistent hand-built
       packet is normalized to a minimal 20-byte TCP header.
+    - ICMP/ICMPv6 packets get an 8-byte header carrying type and code;
+      consistent packets satisfy [Pkt_len = ip_hdr + 8 + Payload_len].
     - UDP port-53 packets get a real 12-byte DNS header carrying the
       QR bit and answer count.
-    - IP and TCP/UDP checksums are computed, payload bytes are zero
-      (content is not modeled). *)
+    - A non-zero [Tun_id] wraps the packet in a tunnel: VXLAN by
+      default (outer IPv4/UDP to port 4789, VNI = [Tun_id], inner
+      Ethernet frame), or GRE with the key bit when [~tunnel:`Gre]
+      (outer IPv4 proto 47, key = [Tun_id], inner IP packet).  Outer
+      endpoints are synthesized deterministically from the tunnel id;
+      {!Decode} attributes the flow to the inner 5-tuple.
+    - IP and TCP/UDP/ICMP checksums are computed, payload bytes are
+      zero (content is not modeled). *)
 
 open Newton_packet
 
 let min_ip_header = 20
+let ip6_header = 40
 
 (* RFC 1071 internet checksum over [len] bytes at [off]. *)
 let checksum ?(init = 0) b off len =
@@ -46,15 +60,17 @@ let set_mac b off ip first =
   Bytes.set b (off + 1) (Char.chr first);
   set_u32 b (off + 2) ip
 
+let is_icmp proto =
+  proto = Field.Protocol.icmp || proto = Field.Protocol.icmpv6
+
 (* The L4 segment a packet implies: header length and total L4 bytes
-   (header + payload), normalizing fields a frame cannot represent. *)
-let l4_layout p =
+   (header + payload), normalizing fields a frame cannot represent.
+   [ip_hdr] is the IP header size the data offset must absorb. *)
+let l4_layout ~ip_hdr p =
   let proto = Packet.get p Field.Proto in
   let payload = Packet.get p Field.Payload_len in
   if proto = Field.Protocol.tcp then begin
-    let claimed =
-      Packet.get p Field.Pkt_len - min_ip_header - payload
-    in
+    let claimed = Packet.get p Field.Pkt_len - ip_hdr - payload in
     let hdr =
       if claimed >= 20 && claimed <= 60 && claimed land 3 = 0 then claimed
       else 20
@@ -62,49 +78,21 @@ let l4_layout p =
     (hdr, hdr + payload)
   end
   else if proto = Field.Protocol.udp then (8, 8 + payload)
+  else if is_icmp proto then (8, 8 + payload)
   else (0, 0)
 
-(** Encode one packet as a full (untruncated) Ethernet frame. *)
-let frame p =
+(* IP pseudo-header folded in as the L4 checksum's initial value.  Our
+   IPv6 addresses are ::w, so folding the 32-bit words covers both
+   families. *)
+let pseudo_sum p l4_bytes =
+  let src = Packet.get p Field.Src_ip and dst = Packet.get p Field.Dst_ip in
+  (src lsr 16) + (src land 0xFFFF) + (dst lsr 16) + (dst land 0xFFFF)
+  + Packet.get p Field.Proto + l4_bytes
+
+(* Write the L4 segment (header + zero payload) at [l4_off]. *)
+let write_l4 b l4_off ~l4_hdr ~l4_bytes p =
   let proto = Packet.get p Field.Proto in
   let payload_len = Packet.get p Field.Payload_len in
-  let l4_hdr, l4_bytes = l4_layout p in
-  (* Buffer size never lies about the headers even if the 16-bit total
-     field must clamp a pathological oversized packet. *)
-  let ip_total = max (Packet.get p Field.Pkt_len) (min_ip_header + l4_bytes) in
-  let vlan = Packet.get p Field.Ingress_port <> 0 in
-  let l2 = 14 + (if vlan then 4 else 0) in
-  let b = Bytes.make (l2 + ip_total) '\x00' in
-  (* Ethernet *)
-  set_mac b 0 (Packet.get p Field.Dst_ip) 0;
-  set_mac b 6 (Packet.get p Field.Src_ip) 1;
-  let ip_off =
-    if vlan then begin
-      set_u16 b 12 Decode.ethertype_vlan;
-      set_u16 b 14 (Packet.get p Field.Ingress_port);
-      set_u16 b 16 Decode.ethertype_ipv4;
-      18
-    end
-    else begin
-      set_u16 b 12 Decode.ethertype_ipv4;
-      14
-    end
-  in
-  (* IPv4, no options *)
-  Bytes.set b ip_off '\x45';
-  set_u16 b (ip_off + 2) (min ip_total 0xFFFF);
-  Bytes.set b (ip_off + 8) (Char.chr (Packet.get p Field.Ttl land 0xFF));
-  Bytes.set b (ip_off + 9) (Char.chr (proto land 0xFF));
-  set_u32 b (ip_off + 12) (Packet.get p Field.Src_ip);
-  set_u32 b (ip_off + 16) (Packet.get p Field.Dst_ip);
-  set_u16 b (ip_off + 10) (checksum b ip_off min_ip_header);
-  let l4_off = ip_off + min_ip_header in
-  let pseudo_sum () =
-    (* IP pseudo-header folded in as the checksum's initial value. *)
-    let src = Packet.get p Field.Src_ip and dst = Packet.get p Field.Dst_ip in
-    (src lsr 16) + (src land 0xFFFF) + (dst lsr 16) + (dst land 0xFFFF)
-    + proto + l4_bytes
-  in
   if proto = Field.Protocol.tcp then begin
     set_u16 b l4_off (Packet.get p Field.Src_port);
     set_u16 b (l4_off + 2) (Packet.get p Field.Dst_port);
@@ -115,7 +103,8 @@ let frame p =
       (Char.chr (Packet.get p Field.Tcp_flags land 0xFF));
     set_u16 b (l4_off + 14) 8192 (* window *);
     Bytes.fill b (l4_off + 20) (l4_hdr - 20) '\x01' (* NOP option padding *);
-    set_u16 b (l4_off + 16) (checksum ~init:(pseudo_sum ()) b l4_off l4_bytes)
+    set_u16 b (l4_off + 16)
+      (checksum ~init:(pseudo_sum p l4_bytes) b l4_off l4_bytes)
   end
   else if proto = Field.Protocol.udp then begin
     set_u16 b l4_off (Packet.get p Field.Src_port);
@@ -129,6 +118,136 @@ let frame p =
       set_u16 b (l4_off + 8 + 4) 1 (* QDCOUNT *);
       set_u16 b (l4_off + 8 + 6) (Packet.get p Field.Dns_ancount)
     end;
-    set_u16 b (l4_off + 6) (checksum ~init:(pseudo_sum ()) b l4_off l4_bytes)
-  end;
+    set_u16 b (l4_off + 6)
+      (checksum ~init:(pseudo_sum p l4_bytes) b l4_off l4_bytes)
+  end
+  else if is_icmp proto then begin
+    Bytes.set b l4_off (Char.chr (Packet.get p Field.Icmp_type land 0xFF));
+    Bytes.set b (l4_off + 1)
+      (Char.chr (Packet.get p Field.Icmp_code land 0xFF));
+    (* ICMPv6 checksums include the pseudo-header; ICMPv4 does not. *)
+    let init =
+      if proto = Field.Protocol.icmpv6 then pseudo_sum p l4_bytes else 0
+    in
+    set_u16 b (l4_off + 2) (checksum ~init b l4_off l4_bytes)
+  end
+
+(* The IP packet (header + L4) alone, link layer excluded. *)
+let ip_packet p =
+  if Packet.get p Field.Ip_ver = 6 then begin
+    let l4_hdr, l4_bytes = l4_layout ~ip_hdr:ip6_header p in
+    let payload =
+      max (Packet.get p Field.Pkt_len - ip6_header) l4_bytes
+    in
+    let b = Bytes.make (ip6_header + payload) '\x00' in
+    Bytes.set b 0 '\x60';
+    set_u16 b 4 (min payload 0xFFFF);
+    Bytes.set b 6 (Char.chr (Packet.get p Field.Proto land 0xFF));
+    Bytes.set b 7 (Char.chr (Packet.get p Field.Ttl land 0xFF));
+    (* ::a.b.c.d — the address word in the low quad. *)
+    set_u32 b 20 (Packet.get p Field.Src_ip);
+    set_u32 b 36 (Packet.get p Field.Dst_ip);
+    write_l4 b ip6_header ~l4_hdr ~l4_bytes p;
+    b
+  end
+  else begin
+    let l4_hdr, l4_bytes = l4_layout ~ip_hdr:min_ip_header p in
+    (* Buffer size never lies about the headers even if the 16-bit
+       total field must clamp a pathological oversized packet. *)
+    let total =
+      max (Packet.get p Field.Pkt_len) (min_ip_header + l4_bytes)
+    in
+    let b = Bytes.make total '\x00' in
+    Bytes.set b 0 '\x45';
+    set_u16 b 2 (min total 0xFFFF);
+    Bytes.set b 8 (Char.chr (Packet.get p Field.Ttl land 0xFF));
+    Bytes.set b 9 (Char.chr (Packet.get p Field.Proto land 0xFF));
+    set_u32 b 12 (Packet.get p Field.Src_ip);
+    set_u32 b 16 (Packet.get p Field.Dst_ip);
+    set_u16 b 10 (checksum b 0 min_ip_header);
+    write_l4 b min_ip_header ~l4_hdr ~l4_bytes p;
+    b
+  end
+
+(* Ethernet header (14 or 18 bytes with an 802.1Q tag) in front of an
+   ethertype [et] payload. *)
+let eth_frame ~vlan_vid ~et ~src_ip ~dst_ip payload =
+  let l2 = 14 + (if vlan_vid <> 0 then 4 else 0) in
+  let b = Bytes.make (l2 + Bytes.length payload) '\x00' in
+  set_mac b 0 dst_ip 0;
+  set_mac b 6 src_ip 1;
+  if vlan_vid <> 0 then begin
+    set_u16 b 12 Decode.ethertype_vlan;
+    set_u16 b 14 vlan_vid;
+    set_u16 b 16 et
+  end
+  else set_u16 b 12 et;
+  Bytes.blit payload 0 b l2 (Bytes.length payload);
   b
+
+let ethertype_of p =
+  if Packet.get p Field.Ip_ver = 6 then Decode.ethertype_ipv6
+  else Decode.ethertype_ipv4
+
+(* Deterministic outer tunnel endpoints, derived from the tunnel id so
+   exported captures stay readable and reproducible. *)
+let outer_src tun = 0x0AFF0000 lor (tun lsr 8)
+let outer_dst tun = 0x0AFE0000 lor (tun land 0xFFFF)
+
+(* Outer IPv4 header in front of an L3 payload. *)
+let outer_ipv4 ~proto ~src_ip ~dst_ip payload =
+  let total = min_ip_header + Bytes.length payload in
+  let b = Bytes.make total '\x00' in
+  Bytes.set b 0 '\x45';
+  set_u16 b 2 (min total 0xFFFF);
+  Bytes.set b 8 '\x40' (* TTL 64 *);
+  Bytes.set b 9 (Char.chr proto);
+  set_u32 b 12 src_ip;
+  set_u32 b 16 dst_ip;
+  set_u16 b 10 (checksum b 0 min_ip_header);
+  Bytes.blit payload 0 b min_ip_header (Bytes.length payload);
+  b
+
+(** Encode one packet as a full (untruncated) Ethernet frame.  A
+    non-zero [Tun_id] wraps it in VXLAN (default) or GRE. *)
+let frame ?(tunnel = `Vxlan) p =
+  let tun = Packet.get p Field.Tun_id in
+  let vlan_vid = Packet.get p Field.Ingress_port in
+  if tun = 0 then
+    eth_frame ~vlan_vid ~et:(ethertype_of p)
+      ~src_ip:(Packet.get p Field.Src_ip) ~dst_ip:(Packet.get p Field.Dst_ip)
+      (ip_packet p)
+  else begin
+    let inner_ip = ip_packet p in
+    let src_ip = outer_src tun and dst_ip = outer_dst tun in
+    let l3 =
+      match tunnel with
+      | `Vxlan ->
+          (* Outer UDP to 4789 carrying (VXLAN header ++ inner untagged
+             Ethernet frame); the VLAN tag stays on the outer header. *)
+          let inner_eth =
+            eth_frame ~vlan_vid:0 ~et:(ethertype_of p)
+              ~src_ip:(Packet.get p Field.Src_ip)
+              ~dst_ip:(Packet.get p Field.Dst_ip) inner_ip
+          in
+          let udp_len = 8 + 8 + Bytes.length inner_eth in
+          let u = Bytes.make udp_len '\x00' in
+          set_u16 u 0 (0xC000 lor (tun land 0xFFF)) (* entropy source port *);
+          set_u16 u 2 Decode.vxlan_port;
+          set_u16 u 4 udp_len;
+          (* checksum 0 = none, legal for UDP over IPv4 *)
+          Bytes.set u 8 '\x08' (* VNI-valid flag *);
+          set_u32 u 12 (tun lsl 8);
+          Bytes.blit inner_eth 0 u 16 (Bytes.length inner_eth);
+          outer_ipv4 ~proto:Field.Protocol.udp ~src_ip ~dst_ip u
+      | `Gre ->
+          (* GRE with the key bit: 8-byte header, key = tunnel id. *)
+          let g = Bytes.make (8 + Bytes.length inner_ip) '\x00' in
+          set_u16 g 0 0x2000 (* K *);
+          set_u16 g 2 (ethertype_of p);
+          set_u32 g 4 tun;
+          Bytes.blit inner_ip 0 g 8 (Bytes.length inner_ip);
+          outer_ipv4 ~proto:Field.Protocol.gre ~src_ip ~dst_ip g
+    in
+    eth_frame ~vlan_vid ~et:Decode.ethertype_ipv4 ~src_ip ~dst_ip l3
+  end

@@ -235,6 +235,10 @@ let emit_k_table buf ~stage ~set layout =
         | Field.Dns_qr -> "(bit<32>) hdr.dns.qr"
         | Field.Dns_ancount -> "(bit<32>) hdr.dns.ancount"
         | Field.Ingress_port -> "(bit<32>) std_meta.ingress_port"
+        | Field.Ip_ver -> "(bit<32>) hdr.ipv4.version"
+        | Field.Icmp_type -> "(bit<32>) hdr.icmp.type_"
+        | Field.Icmp_code -> "(bit<32>) hdr.icmp.code"
+        | Field.Tun_id -> "(bit<32>) hdr.vxlan.vni"
       in
       bf buf "        meta.%s = %s & m_%s;\n" (key_field ~set f) src (key_field ~set f))
     Field.all;

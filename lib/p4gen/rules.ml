@@ -138,6 +138,10 @@ let init_entry ~class_id (e : Ir.init_entry) =
     | Field.Src_port -> "hdr.tcp.src_port"
     | Field.Dst_port -> "hdr.tcp.dst_port"
     | Field.Tcp_flags -> "hdr.tcp.flags"
+    | Field.Ip_ver -> "hdr.ipv4.version"
+    | Field.Icmp_type -> "hdr.icmp.type_"
+    | Field.Icmp_code -> "hdr.icmp.code"
+    | Field.Tun_id -> "hdr.vxlan.vni"
     | _ -> "hdr.unknown"
   in
   {

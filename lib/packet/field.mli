@@ -16,6 +16,10 @@ type t =
   | Dns_qr          (** DNS query/response bit, 1 bit *)
   | Dns_ancount     (** DNS answer count, 16 bits *)
   | Ingress_port    (** switch ingress port metadata, 9 bits *)
+  | Ip_ver          (** IP version nibble (4 or 6), 4 bits *)
+  | Icmp_type       (** ICMP/ICMPv6 message type, 8 bits *)
+  | Icmp_code       (** ICMP/ICMPv6 message code, 8 bits *)
+  | Tun_id          (** tunnel id: VXLAN VNI / GRE key (0 = not tunneled), 24 bits *)
 
 (** Every field, in {!index} order. *)
 val all : t list
@@ -60,4 +64,6 @@ module Protocol : sig
   val icmp : int
   val tcp : int
   val udp : int
+  val gre : int
+  val icmpv6 : int
 end

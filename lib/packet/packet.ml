@@ -46,7 +46,8 @@ let of_fields ~ts (src : words) off =
 let make ?(ts = 0.0) ?(src_ip = 0) ?(dst_ip = 0) ?(proto = 0) ?(src_port = 0)
     ?(dst_port = 0) ?(tcp_flags = 0) ?(tcp_seq = 0) ?(tcp_ack = 0)
     ?(pkt_len = 64) ?(payload_len = 0) ?(ttl = 64) ?(dns_qr = 0)
-    ?(dns_ancount = 0) ?(ingress_port = 0) () =
+    ?(dns_ancount = 0) ?(ingress_port = 0) ?(ip_ver = 4) ?(icmp_type = 0)
+    ?(icmp_code = 0) ?(tun_id = 0) () =
   let p = create ~ts () in
   set p Src_ip src_ip;
   set p Dst_ip dst_ip;
@@ -62,6 +63,10 @@ let make ?(ts = 0.0) ?(src_ip = 0) ?(dst_ip = 0) ?(proto = 0) ?(src_port = 0)
   set p Dns_qr dns_qr;
   set p Dns_ancount dns_ancount;
   set p Ingress_port ingress_port;
+  set p Ip_ver ip_ver;
+  set p Icmp_type icmp_type;
+  set p Icmp_code icmp_code;
+  set p Tun_id tun_id;
   p
 
 let is_tcp t = get t Proto = Field.Protocol.tcp

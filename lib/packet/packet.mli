@@ -39,12 +39,13 @@ val blit_fields : t -> words -> int -> unit
 val of_fields : ts:float -> words -> int -> t
 
 (** Construct a packet from common header values; unset fields default
-    to zero (length 64, TTL 64). *)
+    to zero (length 64, TTL 64, IP version 4). *)
 val make :
   ?ts:float -> ?src_ip:int -> ?dst_ip:int -> ?proto:int -> ?src_port:int ->
   ?dst_port:int -> ?tcp_flags:int -> ?tcp_seq:int -> ?tcp_ack:int ->
   ?pkt_len:int -> ?payload_len:int -> ?ttl:int -> ?dns_qr:int ->
-  ?dns_ancount:int -> ?ingress_port:int -> unit -> t
+  ?dns_ancount:int -> ?ingress_port:int -> ?ip_ver:int -> ?icmp_type:int ->
+  ?icmp_code:int -> ?tun_id:int -> unit -> t
 
 val is_tcp : t -> bool
 val is_udp : t -> bool

@@ -196,32 +196,6 @@ let q9 ?(th = 1) () =
 let all () =
   [ q1 (); q2 (); q3 (); q4 (); q5 (); q6 (); q7 (); q8 (); q9 () ]
 
-(** First and last catalog id {!by_id} accepts. *)
-let min_id = 1
-let max_id = 9
-
-exception Unknown_id of { id : int; min : int; max : int }
-
-let () =
-  Printexc.register_printer (function
-    | Unknown_id { id; min; max } ->
-        Some
-          (Printf.sprintf "Catalog.by_id: no query Q%d (valid ids: %d-%d)" id
-             min max)
-    | _ -> None)
-
-let find id =
-  match id with
-  | 1 -> Some (q1 ()) | 2 -> Some (q2 ()) | 3 -> Some (q3 ()) | 4 -> Some (q4 ())
-  | 5 -> Some (q5 ()) | 6 -> Some (q6 ()) | 7 -> Some (q7 ()) | 8 -> Some (q8 ())
-  | 9 -> Some (q9 ())
-  | _ -> None
-
-let by_id id =
-  match find id with
-  | Some q -> q
-  | None -> raise (Unknown_id { id; min = min_id; max = max_id })
-
 (* ------------------------------------------------------------------ *)
 (* Extension queries — beyond the paper's Table 2, exercising the byte
    and maximum aggregations. *)
@@ -303,5 +277,93 @@ let q14 ?(th = 30) () =
       ];
     ]
 
+(** Q15 — UDP reflection/amplification floods: victims receiving heavy
+    byte volume from a single amplifier service port ([port] defaults
+    to NTP; pass [~port:1900] for SSDP). *)
+let q15 ?(port = 123) ?(th = 20_000) () =
+  chain ~id:15 ~name:"udp_amplification"
+    ~description:"hosts receiving amplified UDP volume from one service port"
+    [
+      Filter [ field_is Field.Proto udp; field_is Field.Src_port port ];
+      Map (keys [ Field.Dst_ip ]);
+      Reduce { keys = keys [ Field.Dst_ip ]; agg = Sum_field Field.Pkt_len };
+      Filter [ result_gt th ];
+      Map (keys [ Field.Dst_ip ]);
+    ]
+
+(** Q16 — ICMPv6 sweeps: sources echo-requesting many distinct IPv6
+    hosts per window (the v6 analogue of Q3's spreader shape). *)
+let q16 ?(th = 50) () =
+  chain ~id:16 ~name:"icmp6_scan"
+    ~description:"sources probing many distinct hosts with ICMPv6 echo requests"
+    [
+      Filter
+        [
+          field_is Field.Proto Field.Protocol.icmpv6;
+          field_is Field.Icmp_type 128;
+        ];
+      Map (keys [ Field.Src_ip; Field.Dst_ip ]);
+      Distinct (keys [ Field.Src_ip; Field.Dst_ip ]);
+      Map (keys [ Field.Src_ip ]);
+      Reduce { keys = keys [ Field.Src_ip ]; agg = Count };
+      Filter [ result_gt th ];
+      Map (keys [ Field.Src_ip ]);
+    ]
+
+(** Q17 — tunneled exfiltration: inner sources pushing heavy byte
+    volume through any VXLAN/GRE tunnel.  Decap attributes the flow to
+    the inner 5-tuple, so the reported host is the actual culprit, not
+    the tunnel endpoint. *)
+let q17 ?(th = 20_000) () =
+  chain ~id:17 ~name:"tunnel_exfiltration"
+    ~description:"tunneled sources sending more than Th bytes per window"
+    [
+      Filter
+        [
+          Cmp
+            {
+              field = Field.Tun_id;
+              mask = Field.full_mask Field.Tun_id;
+              op = Neq;
+              value = 0;
+            };
+        ];
+      Map (keys [ Field.Src_ip ]);
+      Reduce { keys = keys [ Field.Src_ip ]; agg = Sum_field Field.Pkt_len };
+      Filter [ result_gt th ];
+      Map (keys [ Field.Src_ip ]);
+    ]
+
 (** The extension queries (not part of the paper's evaluation set). *)
-let extras () = [ q10 (); q11 (); q12 (); q13 (); q14 () ]
+let extras () = [ q10 (); q11 (); q12 (); q13 (); q14 (); q15 (); q16 (); q17 () ]
+
+(* ------------------------------------------------------------------ *)
+(* Id-based lookup over the whole catalog (paper queries + extras). *)
+
+(** First and last catalog id {!by_id} accepts. *)
+let min_id = 1
+let max_id = 17
+
+exception Unknown_id of { id : int; min : int; max : int }
+
+let () =
+  Printexc.register_printer (function
+    | Unknown_id { id; min; max } ->
+        Some
+          (Printf.sprintf "Catalog.by_id: no query Q%d (valid ids: %d-%d)" id
+             min max)
+    | _ -> None)
+
+let find id =
+  match id with
+  | 1 -> Some (q1 ()) | 2 -> Some (q2 ()) | 3 -> Some (q3 ()) | 4 -> Some (q4 ())
+  | 5 -> Some (q5 ()) | 6 -> Some (q6 ()) | 7 -> Some (q7 ()) | 8 -> Some (q8 ())
+  | 9 -> Some (q9 ()) | 10 -> Some (q10 ()) | 11 -> Some (q11 ())
+  | 12 -> Some (q12 ()) | 13 -> Some (q13 ()) | 14 -> Some (q14 ())
+  | 15 -> Some (q15 ()) | 16 -> Some (q16 ()) | 17 -> Some (q17 ())
+  | _ -> None
+
+let by_id id =
+  match find id with
+  | Some q -> q
+  | None -> raise (Unknown_id { id; min = min_id; max = max_id })

@@ -63,5 +63,18 @@ val q13 : ?th:int -> unit -> Ast.t
 (** Q14 — SYN-ACK reflection victims (Sub combine). *)
 val q14 : ?th:int -> unit -> Ast.t
 
+(** Q15 — UDP amplification victims: heavy byte volume from one
+    amplifier service port ([port] defaults to 123/NTP; use
+    [~port:1900] for SSDP). *)
+val q15 : ?port:int -> ?th:int -> unit -> Ast.t
+
+(** Q16 — ICMPv6 scanners: sources echo-requesting many distinct
+    hosts. *)
+val q16 : ?th:int -> unit -> Ast.t
+
+(** Q17 — tunneled exfiltration: inner sources sending heavy byte
+    volume through VXLAN/GRE tunnels ([tun.id != 0]). *)
+val q17 : ?th:int -> unit -> Ast.t
+
 (** The extension queries (not part of the paper's evaluation set). *)
 val extras : unit -> Ast.t list

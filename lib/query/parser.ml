@@ -70,7 +70,8 @@ let parse_field st =
 
 let value_aliases =
   [ ("tcp", Field.Protocol.tcp); ("udp", Field.Protocol.udp);
-    ("icmp", Field.Protocol.icmp); ("syn", Field.Tcp_flag.syn);
+    ("icmp", Field.Protocol.icmp); ("icmpv6", Field.Protocol.icmpv6);
+    ("gre", Field.Protocol.gre); ("syn", Field.Tcp_flag.syn);
     ("synack", Field.Tcp_flag.syn_ack); ("ack", Field.Tcp_flag.ack);
     ("fin", Field.Tcp_flag.fin); ("rst", Field.Tcp_flag.rst);
     ("psh", Field.Tcp_flag.psh) ]

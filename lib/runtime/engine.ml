@@ -139,7 +139,7 @@ let create ?(sink = Stats.create ()) ~switch_id () =
     instances = [];
     init_table =
       Newton_dataplane.Table.create ~capacity:1024 ~name:"newton_init"
-        ~key_width:6 ();
+        ~key_width:(List.length Ir.init_fields) ();
     cell_rules = Hashtbl.create 64;
     reports = [];
     report_count = 0;

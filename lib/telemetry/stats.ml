@@ -31,8 +31,10 @@ type key =
   | Software_fallbacks (** slices degraded to the software engine *)
   | Ingest_frames      (** capture frames read from a pcap/pcapng file *)
   | Ingest_decoded     (** frames decoded into packets *)
-  | Ingest_non_ip      (** frames skipped: not Ethernet/IPv4 *)
+  | Ingest_non_ip      (** frames skipped: not Ethernet/IP *)
   | Ingest_truncated   (** frames skipped: capture cut before headers *)
+  | Ingest_fragment    (** frames skipped: non-first IP fragments *)
+  | Ingest_malformed   (** frames skipped: internally inconsistent headers *)
   | Ingest_dropped     (** packets dropped on ingest-queue backpressure *)
   | Analysis_warnings  (** static-analysis warnings on admitted queries *)
   | Analysis_rejections (** deployments refused by the analysis gate *)
@@ -47,6 +49,7 @@ let all =
     Software_continuations; Switch_failures; Switch_repairs;
     Slices_migrated; State_cells_moved; Software_fallbacks;
     Ingest_frames; Ingest_decoded; Ingest_non_ip; Ingest_truncated;
+    Ingest_fragment; Ingest_malformed;
     Ingest_dropped; Analysis_warnings; Analysis_rejections;
     Intents_submitted; Intents_withdrawn; Intents_failed ]
 
@@ -73,12 +76,14 @@ let index = function
   | Ingest_decoded -> 19
   | Ingest_non_ip -> 20
   | Ingest_truncated -> 21
-  | Ingest_dropped -> 22
-  | Analysis_warnings -> 23
-  | Analysis_rejections -> 24
-  | Intents_submitted -> 25
-  | Intents_withdrawn -> 26
-  | Intents_failed -> 27
+  | Ingest_fragment -> 22
+  | Ingest_malformed -> 23
+  | Ingest_dropped -> 24
+  | Analysis_warnings -> 25
+  | Analysis_rejections -> 26
+  | Intents_submitted -> 27
+  | Intents_withdrawn -> 28
+  | Intents_failed -> 29
 
 let num_keys = List.length all
 
@@ -106,6 +111,8 @@ let name = function
   | Ingest_decoded -> "newton_ingest_decoded_total"
   | Ingest_non_ip -> "newton_ingest_skipped_total" (* labelled reason=non_ip *)
   | Ingest_truncated -> "newton_ingest_skipped_total"
+  | Ingest_fragment -> "newton_ingest_skipped_total"
+  | Ingest_malformed -> "newton_ingest_skipped_total"
   | Ingest_dropped -> "newton_ingest_dropped_total"
   | Analysis_warnings -> "newton_analysis_warnings_total"
   | Analysis_rejections -> "newton_analysis_rejections_total"
@@ -132,8 +139,8 @@ let help = function
   | Software_fallbacks -> "Slices degraded to the software engine on failure"
   | Ingest_frames -> "Capture frames read from a pcap/pcapng file"
   | Ingest_decoded -> "Capture frames decoded into packets"
-  | Ingest_non_ip | Ingest_truncated ->
-      "Capture frames skipped by reason (non_ip/truncated)"
+  | Ingest_non_ip | Ingest_truncated | Ingest_fragment | Ingest_malformed ->
+      "Capture frames skipped by reason (non_ip/truncated/fragment/malformed)"
   | Ingest_dropped -> "Packets dropped on ingest-queue backpressure"
   | Analysis_warnings -> "Static-analysis warnings carried by admitted queries"
   | Analysis_rejections -> "Deployments refused by the static-analysis gate"
@@ -149,6 +156,8 @@ let labels = function
   | Module_hits_r -> [ ("kind", "R") ]
   | Ingest_non_ip -> [ ("reason", "non_ip") ]
   | Ingest_truncated -> [ ("reason", "truncated") ]
+  | Ingest_fragment -> [ ("reason", "fragment") ]
+  | Ingest_malformed -> [ ("reason", "malformed") ]
   | Analysis_warnings | Analysis_rejections -> [ ("stage", "analysis") ]
   | Intents_submitted | Intents_withdrawn | Intents_failed ->
       [ ("stage", "service") ]

@@ -27,6 +27,8 @@ type key =
   | Ingest_decoded
   | Ingest_non_ip
   | Ingest_truncated
+  | Ingest_fragment
+  | Ingest_malformed
   | Ingest_dropped
   | Analysis_warnings
   | Analysis_rejections

@@ -27,6 +27,14 @@ type t =
       (** high-rate ICMP from many sources → Q13 *)
   | Reflection of { victim : int; reflectors : int; pkts_each : int }
       (** unsolicited SYN-ACKs bounced off reflectors → Q14 *)
+  | Amplification of { victim : int; reflectors : int; pkts_each : int; port : int }
+      (** amplified UDP responses from service port [port] (123 = NTP,
+          1900 = SSDP) flooding one victim → Q15 *)
+  | Icmp6_scan of { scanner : int; fanout : int }
+      (** one source sweeping many hosts with ICMPv6 echo requests → Q16 *)
+  | Tunnel_exfil of { src : int; dst : int; tun_id : int; pkts : int }
+      (** bulk transfer hidden inside a VXLAN/GRE tunnel; the inner
+          source is the culprit → Q17 *)
 
 (** The IP address a correct detector should report for this attack. *)
 let reported_host = function
@@ -39,6 +47,9 @@ let reported_host = function
   | Dns_orphan { victims; _ } -> victims (* count, not a host; see generate *)
   | Icmp_flood { victim; _ } -> victim
   | Reflection { victim; _ } -> victim
+  | Amplification { victim; _ } -> victim
+  | Icmp6_scan { scanner; _ } -> scanner
+  | Tunnel_exfil { src; _ } -> src
 
 let to_string = function
   | Syn_flood { victim; attackers; syns_per_attacker } ->
@@ -66,6 +77,16 @@ let to_string = function
   | Reflection { victim; reflectors; pkts_each } ->
       Printf.sprintf "reflection(victim=%s, %d reflectors x %d)"
         (Packet.ip_to_string victim) reflectors pkts_each
+  | Amplification { victim; reflectors; pkts_each; port } ->
+      Printf.sprintf "amplification(%s, victim=%s, %d reflectors x %d)"
+        (match port with 123 -> "ntp" | 1900 -> "ssdp" | p -> string_of_int p)
+        (Packet.ip_to_string victim) reflectors pkts_each
+  | Icmp6_scan { scanner; fanout } ->
+      Printf.sprintf "icmp6_scan(%s, fanout=%d)"
+        (Packet.ip_to_string scanner) fanout
+  | Tunnel_exfil { src; dst; tun_id; pkts } ->
+      Printf.sprintf "tunnel_exfil(%s -> %s, vni=0x%x, %d pkts)"
+        (Packet.ip_to_string src) (Packet.ip_to_string dst) tun_id pkts
 
 (* Address-space carving: attack hosts live in 10.200.0.0/16 so they never
    collide with background hosts (10.0.0.0/16) or with each other. *)
@@ -187,9 +208,12 @@ let generate rng ~duration attack =
       for a = 0 to attackers - 1 do
         let src = host_of (0x6000 + a) in
         for _ = 1 to pkts_per_attacker do
+          (* A classic 84-byte echo request: 20 IP + 8 ICMP + 56 payload,
+             so the frame encodes/decodes to these exact fields. *)
           emit
             (Packet.make ~ts:(ts ()) ~src_ip:src ~dst_ip:victim
-               ~proto:Field.Protocol.icmp ~pkt_len:84 ())
+               ~proto:Field.Protocol.icmp ~icmp_type:8 ~pkt_len:84
+               ~payload_len:56 ())
         done
       done
   | Reflection { victim; reflectors; pkts_each } ->
@@ -203,6 +227,34 @@ let generate rng ~duration attack =
                ~src_port:80 ~dst_port:(40000 + i)
                ~tcp_flags:Field.Tcp_flag.syn_ack ~pkt_len:60 ())
         done
+      done
+  | Amplification { victim; reflectors; pkts_each; port } ->
+      (* Spoofed requests bounce off open NTP/SSDP reflectors, which
+         answer the victim with large responses from the service port. *)
+      for r = 0 to reflectors - 1 do
+        let reflector = host_of (0x9000 + r) in
+        for _ = 1 to pkts_each do
+          emit
+            (Packet.make ~ts:(ts ()) ~src_ip:reflector ~dst_ip:victim
+               ~proto:udp ~src_port:port
+               ~dst_port:(1024 + Newton_util.Prng.int rng 60000)
+               ~pkt_len:1028 ~payload_len:1000 ())
+        done
+      done
+  | Icmp6_scan { scanner; fanout } ->
+      for d = 0 to fanout - 1 do
+        (* ICMPv6 echo request (type 128): 40 IPv6 + 8 ICMPv6 + 56. *)
+        emit
+          (Packet.make ~ts:(ts ()) ~src_ip:scanner ~dst_ip:(host_of (0xA000 + d))
+             ~proto:Field.Protocol.icmpv6 ~ip_ver:6 ~icmp_type:128
+             ~pkt_len:104 ~payload_len:56 ())
+      done
+  | Tunnel_exfil { src; dst; tun_id; pkts } ->
+      for i = 1 to pkts do
+        emit
+          (Packet.make ~ts:(ts ()) ~src_ip:src ~dst_ip:dst ~proto:udp
+             ~src_port:(40000 + (i land 0xFF)) ~dst_port:443 ~tun_id
+             ~pkt_len:1228 ~payload_len:1200 ())
       done);
   !pkts
 
@@ -219,3 +271,17 @@ let default_suite =
     Slowloris { victim = host_of 7; conns = 800 };
     Dns_orphan { resolver = host_of 8; victims = 150 };
   ]
+
+(** The scenario-diversity attacks behind the extension queries
+    Q15–Q17: IPv6, ICMPv6 and tunneled traffic.  Kept out of
+    {!default_suite} so existing differential baselines stay stable. *)
+let extras_suite =
+  [
+    Amplification { victim = host_of 9; reflectors = 50; pkts_each = 10; port = 123 };
+    Amplification { victim = host_of 10; reflectors = 50; pkts_each = 10; port = 1900 };
+    Icmp6_scan { scanner = host_of 11; fanout = 900 };
+    Tunnel_exfil { src = host_of 12; dst = host_of 13; tun_id = 0xBEEF; pkts = 400 };
+  ]
+
+(** {!default_suite} plus {!extras_suite}: every injector in the repo. *)
+let extended_suite = default_suite @ extras_suite

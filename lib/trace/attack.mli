@@ -13,6 +13,9 @@ type t =
   | Dns_orphan of { resolver : int; victims : int }
   | Icmp_flood of { victim : int; attackers : int; pkts_per_attacker : int }
   | Reflection of { victim : int; reflectors : int; pkts_each : int }
+  | Amplification of { victim : int; reflectors : int; pkts_each : int; port : int }
+  | Icmp6_scan of { scanner : int; fanout : int }
+  | Tunnel_exfil of { src : int; dst : int; tun_id : int; pkts : int }
 
 (** The IP a correct detector should report. *)
 val reported_host : t -> int
@@ -30,3 +33,11 @@ val generate : Newton_util.Prng.t -> duration:float -> t -> Packet.t list
 (** One of each attack, sized so every catalog query has clear
     positives in each 100 ms window of a 1-second trace. *)
 val default_suite : t list
+
+(** The IPv6/ICMPv6/tunnel attacks behind extension queries Q15–Q17
+    (NTP + SSDP amplification, ICMPv6 sweep, tunneled exfiltration).
+    Kept separate so {!default_suite} traces stay byte-stable. *)
+val extras_suite : t list
+
+(** {!default_suite} plus {!extras_suite}. *)
+val extended_suite : t list

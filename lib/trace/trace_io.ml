@@ -5,16 +5,26 @@
     Format (little-endian):
     {v
       magic   "NTRC"            4 bytes
-      version u8                currently 1
+      version u8                currently 2
       name    u16 len + bytes   profile name
       count   u32               number of packets
-      packets count * (f64 ts + Field.count * u32 fields)
-    v} *)
+      packets count * (f64 ts + fields * u32)
+    v}
+
+    Version 2 widened records from 14 to {!Field.count} fields when the
+    decode extension added [Ip_ver]/[Icmp_type]/[Icmp_code]/[Tun_id].
+    Version-1 files still load: their records carry the first 14 fields
+    and the rest default to zero (with [Ip_ver] = 4 — every v1 trace
+    predates IPv6 support). *)
 
 open Newton_packet
 
 let magic = "NTRC"
-let version = 1
+let version = 2
+
+(* Fields per record in a version-1 file: the prefix of [Field.all]
+   before the v2 additions. *)
+let v1_field_count = 14
 
 exception Format_error of string
 
@@ -58,13 +68,14 @@ let load path =
          if m <> magic then raise (Format_error ("bad magic " ^ m))
        with End_of_file -> raise (Format_error "truncated header"));
       let v = input_byte ic in
-      if v <> version then
+      if v <> 1 && v <> version then
         raise (Format_error (Printf.sprintf "unsupported version %d" v));
       let name_len = Bytes.get_uint16_le (read_exactly ic 2) 0 in
       let name = really_input_string ic name_len in
       let count = Int32.to_int (Bytes.get_int32_le (read_exactly ic 4) 0) in
       if count < 0 then raise (Format_error "negative packet count");
-      let record_bytes = 8 + (Field.count * 4) in
+      let fields_per_record = if v = 1 then v1_field_count else Field.count in
+      let record_bytes = 8 + (fields_per_record * 4) in
       let read_record () =
         let b = read_exactly ic record_bytes in
         let ts = Int64.float_of_bits (Bytes.get_int64_le b 0) in
@@ -74,10 +85,12 @@ let load path =
             (* Fields are stored as unsigned 32-bit words: mask off the
                sign extension [Int32.to_int] reintroduces so values with
                the high bit set (IPs >= 128.0.0.0) round-trip intact. *)
-            Packet.set p f
-              (Int32.to_int (Bytes.get_int32_le b (8 + (i * 4)))
-              land 0xFFFFFFFF))
+            if i < fields_per_record then
+              Packet.set p f
+                (Int32.to_int (Bytes.get_int32_le b (8 + (i * 4)))
+                land 0xFFFFFFFF))
           Field.all;
+        if v = 1 then Packet.set p Field.Ip_ver 4;
         p
       in
       (* Records are read sequentially into a preallocated array — not

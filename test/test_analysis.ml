@@ -128,6 +128,28 @@ let test_na014_packed_filter_too_wide () =
   let q = chain1 ([ Ast.Map [ sip ] ] @ [ wide ] @ tail [ sip ] 5) in
   checkb "NA014" true (has_sev "NA014" Diag.Warning (Check.check_query q))
 
+let test_na015_icmp_field_without_proto () =
+  (* Filtering on icmp.type without pinning the protocol silently
+     matches the zero type the decoder leaves on non-ICMP packets. *)
+  let q =
+    chain1 (Ast.Filter [ Ast.field_is Field.Icmp_type 128 ] :: tail [ sip ] 5)
+  in
+  checkb "NA015 filter" true (has_sev "NA015" Diag.Warning (Check.check_query q));
+  (* Keying on icmp.code without the pin is the same mistake. *)
+  let q = chain1 (tail [ Ast.key Field.Icmp_code ] 5) in
+  checkb "NA015 key" true (has_sev "NA015" Diag.Warning (Check.check_query q));
+  (* Pinning the protocol anywhere in the branch silences it. *)
+  let pinned =
+    chain1
+      (Ast.Filter
+         [
+           Ast.field_is Field.Proto Field.Protocol.icmpv6;
+           Ast.field_is Field.Icmp_type 128;
+         ]
+      :: tail [ sip ] 5)
+  in
+  checkb "pinned branch is quiet" false (has "NA015" (Check.check_query pinned))
+
 (* ---------------- predicates (NA020-NA022) ---------------- *)
 
 let gt v = Ast.Cmp { field = Field.Src_port; mask = 0xFFFF; op = Ast.Gt; value = v }
@@ -434,6 +456,8 @@ let suite =
     ("NA012 wide value", `Quick, test_na012_value_too_wide);
     ("NA013 value outside mask", `Quick, test_na013_eq_value_outside_mask);
     ("NA014 packed filter", `Quick, test_na014_packed_filter_too_wide);
+    ("NA015 icmp field without proto pin", `Quick,
+     test_na015_icmp_field_without_proto);
     ("NA020 unsat conjunction", `Quick, test_na020_unsat_conjunction);
     ("NA021 tautology", `Quick, test_na021_tautology);
     ("NA022 implied filter", `Quick, test_na022_implied_filter);

@@ -173,9 +173,23 @@ let test_decode_encode_handmade () =
       (* DNS query, client side *)
       Packet.make ~proto:Field.Protocol.udp ~src_port:3333 ~dst_port:53
         ~pkt_len:68 ~payload_len:40 ~dns_qr:0 ();
-      (* ICMP: IP-level fields only *)
+      (* ICMP echo request: 20 IP + 8 ICMP + 56 payload *)
       Packet.make ~proto:Field.Protocol.icmp ~src_ip:1 ~dst_ip:2 ~pkt_len:84
-        ~ttl:3 ();
+        ~payload_len:56 ~icmp_type:8 ~ttl:3 ();
+      (* ICMP destination-unreachable with a type/code pair *)
+      Packet.make ~proto:Field.Protocol.icmp ~src_ip:3 ~dst_ip:4 ~pkt_len:56
+        ~payload_len:28 ~icmp_type:3 ~icmp_code:1 ();
+      (* IPv6 TCP with a VLAN tag *)
+      Packet.make ~ip_ver:6 ~proto:Field.Protocol.tcp ~src_ip:0x20010DB8
+        ~dst_ip:0xFE800001 ~src_port:443 ~dst_port:40000
+        ~tcp_flags:Field.Tcp_flag.ack ~pkt_len:1000 ~payload_len:940
+        ~ingress_port:12 ();
+      (* ICMPv6 echo request *)
+      Packet.make ~ip_ver:6 ~proto:Field.Protocol.icmpv6 ~src_ip:5 ~dst_ip:6
+        ~icmp_type:128 ~pkt_len:104 ~payload_len:56 ();
+      (* VXLAN-tunneled inner UDP flow *)
+      Packet.make ~proto:Field.Protocol.udp ~src_port:40001 ~dst_port:443
+        ~tun_id:0xABCDE ~pkt_len:228 ~payload_len:200 ();
     ]
   in
   List.iter
@@ -203,7 +217,7 @@ let test_decode_skips () =
   in
   Alcotest.(check string) "arp" "non-ip"
     (skip (Decode.frame ~ts:0.0 (eth 0x0806 (Bytes.make 28 '\x00'))));
-  Alcotest.(check string) "ipv6" "non-ip"
+  Alcotest.(check string) "ipv6 zero version nibble" "malformed"
     (skip (Decode.frame ~ts:0.0 (eth 0x86DD (Bytes.make 40 '\x00'))));
   Alcotest.(check string) "runt frame" "truncated"
     (skip (Decode.frame ~ts:0.0 (Bytes.make 10 '\x00')));
@@ -211,7 +225,9 @@ let test_decode_skips () =
     (skip (Decode.frame ~ts:0.0 (eth 0x0800 (Bytes.make 12 '\x45'))));
   Alcotest.(check string) "non-ethernet linktype" "non-ip"
     (skip (Decode.frame ~linktype:101 ~ts:0.0 (Bytes.make 60 '\x00')));
-  (* A later IP fragment decodes IP-level fields with L4 left zero. *)
+  (* A later IP fragment has no L4 header: decoding it with port 0 would
+     conflate all fragments into one phantom 5-tuple, so it is a typed
+     skip instead. *)
   let frag =
     let p =
       Packet.make ~proto:Field.Protocol.tcp ~src_port:80 ~dst_port:8080
@@ -221,13 +237,278 @@ let test_decode_skips () =
     Bytes.set_uint16_be b (14 + 6) 0x00B9 (* fragment offset 185 *);
     b
   in
-  match Decode.frame ~ts:0.0 frag with
+  Alcotest.(check string) "later ipv4 fragment" "fragment"
+    (skip (Decode.frame ~ts:0.0 frag))
+
+(* ---------------- decode hardening regressions ---------------- *)
+
+let skip_name = function
+  | Decode.Skipped s -> Decode.skip_to_string s
+  | Decode.Decoded _ -> "decoded"
+
+(* TCP data offsets that lie are [Malformed]; a capture that merely ends
+   inside the options region is [Truncated].  The distinction is what
+   the stage=ingest telemetry counts separately. *)
+let test_malformed_tcp_dataofs () =
+  let base () =
+    Encode.frame
+      (Packet.make ~proto:Field.Protocol.tcp ~src_port:80 ~dst_port:8080
+         ~pkt_len:52 ~payload_len:0 ())
+  in
+  let dataofs_off = 14 + 20 + 12 in
+  (* dataofs 4*4 = 16 bytes: below the 20-byte minimum. *)
+  let b = base () in
+  Bytes.set b dataofs_off (Char.chr 0x40);
+  Alcotest.(check string) "dataofs below 20" "malformed"
+    (skip_name (Decode.frame ~ts:0.0 b));
+  (* dataofs 15*4 = 60 bytes: beyond the IP total length's L4 region. *)
+  let b = base () in
+  Bytes.set b dataofs_off (Char.chr 0xF0);
+  Alcotest.(check string) "dataofs beyond total length" "malformed"
+    (skip_name (Decode.frame ~ts:0.0 b));
+  (* A valid 40-byte option region cut short by the snaplen is a
+     truncation of the capture, not a malformed header. *)
+  let full =
+    Encode.frame
+      (Packet.make ~proto:Field.Protocol.tcp ~src_port:80 ~dst_port:8080
+         ~pkt_len:1500 ~payload_len:1440 ())
+  in
+  Alcotest.(check string) "capture cut inside tcp options" "truncated"
+    (skip_name (Decode.frame ~ts:0.0 (Bytes.sub full 0 (14 + 20 + 24))))
+
+(* UDP length fields below the 8-byte header are malformed. *)
+let test_malformed_udp_length () =
+  let b =
+    Encode.frame
+      (Packet.make ~proto:Field.Protocol.udp ~src_port:1111 ~dst_port:2222
+         ~pkt_len:128 ~payload_len:100 ())
+  in
+  Bytes.set_uint16_be b (14 + 20 + 4) 7;
+  Alcotest.(check string) "udp length below 8" "malformed"
+    (skip_name (Decode.frame ~ts:0.0 b))
+
+(* Insert [n] 802.1ad service tags (vid [base_vid + i]) in front of
+   whatever tag/ethertype the encoded frame already carries. *)
+let push_svlan_tags n base_vid frame =
+  let extra = 4 * n in
+  let b = Bytes.create (Bytes.length frame + extra) in
+  Bytes.blit frame 0 b 0 12;
+  for i = 0 to n - 1 do
+    Bytes.set_uint16_be b (12 + (4 * i)) 0x88A8;
+    Bytes.set_uint16_be b (12 + (4 * i) + 2) (base_vid + i)
+  done;
+  Bytes.blit frame 12 b (12 + extra) (Bytes.length frame - 12);
+  b
+
+(* QinQ regression: the innermost (customer) VID identifies the port,
+   not the outermost service tag; >2 tags are unmodeled traffic. *)
+let test_qinq_inner_vid_wins () =
+  let p =
+    Packet.make ~proto:Field.Protocol.tcp ~src_port:80 ~dst_port:8080
+      ~pkt_len:52 ~payload_len:0 ~ingress_port:42 ()
+  in
+  let single = Encode.frame p in
+  (match Decode.frame ~ts:0.0 single with
   | Decode.Decoded q ->
-      checki "fragment proto" Field.Protocol.tcp (Packet.get q Field.Proto);
-      checki "fragment src port zero" 0 (Packet.get q Field.Src_port);
-      checki "fragment pkt_len" 400 (Packet.get q Field.Pkt_len)
-  | Decode.Skipped s ->
-      Alcotest.failf "fragment skipped (%s)" (Decode.skip_to_string s)
+      checki "single tag vid" 42 (Packet.get q Field.Ingress_port)
+  | r -> Alcotest.failf "single tag skipped (%s)" (skip_name r));
+  (match Decode.frame ~ts:0.0 (push_svlan_tags 1 500 single) with
+  | Decode.Decoded q ->
+      checki "qinq customer vid wins" 42 (Packet.get q Field.Ingress_port)
+  | r -> Alcotest.failf "qinq frame skipped (%s)" (skip_name r));
+  Alcotest.(check string) "three stacked tags" "non-ip"
+    (skip_name (Decode.frame ~ts:0.0 (push_svlan_tags 2 500 single)))
+
+(* Hand-built IPv6 frame: [exts] are raw extension-header bytes between
+   the fixed header and an 8-byte UDP header; [payload_len] is the
+   value written into the IPv6 length field. *)
+let ip6_frame ?payload_len ~first_next exts =
+  let ext_bytes = Bytes.concat Bytes.empty exts in
+  let ext_len = Bytes.length ext_bytes in
+  let payload_len = Option.value payload_len ~default:(ext_len + 8) in
+  let b = Bytes.make (14 + 40 + ext_len + 8) '\x00' in
+  Bytes.set_uint16_be b 12 0x86DD;
+  Bytes.set b 14 (Char.chr 0x60);
+  Bytes.set_uint16_be b (14 + 4) payload_len;
+  Bytes.set b (14 + 6) (Char.chr first_next);
+  Bytes.set b (14 + 7) (Char.chr 64);
+  Bytes.set_int32_be b (14 + 8 + 12) 5l (* src ::5 *);
+  Bytes.set_int32_be b (14 + 24 + 12) 6l (* dst ::6 *);
+  let udp_off = 14 + 40 + ext_len in
+  Bytes.blit ext_bytes 0 b (14 + 40) ext_len;
+  Bytes.set_uint16_be b udp_off 1234;
+  Bytes.set_uint16_be b (udp_off + 2) 5678;
+  Bytes.set_uint16_be b (udp_off + 4) 8;
+  b
+
+let test_ipv6_extension_headers () =
+  (* Hop-by-hop then destination options, then UDP. *)
+  let hbh next =
+    let e = Bytes.make 8 '\x00' in
+    Bytes.set e 0 (Char.chr next);
+    e
+  in
+  (match Decode.frame ~ts:0.0 (ip6_frame ~first_next:0 [ hbh 60; hbh 17 ]) with
+  | Decode.Decoded q ->
+      checki "proto after ext walk" Field.Protocol.udp (Packet.get q Field.Proto);
+      checki "src port" 1234 (Packet.get q Field.Src_port);
+      checki "pkt_len" (40 + 24) (Packet.get q Field.Pkt_len);
+      checki "src_ip fold" 5 (Packet.get q Field.Src_ip)
+  | r -> Alcotest.failf "ext chain skipped (%s)" (skip_name r));
+  (* Capture cut inside a claimed extension header. *)
+  let cut = ip6_frame ~first_next:0 ~payload_len:64 [ hbh 17 ] in
+  Alcotest.(check string) "capture cut inside ext header" "truncated"
+    (skip_name (Decode.frame ~ts:0.0 (Bytes.sub cut 0 (14 + 40 + 3))));
+  (* Extension chain longer than the payload-length field admits. *)
+  let lying =
+    let e = Bytes.make 8 '\x00' in
+    Bytes.set e 0 (Char.chr 17);
+    Bytes.set e 1 (Char.chr 3) (* claims (3+1)*8 = 32 bytes *);
+    ip6_frame ~first_next:0 ~payload_len:16 [ e ]
+  in
+  Alcotest.(check string) "ext header overruns payload length" "malformed"
+    (skip_name (Decode.frame ~ts:0.0 lying));
+  (* No-next-header terminator: IP-level fields only, decoded. *)
+  (match Decode.frame ~ts:0.0 (ip6_frame ~first_next:59 ~payload_len:8 []) with
+  | Decode.Decoded q ->
+      checki "no-next proto" 59 (Packet.get q Field.Proto);
+      checki "no-next ports zero" 0 (Packet.get q Field.Src_port)
+  | r -> Alcotest.failf "no-next skipped (%s)" (skip_name r));
+  (* A non-first IPv6 fragment is a fragment skip, like IPv4. *)
+  let frag_ext offset =
+    let e = Bytes.make 8 '\x00' in
+    Bytes.set e 0 (Char.chr 17);
+    Bytes.set_uint16_be e 2 (offset lsl 3);
+    e
+  in
+  Alcotest.(check string) "ipv6 later fragment" "fragment"
+    (skip_name (Decode.frame ~ts:0.0 (ip6_frame ~first_next:44 [ frag_ext 100 ])));
+  (match Decode.frame ~ts:0.0 (ip6_frame ~first_next:44 [ frag_ext 0 ]) with
+  | Decode.Decoded q ->
+      checki "first fragment decodes with ports" 1234
+        (Packet.get q Field.Src_port)
+  | r -> Alcotest.failf "first ipv6 fragment skipped (%s)" (skip_name r))
+
+let test_bogus_gre_flags () =
+  let p =
+    Packet.make ~proto:Field.Protocol.udp ~src_port:40001 ~dst_port:443
+      ~tun_id:0x77 ~pkt_len:128 ~payload_len:100 ()
+  in
+  let b = Encode.frame ~tunnel:`Gre p in
+  (* The GRE flag word sits right after the outer IPv4 header. *)
+  let gre_off = 14 + 20 in
+  checki "encoded gre has the key flag" 0x2000 (Bytes.get_uint16_be b gre_off);
+  Bytes.set_uint16_be b gre_off 0x2001 (* version 1 (PPTP) *);
+  Alcotest.(check string) "gre version 1" "malformed"
+    (skip_name (Decode.frame ~ts:0.0 b));
+  Bytes.set_uint16_be b gre_off 0x2400 (* reserved bit set *);
+  Alcotest.(check string) "gre reserved flag" "malformed"
+    (skip_name (Decode.frame ~ts:0.0 b))
+
+(* decode ∘ encode over the extended attack corpus (IPv6, ICMPv6 and
+   tunneled flows on top of background traffic), for both tunnel
+   encodings. *)
+let extended_trace ?(seed = 13) ?(flows = 200) () =
+  Gen.generate ~attacks:Attack.extended_suite ~seed
+    (Profile.with_flows Profile.caida_like flows)
+
+let test_decode_encode_extended () =
+  let trace = extended_trace () in
+  let saw_v6 = ref 0 and saw_tun = ref 0 and saw_icmp6 = ref 0 in
+  Array.iteri
+    (fun i p ->
+      if Packet.get p Field.Ip_ver = 6 then incr saw_v6;
+      if Packet.get p Field.Tun_id <> 0 then incr saw_tun;
+      if Packet.get p Field.Proto = Field.Protocol.icmpv6 then incr saw_icmp6;
+      (* Alternate encapsulations so both decap paths see traffic. *)
+      let tunnel = if i land 1 = 0 then `Vxlan else `Gre in
+      match Decode.frame ~ts:(Packet.ts p) (Encode.frame ~tunnel p) with
+      | Decode.Decoded q ->
+          if not (fields_equal p q) then
+            Alcotest.failf "field mismatch: %s vs %s" (Packet.to_string p)
+              (Packet.to_string q)
+      | Decode.Skipped s ->
+          Alcotest.failf "extended packet skipped (%s): %s"
+            (Decode.skip_to_string s) (Packet.to_string p))
+    (Gen.packets trace);
+  checkb "trace exercises ipv6" true (!saw_v6 > 0);
+  checkb "trace exercises tunnels" true (!saw_tun > 0);
+  checkb "trace exercises icmpv6" true (!saw_icmp6 > 0)
+
+(* Tunneled flows must attribute to the inner 5-tuple: the whole point
+   of decapsulation is that intents monitor the tunneled flow, not the
+   tunnel endpoints. *)
+let test_tunnel_inner_tuple_attribution () =
+  let inner_src = 0x0AC8000C and inner_dst = 0x0AC8000D in
+  let p =
+    Packet.make ~src_ip:inner_src ~dst_ip:inner_dst
+      ~proto:Field.Protocol.udp ~src_port:40001 ~dst_port:443 ~tun_id:0xBEEF
+      ~pkt_len:228 ~payload_len:200 ()
+  in
+  List.iter
+    (fun tunnel ->
+      let tag = match tunnel with `Vxlan -> "vxlan" | `Gre -> "gre" in
+      let b = Encode.frame ~tunnel p in
+      (* The outer header really is a different 5-tuple on the wire. *)
+      let outer_src = Bytes.get_int32_be b (14 + 12) in
+      checkb (tag ^ " outer src differs") true
+        (Int32.to_int outer_src land 0xFFFFFFFF <> inner_src);
+      match Decode.frame ~ts:0.0 b with
+      | Decode.Decoded q ->
+          checki (tag ^ " inner src attributed") inner_src
+            (Packet.get q Field.Src_ip);
+          checki (tag ^ " inner dst attributed") inner_dst
+            (Packet.get q Field.Dst_ip);
+          checki (tag ^ " inner sport") 40001 (Packet.get q Field.Src_port);
+          checki (tag ^ " vni") 0xBEEF (Packet.get q Field.Tun_id)
+      | r -> Alcotest.failf "%s frame skipped (%s)" tag (skip_name r))
+    [ `Vxlan; `Gre ]
+
+(* Fragment and malformed skips are distinct counted reasons in the
+   ingest telemetry, end to end through the capture reader. *)
+let test_fragment_malformed_counted () =
+  let path = tmp "skips.pcap" in
+  let good =
+    Encode.frame
+      (Packet.make ~proto:Field.Protocol.tcp ~src_port:80 ~dst_port:8080
+         ~pkt_len:52 ~payload_len:0 ())
+  in
+  let fragment =
+    let b =
+      Encode.frame
+        (Packet.make ~proto:Field.Protocol.udp ~src_port:53 ~dst_port:3333
+           ~pkt_len:400 ~payload_len:372 ())
+    in
+    Bytes.set_uint16_be b (14 + 6) 0x00B9;
+    b
+  in
+  let malformed =
+    let b =
+      Encode.frame
+        (Packet.make ~proto:Field.Protocol.tcp ~src_port:1 ~dst_port:2
+           ~pkt_len:52 ~payload_len:0 ())
+    in
+    Bytes.set b (14 + 20 + 12) (Char.chr 0x40);
+    b
+  in
+  let oc = open_out_bin path in
+  let w = Pcap.create_writer oc in
+  List.iteri (fun i b -> Pcap.write_record w ~ts:(float_of_int i) b)
+    [ good; fragment; malformed ];
+  Pcap.flush_writer w;
+  close_out oc;
+  let stats = Stats.create () in
+  let loaded = Capture.load ~stats path in
+  checki "one packet decoded" 1 (Gen.length loaded);
+  checki "fragment counted" 1 (Stats.get stats Stats.Ingest_fragment);
+  checki "malformed counted" 1 (Stats.get stats Stats.Ingest_malformed);
+  checki "nothing else skipped" 0
+    (Stats.get stats Stats.Ingest_non_ip
+    + Stats.get stats Stats.Ingest_truncated);
+  let i = Capture.info path in
+  checki "info fragment" 1 i.Capture.fragment;
+  checki "info malformed" 1 i.Capture.malformed;
+  Sys.remove path
 
 (* ---------------- export → re-ingest differential ---------------- *)
 
@@ -239,6 +520,30 @@ let run_device trace =
   List.iter (fun q -> ignore (N.Device.add_query d q)) (Newton_query.Catalog.all ());
   N.Device.process_trace d trace;
   report_strings (N.Device.reports d)
+
+(* The extended corpus survives the full pcap round trip: every frame
+   (IPv6, ICMPv6, VXLAN-tunneled) re-ingests to the original fields. *)
+let test_export_reingest_extended () =
+  let trace = extended_trace ~seed:23 ~flows:150 () in
+  let path = tmp "ext.pcap" in
+  Capture.export trace path;
+  let stats = Stats.create () in
+  let loaded = Capture.load ~stats path in
+  checki "every frame decoded" (Gen.length trace)
+    (Stats.get stats Stats.Ingest_decoded);
+  checki "no skips" 0
+    (Stats.get stats Stats.Ingest_non_ip
+    + Stats.get stats Stats.Ingest_truncated
+    + Stats.get stats Stats.Ingest_fragment
+    + Stats.get stats Stats.Ingest_malformed);
+  Array.iteri
+    (fun i p ->
+      if not (fields_equal p (Gen.packets loaded).(i)) then
+        Alcotest.failf "packet %d differs after pcap round trip: %s vs %s" i
+          (Packet.to_string p)
+          (Packet.to_string (Gen.packets loaded).(i)))
+    (Gen.packets trace);
+  Sys.remove path
 
 let test_export_reingest_differential () =
   let trace = sample_trace ~seed:21 () in
@@ -627,6 +932,23 @@ let suite =
       test_decode_encode_handmade;
     Alcotest.test_case "decoder skips are counted, never raised" `Quick
       test_decode_skips;
+    Alcotest.test_case "malformed tcp data offsets" `Quick
+      test_malformed_tcp_dataofs;
+    Alcotest.test_case "malformed udp length" `Quick test_malformed_udp_length;
+    Alcotest.test_case "qinq: innermost customer vid wins" `Quick
+      test_qinq_inner_vid_wins;
+    Alcotest.test_case "ipv6 extension-header walk" `Quick
+      test_ipv6_extension_headers;
+    Alcotest.test_case "bogus gre flags are malformed" `Quick
+      test_bogus_gre_flags;
+    Alcotest.test_case "decode∘encode: extended corpus (v6/icmp6/tunnels)"
+      `Quick test_decode_encode_extended;
+    Alcotest.test_case "tunneled flows attribute to the inner 5-tuple" `Quick
+      test_tunnel_inner_tuple_attribution;
+    Alcotest.test_case "fragment/malformed are distinct counted skips" `Quick
+      test_fragment_malformed_counted;
+    Alcotest.test_case "export→re-ingest: extended corpus round trip" `Quick
+      test_export_reingest_extended;
     Alcotest.test_case "export→re-ingest report differential" `Slow
       test_export_reingest_differential;
     Alcotest.test_case "malformed captures raise clean errors" `Quick

@@ -91,13 +91,13 @@ let test_catalog_ids_sequential () =
   List.iteri (fun i q -> checki "id order" (i + 1) q.id) (Catalog.all ())
 
 let test_catalog_by_id () =
-  for i = 1 to 9 do
+  for i = 1 to 17 do
     checki "by_id consistent" i (Catalog.by_id i).id
   done;
   checkb "by_id rejects" true
-    (try ignore (Catalog.by_id 10); false
-     with Catalog.Unknown_id { id = 10; min = 1; max = 9 } -> true);
-  checkb "find is total" true (Catalog.find 10 = None);
+    (try ignore (Catalog.by_id 18); false
+     with Catalog.Unknown_id { id = 18; min = 1; max = 17 } -> true);
+  checkb "find is total" true (Catalog.find 18 = None);
   checkb "find hits" true
     (match Catalog.find 3 with Some q -> q.id = 3 | None -> false)
 

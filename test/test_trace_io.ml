@@ -49,6 +49,44 @@ let test_loaded_trace_replays_identically () =
   Alcotest.(check (list string)) "identical detections on replay" (run trace) (run loaded);
   Sys.remove path
 
+(* Version-1 files (14-field records, before the IPv6/ICMP/tunnel
+   fields existed) still load: the first 14 fields carry over in order,
+   the new fields default to zero, and Ip_ver defaults to 4. *)
+let test_loads_v1_files () =
+  let v1_fields = List.filteri (fun i _ -> i < 14) Field.all in
+  checki "v1 prefix ends at Ingress_port" (Field.index Field.Ingress_port)
+    (List.length v1_fields - 1);
+  let p =
+    Packet.make ~ts:1.5 ~src_ip:0xC0A80101 ~dst_ip:0x0A000002
+      ~proto:Field.Protocol.tcp ~src_port:443 ~dst_port:51000
+      ~tcp_flags:Field.Tcp_flag.syn ~pkt_len:60 ~ingress_port:7 ()
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "NTRC";
+  Buffer.add_uint8 buf 1;
+  Buffer.add_uint16_le buf (String.length "legacy");
+  Buffer.add_string buf "legacy";
+  Buffer.add_int32_le buf 1l;
+  Buffer.add_int64_le buf (Int64.bits_of_float (Packet.ts p));
+  List.iter
+    (fun f -> Buffer.add_int32_le buf (Int32.of_int (Packet.get p f)))
+    v1_fields;
+  let path = tmp "v1.ntrc" in
+  let oc = open_out_bin path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  let loaded = Trace_io.load path in
+  checki "one packet" 1 (Gen.length loaded);
+  let q = (Gen.packets loaded).(0) in
+  checkb "timestamp preserved" true (Packet.ts q = 1.5);
+  List.iter
+    (fun f -> checki (Field.to_string f) (Packet.get p f) (Packet.get q f))
+    v1_fields;
+  checki "ip_ver defaults to 4" 4 (Packet.get q Field.Ip_ver);
+  checki "icmp_type zero" 0 (Packet.get q Field.Icmp_type);
+  checki "tun_id zero" 0 (Packet.get q Field.Tun_id);
+  Sys.remove path
+
 let test_profile_name_preserved () =
   let trace = Gen.generate ~seed:7 (Profile.with_flows Profile.mawi_like 50) in
   let path = tmp "name.ntrc" in
@@ -128,6 +166,7 @@ let suite =
     ("roundtrip: field values >= 2^31", `Quick, test_roundtrip_large_field_values);
     ("loaded trace replays identically", `Quick, test_loaded_trace_replays_identically);
     ("profile name preserved", `Quick, test_profile_name_preserved);
+    ("loads version-1 files", `Quick, test_loads_v1_files);
     ("empty trace", `Quick, test_empty_trace);
     ("rejects bad magic", `Quick, test_rejects_bad_magic);
     ("rejects bad version", `Quick, test_rejects_bad_version);
