@@ -1,6 +1,6 @@
 # Conventional entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-check examples doc clean data ci check
+.PHONY: all build test bench bench-check examples doc clean data ci check p4-diff
 
 # Maximum shard count the parallel replay bench measures (powers of two
 # up to this value); see EXPERIMENTS.md.
@@ -46,6 +46,12 @@ doc:
 check:
 	dune exec bin/newton_cli.exe -- check --all --strict \
 	  --query 'filter(proto == udp) | map(dip) | reduce(dip, count) | filter(count > 100) | map(dip)'
+
+# Differential ground truth: replay the pinned mixed corpus through the
+# simulator engine and the interpreted P4 pipeline; every catalog query
+# must produce identical report multisets (docs/P4GEN.md).
+p4-diff:
+	dune exec bin/newton_cli.exe -- p4 diff --all --coverage-corpus
 
 # Exactly what .github/workflows/ci.yml runs: artifact-hygiene guard,
 # .mli interface guard, build, tests, static analysis, example

@@ -1,7 +1,7 @@
 (** Experiment harness: regenerates every table and figure of the
     paper's evaluation (§6).  Run all experiments with no arguments, or
     pass experiment names (fig7 fig10 fig11 fig12 fig13 fig14 fig15
-    fig16 fig17 table3 micro) to run a subset. *)
+    fig16 fig17 table3 p4sim micro) to run a subset. *)
 
 let experiments =
   [ ("fig7", Fig7.run);
@@ -20,6 +20,7 @@ let experiments =
     ("parallel", Parallel.run);
     ("ingest", Ingest.run);
     ("analysis", Analysis.run);
+    ("p4sim", P4sim.run);
     ("serve", Serve.run);
     ("micro", Microbench.run) ]
 

@@ -1,0 +1,116 @@
+(** Interpreted-P4 throughput vs the simulator engine.
+
+    The differential harness (`newton p4 diff`) replays every packet
+    through both targets; this bench pins how much slower the
+    interpreter side is — the number that bounds differential-run
+    time in CI and locally.  Three shapes per query: the engine's
+    packets/s, the interpreter's packets/s over pre-synthesized wire
+    bytes, and the packet-synthesis ({!Newton_p4sim.Phv}) rate that a
+    differential run pays on top.
+
+    Results go to the table and a JSON artifact —
+    out/bench_p4sim.json or the path in NEWTON_BENCH_P4SIM_JSON. *)
+
+let json_path () =
+  Option.value (Sys.getenv_opt "NEWTON_BENCH_P4SIM_JSON")
+    ~default:"out/bench_p4sim.json"
+
+let getenv_float name default =
+  match Option.bind (Sys.getenv_opt name) float_of_string_opt with
+  | Some v when v > 0.0 -> v
+  | _ -> default
+
+let rate n t = if t <= 0.0 then 0.0 else float_of_int n /. t
+
+let run () =
+  Common.banner "Interpreted-P4 pipeline vs engine (differential cost)";
+  let scale = getenv_float "NEWTON_BENCH_P4SIM_SCALE" 0.03 in
+  let packets = Newton_p4sim.Corpus.coverage_packets ~scale () in
+  let n = List.length packets in
+  Common.note "%d packets (pinned coverage corpus, scale %.2f)" n scale;
+  (* synthesis once: its rate is a shape of its own, and the
+     interpreter shape should not re-pay it per query *)
+  let t0 = Unix.gettimeofday () in
+  let bytes =
+    List.filter_map
+      (fun p -> Result.to_option (Newton_p4sim.Phv.synthesize p))
+      packets
+  in
+  let synth_s = Unix.gettimeofday () -. t0 in
+  let synth_pps = rate (List.length bytes) synth_s in
+  let program =
+    Newton_p4sim.P4parse.parse (Newton_p4gen.Emit.program ())
+  in
+  let t =
+    Common.T.create
+      ~aligns:[ Common.T.Left; Common.T.Right; Common.T.Right; Common.T.Right ]
+      [ "query"; "engine pps"; "interp pps"; "slowdown" ]
+  in
+  let per_query =
+    List.map
+      (fun q ->
+        let compiled = Newton_compiler.Compose.compile q in
+        let engine =
+          Newton_runtime.Engine.create ~sink:Newton_telemetry.Stats.null
+            ~switch_id:0 ()
+        in
+        let _ = Newton_runtime.Engine.install engine compiled in
+        let t0 = Unix.gettimeofday () in
+        List.iter (Newton_runtime.Engine.process_packet engine) packets;
+        let engine_s = Unix.gettimeofday () -. t0 in
+        ignore (Newton_runtime.Engine.drain_reports engine);
+        let interp = Newton_p4sim.Interp.create program in
+        Newton_p4sim.Interp.install interp
+          (Newton_p4gen.Rules.entries_exn compiled);
+        let t0 = Unix.gettimeofday () in
+        List.iter
+          (fun b -> ignore (Newton_p4sim.Interp.run interp b))
+          bytes;
+        let interp_s = Unix.gettimeofday () -. t0 in
+        let engine_pps = rate n engine_s in
+        let interp_pps = rate (List.length bytes) interp_s in
+        let slowdown = if interp_pps > 0.0 then engine_pps /. interp_pps else 0.0 in
+        Common.T.add_row t
+          [
+            Printf.sprintf "Q%d %s" q.Newton_query.Ast.id
+              q.Newton_query.Ast.name;
+            Printf.sprintf "%.0f" engine_pps;
+            Printf.sprintf "%.0f" interp_pps;
+            Printf.sprintf "%.1fx" slowdown;
+          ];
+        (q, engine_pps, interp_pps, slowdown))
+      [ Newton_query.Catalog.q1 (); Newton_query.Catalog.q4 ();
+        Newton_query.Catalog.q12 () ]
+  in
+  Common.T.print t;
+  Common.note "phv synthesis: %.0f packets/s" synth_pps;
+  Common.maybe_dat t "p4sim_throughput";
+  let open Newton_util.Json in
+  let json =
+    Obj
+      [
+        ("bench", String "p4sim_throughput");
+        ("packets", Int n);
+        ("synth_pps", Float synth_pps);
+        ( "queries",
+          Obj
+            (List.map
+               (fun (q, e, i, s) ->
+                 ( q.Newton_query.Ast.name,
+                   Obj
+                     [
+                       ("engine_pps", Float e);
+                       ("interp_pps", Float i);
+                       ("slowdown", Float s);
+                     ] ))
+               per_query) );
+      ]
+  in
+  let out = json_path () in
+  let dir = Filename.dirname out in
+  if dir <> "." && not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out out in
+  output_string oc (to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Common.note "[json written to %s]" out

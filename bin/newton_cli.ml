@@ -4,7 +4,10 @@
     - [queries]            list the built-in query catalog (Table 2)
     - [compile -q N]       show how a query compiles to module rules
     - [run -q N,M ...]     run queries on one switch over a synthetic trace
-    - [netrun -q N ...]    deploy network-wide and run over a topology *)
+    - [netrun -q N ...]    deploy network-wide and run over a topology
+    - [p4 emit|run|diff]   emit the newton.p4 pipeline + rules, interpret
+                           it, and differentially test it against the
+                           engine *)
 
 open Cmdliner
 open Newton
@@ -61,59 +64,109 @@ let cmd_compile =
   Cmd.v (Cmd.info "compile" ~doc:"Compile queries and show module/stage usage")
     Term.(const run $ queries_arg $ slots_arg)
 
-(* ---------------- p4 (program + rule emission) ---------------- *)
+(* ---------------- p4 (emission + interpretation) ---------------- *)
 
-let cmd_p4 =
-  let run ids emit_program out_rules stages lint =
-    (if emit_program then
-       let layout = { Newton_p4gen.Emit.default_layout with Newton_p4gen.Emit.stages } in
-       print_string (Newton_p4gen.Emit.program ~layout ()));
-    match lookup_queries ids with
+(* Shared vocabulary of the p4 subcommands: pipeline layout knobs and
+   the Q1-Q17 selector. *)
+let p4_stages_arg =
+  Arg.(value & opt int Newton_p4gen.Emit.default_layout.Newton_p4gen.Emit.stages
+       & info [ "stages" ] ~docv:"N" ~doc:"Stages in the emitted module layout.")
+
+let p4_registers_arg =
+  Arg.(value
+       & opt int Newton_p4gen.Emit.default_layout.Newton_p4gen.Emit.registers
+       & info [ "registers" ] ~docv:"N"
+           ~doc:"32-bit words per allocated state array.")
+
+let p4_all_arg =
+  Arg.(value & flag
+       & info [ "all" ] ~doc:"Select every catalog query (Q1-Q17).")
+
+let p4_layout stages registers =
+  { Newton_p4gen.Emit.default_layout with Newton_p4gen.Emit.stages; registers }
+
+let p4_ids ids all =
+  if all then
+    List.map (fun q -> q.Query.id) (Catalog.all () @ Catalog.extras ())
+  else ids
+
+let write_file path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+let cmd_p4_emit =
+  let run ids all program_out rules_out stages registers lint =
+    let layout = p4_layout stages registers in
+    match lookup_queries (p4_ids ids all) with
     | Error msg -> prerr_endline msg; exit 2
     | Ok qs ->
-        List.iteri
-          (fun i q ->
-            let compiled = Compiler.compile q in
-            let entries =
-              Newton_p4gen.Rules.entries ~class_id:(1 + (i * 10)) compiled
-            in
-            (match out_rules with
-            | Some path ->
-                let oc = open_out path in
-                output_string oc (Newton_p4gen.Rules.to_json entries);
-                close_out oc;
-                Printf.eprintf "Q%d: %d entries written to %s\n" q.Query.id
-                  (List.length entries) path
-            | None ->
-                if not emit_program then
-                  print_string (Newton_p4gen.Rules.to_json entries));
-            if lint then begin
-              let layout =
-                { Newton_p4gen.Emit.default_layout with Newton_p4gen.Emit.stages }
-              in
-              match Newton_p4gen.Validate.check_compiled ~layout compiled with
-              | [] -> Printf.eprintf "Q%d: artifacts lint clean\n" q.Query.id
-              | issues ->
-                  List.iter
-                    (fun i ->
-                      Printf.eprintf "Q%d: %s\n" q.Query.id
-                        (Newton_p4gen.Validate.issue_to_string i))
-                    issues;
-                  exit 1
-            end)
-          qs
+        (* One allocator across all queries so the deployment is
+           co-resident: state arrays never overlap, and the register
+           file is sized to the sum (never below the per-layout
+           default, so single-query programs stay byte-identical). *)
+        let alloc = Newton_p4gen.Rules.allocator ~state_words:max_int layout in
+        let entries =
+          List.concat
+            (List.mapi
+               (fun i q ->
+                 let compiled = Compiler.compile q in
+                 match
+                   Newton_p4gen.Rules.entries ~class_id:(1 + (i * 10)) ~layout
+                     ~alloc compiled
+                 with
+                 | Ok es -> es
+                 | Error issue ->
+                     Printf.eprintf "newton p4: Q%d has no rule encoding: %s\n"
+                       q.Query.id
+                       (Newton_p4gen.Rules.issue_to_string issue);
+                     exit 1)
+               qs)
+        in
+        let state_words =
+          max
+            (Newton_p4gen.Emit.state_words_of_layout layout)
+            (Newton_p4gen.Rules.words_used alloc)
+        in
+        let program = Newton_p4gen.Emit.program ~layout ~state_words () in
+        let rules_json = Newton_p4gen.Rules.to_json entries in
+        (match program_out with
+        | Some "-" | None -> print_string program
+        | Some path ->
+            write_file path program;
+            Printf.eprintf "program (%d queries, %d state words) written to %s\n"
+              (List.length qs) state_words path);
+        (match rules_out with
+        | Some path ->
+            write_file path rules_json;
+            Printf.eprintf "%d rule entries written to %s\n"
+              (List.length entries) path
+        | None -> ());
+        if lint then begin
+          match Newton_p4gen.Validate.check ~program ~rules_json with
+          | [] ->
+              Printf.eprintf "lint clean: %d entries against the emitted program\n"
+                (List.length entries)
+          | issues ->
+              List.iter
+                (fun i ->
+                  Printf.eprintf "lint: %s\n"
+                    (Newton_p4gen.Validate.issue_to_string i))
+                issues;
+              exit 1
+        end
   in
-  let program_arg =
-    Arg.(value & flag
-         & info [ "program" ] ~doc:"Emit the P4 module-layout program to stdout.")
+  let program_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "program-out" ] ~docv:"FILE"
+             ~doc:"Write the P4 program to a file instead of stdout ('-' for \
+                   stdout).")
   in
   let rules_out_arg =
     Arg.(value & opt (some string) None
-         & info [ "rules-out" ] ~docv:"FILE" ~doc:"Write the rule JSON to a file.")
-  in
-  let stages_arg =
-    Arg.(value & opt int 12
-         & info [ "stages" ] ~docv:"N" ~doc:"Stages in the emitted module layout.")
+         & info [ "rules-out" ] ~docv:"FILE"
+             ~doc:"Write the combined runtime rule JSON for the selected \
+                   queries to a file.")
   in
   let lint_arg =
     Arg.(value & flag
@@ -121,9 +174,129 @@ let cmd_p4 =
              ~doc:"Validate the rule entries against the emitted program.")
   in
   Cmd.v
+    (Cmd.info "emit"
+       ~doc:
+         "Emit the complete self-contained newton.p4 program (and the \
+          runtime rule JSON configuring the selected queries on it)")
+    Term.(
+      const run $ queries_arg $ p4_all_arg $ program_out_arg $ rules_out_arg
+      $ p4_stages_arg $ p4_registers_arg $ lint_arg)
+
+(* Replay a packet list through the differential harness for each
+   query, printing one line per query; returns the number of queries
+   whose report multisets diverged (or had no rule encoding). *)
+let p4_replay ~layout ~verbose qs packets =
+  let bad = ref 0 in
+  List.iter
+    (fun q ->
+      match Newton_p4sim.Diff.run_query ~layout q packets with
+      | Error issue ->
+          incr bad;
+          Printf.printf "Q%d: no rule encoding: %s\n" q.Query.id
+            (Newton_p4gen.Rules.issue_to_string issue)
+      | Ok r ->
+          if not (Newton_p4sim.Diff.matched r) then incr bad;
+          print_endline (Newton_p4sim.Diff.describe r);
+          if verbose then
+            List.iter
+              (fun (why, n) -> Printf.printf "    skipped %dx: %s\n" n why)
+              r.Newton_p4sim.Diff.skip_reasons)
+    qs;
+  !bad
+
+let cmd_p4_run =
+  let run ids profile flows seed attacks verbose trace_in trace_out stages
+      registers =
+    match lookup_queries ids with
+    | Error msg -> prerr_endline msg; exit 2
+    | Ok qs ->
+        reject_invalid qs;
+        let layout = p4_layout stages registers in
+        let trace = make_trace ?trace_in ?trace_out profile flows seed attacks in
+        let packets = Array.to_list (Newton_trace.Gen.packets trace) in
+        Printf.printf "trace: %d packets (%s)\n" (Trace.length trace)
+          (Trace_profile.to_string (Trace.profile trace));
+        List.iter
+          (fun q ->
+            match Newton_p4sim.Diff.run_query ~layout q packets with
+            | Error issue ->
+                Printf.eprintf "newton p4: Q%d has no rule encoding: %s\n"
+                  q.Query.id
+                  (Newton_p4gen.Rules.issue_to_string issue);
+                exit 1
+            | Ok r ->
+                Printf.printf
+                  "Q%d: %d/%d packets interpreted (%d unencodable), %d reports\n"
+                  q.Query.id r.Newton_p4sim.Diff.replayed
+                  r.Newton_p4sim.Diff.total r.Newton_p4sim.Diff.skipped
+                  (List.length r.Newton_p4sim.Diff.p4_reports);
+                if verbose then
+                  List.iter
+                    (fun rep ->
+                      print_endline
+                        ("  " ^ Newton_p4sim.Diff.report_to_string rep))
+                    r.Newton_p4sim.Diff.p4_reports)
+          qs
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Replay a trace through the interpreted P4 pipeline and print the \
+          digest-decoded reports")
+    Term.(
+      const run $ queries_arg $ profile_arg $ flows_arg $ seed_arg
+      $ attacks_arg $ verbose_arg $ trace_in_arg $ trace_out_arg
+      $ p4_stages_arg $ p4_registers_arg)
+
+let cmd_p4_diff =
+  let run ids all coverage profile flows seed attacks verbose trace_in
+      trace_out stages registers =
+    match lookup_queries (p4_ids ids all) with
+    | Error msg -> prerr_endline msg; exit 2
+    | Ok qs ->
+        reject_invalid qs;
+        let layout = p4_layout stages registers in
+        let packets =
+          if coverage then Newton_p4sim.Corpus.coverage_packets ~seed ()
+          else
+            Array.to_list
+              (Newton_trace.Gen.packets
+                 (make_trace ?trace_in ?trace_out profile flows seed attacks))
+        in
+        Printf.printf "corpus: %d packets\n" (List.length packets);
+        let bad = p4_replay ~layout ~verbose qs packets in
+        if bad > 0 then begin
+          Printf.eprintf "newton p4 diff: %d quer%s diverged\n" bad
+            (if bad = 1 then "y" else "ies");
+          exit 1
+        end
+  in
+  let coverage_arg =
+    Arg.(value & flag
+         & info [ "coverage-corpus" ]
+             ~doc:
+               "Replay the pinned mixed v4/v6/ICMPv6/tunnel corpus on which \
+                every catalog query reports at least once (overrides the \
+                trace-shaping flags except --seed).")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Differentially test the interpreted P4 pipeline against the \
+          simulator engine: replay the same trace through both and require \
+          identical report multisets (exit 1 on divergence)")
+    Term.(
+      const run $ queries_arg $ p4_all_arg $ coverage_arg $ profile_arg
+      $ flows_arg $ seed_arg $ attacks_arg $ verbose_arg $ trace_in_arg
+      $ trace_out_arg $ p4_stages_arg $ p4_registers_arg)
+
+let cmd_p4 =
+  Cmd.group
     (Cmd.info "p4"
-       ~doc:"Emit the P4 module-layout program and/or runtime rule JSON")
-    Term.(const run $ queries_arg $ program_arg $ rules_out_arg $ stages_arg $ lint_arg)
+       ~doc:
+         "Emit the static newton.p4 pipeline and runtime rules, interpret \
+          it, and differentially test it against the simulator engine")
+    [ cmd_p4_emit; cmd_p4_run; cmd_p4_diff ]
 
 (* ---------------- run (device level) ---------------- *)
 

@@ -23,6 +23,7 @@ let passes : (module Pass.S) list =
     (module Pass_capacity);
     (module Pass_conflicts);
     (module Pass_cuts);
+    (module Pass_p4);
   ]
 
 let make_ctx ?(cfg = Pass.default_config) ?target ?(peers = []) ?(co_resident = [])

@@ -1,0 +1,5 @@
+(** P4 emission feasibility (NA080–NA083): key-descriptor/branch-bitmap
+    capacity, static-action-menu coverage, same-cell ordering hazards,
+    recirculation passes, register-file fit. *)
+
+include Pass.S

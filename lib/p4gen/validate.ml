@@ -13,6 +13,7 @@ type issue =
   | Unknown_action of { table : string; action : string }
   | Table_overflow of { table : string; size : int; entries : int }
   | Malformed of string
+  | Unemittable of Rules.issue
 
 let issue_to_string = function
   | Unknown_table t -> Printf.sprintf "rule references undeclared table %s" t
@@ -21,6 +22,9 @@ let issue_to_string = function
   | Table_overflow { table; size; entries } ->
       Printf.sprintf "table %s holds %d entries but its size is %d" table entries size
   | Malformed msg -> "malformed rule document: " ^ msg
+  | Unemittable i ->
+      "query has no rule encoding for the static program: "
+      ^ Rules.issue_to_string i
 
 (* ---------------- program inventory ---------------- *)
 
@@ -76,7 +80,8 @@ let table_size src from =
       let j = ref (i + String.length "size = ") in
       let start = !j in
       while !j < String.length src && src.[!j] >= '0' && src.[!j] <= '9' do incr j done;
-      int_of_string (String.sub src start (!j - start))
+      if !j = start then max_int (* non-numeric size expression: treat as unbounded *)
+      else int_of_string (String.sub src start (!j - start))
 
 (** Build the table/action inventory of an emitted program. *)
 let inventory_of_program src =
@@ -99,6 +104,8 @@ let inventory_of_program src =
       let extra =
         match table with
         | "newton_init" -> [ "set_class" ]
+        | "newton_resume" -> [ "resume_class" ]
+        | "newton_recirc" -> [ "cancel_pending" ]
         | "newton_fin" -> [ "sp_emit"; "sp_strip" ]
         | _ -> []
       in
@@ -145,8 +152,11 @@ let check ~program ~rules_json =
       List.rev !issues
   | _ -> [ Malformed "top level is not an array" ]
 
-(** Convenience: emit a program and a query's rules, then lint them. *)
+(** Convenience: emit a program and a query's rules, then lint them.
+    An unemittable query is itself an issue, not an exception. *)
 let check_compiled ?(layout = Emit.default_layout) ?class_id compiled =
-  let program = Emit.program ~layout () in
-  let rules_json = Rules.to_json (Rules.entries ?class_id compiled) in
-  check ~program ~rules_json
+  match Rules.entries ?class_id ~layout compiled with
+  | Error issue -> [ Unemittable issue ]
+  | Ok entries ->
+      let program = Emit.program ~layout () in
+      check ~program ~rules_json:(Rules.to_json entries)

@@ -7,6 +7,8 @@ type issue =
   | Unknown_action of { table : string; action : string }
   | Table_overflow of { table : string; size : int; entries : int }
   | Malformed of string
+  | Unemittable of Rules.issue
+      (** the compiled query has no rule encoding ({!Rules.issue}) *)
 
 val issue_to_string : issue -> string
 

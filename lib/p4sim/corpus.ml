@@ -1,0 +1,37 @@
+(** The pinned differential corpus: a mixed v4/v6/ICMPv6/VXLAN-tunnel
+    trace on which every catalog query Q1-Q17 produces at least one
+    report, so a differential run exercises every emitted table family
+    and both recirculation and Pair-combine digest paths.
+
+    The stock attack suites leave Q12/Q13/Q14 silent — neither injects
+    an ICMP flood, a SYN-ACK reflection, or port-53 amplified volume —
+    so this corpus appends those three scenarios on top of the
+    extended (IPv6/tunnel) suite.  Keep the recipe stable: tests and
+    the CI differential leg pin their expectations to it. *)
+
+open Newton_trace
+
+let coverage_attacks =
+  Attack.extended_suite
+  @ [
+      Attack.Icmp_flood
+        { victim = Attack.host_of 20; attackers = 30; pkts_per_attacker = 30 };
+      Attack.Amplification
+        { victim = Attack.host_of 22; reflectors = 20; pkts_each = 10; port = 53 };
+      Attack.Amplification
+        { victim = Attack.host_of 22; reflectors = 20; pkts_each = 10; port = 53 };
+      Attack.Reflection
+        { victim = Attack.host_of 21; reflectors = 60; pkts_each = 10 };
+      (* volume for Q10 (byte heavy hitters, >500 KB/window to one
+         host): 6000 amplified 1028-byte responses toward one victim *)
+      Attack.Amplification
+        { victim = Attack.host_of 23; reflectors = 60; pkts_each = 100;
+          port = 123 };
+    ]
+
+let coverage_packets ?(seed = 7) ?(scale = 0.15) () =
+  let trace =
+    Gen.generate ~attacks:coverage_attacks ~seed
+      (Profile.scale Profile.caida_like scale)
+  in
+  Array.to_list (Gen.packets trace)

@@ -1,0 +1,8 @@
+(** Lexer + recursive-descent parser for the P4 subset {!Newton_p4gen.Emit}
+    writes.  Unknown syntax is emission drift and raises {!Parse_error}. *)
+
+exception Parse_error of { line : int; msg : string }
+
+(** Parse a complete emitted program.
+    @raise Parse_error on anything outside the emitted subset. *)
+val parse : string -> P4ast.program

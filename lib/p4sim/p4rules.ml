@@ -1,0 +1,62 @@
+(** Wire-format loader: parse a rule document (the JSON array
+    {!Newton_p4gen.Rules.to_json} writes and [newton p4 emit
+    --rules-out] ships) back into typed entries for {!Interp.install}.
+
+    Exact inverse of the serializer — round-tripping through it is part
+    of the test suite, so the controller-to-switch wire format cannot
+    drift silently. *)
+
+open Newton_util
+
+exception Bad_document of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Bad_document m)) fmt
+
+let req name conv j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> v
+  | None -> fail "entry lacks %s" name
+
+let match_of_json j : Newton_p4gen.Rules.mtch =
+  let field = req "field" Json.to_string_opt j in
+  match req "type" Json.to_string_opt j with
+  | "exact" -> M_exact (field, req "value" Json.to_int_opt j)
+  | "ternary" ->
+      M_ternary (field, req "value" Json.to_int_opt j, req "mask" Json.to_int_opt j)
+  | "range" -> M_range (field, req "lo" Json.to_int_opt j, req "hi" Json.to_int_opt j)
+  | ty -> fail "unknown match type %S" ty
+
+let entry_of_json j : Newton_p4gen.Rules.entry =
+  let params =
+    match Json.member "params" j with
+    | Some (Json.Obj kvs) ->
+        List.map
+          (fun (k, v) ->
+            match Json.to_string_opt v with
+            | Some s -> (k, s)
+            | None -> fail "param %s is not a string" k)
+          kvs
+    | Some _ -> fail "params is not an object"
+    | None -> []
+  in
+  let matches =
+    match Option.bind (Json.member "match" j) Json.to_list with
+    | Some ms -> List.map match_of_json ms
+    | None -> fail "entry lacks match array"
+  in
+  {
+    table = req "table" Json.to_string_opt j;
+    matches;
+    action = req "action" Json.to_string_opt j;
+    params;
+    priority = req "priority" Json.to_int_opt j;
+  }
+
+(** Parse a full rule document.
+    @raise Bad_document on malformed JSON or missing members. *)
+let of_json src =
+  match Json.of_string src with
+  | exception Json.Parse_error { pos; msg } ->
+      fail "JSON error at %d: %s" pos msg
+  | Json.List entries -> List.map entry_of_json entries
+  | _ -> fail "top level is not an array"

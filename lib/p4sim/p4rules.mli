@@ -1,0 +1,8 @@
+(** Wire-format loader: the exact inverse of
+    {!Newton_p4gen.Rules.to_json}. *)
+
+exception Bad_document of string
+
+(** Parse a rule document (JSON array of entries).
+    @raise Bad_document on malformed JSON or missing members. *)
+val of_json : string -> Newton_p4gen.Rules.entry list

@@ -1,0 +1,262 @@
+(** Wire-packet synthesis: invert the emitted program's parser and
+    normalization prologue on a simulator {!Newton_packet.Packet}.
+
+    The engine consumes canonical field vectors; the P4 pipeline
+    consumes bytes.  To differentially test them on the *same* traffic,
+    each simulator packet is lowered to a byte string such that parsing
+    and normalizing it recovers exactly the original field vector.  The
+    encoding is canonical (zero MACs/checksums, single-option-free
+    headers, VXLAN for every tunnel) — the differential only needs the
+    canonical-field round trip, not byte-level realism.
+
+    Not every field vector is a parseable packet (the simulator can set
+    e.g. TCP fields on a GRE packet); those come back as a typed
+    [Error], and the harness skips them on both sides so the comparison
+    stays apples-to-apples. *)
+
+open Newton_packet
+
+(** Why a field vector has no canonical wire encoding. *)
+type error =
+  | Bad_ip_version of int
+  | Tunnel_over_ipv6
+  | Stray_l4_fields of { proto : int; fields : string list }
+  | Dns_without_port_53
+  | Dns_inside_tunnel
+  | Unsolvable_overhead of { proto : int; pkt_len : int; payload_len : int }
+  | Field_overflow of { field : string; value : int; limit : int }
+
+let error_to_string = function
+  | Bad_ip_version v -> Printf.sprintf "unencodable IP version %d" v
+  | Tunnel_over_ipv6 -> "tunneled IPv6 has no canonical encapsulation"
+  | Stray_l4_fields { proto; fields } ->
+      Printf.sprintf "protocol %d cannot carry fields: %s" proto
+        (String.concat ", " fields)
+  | Dns_without_port_53 -> "DNS fields require src or dst port 53"
+  | Dns_inside_tunnel -> "no inner-DNS parse path"
+  | Unsolvable_overhead { proto; pkt_len; payload_len } ->
+      Printf.sprintf
+        "no header-length solution for proto %d with pkt_len %d payload_len %d"
+        proto pkt_len payload_len
+  | Field_overflow { field; value; limit } ->
+      Printf.sprintf "%s = %d exceeds wire limit %d" field value limit
+
+(* ---------------- bit-level writer ---------------- *)
+
+(* Headers are packed MSB-first, mirroring {!Interp}'s extraction. *)
+type writer = { buf : Buffer.t; mutable acc : int; mutable nbits : int }
+
+let writer () = { buf = Buffer.create 64; acc = 0; nbits = 0 }
+
+let put w width value =
+  (* feed bits MSB-first, flushing whole bytes *)
+  for i = width - 1 downto 0 do
+    w.acc <- (w.acc lsl 1) lor ((value lsr i) land 1);
+    w.nbits <- w.nbits + 1;
+    if w.nbits = 8 then begin
+      Buffer.add_char w.buf (Char.chr w.acc);
+      w.acc <- 0;
+      w.nbits <- 0
+    end
+  done
+
+let contents w =
+  assert (w.nbits = 0);
+  Buffer.contents w.buf
+
+(* ---------------- header encoders ---------------- *)
+
+let put_ethernet w ether_type =
+  put w 48 0; put w 48 0; put w 16 ether_type
+
+let put_ipv4 w ~ihl ~total_len ~ttl ~proto ~src ~dst =
+  put w 4 4; put w 4 ihl; put w 8 0;
+  put w 16 total_len; put w 16 0; put w 3 0; put w 13 0;
+  put w 8 ttl; put w 8 proto; put w 16 0;
+  put w 32 src; put w 32 dst
+
+let put_ipv6 w ~payload_len ~next_hdr ~hop ~src ~dst =
+  put w 4 6; put w 8 0; put w 20 0;
+  put w 16 payload_len; put w 8 next_hdr; put w 8 hop;
+  (* the normalizer XOR-folds the four words; word 0 carries the fold *)
+  put w 32 src; put w 32 0; put w 32 0; put w 32 0;
+  put w 32 dst; put w 32 0; put w 32 0; put w 32 0
+
+let put_tcp w ~sport ~dport ~seq ~ack ~doff ~flags =
+  put w 16 sport; put w 16 dport; put w 32 seq; put w 32 ack;
+  put w 4 doff; put w 4 0; put w 8 flags;
+  put w 16 0; put w 16 0; put w 16 0
+
+let put_udp w ~sport ~dport ~len =
+  put w 16 sport; put w 16 dport; put w 16 len; put w 16 0
+
+let put_icmp w ~type_ ~code =
+  put w 8 type_; put w 8 code; put w 16 0
+
+let put_dns w ~qr ~ancount =
+  put w 16 0; put w 1 qr; put w 15 0; put w 16 0; put w 16 ancount
+
+let put_vxlan w ~vni =
+  put w 8 0x08; put w 24 0; put w 24 vni; put w 8 0
+
+(* ---------------- synthesis ---------------- *)
+
+let proto_icmp = Field.Protocol.icmp
+let proto_tcp = Field.Protocol.tcp
+let proto_udp = Field.Protocol.udp
+let proto_icmpv6 = Field.Protocol.icmpv6
+
+(* Split pkt_len - payload_len into 4*ihl + 4*doff with both nibbles in
+   [5, 15]; prefers the minimal IHL, mirroring real stacks. *)
+let solve_ihl_doff ~proto ~pkt_len ~payload_len =
+  let overhead = pkt_len - payload_len in
+  if overhead < 0 || overhead mod 4 <> 0 then
+    Error (Unsolvable_overhead { proto; pkt_len; payload_len })
+  else
+    let words = overhead / 4 in
+    if words >= 10 && words <= 20 then Ok (5, words - 5)
+    else if words > 20 && words <= 30 then Ok (words - 15, 15)
+    else Error (Unsolvable_overhead { proto; pkt_len; payload_len })
+
+let solve_ihl ~extra ~proto ~pkt_len ~payload_len =
+  (* pkt_len = 4*ihl + extra + payload_len *)
+  let overhead = pkt_len - payload_len - extra in
+  if overhead >= 20 && overhead <= 60 && overhead mod 4 = 0 then
+    Ok (overhead / 4)
+  else Error (Unsolvable_overhead { proto; pkt_len; payload_len })
+
+let ( let* ) = Result.bind
+
+let check_zero pkt proto fields =
+  let stray =
+    List.filter_map
+      (fun f -> if Packet.get pkt f <> 0 then Some (Field.to_string f) else None)
+      fields
+  in
+  if stray = [] then Ok () else Error (Stray_l4_fields { proto; fields = stray })
+
+let check_fit field value limit =
+  if value > limit then Error (Field_overflow { field; value; limit }) else Ok ()
+
+let tcp_extras = [ Field.Tcp_flags; Field.Tcp_seq; Field.Tcp_ack ]
+let dns_extras = [ Field.Dns_qr; Field.Dns_ancount ]
+let icmp_extras = [ Field.Icmp_type; Field.Icmp_code ]
+let port_extras = [ Field.Src_port; Field.Dst_port ]
+
+(* Emit the L4 stack (shared between the plain and inner paths).
+   [dns_ok] gates the DNS header: no inner-DNS parse state exists.
+   Returns the IHL the enclosing IPv4 header must carry (None for v6). *)
+let encode_l4 w pkt ~proto ~v6 ~dns_ok =
+  let g f = Packet.get pkt f in
+  let pkt_len = g Field.Pkt_len and payload_len = g Field.Payload_len in
+  let has_dns = g Field.Dns_qr <> 0 || g Field.Dns_ancount <> 0 in
+  if proto = proto_tcp then
+    let* () = check_zero pkt proto (dns_extras @ icmp_extras) in
+    let* ihl, doff =
+      if v6 then
+        (* v6 normalization: payload = (pkt_len - 40) - 4*doff *)
+        let overhead = pkt_len - 40 - payload_len in
+        if overhead >= 20 && overhead <= 60 && overhead mod 4 = 0 then
+          Ok (None, overhead / 4)
+        else Error (Unsolvable_overhead { proto; pkt_len; payload_len })
+      else
+        let* ihl, doff = solve_ihl_doff ~proto ~pkt_len ~payload_len in
+        Ok (Some ihl, doff)
+    in
+    put_tcp w ~sport:(g Field.Src_port) ~dport:(g Field.Dst_port)
+      ~seq:(g Field.Tcp_seq) ~ack:(g Field.Tcp_ack) ~doff
+      ~flags:(g Field.Tcp_flags);
+    Ok ihl
+  else if proto = proto_udp then
+    let* () = check_zero pkt proto (tcp_extras @ icmp_extras) in
+    let sport = g Field.Src_port and dport = g Field.Dst_port in
+    let is_dns_port = sport = 53 || dport = 53 in
+    let* () =
+      if has_dns && not dns_ok then Error Dns_inside_tunnel
+      else if has_dns && not is_dns_port then Error Dns_without_port_53
+      else Ok ()
+    in
+    let* () = check_fit "udp.length" (payload_len + 8) 0xFFFF in
+    put_udp w ~sport ~dport ~len:(payload_len + 8);
+    if is_dns_port && dns_ok then
+      put_dns w ~qr:(g Field.Dns_qr) ~ancount:(g Field.Dns_ancount);
+    Ok (if v6 then None else Some 5)
+  else if (if v6 then proto = proto_icmpv6 else proto = proto_icmp) then
+    let* () = check_zero pkt proto (port_extras @ tcp_extras @ dns_extras) in
+    let* ihl =
+      if v6 then
+        (* v6 normalization pins payload_len = pkt_len - 48: no knob *)
+        if payload_len = pkt_len - 48 then Ok None
+        else Error (Unsolvable_overhead { proto; pkt_len; payload_len })
+      else
+        let* ihl = solve_ihl ~extra:8 ~proto ~pkt_len ~payload_len in
+        Ok (Some ihl)
+    in
+    put_icmp w ~type_:(g Field.Icmp_type) ~code:(g Field.Icmp_code);
+    Ok ihl
+  else
+    (* no parseable L4 header: every L4-derived field must be zero *)
+    let* () =
+      check_zero pkt proto
+        (port_extras @ tcp_extras @ dns_extras @ icmp_extras
+        @ [ Field.Payload_len ])
+    in
+    Ok (if v6 then None else Some 5)
+
+let synthesize pkt =
+  let g f = Packet.get pkt f in
+  let ip_ver = g Field.Ip_ver in
+  let tun_id = g Field.Tun_id in
+  let proto = g Field.Proto in
+  if ip_ver <> 4 && ip_ver <> 6 then Error (Bad_ip_version ip_ver)
+  else if tun_id <> 0 && ip_ver = 6 then Error Tunnel_over_ipv6
+  else if tun_id <> 0 then begin
+    (* canonical VXLAN encapsulation; the inner stack carries the flow *)
+    let w = writer () in
+    put_ethernet w 0x0800;
+    put_ipv4 w ~ihl:5 ~total_len:1300 ~ttl:64 ~proto:proto_udp
+      ~src:0x0A000001 ~dst:0x0A000002;
+    (* the outer UDP length encodes payload_len for inner protocols
+       that carry no L4 header of their own (nothing later overrides it) *)
+    let* () = check_fit "udp.length" (g Field.Payload_len + 8) 0xFFFF in
+    put_udp w ~sport:4790 ~dport:4789 ~len:(g Field.Payload_len + 8);
+    put_vxlan w ~vni:tun_id;
+    put_ethernet w 0x0800;
+    (* inner IPv4 fields land after a two-pass normalize: reserve the
+       header slot, then encode L4 to learn the IHL *)
+    let inner = writer () in
+    let* ihl = encode_l4 inner pkt ~proto ~v6:false ~dns_ok:false in
+    let ihl = Option.value ihl ~default:5 in
+    let* () = check_fit "ipv4.total_len" (g Field.Pkt_len) 0xFFFF in
+    put_ipv4 w ~ihl ~total_len:(g Field.Pkt_len) ~ttl:(g Field.Ttl) ~proto
+      ~src:(g Field.Src_ip) ~dst:(g Field.Dst_ip);
+    Buffer.add_string w.buf (contents inner);
+    Ok (contents w)
+  end
+  else if ip_ver = 4 then begin
+    let w = writer () in
+    put_ethernet w 0x0800;
+    let l4 = writer () in
+    let* ihl = encode_l4 l4 pkt ~proto ~v6:false ~dns_ok:true in
+    let ihl = Option.value ihl ~default:5 in
+    let* () = check_fit "ipv4.total_len" (g Field.Pkt_len) 0xFFFF in
+    put_ipv4 w ~ihl ~total_len:(g Field.Pkt_len) ~ttl:(g Field.Ttl) ~proto
+      ~src:(g Field.Src_ip) ~dst:(g Field.Dst_ip);
+    Buffer.add_string w.buf (contents l4);
+    Ok (contents w)
+  end
+  else begin
+    let w = writer () in
+    put_ethernet w 0x86DD;
+    let* () = check_fit "ipv6.payload_len" (g Field.Pkt_len - 40) 0xFFFF in
+    if g Field.Pkt_len < 40 then
+      Error
+        (Unsolvable_overhead
+           { proto; pkt_len = g Field.Pkt_len; payload_len = g Field.Payload_len })
+    else begin
+      put_ipv6 w ~payload_len:(g Field.Pkt_len - 40) ~next_hdr:proto
+        ~hop:(g Field.Ttl) ~src:(g Field.Src_ip) ~dst:(g Field.Dst_ip);
+      let* _ = encode_l4 w pkt ~proto ~v6:true ~dns_ok:true in
+      Ok (contents w)
+    end
+  end

@@ -1,0 +1,23 @@
+(** Wire-packet synthesis: lower a simulator {!Newton_packet.Packet}
+    to a canonical byte string whose parse + normalization under the
+    emitted program recovers exactly the original canonical fields.
+    Field vectors with no parseable encoding (e.g. TCP fields on a GRE
+    packet) return a typed [Error] so the differential harness can skip
+    them on both sides. *)
+
+(** Why a field vector has no canonical wire encoding. *)
+type error =
+  | Bad_ip_version of int
+  | Tunnel_over_ipv6
+  | Stray_l4_fields of { proto : int; fields : string list }
+  | Dns_without_port_53
+  | Dns_inside_tunnel
+  | Unsolvable_overhead of { proto : int; pkt_len : int; payload_len : int }
+  | Field_overflow of { field : string; value : int; limit : int }
+
+val error_to_string : error -> string
+
+(** Ethernet-frame bytes for the packet's field vector (MACs and
+    checksums zeroed; tunnels use VXLAN).  The ingress port is switch
+    metadata, not bytes — pass it to {!Interp.run} separately. *)
+val synthesize : Newton_packet.Packet.t -> (string, error) result

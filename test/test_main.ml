@@ -16,6 +16,7 @@ let () =
       ("parser", Test_parser.suite);
       ("extras", Test_extras.suite);
       ("p4gen", Test_p4gen.suite);
+      ("p4sim", Test_p4sim.suite);
       ("validate", Test_validate.suite);
       ("compiler", Test_compiler.suite);
       ("network", Test_network.suite);

@@ -1,0 +1,152 @@
+(** Tests for the P4 interpreter subsystem: program parsing, packet
+    synthesis, rule-document round-trips, and the differential harness
+    proving the interpreted pipeline reports exactly what the
+    simulator engine reports on the pinned mixed corpus. *)
+
+open Newton_p4sim
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let program_text = lazy (Newton_p4gen.Emit.program ())
+let program = lazy (P4parse.parse (Lazy.force program_text))
+
+(* ---------------- parsing the emitted program ---------------- *)
+
+let test_emitted_program_parses () =
+  let p = Lazy.force program in
+  checkb "headers_t declared" true
+    (P4ast.find_struct p "headers_t" <> None);
+  checkb "metadata_t declared" true
+    (P4ast.find_struct p "metadata_t" <> None);
+  checkb "parser has a start state" true (P4ast.find_state p "start" <> None);
+  let ingress =
+    List.find_opt
+      (fun (c : P4ast.control) -> c.P4ast.c_tables <> [])
+      p.P4ast.controls
+  in
+  match ingress with
+  | None -> Alcotest.fail "no control with tables"
+  | Some c ->
+      checkb "ingress declares the register file" true
+        (List.exists (fun (n, _) -> n = "newton_state") c.P4ast.c_registers);
+      (* default layout: 12 stages x 2 sets x (K,H,S,R,T) + init,
+         resume, recirc, fin *)
+      checki "table count" ((12 * 2 * 5) + 4) (List.length c.P4ast.c_tables)
+
+let test_parse_rejects_garbage () =
+  checkb "syntax error is typed" true
+    (try
+       ignore (P4parse.parse "control { this is not p4 }");
+       false
+     with P4parse.Parse_error _ -> true)
+
+(* ---------------- rule-document round-trip ---------------- *)
+
+let test_rules_json_round_trip () =
+  List.iter
+    (fun q ->
+      let entries =
+        Newton_p4gen.Rules.entries_exn
+          (Newton_compiler.Compose.compile q)
+      in
+      let back = P4rules.of_json (Newton_p4gen.Rules.to_json entries) in
+      checkb
+        (Printf.sprintf "Q%d rules survive JSON round-trip"
+           q.Newton_query.Ast.id)
+        true
+        (entries = back))
+    [ Newton_query.Catalog.q4 (); Newton_query.Catalog.q12 ();
+      Newton_query.Catalog.q17 () ]
+
+let test_bad_rule_document_rejected () =
+  checkb "malformed document is typed" true
+    (try ignore (P4rules.of_json "{\"not\":\"an array\"}"); false
+     with P4rules.Bad_document _ -> true)
+
+(* ---------------- packet synthesis ---------------- *)
+
+let test_phv_typed_errors () =
+  let expect what err pkt =
+    match Phv.synthesize pkt with
+    | Error e -> Alcotest.(check string) what err (Phv.error_to_string e)
+    | Ok _ -> Alcotest.failf "%s: expected %s" what err
+  in
+  expect "dns needs port 53"
+    (Phv.error_to_string Phv.Dns_without_port_53)
+    (Newton_packet.Packet.make ~proto:17 ~src_port:1234 ~dst_port:4444
+       ~dns_qr:1 ());
+  expect "tunnels are v4-only"
+    (Phv.error_to_string Phv.Tunnel_over_ipv6)
+    (Newton_packet.Packet.make ~ip_ver:6 ~proto:17 ~tun_id:9 ());
+  expect "ip version is 4 or 6"
+    (Phv.error_to_string (Phv.Bad_ip_version 5))
+    (Newton_packet.Packet.make ~ip_ver:5 ())
+
+let test_phv_corpus_fully_encodable () =
+  (* Every packet the generator can produce has a wire encoding. *)
+  let n_bad = ref 0 in
+  List.iter
+    (fun pkt ->
+      match Phv.synthesize pkt with Ok _ -> () | Error _ -> incr n_bad)
+    (Corpus.coverage_packets ~scale:0.02 ());
+  checki "unencodable packets" 0 !n_bad
+
+(* ---------------- the differential ---------------- *)
+
+(* The tentpole acceptance check: identical report multisets between
+   the simulator engine and the interpreted P4 pipeline for every
+   catalog query Q1-Q17 on the pinned mixed v4/v6/ICMPv6/tunnel
+   corpus, with full packet coverage and at least one report per
+   query (so the identity is never vacuous). *)
+let test_differential_all_queries () =
+  let packets = Corpus.coverage_packets () in
+  List.iter
+    (fun q ->
+      match Diff.run_query q packets with
+      | Error issue ->
+          Alcotest.failf "Q%d has no rule encoding: %s" q.Newton_query.Ast.id
+            (Newton_p4gen.Rules.issue_to_string issue)
+      | Ok r ->
+          checki
+            (Printf.sprintf "Q%d: all packets encodable" q.Newton_query.Ast.id)
+            0 r.Diff.skipped;
+          checkb
+            (Printf.sprintf "Q%d: engine actually reports"
+               q.Newton_query.Ast.id)
+            true
+            (r.Diff.engine_reports <> []);
+          if not (Diff.matched r) then
+            Alcotest.failf "Q%d diverged: %s" q.Newton_query.Ast.id
+              (Diff.describe r))
+    (Newton_query.Catalog.all () @ Newton_query.Catalog.extras ())
+
+(* Divergence is detected, not defined away: perturb one interpreter
+   report and the harness must flag the outcome. *)
+let test_differential_detects_divergence () =
+  let packets = Corpus.coverage_packets ~scale:0.02 () in
+  match Diff.run_query (Newton_query.Catalog.q1 ()) packets with
+  | Error _ -> Alcotest.fail "q1 must have a rule encoding"
+  | Ok r ->
+      checkb "baseline matches" true (Diff.matched r);
+      checkb "baseline reports" true (r.Diff.p4_reports <> []);
+      let broken =
+        { r with Diff.p4_reports = List.tl r.Diff.p4_reports }
+      in
+      checkb "dropped report detected" false (Diff.matched broken);
+      checkb "disagreement localized" true
+        (match Diff.first_disagreement broken with
+        | Some (`Engine_only _) -> true
+        | _ -> false)
+
+let suite =
+  [
+    ("emitted program parses", `Quick, test_emitted_program_parses);
+    ("parse rejects garbage", `Quick, test_parse_rejects_garbage);
+    ("rules json round trip", `Quick, test_rules_json_round_trip);
+    ("bad rule document rejected", `Quick, test_bad_rule_document_rejected);
+    ("phv typed errors", `Quick, test_phv_typed_errors);
+    ("phv corpus fully encodable", `Quick, test_phv_corpus_fully_encodable);
+    ("differential detects divergence", `Quick, test_differential_detects_divergence);
+    ("differential all queries", `Slow, test_differential_all_queries);
+  ]

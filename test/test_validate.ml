@@ -21,8 +21,8 @@ let test_inventory_recovers_declared_tables () =
   let layout = { Emit.stages = 2; registers = 64; rules_per_table = 16 } in
   let program = Emit.program ~layout () in
   let inv = Validate.inventory_of_program program in
-  (* 2 stages x 2 sets x 4 kinds + newton_init + newton_fin *)
-  checki "table count" 18 (Hashtbl.length inv.Validate.tables);
+  (* 2 stages x 2 sets x 5 kinds (K,H,S,R,T) + init/resume/recirc/fin *)
+  checki "table count" 24 (Hashtbl.length inv.Validate.tables);
   checkb "sizes recovered" true
     (Hashtbl.find inv.Validate.tables "newton_k_s0_m0" = 16);
   checkb "init table larger" true
