@@ -22,6 +22,7 @@ let experiments =
     ("analysis", Analysis.run);
     ("p4sim", P4sim.run);
     ("serve", Serve.run);
+    ("space", Space.run);
     ("micro", Microbench.run) ]
 
 let () =

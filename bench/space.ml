@@ -1,0 +1,152 @@
+(** Exact packet-space solver cost: what the NA090–NA094 space passes
+    add on top of the ~7 µs interval-analysis baseline.
+
+    Two layers:
+
+    - solver ops — raw throughput of the ternary bit-cube primitives
+      (atom compilation, intersection, union, difference, containment,
+      model extraction) on catalog-shaped operand sets
+    - pass latency — per-intent cost of the space pass family alone,
+      and of a full [Check.check_query] with and without it, so the
+      marginal price of exactness is visible next to the interval
+      baseline bench/analysis.ml pins
+
+    Results go to the table and a JSON artifact —
+    out/bench_space.json or the path in NEWTON_BENCH_SPACE_JSON. *)
+
+open Newton_query
+module Space = Newton_analysis.Space
+
+let getenv_int name default =
+  match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+  | Some v when v > 0 -> v
+  | _ -> default
+
+let json_path () =
+  Option.value (Sys.getenv_opt "NEWTON_BENCH_SPACE_JSON")
+    ~default:"out/bench_space.json"
+
+(* Ops per second over [iters] runs of [f]. *)
+let ops_per_s iters f =
+  ignore (f ());
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    ignore (f ())
+  done;
+  float_of_int iters /. (Unix.gettimeofday () -. t0)
+
+let time_mean iters f =
+  ignore (f ());
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    ignore (f ())
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int iters
+
+let branch_space branch =
+  Space.of_preds (List.map snd (Ast.cmp_atoms branch))
+
+let query_space q =
+  List.fold_left
+    (fun acc b -> Space.union acc (branch_space b))
+    Space.empty q.Ast.branches
+
+let run () =
+  Common.banner "Exact packet-space solver (NA090-NA094)";
+  let iters = getenv_int "NEWTON_BENCH_SPACE_ITERS" 2000 in
+  let queries = Catalog.all () @ Catalog.extras () in
+  let spaces = List.map query_space queries in
+  Common.note "%d catalog intents, %d iterations per op" (List.length queries)
+    iters;
+  let pairs =
+    (* every adjacent pair of catalog spaces: the shapes NA092 visits *)
+    let rec go = function
+      | a :: (b :: _ as rest) -> (a, b) :: go rest
+      | _ -> []
+    in
+    go spaces
+  in
+  let on_pairs f () = List.iter (fun (a, b) -> ignore (f a b)) pairs in
+  let t =
+    Common.T.create
+      ~aligns:[ Common.T.Left; Common.T.Right ]
+      [ "solver op (catalog shapes)"; "ops/s" ]
+  in
+  let solver_ops =
+    [
+      ( "compile (query -> space)",
+        ops_per_s iters (fun () -> List.iter (fun q -> ignore (query_space q)) queries) );
+      ("inter", ops_per_s iters (on_pairs Space.inter));
+      ("union", ops_per_s iters (on_pairs Space.union));
+      ("diff", ops_per_s iters (on_pairs Space.diff));
+      ("subset", ops_per_s iters (on_pairs Space.subset));
+      ( "model",
+        ops_per_s iters (fun () -> List.iter (fun s -> ignore (Space.model s)) spaces) );
+    ]
+  in
+  List.iter
+    (fun (name, ops) -> Common.T.add_row t [ name; Printf.sprintf "%.0f" ops ])
+    solver_ops;
+  Common.T.print t;
+  (* per-intent pass latency: the space passes alone, and the marginal
+     cost inside a full check next to the interval baseline. *)
+  let check_iters = getenv_int "NEWTON_BENCH_SPACE_CHECK_ITERS" 200 in
+  let mean_over f =
+    List.fold_left (fun acc q -> acc +. time_mean check_iters (fun () -> f q)) 0.0
+      queries
+    /. float_of_int (List.length queries)
+  in
+  let space_pass_mean =
+    mean_over (fun q ->
+        let ctx =
+          {
+            Newton_analysis.Pass.query = q;
+            cfg = Newton_analysis.Pass.default_config;
+            compiled = Some (Common.compile q);
+            compile_error = None;
+            peers = [];
+            co_resident = [];
+            target = None;
+          }
+        in
+        Newton_analysis.Pass_space.run ctx)
+  in
+  let full_check_mean =
+    mean_over (fun q -> Newton_analysis.Check.check_query q)
+  in
+  let t2 =
+    Common.T.create
+      ~aligns:[ Common.T.Left; Common.T.Right ]
+      [ "per-intent latency"; "mean us" ]
+  in
+  Common.T.add_row t2
+    [ "space passes alone"; Printf.sprintf "%.1f" (space_pass_mean *. 1e6) ];
+  Common.T.add_row t2
+    [ "full check (all passes)"; Printf.sprintf "%.1f" (full_check_mean *. 1e6) ];
+  Common.T.print t2;
+  Common.maybe_dat t "space_solver";
+  let open Newton_util.Json in
+  let json =
+    Obj
+      [
+        ("bench", String "space_solver");
+        ("queries", Int (List.length queries));
+        ("iterations", Int iters);
+        ( "solver_ops_per_s",
+          Obj (List.map (fun (n, v) -> (n, Float v)) solver_ops) );
+        ( "pass_latency_us",
+          Obj
+            [
+              ("space_passes", Float (space_pass_mean *. 1e6));
+              ("full_check", Float (full_check_mean *. 1e6));
+            ] );
+      ]
+  in
+  let out = json_path () in
+  let dir = Filename.dirname out in
+  if dir <> "." && not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out out in
+  output_string oc (to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Common.note "[json written to %s]" out

@@ -506,7 +506,8 @@ let fail_arg =
 (* ---------------- check (static analysis) ---------------- *)
 
 let cmd_check =
-  let run ids dsl all json strict output topo stages registers expected_keys =
+  let run ids dsl all json strict output topo stages registers expected_keys
+      witness shard_fields =
     (* No explicit selection means "check everything", like --all. *)
     let whole_catalog = all || (ids = [] && dsl = []) in
     let queries =
@@ -517,12 +518,30 @@ let cmd_check =
       | Ok qs ->
           if whole_catalog then Catalog.all () @ Catalog.extras () @ qs else qs
     in
+    let shard =
+      match shard_fields with
+      | None -> None
+      | Some spec -> (
+          let names =
+            List.filter (fun s -> s <> "")
+              (String.split_on_char ',' spec)
+          in
+          match List.map Field.of_string names with
+          | [] ->
+              prerr_endline "check: --shard-fields needs at least one field";
+              exit 2
+          | fields -> Some (Analysis.Pass.Shard_fields fields)
+          | exception Invalid_argument msg ->
+              Printf.eprintf "check: --shard-fields: %s\n" msg;
+              exit 2)
+    in
     let cfg =
       {
         Analysis.Pass.default_config with
         Analysis.Pass.options =
           { Compile_options.default_options with Compile_options.registers };
         expected_keys;
+        shard;
       }
     in
     (* Mirrors [Analysis.Check.check_queries] — each query sees the
@@ -561,9 +580,12 @@ let cmd_check =
     let e, w, i = Analysis.Check.severity_counts diags in
     let text =
       if json then
-        Newton_util.Json.to_string (Analysis.Check.report_to_json diags) ^ "\n"
+        Newton_util.Json.to_string
+          (Analysis.Check.report_to_json ~witness diags)
+        ^ "\n"
       else
-        (if diags = [] then "" else Analysis.Check.explain diags ^ "\n")
+        (if diags = [] then ""
+         else Analysis.Check.explain ~witness diags ^ "\n")
         ^ Printf.sprintf "checked %d queries: %d errors, %d warnings, %d infos\n"
             (List.length queries) e w i
     in
@@ -619,15 +641,31 @@ let cmd_check =
              ~doc:"Expected distinct keys per window, used for sketch \
                    false-positive estimates.")
   in
+  let witness_arg =
+    Arg.(value & flag
+         & info [ "witness" ]
+             ~doc:"Print (and embed in JSON) the concrete witness packets the \
+                   exact packet-space passes attach to their findings.")
+  in
+  let shard_fields_arg =
+    Arg.(value & opt (some string) None
+         & info [ "shard-fields" ] ~docv:"FIELDS"
+             ~doc:"Assume the replay path shards by hashing these \
+                   comma-separated header fields (e.g. dip,proto) and verify \
+                   every stateful primitive's per-key state stays within one \
+                   domain (NA095).")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "Statically verify queries (structure, field widths, predicates, \
-          dataflow, thresholds, sketch health, capacity, conflicts, cross-cut \
+          exact packet-space satisfiability/overlap, dataflow, thresholds, \
+          sketch health, capacity, conflicts, shard coverage, cross-cut \
           ordering) and report structured diagnostics")
     Term.(
       const run $ check_queries_arg $ dsl_arg $ all_arg $ json_arg $ strict_arg
-      $ output_arg $ check_topo_arg $ stages_arg $ registers_arg $ keys_arg)
+      $ output_arg $ check_topo_arg $ stages_arg $ registers_arg $ keys_arg
+      $ witness_arg $ shard_fields_arg)
 
 let cmd_netrun =
   let run ids topo stages profile flows seed attacks fail pcap =

@@ -17,11 +17,13 @@ let passes : (module Pass.S) list =
     (module Pass_structure);
     (module Pass_width);
     (module Pass_predicates);
+    (module Pass_space);
     (module Pass_dataflow);
     (module Pass_threshold);
     (module Pass_sketch);
     (module Pass_capacity);
     (module Pass_conflicts);
+    (module Pass_shard);
     (module Pass_cuts);
     (module Pass_p4);
   ]
@@ -105,9 +107,10 @@ let admission ?(cfg = Pass.default_config) ?target ~deployed compiled =
       target;
     }
 
-(** Human rendering of a report (one diagnostic per paragraph). *)
-let explain diags =
-  String.concat "\n" (List.map Diag.to_string diags)
+(** Human rendering of a report (one diagnostic per paragraph);
+    [?witness] appends witness-packet lines. *)
+let explain ?witness diags =
+  String.concat "\n" (List.map (Diag.to_string ?witness) diags)
 
 let severity_counts diags =
   List.fold_left
@@ -118,9 +121,13 @@ let severity_counts diags =
       | Diag.Info -> (e, w, i + 1))
     (0, 0, 0) diags
 
-(** Stable JSON report: a summary object plus the diagnostics array. *)
-let report_to_json diags =
+(** Stable JSON report: a summary object plus the diagnostics array,
+    re-sorted into (query, span, code) order so the artifact is stable
+    under pass additions and severity retunes; [?witness] embeds
+    witness packets. *)
+let report_to_json ?witness diags =
   let e, w, i = severity_counts diags in
+  let diags = List.sort Diag.compare_stable diags in
   Json.Obj
     [
       ( "summary",
@@ -130,7 +137,7 @@ let report_to_json diags =
             ("warnings", Json.Int w);
             ("infos", Json.Int i);
           ] );
-      ("diagnostics", Json.List (List.map Diag.to_json diags));
+      ("diagnostics", Json.List (List.map (Diag.to_json ?witness) diags));
     ]
 
 (** Report exit code; [--strict] promotes warnings to errors. *)

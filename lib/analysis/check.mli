@@ -38,14 +38,19 @@ val admission :
   deployed:(Ast.t * Compose.t) list -> Compose.t -> Diag.t list
 
 (** Human rendering of a report (one diagnostic per line, hints
-    indented). *)
-val explain : Diag.t list -> string
+    indented); [?witness] (default false) appends witness-packet
+    lines. *)
+val explain : ?witness:bool -> Diag.t list -> string
 
 (** (errors, warnings, infos). *)
 val severity_counts : Diag.t list -> int * int * int
 
-(** Stable JSON report: a summary object plus the diagnostics array. *)
-val report_to_json : Diag.t list -> Newton_util.Json.t
+(** Stable JSON report: a summary object plus the diagnostics array.
+    The array is re-sorted into {!Diag.compare_stable}'s
+    (query, span, code) order so the artifact is byte-stable under
+    pass additions and severity retunes; [?witness] (default false)
+    embeds witness packets. *)
+val report_to_json : ?witness:bool -> Diag.t list -> Newton_util.Json.t
 
 (** Report exit code; [strict] promotes warnings (1) to errors (2). *)
 val exit_code : ?strict:bool -> Diag.t list -> int

@@ -2,10 +2,13 @@
 
     Every analysis pass reports findings as {!t} values: a stable code
     (NAxxx), a severity, the query it concerns, a span locating the
-    finding inside the query, a human message and an optional fix hint.
-    Codes are append-only — front-ends and golden tests key on them. *)
+    finding inside the query, a human message, an optional fix hint and
+    — for the exact packet-space passes — an optional {e witness
+    packet} proving the finding.  Codes are append-only — front-ends
+    and golden tests key on them. *)
 
 open Newton_util
+open Newton_packet
 
 type severity = Info | Warning | Error
 
@@ -35,6 +38,17 @@ let span_to_string = function
   | Switch s -> Printf.sprintf "sw%d" s
   | Cut d -> Printf.sprintf "cut%d" d
 
+(* Numeric span order (constructor-major, then indices) so sorted
+   reports don't depend on string quirks like "b10" < "b2". *)
+let span_rank = function
+  | Query -> (0, 0, 0)
+  | Branch b -> (1, b, 0)
+  | Prim { branch; prim } -> (2, branch, prim)
+  | Combine -> (3, 0, 0)
+  | Stage s -> (4, s, 0)
+  | Switch s -> (5, s, 0)
+  | Cut d -> (6, d, 0)
+
 type t = {
   code : string;          (** stable, e.g. "NA020" *)
   severity : severity;
@@ -43,10 +57,12 @@ type t = {
   span : span;
   message : string;
   hint : string option;
+  witness : Packet.t option;
+      (** a concrete packet demonstrating the finding (space passes) *)
 }
 
-let make ~code ~severity ?(span = Query) ?hint ~(query : Newton_query.Ast.t)
-    message =
+let make ~code ~severity ?(span = Query) ?hint ?witness
+    ~(query : Newton_query.Ast.t) message =
   {
     code;
     severity;
@@ -55,30 +71,72 @@ let make ~code ~severity ?(span = Query) ?hint ~(query : Newton_query.Ast.t)
     span;
     message;
     hint;
+    witness;
   }
 
-let to_string d =
+(* Compact field=value rendering of a witness (non-zero fields; IPs as
+   dotted quads).  An all-zero packet is itself a valid witness. *)
+let witness_to_string pkt =
+  let parts =
+    List.filter_map
+      (fun f ->
+        let v = Packet.get pkt f in
+        if v = 0 then None
+        else
+          Some
+            (match f with
+            | Field.Src_ip | Field.Dst_ip ->
+                Printf.sprintf "%s=%s" (Field.to_string f)
+                  (Packet.ip_to_string v)
+            | _ -> Printf.sprintf "%s=%d" (Field.to_string f) v))
+      Field.all
+  in
+  match parts with
+  | [] -> "<all fields zero>"
+  | _ -> String.concat " " parts
+
+let to_string ?(witness = false) d =
   let hint =
     match d.hint with None -> "" | Some h -> Printf.sprintf "\n    hint: %s" h
   in
-  Printf.sprintf "%s[%s] %s(Q%d) %s: %s%s"
+  let wit =
+    match d.witness with
+    | Some p when witness ->
+        Printf.sprintf "\n    witness: %s" (witness_to_string p)
+    | _ -> ""
+  in
+  Printf.sprintf "%s[%s] %s(Q%d) %s: %s%s%s"
     (severity_to_string d.severity)
-    d.code d.query_name d.query_id (span_to_string d.span) d.message hint
+    d.code d.query_name d.query_id (span_to_string d.span) d.message hint wit
 
-let to_json d =
+(* Witness JSON: the non-zero fields only (absent fields are zero), in
+   Field.index order — a lossless, stable encoding. *)
+let witness_to_json pkt =
   Json.Obj
-    [
-      ("code", Json.String d.code);
-      ("severity", Json.String (severity_to_string d.severity));
-      ("query_id", Json.Int d.query_id);
-      ("query_name", Json.String d.query_name);
-      ("span", Json.String (span_to_string d.span));
-      ("message", Json.String d.message);
-      ("hint", match d.hint with None -> Json.Null | Some h -> Json.String h);
-    ]
+    (List.filter_map
+       (fun f ->
+         let v = Packet.get pkt f in
+         if v = 0 then None else Some (Field.to_string f, Json.Int v))
+       Field.all)
+
+let to_json ?(witness = false) d =
+  Json.Obj
+    ([
+       ("code", Json.String d.code);
+       ("severity", Json.String (severity_to_string d.severity));
+       ("query_id", Json.Int d.query_id);
+       ("query_name", Json.String d.query_name);
+       ("span", Json.String (span_to_string d.span));
+       ("message", Json.String d.message);
+       ("hint", match d.hint with None -> Json.Null | Some h -> Json.String h);
+     ]
+    @
+    match d.witness with
+    | Some p when witness -> [ ("witness", witness_to_json p) ]
+    | _ -> [])
 
 (** Severity-major order (errors first), then query, code and span, so
-    reports and JSON artifacts are deterministic. *)
+    human reports lead with what matters. *)
 let compare a b =
   let c = Stdlib.compare (severity_rank b.severity) (severity_rank a.severity) in
   if c <> 0 then c
@@ -89,7 +147,23 @@ let compare a b =
       let c = Stdlib.compare a.code b.code in
       if c <> 0 then c
       else
-        let c = Stdlib.compare (span_to_string a.span) (span_to_string b.span) in
+        let c = Stdlib.compare (span_rank a.span) (span_rank b.span) in
+        if c <> 0 then c else Stdlib.compare a.message b.message
+
+(** Report order for machine output: (query, span, code)-major, so a
+    JSON report is stable under pass additions and severity retunes —
+    a new pass inserts rows locally instead of reshuffling the file. *)
+let compare_stable a b =
+  let c = Stdlib.compare a.query_id b.query_id in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare a.query_name b.query_name in
+    if c <> 0 then c
+    else
+      let c = Stdlib.compare (span_rank a.span) (span_rank b.span) in
+      if c <> 0 then c
+      else
+        let c = Stdlib.compare a.code b.code in
         if c <> 0 then c else Stdlib.compare a.message b.message
 
 let max_severity diags =

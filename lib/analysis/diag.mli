@@ -2,6 +2,8 @@
     stable (NAxxx, append-only); golden tests and front-ends key on
     them.  See docs/ANALYSIS.md for the full code table. *)
 
+open Newton_packet
+
 type severity = Info | Warning | Error
 
 val severity_to_string : severity -> string
@@ -29,20 +31,35 @@ type t = {
   span : span;
   message : string;
   hint : string option;
+  witness : Packet.t option;
+      (** a concrete packet demonstrating the finding, attached by the
+          exact packet-space passes (NA090–NA094) *)
 }
 
 val make :
   code:string -> severity:severity -> ?span:span -> ?hint:string ->
-  query:Newton_query.Ast.t -> string -> t
+  ?witness:Packet.t -> query:Newton_query.Ast.t -> string -> t
 
-val to_string : t -> string
+(** Compact [field=value] rendering of a witness packet (non-zero
+    fields only, IPs as dotted quads). *)
+val witness_to_string : Packet.t -> string
+
+(** [?witness] (default false) appends the witness line, when the
+    diagnostic carries one. *)
+val to_string : ?witness:bool -> t -> string
 
 (** Stable member order: code, severity, query_id, query_name, span,
-    message, hint. *)
-val to_json : t -> Newton_util.Json.t
+    message, hint[, witness].  The witness member — non-zero fields
+    only — is embedded only when [?witness] is true (default false, so
+    existing consumers see an unchanged schema). *)
+val to_json : ?witness:bool -> t -> Newton_util.Json.t
 
-(** Severity-major order (errors first) for deterministic reports. *)
+(** Severity-major order (errors first) for human-facing reports. *)
 val compare : t -> t -> int
+
+(** (query, span, code)-major order for machine output: stable under
+    pass additions and severity retunes. *)
+val compare_stable : t -> t -> int
 
 (** [Info] for an empty list. *)
 val max_severity : t list -> severity

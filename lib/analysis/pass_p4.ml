@@ -1,4 +1,4 @@
-(** P4 emission feasibility (NA080–NA083).
+(** P4 emission feasibility (NA080, NA081, NA083).
 
     A checked intent ultimately deploys as table entries against the
     static program {!Newton_p4gen.Emit} writes; this pass surfaces —
@@ -15,20 +15,21 @@
       inputs a later-prim same-cell module overwrites — or a reporting
       R whose keys a same-cell K rewrites — diverges from the
       simulator) (Error);
-    - NA082: overlapping branches — the densest packet recirculates,
-      taking multiple pipeline passes (Info; bandwidth, not
-      correctness);
     - NA083: the query's state arrays exceed the static register file
-      (Error). *)
+      (Error).
+
+    The recirculation advisory this pass used to emit as NA082 (an
+    overlap estimate from the ternary classifier patterns) is
+    superseded by {!Pass_space}'s NA093, which proves the exact pass
+    count with the true overlap region and a witness packet. *)
 
 open Newton_compiler
 
 let name = "p4"
 let doc =
   "P4 emission feasibility: key-descriptor and branch-bitmap capacity, \
-   action-menu coverage, same-cell ordering, recirculation passes, \
-   register-file fit"
-let codes = [ "NA080"; "NA081"; "NA082"; "NA083" ]
+   action-menu coverage, same-cell ordering, register-file fit"
+let codes = [ "NA080"; "NA081"; "NA083" ]
 
 let issue_diag ~query (issue : Newton_p4gen.Rules.issue) =
   let open Newton_p4gen.Rules in
@@ -127,21 +128,4 @@ let run (ctx : Pass.ctx) =
       let query = ctx.query in
       match Newton_p4gen.Rules.entries compiled with
       | Error issue -> [ issue_diag ~query issue ]
-      | Ok _ ->
-          let hazards = cell_hazards ~query compiled in
-          let passes = Newton_p4gen.Rules.overlap_passes compiled in
-          let recirc =
-            if passes > 1 then
-              [
-                Diag.make ~code:"NA082" ~severity:Diag.Info ~span:Diag.Query
-                  ~query
-                  ~hint:
-                    "overlapping branch predicates share packets; each extra \
-                     pass costs pipeline bandwidth, not correctness"
-                  (Printf.sprintf
-                     "densest packet takes %d pipeline passes (branches \
-                      overlap; recirculated)" passes);
-              ]
-            else []
-          in
-          hazards @ recirc)
+      | Ok _ -> cell_hazards ~query compiled)

@@ -1,5 +1,6 @@
-(** P4 emission feasibility (NA080–NA083): key-descriptor/branch-bitmap
-    capacity, static-action-menu coverage, same-cell ordering hazards,
-    recirculation passes, register-file fit. *)
+(** P4 emission feasibility (NA080, NA081, NA083):
+    key-descriptor/branch-bitmap capacity, static-action-menu coverage,
+    same-cell ordering hazards, register-file fit.  Recirculation
+    overlap is {!Pass_space}'s NA093. *)
 
 include Pass.S

@@ -1,0 +1,97 @@
+(** Shard/state coverage (NA095).
+
+    The sharded replay path splits the packet stream across engine
+    domains by a {!Pass.shard_facts} strategy; stateful primitives keep
+    per-key state {e inside one domain only}.  The split is sound for a
+    [distinct]/[reduce] exactly when packets that share the primitive's
+    key always land in the same domain — i.e. every hashed shard field
+    is one of the primitive's key fields, at full mask (the shard hash
+    sees the raw field value, so a masked key still splits on the
+    unmasked low bits).
+
+    [Shard_flow] and [Shard_branch_key] carry their own documented
+    locality story and are accepted; [Shard_fields] is judged per
+    stateful primitive; [Shard_custom] is opaque, so any stateful
+    primitive draws the warning. *)
+
+open Newton_packet
+open Newton_query
+
+let name = "shard"
+let doc =
+  "sharded-replay state coverage: shard key fields that fail to cover a \
+   stateful primitive's keys split its per-key state across domains"
+let codes = [ "NA095" ]
+
+(* Shard fields not guaranteed constant across packets sharing the
+   primitive's key: absent from the key list, or present only under a
+   partial mask. *)
+let uncovered shard_fields keys =
+  List.filter
+    (fun f ->
+      not
+        (List.exists
+           (fun (k : Ast.key) ->
+             Field.equal k.Ast.field f && k.Ast.mask = Field.full_mask f)
+           keys))
+    shard_fields
+
+let run (ctx : Pass.ctx) =
+  match ctx.Pass.cfg.Pass.shard with
+  | None | Some Pass.Shard_flow | Some Pass.Shard_branch_key -> []
+  | Some strategy ->
+      let query = ctx.Pass.query in
+      List.concat
+        (List.mapi
+           (fun b prims ->
+             List.concat
+               (List.mapi
+                  (fun p prim ->
+                    let keys =
+                      match prim with
+                      | Ast.Distinct ks -> Some ("distinct", ks)
+                      | Ast.Reduce { keys; _ } -> Some ("reduce", keys)
+                      | Ast.Filter _ | Ast.Map _ -> None
+                    in
+                    match (keys, strategy) with
+                    | None, _ -> []
+                    | Some (what, ks), Pass.Shard_fields fs -> (
+                        match uncovered fs ks with
+                        | [] -> []
+                        | missing ->
+                            [
+                              Diag.make ~code:"NA095" ~severity:Diag.Warning
+                                ~span:(Diag.Prim { branch = b; prim = p })
+                                ~query
+                                ~hint:
+                                  "shard by a full-mask subset of the \
+                                   primitive's key fields, or merge domain \
+                                   results off-path"
+                                (Printf.sprintf
+                                   "field shard splits this %s's per-key \
+                                    state across domains: packets sharing \
+                                    (%s) can differ on hashed field%s %s"
+                                   what
+                                   (Ast.keys_to_string ks)
+                                   (if List.length missing = 1 then "" else "s")
+                                   (String.concat ", "
+                                      (List.map Field.to_string missing)));
+                            ])
+                    | Some (what, ks), Pass.Shard_custom ->
+                        [
+                          Diag.make ~code:"NA095" ~severity:Diag.Warning
+                            ~span:(Diag.Prim { branch = b; prim = p })
+                            ~query
+                            ~hint:
+                              "the checker cannot inspect a custom shard \
+                               function; use a field shard covering the key, \
+                               or verify domain placement externally"
+                            (Printf.sprintf
+                               "custom shard function cannot be proven to \
+                                keep this %s's per-key state (%s) within one \
+                                domain"
+                               what (Ast.keys_to_string ks));
+                        ]
+                    | Some _, (Pass.Shard_flow | Pass.Shard_branch_key) -> [])
+                  prims))
+           query.Ast.branches)

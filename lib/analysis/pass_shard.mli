@@ -1,0 +1,5 @@
+(** Shard/state coverage (NA095): a planned Fields/Custom shard
+    strategy whose hashed fields fail to cover a stateful primitive's
+    keys silently splits its per-key state across replay domains. *)
+
+include Pass.S

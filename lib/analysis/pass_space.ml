@@ -1,0 +1,266 @@
+(** Exact packet-space analysis (NA090–NA094), built on {!Space}.
+
+    Where {!Pass_predicates} tracks one interval per (field, mask) pair
+    — sound but blind to cross-mask interaction — this pass compiles
+    every branch's field predicates to an exact cube-union set and
+    decides satisfiability, containment and overlap {e exactly}, with a
+    concrete witness packet attached to each finding:
+
+    - NA090: a branch's filter conjunction admits no packet at all
+      (Error; the witness is a near-miss — a packet that passes every
+      predicate but one, naming the predicate that excludes it);
+    - NA091: a later branch's packet space is strictly contained in an
+      earlier branch's (Warning; the branch split is vacuous — the
+      witness reaches only the earlier branch);
+    - NA092: the whole intent's match space is strictly contained in a
+      co-resident intent's (Info; the witness reaches only the
+      shadowing peer).  Peers that match every packet are skipped —
+      an unfiltered intent trivially shadows everything;
+    - NA093: the exact number of pipeline passes the densest packet
+      takes through the emitted classifier, with the true overlap
+      region and a witness packet that recirculates (Info; supersedes
+      the former NA082 estimate in {!Pass_p4});
+    - NA094: the installed intent set leaves packet space uncovered
+      (Info; emitted once per deployment, from the lexicographically
+      first intent; the witness matches no installed intent).
+
+    Every space computation runs under the solver's cube budget:
+    {!Space.Too_complex} silently drops the affected finding — exact or
+    absent, never approximate. *)
+
+open Newton_query
+open Newton_compiler
+
+let name = "space"
+let doc =
+  "exact packet-space analysis: branch satisfiability with near-miss \
+   witnesses, branch and cross-intent subsumption, exact recirculation \
+   overlap, deployment coverage gaps"
+let codes = [ "NA090"; "NA091"; "NA092"; "NA093"; "NA094" ]
+
+(* Exactness by refusal: an over-budget computation yields no
+   diagnostics, never an approximate one. *)
+let guarded f = try f () with Space.Too_complex -> []
+
+let branch_space branch = Space.of_preds (List.map snd (Ast.cmp_atoms branch))
+
+(* The packets an intent's exports can derive from: the union of its
+   branches' filter conjunctions. *)
+let query_space (q : Ast.t) =
+  List.fold_left
+    (fun acc b -> Space.union acc (branch_space b))
+    Space.empty q.Ast.branches
+
+(* ---------------- NA090: exact unsatisfiability ---------------- *)
+
+(* A witness for "almost satisfiable": the first predicate whose
+   removal leaves the conjunction satisfiable, with a model of the
+   rest.  Budget overruns just move on to the next candidate. *)
+let near_miss preds =
+  let arr = Array.of_list preds in
+  let rec go k =
+    if k >= Array.length arr then None
+    else
+      let rest = List.filteri (fun i _ -> i <> k) preds in
+      match Space.model (Space.of_preds rest) with
+      | Some pkt -> Some (arr.(k), pkt)
+      | None | (exception Space.Too_complex) -> go (k + 1)
+  in
+  go 0
+
+let unsat_diags ~query =
+  List.concat
+    (List.mapi
+       (fun b branch ->
+         guarded (fun () ->
+             let preds = List.map snd (Ast.cmp_atoms branch) in
+             if preds = [] || not (Space.is_empty (Space.of_preds preds))
+             then []
+             else
+               let hint, witness =
+                 match near_miss preds with
+                 | Some (culprit, pkt) ->
+                     ( Printf.sprintf
+                         "relaxing %s alone admits packets; the witness \
+                          passes every other predicate"
+                         (Ast.pred_to_string culprit),
+                       Some pkt )
+                 | None ->
+                     ( "no single predicate is responsible; the conjunction \
+                        conflicts as a whole",
+                       None )
+               in
+               [
+                 Diag.make ~code:"NA090" ~severity:Diag.Error
+                   ~span:(Diag.Branch b) ~query ~hint ?witness
+                   (Printf.sprintf
+                      "branch %d is exactly unsatisfiable: no packet passes \
+                       all %d field predicates"
+                      b (List.length preds));
+               ]))
+       query.Ast.branches)
+
+(* ---------------- NA091: branch subsumption ---------------- *)
+
+let subsumption_diags ~query =
+  guarded (fun () ->
+      let spaces =
+        Array.of_list (List.map branch_space query.Ast.branches)
+      in
+      let n = Array.length spaces in
+      let out = ref [] in
+      for j = n - 1 downto 1 do
+        if not (Space.is_empty spaces.(j)) then
+          let subsumer = ref None in
+          for i = j - 1 downto 0 do
+            if
+              Space.subset spaces.(j) spaces.(i)
+              && not (Space.subset spaces.(i) spaces.(j))
+            then subsumer := Some i
+          done;
+          match !subsumer with
+          | None -> ()
+          | Some i ->
+              let witness = Space.model (Space.diff spaces.(i) spaces.(j)) in
+              out :=
+                Diag.make ~code:"NA091" ~severity:Diag.Warning
+                  ~span:(Diag.Branch j) ~query
+                  ~hint:
+                    (Printf.sprintf
+                       "every packet branch %d's filters admit also passes \
+                        branch %d; the witness reaches only branch %d"
+                       j i i)
+                  ?witness
+                  (Printf.sprintf
+                     "branch %d's packet space is strictly contained in \
+                      branch %d's"
+                     j i)
+                :: !out
+      done;
+      !out)
+
+(* ---------------- NA092: cross-intent shadowing ---------------- *)
+
+let shadow_diags ~query ~peers =
+  guarded (fun () ->
+      let ours = query_space query in
+      if Space.is_empty ours then []
+      else
+        List.filter_map
+          (fun ((p : Ast.t), _) ->
+            try
+              let theirs = query_space p in
+              if
+                (not (Space.is_universe theirs))
+                && Space.subset ours theirs
+                && not (Space.subset theirs ours)
+              then
+                let witness = Space.model (Space.diff theirs ours) in
+                Some
+                  (Diag.make ~code:"NA092" ~severity:Diag.Info
+                     ~span:Diag.Query ~query
+                     ~hint:
+                       "the peer observes every packet this intent can see; \
+                        the witness reaches only the shadowing peer"
+                     ?witness
+                     (Printf.sprintf
+                        "intent's match space is strictly contained in \
+                         co-resident intent %s (Q%d)"
+                        p.Ast.name p.Ast.id))
+              else None
+            with Space.Too_complex -> None)
+          peers)
+
+(* ---------------- NA093: exact recirculation overlap ---------------- *)
+
+(* Classifier spaces of the active branches, from the installed
+   newton_init patterns (an unabsorbed branch matches every packet). *)
+let entry_spaces (compiled : Compose.t) =
+  Array.to_list compiled.Compose.init_entries
+  |> List.filter_map (fun (e : Ir.init_entry) ->
+         if compiled.Compose.branches.(e.Ir.ie_branch) = [] then None
+         else Some (Space.of_matches e.Ir.ie_matches))
+
+(* Largest set of classifier spaces with a common packet, plus that
+   common region.  Branch counts are tiny (≤ 6), so plain branch and
+   bound suffices. *)
+let rec densest count region = function
+  | [] -> (count, region)
+  | s :: rest -> (
+      let skip = densest count region rest in
+      match Space.inter region s with
+      | meet when Space.is_empty meet -> skip
+      | meet ->
+          let take = densest (count + 1) meet rest in
+          if fst take > fst skip then take else skip)
+
+let recirc_diags ~query (compiled : Compose.t) =
+  (* Mirror the former NA082 gate: only judge recirculation for intents
+     the rule generator accepts at all. *)
+  match Newton_p4gen.Rules.entries compiled with
+  | Error _ -> []
+  | Ok _ ->
+      guarded (fun () ->
+          let passes, region =
+            densest 0 Space.universe (entry_spaces compiled)
+          in
+          if passes <= 1 then []
+          else
+            [
+              Diag.make ~code:"NA093" ~severity:Diag.Info ~span:Diag.Query
+                ~query
+                ~hint:
+                  (Printf.sprintf
+                     "overlap region: %s; each extra pass costs pipeline \
+                      bandwidth, not correctness"
+                     (Space.to_string region))
+                ?witness:(Space.model region)
+                (Printf.sprintf
+                   "densest packet takes exactly %d pipeline passes \
+                    (branch classifiers overlap; recirculated)"
+                   passes);
+            ])
+
+(* ---------------- NA094: deployment coverage gap ---------------- *)
+
+let coverage_diags ~query ~peers =
+  if peers = [] then []
+  else
+    let lead (q : Ast.t) = (q.Ast.id, q.Ast.name) in
+    (* One report per deployment: the lexicographically first intent
+       speaks for the set. *)
+    if not (List.for_all (fun ((p : Ast.t), _) -> lead query <= lead p) peers)
+    then []
+    else
+      guarded (fun () ->
+          let intents = query :: List.map fst peers in
+          let covered =
+            List.fold_left
+              (fun acc q -> Space.union acc (query_space q))
+              Space.empty intents
+          in
+          match Space.model (Space.compl covered) with
+          | None -> []
+          | Some pkt ->
+              [
+                Diag.make ~code:"NA094" ~severity:Diag.Info ~span:Diag.Query
+                  ~query ~witness:pkt
+                  ~hint:
+                    "packets in the gap update no state and trigger no \
+                     export; install a broader intent if the deployment \
+                     should observe them"
+                  (Printf.sprintf
+                     "the %d installed intents leave packet space uncovered: \
+                      the witness matches none of them"
+                     (List.length intents));
+              ])
+
+let run (ctx : Pass.ctx) =
+  let query = ctx.Pass.query in
+  unsat_diags ~query
+  @ subsumption_diags ~query
+  @ shadow_diags ~query ~peers:ctx.Pass.peers
+  @ (match ctx.Pass.compiled with
+    | Some compiled -> recirc_diags ~query compiled
+    | None -> [])
+  @ coverage_diags ~query ~peers:ctx.Pass.peers

@@ -1,0 +1,6 @@
+(** Exact packet-space analysis (NA090–NA094): branch satisfiability
+    with near-miss witnesses, branch and cross-intent subsumption,
+    exact recirculation overlap, deployment coverage gaps.  Every
+    finding carries a concrete witness packet when one exists. *)
+
+include Pass.S

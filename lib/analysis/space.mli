@@ -1,0 +1,97 @@
+(** Exact packet-space solver: decidable set algebra over the canonical
+    18-field header space.
+
+    A value of type {!t} denotes a set of packets — a union of {e
+    ternary bit-cubes}, each cube constraining some bits of some fields
+    to fixed values and leaving the rest free.  Every predicate atom the
+    query language admits ([==], [!=], [<], [<=], [>], [>=] over a
+    masked field) compiles to such a union {e exactly}, mirroring
+    {!Newton_query.Ref_eval}'s semantics bit for bit:
+    [(packet.field land mask) op value], with the packet field truncated
+    to its declared width.
+
+    On top of cube unions the module provides intersection, union,
+    difference, complement, emptiness, containment and {e model
+    extraction} — a concrete witness packet inside any non-empty set.
+    These are the primitives the [space] analysis pass family
+    (NA090–NA094) uses to turn diagnostics into proofs.
+
+    All operations are exact.  Cube counts can grow on adversarial
+    inputs, so every operation runs under a global budget; exceeding it
+    raises {!Too_complex} (callers degrade to the interval passes, they
+    never report wrong answers). *)
+
+open Newton_packet
+open Newton_query
+
+type t
+
+(** Raised when an operation would exceed the internal cube budget.
+    Exactness is preserved by refusing, never by approximating. *)
+exception Too_complex
+
+(** The set of all packets. *)
+val universe : t
+
+(** The empty set. *)
+val empty : t
+
+val is_empty : t -> bool
+
+(** [is_universe s] — does [s] contain every packet? *)
+val is_universe : t -> bool
+
+(** Number of cubes in the union (a complexity measure, not a
+    cardinality). *)
+val cube_count : t -> int
+
+(** [atom field mask op value] — the exact set of packets satisfying
+    [(packet.field land mask) op value].  Total: malformed masks and
+    out-of-range values yield the (exact) constant sets the reference
+    evaluator's arithmetic induces — e.g. an equality against a value
+    with bits outside the mask is [empty], never an error. *)
+val atom : Field.t -> int -> Ast.cmp_op -> int -> t
+
+(** [of_pred p] — [atom] for a [Cmp]; [universe] for a [Result_cmp]
+    (aggregate thresholds do not constrain the packet space). *)
+val of_pred : Ast.pred -> t
+
+(** Conjunction of a predicate list (a [Filter]'s semantics). *)
+val of_preds : Ast.pred list -> t
+
+(** [of_matches ms] — the set matched by a ternary classifier entry:
+    the conjunction of [(field land mask) = value] over [ms] (an
+    {!Newton_compiler.Ir.init_entry}'s match list; [[]] = match-all). *)
+val of_matches : (Field.t * int * int) list -> t
+
+val inter : t -> t -> t
+val union : t -> t -> t
+
+(** [diff a b] — packets in [a] but not in [b]. *)
+val diff : t -> t -> t
+
+val compl : t -> t
+
+(** [subset a b] — is every packet of [a] in [b]? *)
+val subset : t -> t -> bool
+
+val equal : t -> t -> bool
+
+(** [mem s p] — does the set contain the packet? *)
+val mem : t -> Packet.t -> bool
+
+(** A concrete packet inside the set, or [None] iff the set is empty.
+    The model's unconstrained fields are zero; its timestamp is 0.
+    [model s] is guaranteed to satisfy [mem s] (and hence, for a set
+    built with {!of_preds}, to pass the same predicates under
+    {!Newton_query.Ref_eval}'s comparison arithmetic). *)
+val model : t -> Packet.t option
+
+(** [pred_holds p pkt] — the reference evaluator's verdict for one
+    [Cmp] atom ([Result_cmp] is vacuously true): exactly
+    [Ast.cmp_holds op (Packet.get pkt field land mask) value].  The
+    oracle {!atom} is tested against. *)
+val pred_holds : Ast.pred -> Packet.t -> bool
+
+(** Human rendering of a set (cube list, constrained fields only). *)
+val to_string : t -> string

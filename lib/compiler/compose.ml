@@ -53,23 +53,37 @@ let front_filter_preds (query : Ast.t) branch_idx =
       Some preds
   | _ -> None
 
+(* A TCAM entry has exactly one ternary slot per key field, so a front
+   filter constraining a field twice must be merged into a single
+   (value, mask) before it can become a classifier entry.  Two masked
+   equalities merge iff they agree on every shared mask bit; returns
+   [None] when they conflict — absorbing such a filter would silently
+   drop one predicate, so the caller must leave it to run in stages. *)
+let merged_matches preds =
+  let rec add acc field v m =
+    match acc with
+    | [] -> Some [ (field, v, m) ]
+    | (f', v', m') :: rest when Newton_packet.Field.equal f' field ->
+        if (v lxor v') land m land m' <> 0 then None
+        else Some ((f', v lor v', m lor m') :: rest)
+    | x :: rest -> Option.map (fun r -> x :: r) (add rest field v m)
+  in
+  List.fold_left
+    (fun acc p ->
+      match (acc, p) with
+      | None, _ | Some _, Ast.Result_cmp _ -> None
+      | Some acc, Ast.Cmp { field; mask; value; _ } ->
+          add acc field (value land mask) mask)
+    (Some []) preds
+
 let apply_opt1 (d : Decompose.t) =
   Array.iteri
     (fun b slots ->
-      match front_filter_preds d.Decompose.query b with
+      match Option.bind (front_filter_preds d.Decompose.query b) merged_matches with
       | None -> ()
-      | Some preds ->
+      | Some matches ->
           (* Absorb into newton_init and drop the front suite (prim 0). *)
-          d.Decompose.init_entries.(b) <-
-            {
-              ie_branch = b;
-              ie_matches =
-                List.map
-                  (function
-                    | Ast.Cmp { field; mask; value; _ } -> (field, value land mask, mask)
-                    | Ast.Result_cmp _ -> assert false)
-                  preds;
-            };
+          d.Decompose.init_entries.(b) <- { ie_branch = b; ie_matches = matches };
           (* Mark absorbed slots unused as well: Opt.3's K restoration
              must never resurrect a front filter newton_init subsumed. *)
           List.iter

@@ -57,6 +57,7 @@ type t = {
   tables : (string, table) Hashtbl.t;
   entries : (string, installed list ref) Hashtbl.t;
   mutable seq : int;
+  mutable last_passes : int;  (* pipeline passes of the last run packet *)
   states : (string, pstate) Hashtbl.t;
 }
 
@@ -122,6 +123,7 @@ let create prog =
     tables;
     entries;
     seq = 0;
+    last_passes = 0;
     states;
   }
 
@@ -517,7 +519,12 @@ let run t ?(ingress_port = 0) bytes =
     else continue := false;
     incr passes
   done;
+  t.last_passes <- !passes;
   List.rev !digests
+
+(** Pipeline passes (1 + recirculations) the most recent {!run} packet
+    took; 0 before any run. *)
+let last_passes t = t.last_passes
 
 let register_words t =
   Hashtbl.fold (fun _ arr acc -> acc + Array.length arr) t.registers 0

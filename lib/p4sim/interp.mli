@@ -39,3 +39,9 @@ val register_words : t -> int
     @raise Runtime_error on semantic drift (unknown calls, register
     out-of-bounds, non-converging recirculation). *)
 val run : t -> ?ingress_port:int -> string -> int array list
+
+(** Pipeline passes (1 + recirculations) the most recent {!run} packet
+    took; 0 before any run.  The observable NA093's witness replay
+    asserts against. *)
+val last_passes : t -> int
+

@@ -241,3 +241,21 @@ let primitive_keys = function
 let keys_equal a b =
   List.length a = List.length b
   && List.for_all2 (fun x y -> Field.equal x.field y.field && x.mask = y.mask) a b
+
+(** The packet-space atoms of a branch: every [Cmp] predicate of every
+    [Filter], paired with its primitive index (chain order preserved).
+    [Result_cmp] thresholds constrain aggregates, not packets, and are
+    excluded.  This is the access path the exact space solver compiles
+    a branch through. *)
+let cmp_atoms branch =
+  List.concat
+    (List.mapi
+       (fun p prim ->
+         match prim with
+         | Filter preds ->
+             List.filter_map
+               (function
+                 | Cmp _ as atom -> Some (p, atom) | Result_cmp _ -> None)
+               preds
+         | Map _ | Distinct _ | Reduce _ -> [])
+       branch)

@@ -120,3 +120,10 @@ val primitive_keys : primitive -> key list option
 
 (** Field-and-mask equality of key lists (order-sensitive). *)
 val keys_equal : key list -> key list -> bool
+
+(** The packet-space atoms of a branch: every [Cmp] predicate of every
+    [Filter], paired with its primitive index, in chain order
+    ([Result_cmp] aggregate thresholds excluded).  The conjunction of
+    these atoms is the exact per-packet condition for the branch to
+    pass all its filters — the input the packet-space solver compiles. *)
+val cmp_atoms : branch -> (int * pred) list

@@ -267,6 +267,9 @@ let diag_of_json j =
           span;
           message;
           hint;
+          (* witness packets are embedded only on request and are not
+             part of the lifecycle-API diag schema *)
+          witness = None;
         }
   | None, _ -> Error (Printf.sprintf "diag: unknown severity %S" sev_s)
   | _, None -> Error (Printf.sprintf "diag: unknown span %S" span_s)

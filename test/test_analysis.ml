@@ -61,14 +61,17 @@ let test_catalog_clean_together () =
   checki "no actionable diagnostics across the combined set" 0
     (List.length (actionable (Check.check_queries (all_queries ()))))
 
-let test_na082_recirculation_info () =
+let test_na093_recirculation_info () =
   (* Q12's branches overlap (a packet can be both DNS query and
-     response side), so the P4 pass notes the extra pipeline pass —
-     as an Info, never an error. *)
+     response side), so the space pass proves the extra pipeline pass —
+     as an Info with a witness, never an error. *)
   let ds = Check.check_query (Catalog.q12 ()) in
-  checkb "NA082 info on overlapping-branch query" true
-    (has_sev "NA082" Diag.Info ds);
-  checkb "no NA082 error" true (not (has_sev "NA082" Diag.Error ds))
+  checkb "NA093 info on overlapping-branch query" true
+    (has_sev "NA093" Diag.Info ds);
+  checkb "no NA093 error" true (not (has_sev "NA093" Diag.Error ds));
+  match List.find_opt (fun d -> d.Diag.code = "NA093") ds with
+  | None -> Alcotest.fail "NA093 diagnostic expected"
+  | Some d -> checkb "NA093 carries a witness" true (d.Diag.witness <> None)
 
 (* ---------------- structure (NA001-NA009) ---------------- *)
 
@@ -458,7 +461,7 @@ let suite =
   [
     ("catalog clean", `Quick, test_catalog_clean);
     ("catalog clean together", `Quick, test_catalog_clean_together);
-    ("NA082 recirculation info", `Quick, test_na082_recirculation_info);
+    ("NA093 recirculation info", `Quick, test_na093_recirculation_info);
     ("NA001 empty query", `Quick, test_na001_empty_query);
     ("NA002 empty branch", `Quick, test_na002_empty_branch);
     ("NA003 missing combine", `Quick, test_na003_missing_combine);

@@ -38,5 +38,6 @@ let () =
       ("recovery", Test_recovery.suite);
       ("ingest", Test_ingest.suite);
       ("analysis", Test_analysis.suite);
+      ("space", Test_space.suite);
       ("service", Test_service.suite);
     ]

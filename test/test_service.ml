@@ -152,6 +152,7 @@ let sample_diag () =
     span = Newton_analysis.Diag.Prim { branch = 0; prim = 2 };
     message = "threshold can never hold";
     hint = Some "lower the threshold";
+    witness = None;
   }
 
 let sample_info ?(state = Intent.Active) () =
